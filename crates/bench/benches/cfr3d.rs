@@ -1,0 +1,42 @@
+//! Wall-clock of distributed CFR3D (Algorithm 3) on the threaded simulator,
+//! including the InverseDepth variants.
+
+use cacqr::CfrParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::Matrix;
+use pargrid::{DistMatrix, GridShape, TunableComms};
+use simgrid::{run_spmd, SimConfig};
+
+fn spd(n: usize) -> Matrix {
+    let a = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.37).sin());
+    let mut s = dense::syrk(a.as_ref());
+    for i in 0..n {
+        let v = s.get(i, i);
+        s.set(i, i, v + 2.0 * n as f64);
+    }
+    s
+}
+
+fn bench_cfr3d(crit: &mut Criterion) {
+    let mut g = crit.benchmark_group("cfr3d");
+    g.sample_size(10);
+    for &(c, n, base, inv) in &[(1usize, 64usize, 64usize, 0usize), (2, 64, 8, 0), (2, 64, 8, 1), (2, 128, 16, 0)] {
+        let label = format!("c{c}_n{n}_n0{base}_id{inv}");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &n, |bench, &n| {
+            bench.iter(|| {
+                run_spmd(c * c * c, SimConfig::default(), move |rank| {
+                    let shape = GridShape::cubic(c).unwrap();
+                    let comms = TunableComms::build(rank, shape);
+                    let (x, yh, _) = comms.subcube.coords;
+                    let al = DistMatrix::from_global(&spd(n), c, c, yh, x);
+                    let params = CfrParams::validated(n, c, base, inv).unwrap();
+                    cacqr::cfr3d(rank, &comms.subcube, &al.local, n, &params).unwrap().0.get(0, 0)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cfr3d);
+criterion_main!(benches);

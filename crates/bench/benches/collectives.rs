@@ -1,0 +1,65 @@
+//! Wall-clock throughput of the simulator's collectives (the runtime
+//! substrate): how fast the threaded simulation itself executes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simgrid::{run_spmd, SimConfig};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_allreduce");
+    g.sample_size(10);
+    for &p in &[4usize, 16] {
+        for &n in &[1024usize, 16384] {
+            g.bench_with_input(BenchmarkId::new(format!("p{p}"), n), &n, |bench, &n| {
+                bench.iter(|| {
+                    run_spmd(p, SimConfig::default(), move |rank| {
+                        let world = rank.world();
+                        let mut buf = vec![1.0f64; n];
+                        world.allreduce(rank, &mut buf);
+                        buf[0]
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_bcast");
+    g.sample_size(10);
+    for &p in &[8usize, 64] {
+        let n = 8192usize;
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
+            bench.iter(|| {
+                run_spmd(p, SimConfig::default(), move |rank| {
+                    let world = rank.world();
+                    let mut buf = vec![rank.id() as f64; n];
+                    world.bcast(rank, 0, &mut buf);
+                    buf[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_allgather");
+    g.sample_size(10);
+    let p = 16usize;
+    for &b in &[256usize, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| {
+                run_spmd(p, SimConfig::default(), move |rank| {
+                    let world = rank.world();
+                    let local = vec![rank.id() as f64; b];
+                    world.allgather(rank, &local).len()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_bcast, bench_allgather);
+criterion_main!(benches);

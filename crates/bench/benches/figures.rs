@@ -1,0 +1,113 @@
+//! One benchmark per paper table/figure: scaled-down *executions* of each
+//! experiment's configuration family on the threaded simulator, plus the
+//! full-scale model evaluations the figure binaries use. `cargo bench`
+//! therefore exercises every code path behind every figure.
+
+use cacqr::CfrParams;
+use costmodel::MachineCal;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::random::well_conditioned;
+use pargrid::{DistMatrix, GridShape, TunableComms};
+use simgrid::{run_spmd, Machine, SimConfig};
+
+/// Scaled-down execution of one CA-CQR2 configuration (the figures' workload).
+fn run_ca(m: usize, n: usize, c: usize, d: usize, inv: usize) -> f64 {
+    let shape = GridShape::new(c, d).unwrap();
+    let base = (n / (c * c)).max(c).min(n);
+    let params = CfrParams::validated(n, c, base, inv).unwrap();
+    run_spmd(shape.p(), SimConfig::with_machine(Machine::stampede2(64)), move |rank| {
+        let comms = TunableComms::build(rank, shape);
+        let (x, y, _) = comms.coords;
+        let al = DistMatrix::from_global(&well_conditioned(m, n, 11), d, c, y, x);
+        cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
+    })
+    .elapsed
+}
+
+fn bench_fig1_strong(crit: &mut Criterion) {
+    // Figure 1(a)/7 family: strong scaling — fixed matrix, growing grid.
+    let mut g = crit.benchmark_group("fig1a_fig7_strong_scaled");
+    g.sample_size(10);
+    for &(c, d) in &[(1usize, 8usize), (2, 8), (2, 16)] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("c{c}d{d}")), &d, |b, _| {
+            b.iter(|| run_ca(512, 32, c, d, 0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1_weak(crit: &mut Criterion) {
+    // Figure 1(b)/4/5 family: weak scaling — m grows with d.
+    let mut g = crit.benchmark_group("fig1b_fig4_fig5_weak_scaled");
+    g.sample_size(10);
+    for &(m, d) in &[(256usize, 4usize), (512, 8), (1024, 16)] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("m{m}d{d}")), &d, |b, _| {
+            b.iter(|| run_ca(m, 32, 2, d, 0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6_bw_variants(crit: &mut Criterion) {
+    // Figure 6 family: the c-variant comparison at fixed P = 16.
+    let mut g = crit.benchmark_group("fig6_c_variants_scaled");
+    g.sample_size(10);
+    for &(c, d) in &[(1usize, 16usize), (2, 4)] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("c{c}")), &c, |b, _| {
+            b.iter(|| run_ca(512, 32, c, d, 0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_evaluation(crit: &mut Criterion) {
+    // The full-scale model sweep each figure binary performs.
+    let mut g = crit.benchmark_group("figure_model_eval");
+    g.sample_size(10);
+    let cal = MachineCal::stampede2();
+    g.bench_function("fig1a_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for nodes in [64usize, 128, 256, 512, 1024] {
+                let p = 64 * nodes;
+                if let Some((_, t)) = bench_harness::best_cacqr2(&cal, 1 << 25, 1 << 10, p) {
+                    acc += t;
+                }
+                if let Some((_, t)) = bench_harness::best_pgeqrf(&cal, 1 << 25, 1 << 10, p) {
+                    acc += t;
+                }
+            }
+            acc
+        });
+    });
+    g.bench_function("tableI_exponent_fits", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &c in &[8usize, 16, 32] {
+                acc += costmodel::cfr3d(65536, c, 65536 / (c * c), 0).beta;
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_stability_workload(crit: &mut Criterion) {
+    // The stability experiment's inner loop (κ-sweep factorizations).
+    let mut g = crit.benchmark_group("stability_workload");
+    g.sample_size(10);
+    let a = dense::random::matrix_with_condition(192, 16, 1e4, 5);
+    g.bench_function("cqr2_kappa1e4", |b| b.iter(|| cacqr::cqr2(&a).unwrap()));
+    g.bench_function("shifted_cqr3_kappa1e4", |b| b.iter(|| cacqr::shifted_cqr3(&a).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_strong,
+    bench_fig1_weak,
+    bench_fig6_bw_variants,
+    bench_model_evaluation,
+    bench_stability_workload
+);
+criterion_main!(benches);

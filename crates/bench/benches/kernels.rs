@@ -1,0 +1,78 @@
+//! Wall-clock benchmarks of the sequential dense kernels (the BLAS/LAPACK
+//! substrate under every distributed algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dense::gemm::{matmul, Trans};
+use dense::random::well_conditioned;
+use dense::Matrix;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.3).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) as f64 * 0.17).cos());
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(a.as_ref(), Trans::No, b.as_ref(), Trans::No));
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk");
+    g.sample_size(10);
+    for &(m, n) in &[(1024usize, 64usize), (4096, 32)] {
+        let a = well_conditioned(m, n, 1);
+        g.throughput(Throughput::Elements((m * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("AtA", format!("{m}x{n}")), &m, |bench, _| {
+            bench.iter(|| dense::syrk(a.as_ref()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholinv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholinv");
+    g.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let raw = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.61).sin());
+        let mut spd = dense::syrk(raw.as_ref());
+        for i in 0..n {
+            let v = spd.get(i, i);
+            spd.set(i, i, v + 2.0 * n as f64);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| dense::cholinv(spd.as_ref()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_householder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("householder_qr");
+    g.sample_size(10);
+    for &(m, n) in &[(512usize, 64usize), (1024, 128)] {
+        let a = well_conditioned(m, n, 2);
+        g.bench_with_input(BenchmarkId::new("qr", format!("{m}x{n}")), &m, |bench, _| {
+            bench.iter(|| dense::householder::qr(&a));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cqr2_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cqr2_sequential");
+    g.sample_size(10);
+    for &(m, n) in &[(512usize, 64usize), (1024, 128)] {
+        let a = well_conditioned(m, n, 3);
+        g.bench_with_input(BenchmarkId::new("cqr2", format!("{m}x{n}")), &m, |bench, _| {
+            bench.iter(|| cacqr::cqr2(&a).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk, bench_cholinv, bench_householder, bench_cqr2_sequential);
+criterion_main!(benches);

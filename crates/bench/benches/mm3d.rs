@@ -1,0 +1,32 @@
+//! Wall-clock of distributed MM3D (Algorithm 1) on the threaded simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::Matrix;
+use pargrid::{DistMatrix, GridShape, TunableComms};
+use simgrid::{run_spmd, SimConfig};
+
+fn bench_mm3d(crit: &mut Criterion) {
+    let mut g = crit.benchmark_group("mm3d");
+    g.sample_size(10);
+    for &(c, n) in &[(1usize, 64usize), (2, 64), (2, 128)] {
+        g.bench_with_input(BenchmarkId::new(format!("c{c}"), n), &n, |bench, &n| {
+            bench.iter(|| {
+                run_spmd(c * c * c, SimConfig::default(), move |rank| {
+                    let shape = GridShape::cubic(c).unwrap();
+                    let comms = TunableComms::build(rank, shape);
+                    let cube = &comms.subcube;
+                    let (x, yh, _) = cube.coords;
+                    let a = Matrix::from_fn(n, n, |i, j| (i + j) as f64 * 0.01);
+                    let b = Matrix::from_fn(n, n, |i, j| (i * 2 + j) as f64 * 0.02);
+                    let al = DistMatrix::from_global(&a, c, c, yh, x);
+                    let bl = DistMatrix::from_global(&b, c, c, yh, x);
+                    cacqr::mm3d(rank, cube, &al.local, &bl.local).get(0, 0)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mm3d);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Algorithm parameters: base-case size `n₀` and `InverseDepth`.
+
+/// Tuning parameters of CFR3D (Algorithm 3) and the `Q = A·R⁻¹` solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CfrParams {
+    /// Base-case dimension `n₀`: the recursion stops when the current block
+    /// has this global dimension, gathers it onto every processor of each
+    /// slice, and factors it redundantly. The paper's default minimizes
+    /// bandwidth over synchronization with `n₀ = n/P^{2/3} = n/c²` (§II-D).
+    pub base_size: usize,
+    /// Number of *top* recursion levels at which the triangular inverse
+    /// off-diagonal block `Y₂₁` is **not** formed (the paper's
+    /// `InverseDepth`). `0` reproduces the plain algorithm (full explicit
+    /// `L⁻¹`); level `k` keeps the inverse only in diagonal blocks of
+    /// dimension `n/2ᵏ`, and every application of `R⁻¹` recurses through
+    /// block triangular solves built on MM3D — trading up to ~2× fewer
+    /// Cholesky-inverse flops for extra synchronization (§III-A).
+    pub inverse_depth: usize,
+}
+
+impl CfrParams {
+    /// Validates parameters for factoring an `n × n` matrix over a cube of
+    /// edge `c`.
+    ///
+    /// Requirements: `n`, `c`, `base_size` powers of two with
+    /// `c ≤ base_size ≤ n` (each processor must own at least one row/column
+    /// of the base block) and `inverse_depth ≤ log₂(n / base_size)`.
+    pub fn validated(n: usize, c: usize, base_size: usize, inverse_depth: usize) -> Result<CfrParams, String> {
+        if !n.is_power_of_two() || !c.is_power_of_two() || !base_size.is_power_of_two() {
+            return Err(format!("n={n}, c={c}, n0={base_size} must all be powers of two"));
+        }
+        if base_size < c {
+            return Err(format!("base size n0={base_size} must be at least the cube edge c={c}"));
+        }
+        if base_size > n {
+            return Err(format!("base size n0={base_size} exceeds matrix dimension n={n}"));
+        }
+        let params = CfrParams { base_size, inverse_depth };
+        let levels = params.levels(n);
+        if inverse_depth > levels {
+            return Err(format!("inverse_depth={inverse_depth} exceeds recursion depth {levels} (n={n}, n0={base_size})"));
+        }
+        Ok(params)
+    }
+
+    /// The paper's bandwidth-minimizing default: `n₀ = n/c²` (clamped to
+    /// `[c, n]`), `inverse_depth = 0`.
+    pub fn default_for(n: usize, c: usize) -> CfrParams {
+        let base = (n / (c * c)).max(c).min(n);
+        CfrParams { base_size: base, inverse_depth: 0 }
+    }
+
+    /// Recursion depth `φ = log₂(n / n₀)` when factoring an `n × n` matrix.
+    pub fn levels(&self, n: usize) -> usize {
+        debug_assert!(n >= self.base_size);
+        (n / self.base_size).trailing_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        // n₀ = n / c².
+        let p = CfrParams::default_for(256, 4);
+        assert_eq!(p.base_size, 16);
+        assert_eq!(p.levels(256), 4);
+    }
+
+    #[test]
+    fn default_clamps_to_cube_edge() {
+        let p = CfrParams::default_for(32, 4);
+        assert_eq!(p.base_size, 4); // n/c² = 2 < c = 4, clamp up
+    }
+
+    #[test]
+    fn c_equals_one_degenerates_to_sequential() {
+        let p = CfrParams::default_for(64, 1);
+        assert_eq!(p.base_size, 64);
+        assert_eq!(p.levels(64), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(CfrParams::validated(64, 2, 1, 0).is_err(), "n0 < c");
+        assert!(CfrParams::validated(64, 2, 128, 0).is_err(), "n0 > n");
+        assert!(CfrParams::validated(48, 2, 16, 0).is_err(), "n not a power of two");
+        assert!(CfrParams::validated(64, 2, 16, 3).is_err(), "inverse_depth too deep");
+        assert!(CfrParams::validated(64, 2, 16, 2).is_ok());
+    }
+}

@@ -1,0 +1,144 @@
+//! Algorithms 4–5: sequential CholeskyQR and CholeskyQR2, plus the shifted
+//! CholeskyQR3 extension.
+//!
+//! ```text
+//! CQR(A):   W = AᵀA;  Rᵀ, R⁻ᵀ = CholInv(W);  Q = A·R⁻¹
+//! CQR2(A):  Q₁, R₁ = CQR(A);  Q, R₂ = CQR(Q₁);  R = R₂·R₁
+//! ```
+//!
+//! CQR's orthogonality error grows as `ε·κ(A)²`; CQR2 repairs it to
+//! Householder levels provided `κ(A) ≲ 1/√ε` (§I). For worse-conditioned
+//! inputs the Cholesky of `AᵀA` fails outright; [`shifted_cqr3`] implements
+//! the unconditionally stable variant the paper cites as reference \[3\] and names as
+//! future work in §V: one CholeskyQR on `AᵀA + σI` followed by CQR2.
+
+use dense::cholesky::{cholinv, CholeskyError};
+use dense::gemm::{matmul, Trans};
+use dense::trsm::trmm_upper_upper;
+use dense::{syrk, Matrix};
+
+/// One CholeskyQR pass (Algorithm 4): `A = QR` with `Q` having *nearly*
+/// orthonormal columns (error `O(ε·κ²)`) and `R` upper triangular.
+pub fn cqr(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    let w = syrk(a.as_ref());
+    let (l, y) = cholinv(w.as_ref())?; // W = LLᵀ; R = Lᵀ, R⁻¹ = Yᵀ
+    let q = matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
+    Ok((q, l.transposed()))
+}
+
+/// CholeskyQR2 (Algorithm 5): two CQR passes; accuracy comparable to
+/// Householder QR for `κ(A) = O(1/√ε)`.
+pub fn cqr2(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    let (q1, r1) = cqr(a)?;
+    let (q, r2) = cqr(&q1)?;
+    Ok((q, trmm_upper_upper(r2.as_ref(), r1.as_ref())))
+}
+
+/// Shifted CholeskyQR3: unconditionally stable QR for numerically
+/// full-rank `A`.
+///
+/// The first pass factors `AᵀA + σI` with the shift of Fukaya et al.,
+/// `σ = 11·(mn + n(n+1))·ε·‖A‖₂²` (we bound `‖A‖₂ ≤ ‖A‖_F`), which is
+/// guaranteed positive definite in floating point; the resulting `Q₁` has
+/// `κ(Q₁) = O(1)` and two further CholeskyQR passes (CQR2) finish the job.
+/// If the shifted Cholesky still fails (pathological input), the shift is
+/// grown ×100 up to a small number of retries.
+pub fn shifted_cqr3(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    let (m, n) = (a.rows(), a.cols());
+    let norm2_bound = {
+        let f = dense::norms::frobenius(a.as_ref());
+        f * f
+    };
+    let eps = f64::EPSILON;
+    let mut sigma = 11.0 * ((m * n) as f64 + (n * (n + 1)) as f64) * eps * norm2_bound;
+    let mut last_err = CholeskyError { index: 0, pivot: 0.0 };
+    for _ in 0..4 {
+        let mut w = syrk(a.as_ref());
+        for i in 0..n {
+            let v = w.get(i, i);
+            w.set(i, i, v + sigma);
+        }
+        match cholinv(w.as_ref()) {
+            Ok((l, y)) => {
+                let q1 = matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
+                let r1 = l.transposed();
+                let (q, r23) = cqr2(&q1)?;
+                return Ok((q, trmm_upper_upper(r23.as_ref(), r1.as_ref())));
+            }
+            Err(e) => {
+                last_err = e;
+                sigma *= 100.0;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::norms::{lower_residual, orthogonality_error, residual_error};
+    use dense::random::{matrix_with_condition, well_conditioned};
+
+    #[test]
+    fn cqr_factorizes_well_conditioned() {
+        let a = well_conditioned(60, 12, 1);
+        let (q, r) = cqr(&a).unwrap();
+        assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
+        assert!(orthogonality_error(q.as_ref()) < 1e-12);
+        assert_eq!(lower_residual(r.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn cqr2_repairs_orthogonality() {
+        // κ = 1e4: CQR loses ~ε·κ² ≈ 1e-8 of orthogonality; CQR2 restores ~ε.
+        let a = matrix_with_condition(80, 10, 1e4, 2);
+        let (q1, _) = cqr(&a).unwrap();
+        let (q2, r2) = cqr2(&a).unwrap();
+        let e1 = orthogonality_error(q1.as_ref());
+        let e2 = orthogonality_error(q2.as_ref());
+        assert!(e1 > 1e-11, "CQR should visibly degrade at κ=1e4 (got {e1:.2e})");
+        assert!(e2 < 1e-13, "CQR2 should restore orthogonality (got {e2:.2e})");
+        assert!(residual_error(a.as_ref(), q2.as_ref(), r2.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn cqr_fails_beyond_sqrt_eps() {
+        // κ ≈ 1e9 ≫ 1/√ε: AᵀA is numerically indefinite (Cholesky breaks)
+        // or the computed Q is far from orthonormal.
+        let a = matrix_with_condition(64, 8, 1e9, 3);
+        match cqr(&a) {
+            Err(_) => {}
+            Ok((q, _)) => assert!(orthogonality_error(q.as_ref()) > 1e-3),
+        }
+    }
+
+    #[test]
+    fn shifted_cqr3_handles_extreme_condition() {
+        for kappa in [1e8, 1e12] {
+            let a = matrix_with_condition(96, 12, kappa, 4);
+            let (q, r) = shifted_cqr3(&a).expect("shifted CQR3 must not fail");
+            assert!(
+                orthogonality_error(q.as_ref()) < 1e-12,
+                "κ={kappa}: orthogonality {:.2e}",
+                orthogonality_error(q.as_ref())
+            );
+            assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn r_factors_match_householder_up_to_sign() {
+        let a = well_conditioned(50, 8, 7);
+        let (mut q_c, mut r_c) = cqr2(&a).unwrap();
+        let (mut q_h, mut r_h) = dense::householder::qr(&a);
+        dense::norms::normalize_qr_signs(&mut q_c, &mut r_c);
+        dense::norms::normalize_qr_signs(&mut q_h, &mut r_h);
+        for (u, v) in r_c.data().iter().zip(r_h.data()) {
+            assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()), "{u} vs {v}");
+        }
+        for (u, v) in q_c.data().iter().zip(q_h.data()) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+}

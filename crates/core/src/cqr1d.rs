@@ -1,0 +1,134 @@
+//! Algorithms 6–7: the existing 1D parallelization of CholeskyQR2.
+//!
+//! The `m × n` matrix is partitioned by rows over a 1D grid of `P`
+//! processors (cyclic, matching the rest of the workspace). Each processor:
+//!
+//! 1. forms the local Gram matrix `Π⟨X⟩ = Π⟨A⟩ᵀ·Π⟨A⟩` (`syrk`),
+//! 2. allreduces it (`n²` words — the scalability bottleneck the paper's
+//!    CA-CQR2 removes),
+//! 3. redundantly computes `CholInv` of the `n × n` result,
+//! 4. forms its rows of `Q = A·R⁻¹` locally.
+//!
+//! Costs per Table III/IV: `T_syrk(m/P, n) + T_allreduce(n², P) +
+//! T_cholinv(n) + T_MM(m/P, n, n)`, i.e. `O(log P·α + n²β + (mn²/P + n³)γ)`.
+
+use dense::cholesky::{cholinv, CholeskyError};
+use dense::gemm::{gemm, Trans};
+use dense::trsm::trmm_upper_upper;
+use dense::{syrk, Matrix};
+use simgrid::{Comm, Rank};
+
+/// One 1D-CholeskyQR pass (Algorithm 6). `a_local` holds this rank's cyclic
+/// rows; returns `(Q_local, R)` with `R` replicated on every rank.
+pub fn cqr1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    let n = a_local.cols();
+    let lr = a_local.rows();
+
+    // Line 1: local Gram matrix.
+    let x = syrk(a_local.as_ref());
+    rank.charge_flops(dense::flops::syrk(lr, n));
+
+    // Line 2: allreduce over the 1D grid.
+    let mut z = x.into_vec();
+    comm.allreduce(rank, &mut z);
+    let z = Matrix::from_vec(n, n, z);
+
+    // Line 3: redundant CholInv.
+    let (l, y) = cholinv(z.as_ref())?;
+    rank.charge_flops(dense::flops::cholinv(n));
+
+    // Line 4: local Q rows.
+    let mut q = Matrix::zeros(lr, n);
+    gemm(1.0, a_local.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, q.as_mut());
+    rank.charge_flops(dense::flops::gemm(lr, n, n));
+
+    Ok((q, l.transposed()))
+}
+
+/// 1D-CholeskyQR2 (Algorithm 7): two 1D-CQR passes plus the local triangular
+/// update `R = R₂·R₁`.
+pub fn cqr2_1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    let n = a_local.cols();
+    let (q1, r1) = cqr1d(rank, comm, a_local)?;
+    let (q, r2) = cqr1d(rank, comm, &q1)?;
+    let r = trmm_upper_upper(r2.as_ref(), r1.as_ref());
+    rank.charge_flops(dense::flops::triu_mul(n));
+    Ok((q, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::norms::{orthogonality_error, residual_error};
+    use dense::random::well_conditioned;
+    use pargrid::DistMatrix;
+    use simgrid::{run_spmd, Machine, SimConfig};
+
+    fn run_1d(p: usize, m: usize, n: usize, seed: u64) -> (Matrix, Matrix, f64) {
+        let a = well_conditioned(m, n, seed);
+        let a2 = a.clone();
+        let report = run_spmd(p, SimConfig::with_machine(Machine::alpha_only()), move |rank| {
+            let world = rank.world();
+            let al = DistMatrix::from_global(&a2, p, 1, rank.id(), 0);
+            let (q, r) = cqr2_1d(rank, &world, &al.local).expect("well-conditioned input");
+            (rank.id(), q, r)
+        });
+        let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();
+        let r0 = report.results[0].2.clone();
+        for (id, q, r) in &report.results {
+            pieces[*id][0] = q.clone();
+            assert_eq!(*r, r0, "R must be bitwise replicated on every rank");
+        }
+        let q = DistMatrix::assemble(m, n, p, 1, &pieces);
+        let _ = a;
+        (q, r0, report.elapsed)
+    }
+
+    #[test]
+    fn matches_qr_invariants_p4() {
+        let (q, r, alpha_cost) = run_1d(4, 64, 8, 11);
+        let a = well_conditioned(64, 8, 11);
+        assert!(orthogonality_error(q.as_ref()) < 1e-13);
+        assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
+        // Two allreduces over P=4: 2 × 2·log₂4 = 8 α.
+        assert_eq!(alpha_cost, 8.0);
+    }
+
+    #[test]
+    fn single_rank_equals_sequential_cqr2() {
+        let a = well_conditioned(40, 8, 5);
+        let (q_seq, r_seq) = crate::cqr::cqr2(&a).unwrap();
+        let (q, r, _) = run_1d(1, 40, 8, 5);
+        assert_eq!(q, q_seq, "P=1 must be bitwise identical to sequential CQR2");
+        assert_eq!(r, r_seq);
+    }
+
+    #[test]
+    fn p8_wide_matrix() {
+        let (q, r, _) = run_1d(8, 128, 16, 9);
+        let a = well_conditioned(128, 16, 9);
+        assert!(orthogonality_error(q.as_ref()) < 1e-13);
+        assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
+    }
+
+    #[test]
+    fn flop_ledger_matches_convention() {
+        // γ per rank: 2·(syrk + cholinv + gemm) + triu_mul + allreduce adds.
+        let (p, m, n) = (4usize, 64usize, 8usize);
+        let a = well_conditioned(m, n, 3);
+        let report = run_spmd(p, SimConfig::default(), move |rank| {
+            let world = rank.world();
+            let al = DistMatrix::from_global(&a, p, 1, rank.id(), 0);
+            cqr2_1d(rank, &world, &al.local).unwrap();
+            rank.ledger().flops
+        });
+        let lr = m / p;
+        let allreduce_adds = (n * n) as f64 * (1.0 - 1.0 / p as f64);
+        let expect = 2.0
+            * (dense::flops::syrk(lr, n) + dense::flops::cholinv(n) + dense::flops::gemm(lr, n, n) + allreduce_adds)
+            + dense::flops::triu_mul(n);
+        for f in &report.results {
+            assert!((f - expect).abs() < 1e-9, "ledger {f} vs model {expect}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Block-partial triangular inverses and the recursive `X = B·R⁻¹` solver.
+//!
+//! CFR3D returns the inverse of the Cholesky factor in this representation:
+//! a binary tree whose `Full` leaves hold (the local cyclic pieces of) fully
+//! inverted diagonal blocks `Yᵢᵢ = Lᵢᵢ⁻¹`, and whose `Split` nodes — present
+//! only in the top `InverseDepth` levels — hold the subdiagonal panel `L₂₁`
+//! *uninverted*. With `InverseDepth = 0` the tree is a single `Full` leaf
+//! (the paper's default: explicit `L⁻¹`).
+//!
+//! Applying `R⁻¹ = (Lᵀ)⁻¹ = Yᵀ` from the right then recurses over the tree:
+//!
+//! ```text
+//! [X₁ X₂] = [B₁ B₂]·Yᵀ:   X₁ = B₁·Y₁₁ᵀ
+//!                          X₂ = (B₂ − X₁·L₂₁ᵀ)·Y₂₂ᵀ
+//! ```
+//!
+//! each product being an MM3D over the cube — this is exactly the paper's
+//! alternative strategy of "computing triangular inverted blocks of dimension
+//! n₀ and solving for Q with multiple instances of MM3D" (§III-A). It also
+//! serves CFR3D's own recursion: `L₂₁ ← A₂₁·Y₁₁ᵀ` is the same operation.
+
+use crate::mm3d::{mm3d, mm3d_scaled, transpose_cube};
+use dense::Matrix;
+use pargrid::CubeComms;
+use simgrid::Rank;
+
+/// A (possibly block-partial) inverse of a lower-triangular matrix,
+/// distributed cyclically over a cube. See module docs.
+#[derive(Clone, Debug)]
+pub enum InvTree {
+    /// Fully inverted block: the local piece of `Y = L⁻¹` for a `dim × dim`
+    /// global block.
+    Full {
+        /// Global dimension of the block.
+        dim: usize,
+        /// Local cyclic piece of `Y`.
+        y: Matrix,
+    },
+    /// Partially inverted block: children inverses plus the uninverted
+    /// subdiagonal panel.
+    Split {
+        /// Global dimension of the block.
+        dim: usize,
+        /// Inverse of the leading diagonal block (`dim/2`).
+        y11: Box<InvTree>,
+        /// Inverse of the trailing diagonal block (`dim/2`).
+        y22: Box<InvTree>,
+        /// Local cyclic piece of the subdiagonal panel `L₂₁` (`dim/2 × dim/2`).
+        l21: Matrix,
+    },
+}
+
+impl InvTree {
+    /// Global dimension of the block this tree inverts.
+    pub fn dim(&self) -> usize {
+        match self {
+            InvTree::Full { dim, .. } => *dim,
+            InvTree::Split { dim, .. } => *dim,
+        }
+    }
+
+    /// Number of `Split` levels above the `Full` leaves (0 = explicit
+    /// inverse).
+    pub fn split_levels(&self) -> usize {
+        match self {
+            InvTree::Full { .. } => 0,
+            InvTree::Split { y11, .. } => 1 + y11.split_levels(),
+        }
+    }
+
+    /// The local piece of `Y` if fully inverted.
+    pub fn full_y(&self) -> Option<&Matrix> {
+        match self {
+            InvTree::Full { y, .. } => Some(y),
+            InvTree::Split { .. } => None,
+        }
+    }
+
+    /// Computes `X = B·R⁻¹ = B·Yᵀ` (with `R = Lᵀ` upper triangular), where
+    /// `b` is this rank's local piece of a matrix whose columns are cyclic
+    /// over the cube. Collective over the cube.
+    pub fn apply_rinv(&self, rank: &mut Rank, cube: &CubeComms, b: &Matrix) -> Matrix {
+        match self {
+            InvTree::Full { y, .. } => {
+                let yt = transpose_cube(rank, cube, y);
+                mm3d(rank, cube, b, &yt)
+            }
+            InvTree::Split { y11, y22, l21, .. } => {
+                let (lr, lc) = (b.rows(), b.cols());
+                let hl = lc / 2; // local width of each half (columns cyclic over c)
+                let b1 = b.view(0, 0, lr, hl).to_owned();
+                let b2 = b.view(0, hl, lr, lc - hl).to_owned();
+                // X₁ = B₁·Y₁₁ᵀ
+                let x1 = y11.apply_rinv(rank, cube, &b1);
+                // X₂ = (B₂ − X₁·L₂₁ᵀ)·Y₂₂ᵀ
+                let l21t = transpose_cube(rank, cube, l21);
+                let t = mm3d(rank, cube, &x1, &l21t);
+                let mut b2c = b2;
+                for (x, y) in b2c.data_mut().iter_mut().zip(t.data()) {
+                    *x -= y;
+                }
+                rank.charge_flops(dense::flops::axpy(lr, lc - hl));
+                let x2 = y22.apply_rinv(rank, cube, &b2c);
+                // Concatenate local column halves.
+                let mut out = Matrix::zeros(lr, lc);
+                out.view_mut(0, 0, lr, hl).copy_from(x1.as_ref());
+                out.view_mut(0, hl, lr, lc - hl).copy_from(x2.as_ref());
+                out
+            }
+        }
+    }
+
+    /// Materializes the full explicit inverse `Y` (local piece), forming the
+    /// missing `Y₂₁ = −Y₂₂·L₂₁·Y₁₁` blocks with MM3D. Collective over the
+    /// cube. Used by tests and by callers that need `R⁻¹` itself.
+    pub fn densify(&self, rank: &mut Rank, cube: &CubeComms) -> Matrix {
+        match self {
+            InvTree::Full { y, .. } => y.clone(),
+            InvTree::Split { y11, y22, l21, .. } => {
+                let y11d = y11.densify(rank, cube);
+                let y22d = y22.densify(rank, cube);
+                let t = mm3d(rank, cube, l21, &y11d);
+                let y21 = mm3d_scaled(rank, cube, -1.0, &y22d, &t);
+                let hl = y11d.rows();
+                let mut out = Matrix::zeros(2 * hl, 2 * y11d.cols());
+                out.view_mut(0, 0, hl, y11d.cols()).copy_from(y11d.as_ref());
+                out.view_mut(hl, 0, hl, y21.cols()).copy_from(y21.as_ref());
+                out.view_mut(hl, y11d.cols(), hl, y22d.cols()).copy_from(y22d.as_ref());
+                out
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's algorithms: communication-avoiding CholeskyQR2.
+//!
+//! This crate implements every algorithm in Hutter & Solomonik (IPDPS 2019),
+//! bottom-up:
+//!
+//! * [`mm3d()`] — Algorithm 1: 3D SUMMA-style matrix multiplication over a
+//!   cubic grid, with `C` replicated on every 2D slice.
+//! * [`cfr3d()`] — Algorithm 3: recursive 3D Cholesky factorization computing
+//!   both `L` and (possibly block-partially) `L⁻¹`, with tunable base-case
+//!   size `n₀` and `InverseDepth`.
+//! * [`invtree`] — the partial-inverse representation behind the paper's
+//!   `InverseDepth` knob, and the recursive `X = B·R⁻¹` block solver built
+//!   on MM3D.
+//! * [`mod@cqr`] — Algorithms 4–5: sequential CholeskyQR and CholeskyQR2, plus
+//!   the shifted CholeskyQR3 extension (reference \[3\] in the paper, its §V future
+//!   work).
+//! * [`mod@cqr1d`] — Algorithms 6–7: the existing 1D parallelization.
+//! * [`cacqr`] / [`cacqr2`] — Algorithms 8–9: the paper's contribution, over
+//!   the tunable `c × d × c` grid. `c = d` gives 3D-CQR2; `c = 1` reproduces
+//!   1D-CQR2.
+//! * [`panel`] — the §V "operate on subpanels" extension: panel-blocked
+//!   CA-CQR2 for near-square matrices.
+//! * [`config`] — grid/base-case/inverse-depth parameter handling.
+//! * [`validate`] — whole-pipeline drivers used by tests, examples and
+//!   benches (run a factorization on the simulator, assemble and check).
+
+pub mod cacqr;
+pub mod cacqr2;
+pub mod cacqr3;
+pub mod cfr3d;
+pub mod config;
+pub mod cqr;
+pub mod cqr1d;
+pub mod invtree;
+pub mod mm3d;
+pub mod panel;
+pub mod validate;
+
+pub use cacqr2::{ca_cqr2, CaCqr2Output};
+pub use cacqr3::ca_cqr3;
+pub use cfr3d::cfr3d;
+pub use config::CfrParams;
+pub use cqr::{cqr, cqr2, shifted_cqr3};
+pub use cqr1d::{cqr1d, cqr2_1d};
+pub use invtree::InvTree;
+pub use mm3d::{mm3d, mm3d_scaled, transpose_cube};

@@ -1,0 +1,138 @@
+//! Whole-pipeline drivers: run a distributed factorization on the simulator
+//! from a global input matrix, reassemble the global `Q`/`R`, and return the
+//! cost report. Used by integration tests, examples, and the bench harness.
+
+use crate::cacqr2::ca_cqr2;
+use crate::config::CfrParams;
+use dense::cholesky::CholeskyError;
+use dense::Matrix;
+use pargrid::{DistMatrix, GridShape, TunableComms};
+use simgrid::{run_spmd, CostLedger, Machine, SimConfig};
+
+/// A completed distributed QR run with global factors and cost accounting.
+pub struct QrRun {
+    /// The assembled `m × n` orthonormal factor.
+    pub q: Matrix,
+    /// The assembled `n × n` upper-triangular factor.
+    pub r: Matrix,
+    /// Simulated elapsed time under the machine model used for the run.
+    pub elapsed: f64,
+    /// Per-rank cost ledgers.
+    pub ledgers: Vec<CostLedger>,
+}
+
+/// Runs CA-CQR2 on the simulator for a global input `a`, asserting the
+/// replication invariants (identical pieces across depth layers and across
+/// subcubes) and reassembling the global factors.
+///
+/// # Examples
+///
+/// ```
+/// use cacqr::{validate::run_cacqr2_global, CfrParams};
+/// use pargrid::GridShape;
+/// use simgrid::Machine;
+///
+/// let a = dense::random::well_conditioned(64, 8, 1);
+/// let shape = GridShape::new(2, 4).unwrap(); // c=2, d=4: P = 16 ranks
+/// let run = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 2), Machine::zero()).unwrap();
+/// assert!(dense::norms::orthogonality_error(run.q.as_ref()) < 1e-12);
+/// assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
+/// ```
+pub fn run_cacqr2_global(a: &Matrix, shape: GridShape, params: CfrParams, machine: Machine) -> Result<QrRun, CholeskyError> {
+    let (m, n) = (a.rows(), a.cols());
+    let (c, d) = (shape.c, shape.d);
+    assert_eq!(m % d, 0, "CA-CQR2 requires d | m (m={m}, d={d})");
+    assert_eq!(n % c, 0, "CA-CQR2 requires c | n (n={n}, c={c})");
+    let a = a.clone();
+    let report = run_spmd(shape.p(), SimConfig::with_machine(machine), move |rank| {
+        let comms = TunableComms::build(rank, shape);
+        let (x, y, z) = comms.coords;
+        let al = DistMatrix::from_global(&a, d, c, y, x);
+        match ca_cqr2(rank, &comms, &al.local, n, &params) {
+            Ok(out) => Ok((x, y, z, out.q_local, out.r_local)),
+            Err(e) => Err(e),
+        }
+    });
+
+    let mut qp: Vec<Vec<Matrix>> = (0..d).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();
+    let mut rp: Vec<Vec<Matrix>> = (0..c).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();
+    let mut results = Vec::with_capacity(report.results.len());
+    for res in report.results {
+        match res {
+            Ok(t) => results.push(t),
+            Err(e) => return Err(e),
+        }
+    }
+    for (x, y, z, q, r) in &results {
+        if *z == 0 {
+            qp[*y][*x] = q.clone();
+            if *y < c {
+                rp[*y][*x] = r.clone();
+            }
+        }
+    }
+    // Replication invariants.
+    for (x, y, z, q, r) in &results {
+        if *z != 0 {
+            assert_eq!(*q, qp[*y][*x], "Q pieces must be replicated across depth");
+        }
+        assert_eq!(*r, rp[*y % c][*x], "R pieces must be replicated across depth and subcubes");
+    }
+    let q = DistMatrix::assemble(m, n, d, c, &qp);
+    let r = DistMatrix::assemble(n, n, c, c, &rp);
+    Ok(QrRun { q, r, elapsed: report.elapsed, ledgers: report.ledgers })
+}
+
+/// Runs 1D-CQR2 (Algorithm 7) on the simulator and reassembles the factors.
+pub fn run_cqr2_1d_global(a: &Matrix, p: usize, machine: Machine) -> Result<QrRun, CholeskyError> {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(m % p, 0, "1D-CQR2 requires p | m");
+    let a = a.clone();
+    let report = run_spmd(p, SimConfig::with_machine(machine), move |rank| {
+        let world = rank.world();
+        let al = DistMatrix::from_global(&a, p, 1, rank.id(), 0);
+        crate::cqr1d::cqr2_1d(rank, &world, &al.local).map(|(q, r)| (rank.id(), q, r))
+    });
+    let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();
+    let mut r0: Option<Matrix> = None;
+    for res in report.results {
+        let (id, q, r) = res?;
+        pieces[id][0] = q;
+        match &r0 {
+            None => r0 = Some(r),
+            Some(existing) => assert_eq!(r, *existing, "R must be replicated"),
+        }
+    }
+    let q = DistMatrix::assemble(m, n, p, 1, &pieces);
+    Ok(QrRun { q, r: r0.unwrap(), elapsed: report.elapsed, ledgers: report.ledgers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::norms::{orthogonality_error, residual_error};
+    use dense::random::well_conditioned;
+
+    #[test]
+    fn driver_runs_and_reports_costs() {
+        let a = well_conditioned(32, 8, 17);
+        let shape = GridShape::new(2, 4).unwrap();
+        let params = CfrParams::validated(8, 2, 4, 0).unwrap();
+        let run = run_cacqr2_global(&a, shape, params, Machine::stampede2(64)).unwrap();
+        assert!(orthogonality_error(run.q.as_ref()) < 1e-12);
+        assert!(residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
+        assert!(run.elapsed > 0.0, "a real machine model must yield positive time");
+        assert_eq!(run.ledgers.len(), 16);
+        assert!(run.ledgers.iter().all(|l| l.flops > 0.0));
+    }
+
+    #[test]
+    fn one_d_driver_matches_ca_driver_with_c1() {
+        let a = well_conditioned(24, 8, 19);
+        let run1 = run_cqr2_1d_global(&a, 4, Machine::zero()).unwrap();
+        let shape = GridShape::one_d(4).unwrap();
+        let run2 = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 1), Machine::zero()).unwrap();
+        assert_eq!(run1.q, run2.q, "bitwise agreement between Algorithm 7 and Algorithm 9 with c=1");
+        assert_eq!(run1.r, run2.r);
+    }
+}

@@ -1,0 +1,166 @@
+//! Exact cost formulas for the simulator's collectives (§II-B table).
+//!
+//! These mirror `simgrid::collectives` exactly, including the padding to the
+//! next multiple of the communicator size (`n̄ = p·⌈n/p⌉`).
+
+use crate::cost::Cost;
+
+fn log2(p: usize) -> f64 {
+    debug_assert!(p.is_power_of_two());
+    p.trailing_zeros() as f64
+}
+
+fn padded(n: usize, p: usize) -> f64 {
+    (n.div_ceil(p) * p) as f64
+}
+
+/// Broadcast of `n` words over `p` ranks. Large messages (`n ≥ p`):
+/// scatter + allgather, `2·log₂p·α + 2n̄(1−1/p)·β`. Small messages
+/// (`n < p`): binomial tree, `log₂p·(α + n·β)`.
+pub fn bcast(n: usize, p: usize) -> Cost {
+    if p <= 1 {
+        return Cost::ZERO;
+    }
+    if n < p {
+        return Cost { alpha: log2(p), beta: n as f64 * log2(p), gamma: 0.0 };
+    }
+    let nb = padded(n, p);
+    Cost { alpha: 2.0 * log2(p), beta: 2.0 * nb * (1.0 - 1.0 / p as f64), gamma: 0.0 }
+}
+
+/// Allreduce of `n` words over `p` ranks. Large (`n ≥ p`): reduce-scatter +
+/// allgather, `2·log₂p·α + 2n̄(1−1/p)·β + n̄(1−1/p)·γ`. Small (`n < p`):
+/// recursive doubling of the full vector, `log₂p·(α + n·β + n·γ)`.
+/// Reduction adds are charged as γ.
+pub fn allreduce(n: usize, p: usize) -> Cost {
+    if p <= 1 {
+        return Cost::ZERO;
+    }
+    if n < p {
+        let l = log2(p);
+        return Cost { alpha: l, beta: n as f64 * l, gamma: n as f64 * l };
+    }
+    let nb = padded(n, p);
+    let frac = 1.0 - 1.0 / p as f64;
+    Cost { alpha: 2.0 * log2(p), beta: 2.0 * nb * frac, gamma: nb * frac }
+}
+
+/// Reduce. Large messages cost the same as allreduce (reduce-scatter +
+/// binomial gather); small messages use a binomial tree,
+/// `log₂p·(α + n·β + n·γ)` along the root's critical path.
+pub fn reduce(n: usize, p: usize) -> Cost {
+    if p <= 1 {
+        return Cost::ZERO;
+    }
+    if n < p {
+        let l = log2(p);
+        return Cost { alpha: l, beta: n as f64 * l, gamma: n as f64 * l };
+    }
+    allreduce(n, p)
+}
+
+/// Allgather of `p` local buffers of `b` words each:
+/// `log₂p·α + b(p−1)·β`.
+pub fn allgather(b: usize, p: usize) -> Cost {
+    if p <= 1 {
+        return Cost::ZERO;
+    }
+    Cost { alpha: log2(p), beta: (b * (p - 1)) as f64, gamma: 0.0 }
+}
+
+/// Pairwise exchange of `n` words (the transpose primitive): `α + n·β`;
+/// free within a single rank.
+pub fn sendrecv(n: usize, p: usize) -> Cost {
+    if p <= 1 {
+        return Cost::ZERO;
+    }
+    Cost { alpha: 1.0, beta: n as f64, gamma: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::{run_spmd, Comm, Machine, SimConfig};
+
+    /// Measures the simulated elapsed time of `op` under a given machine.
+    fn measure(p: usize, machine: Machine, op: impl Fn(&mut simgrid::Rank, &Comm) + Sync) -> f64 {
+        run_spmd(p, SimConfig::with_machine(machine), move |rank| {
+            let world = rank.world();
+            op(rank, &world);
+        })
+        .elapsed
+    }
+
+    /// Asserts model == measurement for all three unit machines.
+    fn assert_exact(p: usize, model: Cost, op: impl Fn(&mut simgrid::Rank, &Comm) + Sync + Copy) {
+        assert_eq!(measure(p, Machine::alpha_only(), op), model.alpha, "alpha at p={p}");
+        assert_eq!(measure(p, Machine::beta_only(), op), model.beta, "beta at p={p}");
+        assert_eq!(measure(p, Machine::gamma_only(), op), model.gamma, "gamma at p={p}");
+    }
+
+    #[test]
+    fn bcast_model_is_exact() {
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            for n in [16usize, 64, 96] {
+                assert_exact(p, bcast(n, p), move |rank, world| {
+                    let mut buf = vec![1.0; n];
+                    world.bcast(rank, 0, &mut buf);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_model_handles_padding() {
+        // n not divisible by p: the implementation pads, the model must too.
+        let (n, p) = (10usize, 8usize);
+        assert_exact(p, bcast(n, p), move |rank, world| {
+            let mut buf = vec![1.0; n];
+            world.bcast(rank, 3, &mut buf);
+        });
+    }
+
+    #[test]
+    fn allreduce_model_is_exact() {
+        for p in [2usize, 4, 16] {
+            for n in [32usize, 100] {
+                assert_exact(p, allreduce(n, p), move |rank, world| {
+                    let mut buf = vec![1.0; n];
+                    world.allreduce(rank, &mut buf);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_model_is_exact() {
+        for p in [2usize, 8] {
+            let n = 64usize;
+            assert_exact(p, reduce(n, p), move |rank, world| {
+                let mut buf = vec![1.0; n];
+                world.reduce(rank, 1, &mut buf);
+            });
+        }
+    }
+
+    #[test]
+    fn allgather_model_is_exact() {
+        for p in [2usize, 4, 8] {
+            let b = 24usize;
+            assert_exact(p, allgather(b, p), move |rank, world| {
+                let local = vec![1.0; b];
+                world.allgather(rank, &local);
+            });
+        }
+    }
+
+    #[test]
+    fn sendrecv_model_is_exact() {
+        let n = 40usize;
+        assert_exact(4, sendrecv(n, 4), move |rank, world| {
+            let partner = world.my_index() ^ 1;
+            let data = vec![1.0; n];
+            world.sendrecv(rank, partner, &data);
+        });
+    }
+}

@@ -1,0 +1,79 @@
+//! The (α, β, γ) cost triple.
+
+use simgrid::Machine;
+
+/// Critical-path cost of an algorithm in the α-β-γ model: `alpha` counts
+/// message rounds, `beta` words, `gamma` flops (all per the paper's §II-A
+/// conventions as charged by the implementation).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cost {
+    /// Latency: number of message rounds on the critical path.
+    pub alpha: f64,
+    /// Bandwidth: words on the critical path.
+    pub beta: f64,
+    /// Compute: flops on the critical path.
+    pub gamma: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost { alpha: 0.0, beta: 0.0, gamma: 0.0 };
+
+    /// A pure-compute cost.
+    pub fn flops(gamma: f64) -> Cost {
+        Cost { alpha: 0.0, beta: 0.0, gamma }
+    }
+
+    /// Predicted execution time on a machine.
+    pub fn time(&self, m: &Machine) -> f64 {
+        self.alpha * m.alpha + self.beta * m.beta + self.gamma * m.gamma
+    }
+
+    /// Predicted time with a separate γ rate (used when calibrating
+    /// different effective flop rates per algorithm).
+    pub fn time_with_gamma(&self, m: &Machine, gamma_s_per_flop: f64) -> f64 {
+        self.alpha * m.alpha + self.beta * m.beta + self.gamma * gamma_s_per_flop
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost { alpha: self.alpha + rhs.alpha, beta: self.beta + rhs.beta, gamma: self.gamma + rhs.gamma }
+    }
+}
+
+impl std::ops::AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Mul<f64> for Cost {
+    type Output = Cost;
+    fn mul(self, k: f64) -> Cost {
+        Cost { alpha: self.alpha * k, beta: self.beta * k, gamma: self.gamma * k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cost { alpha: 1.0, beta: 2.0, gamma: 3.0 };
+        let b = Cost { alpha: 10.0, beta: 20.0, gamma: 30.0 };
+        let s = a + b;
+        assert_eq!(s, Cost { alpha: 11.0, beta: 22.0, gamma: 33.0 });
+        assert_eq!(s * 2.0, Cost { alpha: 22.0, beta: 44.0, gamma: 66.0 });
+    }
+
+    #[test]
+    fn time_is_linear() {
+        let c = Cost { alpha: 2.0, beta: 100.0, gamma: 1000.0 };
+        let m = Machine { alpha: 1e-6, beta: 1e-9, gamma: 1e-12 };
+        let t = c.time(&m);
+        assert!((t - (2e-6 + 1e-7 + 1e-9)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cost of MM3D (Algorithm 1) and the cube transpose — per rank, exact.
+
+use crate::collectives;
+use crate::cost::Cost;
+
+/// MM3D with local operand shapes `lr × lk` and `lk × lc` on a cube of edge
+/// `c`: two broadcasts, a local gemm, and a depth allreduce.
+pub fn mm3d_local(lr: usize, lk: usize, lc: usize, c: usize) -> Cost {
+    collectives::bcast(lr * lk, c)
+        + collectives::bcast(lk * lc, c)
+        + Cost::flops(2.0 * lr as f64 * lk as f64 * lc as f64)
+        + collectives::allreduce(lr * lc, c)
+}
+
+/// MM3D for a *global* `m × n · n × k` product on a cube of edge `c`
+/// (convenience wrapper; local sizes are `m/c × n/c` and `n/c × k/c`).
+pub fn mm3d_global(m: usize, n: usize, k: usize, c: usize) -> Cost {
+    mm3d_local(m / c, n / c, k / c, c)
+}
+
+/// Global transpose of a square matrix with `lelems` local elements:
+/// one pairwise exchange (free on the slice diagonal and at `c = 1`, but the
+/// off-diagonal exchange is on the critical path whenever `c > 1`).
+pub fn transpose_cube(lelems: usize, c: usize) -> Cost {
+    collectives::sendrecv(lelems, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::Matrix;
+    use pargrid::{DistMatrix, GridShape, TunableComms};
+    use simgrid::{run_spmd, Machine, SimConfig};
+
+    fn measure_mm3d(c: usize, m: usize, n: usize, k: usize, machine: Machine) -> f64 {
+        run_spmd(c * c * c, SimConfig::with_machine(machine), move |rank| {
+            let shape = GridShape::cubic(c).unwrap();
+            let comms = TunableComms::build(rank, shape);
+            let cube = &comms.subcube;
+            let (x, yh, _) = cube.coords;
+            let a = Matrix::from_fn(m, n, |i, j| (i + j) as f64);
+            let b = Matrix::from_fn(n, k, |i, j| (i * 2 + j) as f64);
+            let al = DistMatrix::from_global(&a, c, c, yh, x);
+            let bl = DistMatrix::from_global(&b, c, c, yh, x);
+            cacqr::mm3d(rank, cube, &al.local, &bl.local);
+        })
+        .elapsed
+    }
+
+    #[test]
+    fn mm3d_model_is_exact() {
+        for c in [1usize, 2, 4] {
+            let (m, n, k) = (16usize, 8, 8);
+            let model = mm3d_global(m, n, k, c);
+            assert_eq!(measure_mm3d(c, m, n, k, Machine::alpha_only()), model.alpha, "alpha c={c}");
+            assert_eq!(measure_mm3d(c, m, n, k, Machine::beta_only()), model.beta, "beta c={c}");
+            assert_eq!(measure_mm3d(c, m, n, k, Machine::gamma_only()), model.gamma, "gamma c={c}");
+        }
+    }
+
+    #[test]
+    fn transpose_model_is_exact() {
+        for c in [1usize, 2, 4] {
+            let n = 8usize;
+            let model = transpose_cube((n / c) * (n / c), c);
+            let g = Matrix::from_fn(n, n, |i, j| (i * n + j) as f64);
+            for (machine, want, label) in [
+                (Machine::alpha_only(), model.alpha, "alpha"),
+                (Machine::beta_only(), model.beta, "beta"),
+            ] {
+                let g = g.clone();
+                let got = run_spmd(c * c * c, SimConfig::with_machine(machine), move |rank| {
+                    let shape = GridShape::cubic(c).unwrap();
+                    let comms = TunableComms::build(rank, shape);
+                    let (x, yh, _) = comms.subcube.coords;
+                    let local = DistMatrix::from_global(&g, c, c, yh, x);
+                    cacqr::transpose_cube(rank, &comms.subcube, &local.local);
+                })
+                .elapsed;
+                assert_eq!(got, want, "{label} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_mm3d_asymptotics() {
+        // Table I row 1: β = Θ((mn+nk+mk)/P^{2/3}), γ = Θ(mnk/P). Fit the
+        // log-log slope against P over a wide c range (small-c values carry
+        // (1 − 1/c) boundary factors).
+        let (m, n, k) = (1024usize, 1024, 1024);
+        let cs = [4usize, 8, 16, 32];
+        let ps: Vec<f64> = cs.iter().map(|c| (c * c * c) as f64).collect();
+        let betas: Vec<f64> = cs.iter().map(|&c| mm3d_global(m, n, k, c).beta).collect();
+        let gammas: Vec<f64> = cs.iter().map(|&c| mm3d_global(m, n, k, c).gamma).collect();
+        let beta_slope = crate::table1::fit_exponent(&ps, &betas);
+        let gamma_slope = crate::table1::fit_exponent(&ps, &gammas);
+        assert!((beta_slope + 2.0 / 3.0).abs() < 0.1, "β slope {beta_slope}");
+        assert!((gamma_slope + 1.0).abs() < 0.05, "γ slope {gamma_slope}");
+    }
+}

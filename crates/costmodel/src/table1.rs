@@ -1,0 +1,101 @@
+//! Table I: asymptotic cost summary, plus the slope-fitting utilities the
+//! `table1` bench binary uses to *measure* the exponents from the exact
+//! models and compare them against the paper's claims.
+
+/// One row of the paper's Table I (asymptotics as published).
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Latency (α) asymptotic.
+    pub latency: &'static str,
+    /// Bandwidth (β) asymptotic.
+    pub bandwidth: &'static str,
+    /// Flop (γ) asymptotic.
+    pub flops: &'static str,
+}
+
+/// The paper's Table I, verbatim.
+pub fn table1_paper() -> Vec<Table1Row> {
+    vec![
+        Table1Row { algorithm: "MM3D", latency: "log P", bandwidth: "(mn+nk+mk)/P^(2/3)", flops: "mnk/P" },
+        Table1Row { algorithm: "CFR3D", latency: "P^(2/3) log P", bandwidth: "n^2/P^(2/3)", flops: "n^3/P" },
+        Table1Row { algorithm: "1D-CQR", latency: "log P", bandwidth: "n^2", flops: "mn^2/P + n^3" },
+        Table1Row { algorithm: "3D-CQR", latency: "P^(2/3) log P", bandwidth: "mn/P^(2/3)", flops: "mn^2/P" },
+        Table1Row {
+            algorithm: "CA-CQR (c,d)",
+            latency: "c^2 log P",
+            bandwidth: "mn/(dc) + n^2/c^2",
+            flops: "mn^2/(c^2 d) + n^3/c^3",
+        },
+        Table1Row {
+            algorithm: "CA-CQR (best c,d)",
+            latency: "(Pn/m)^(2/3) log P",
+            bandwidth: "(mn^2/P)^(2/3)",
+            flops: "mn^2/P",
+        },
+    ]
+}
+
+/// Least-squares slope of `log y` against `log x`: the empirical scaling
+/// exponent of a cost series.
+pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit a slope");
+    let lx: Vec<f64> = xs.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let num: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let den: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_known_powers() {
+        let xs: Vec<f64> = (1..=6).map(|i| (1usize << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.5)).collect();
+        assert!((fit_exponent(&xs, &ys) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm3d_exponents_match_table1() {
+        // β ~ P^(-2/3), γ ~ P^(-1) for a fixed square product. Small c
+        // carries (1 − 1/c) boundary factors, so fit over large cubes.
+        let n = 1024usize;
+        let cs = [8usize, 16, 32];
+        let ps: Vec<f64> = cs.iter().map(|c| (c * c * c) as f64).collect();
+        let betas: Vec<f64> = cs.iter().map(|&c| crate::mm3d::mm3d_global(n, n, n, c).beta).collect();
+        let gammas: Vec<f64> = cs.iter().map(|&c| crate::mm3d::mm3d_global(n, n, n, c).gamma).collect();
+        let beta_slope = fit_exponent(&ps, &betas);
+        let gamma_slope = fit_exponent(&ps, &gammas);
+        assert!((beta_slope + 2.0 / 3.0).abs() < 0.05, "β slope {beta_slope}");
+        assert!((gamma_slope + 1.0).abs() < 0.05, "γ slope {gamma_slope}");
+    }
+
+    #[test]
+    fn ca_cqr2_best_grid_bandwidth_exponent() {
+        // Table I last row: with the best grid, β ~ (mn²/P)^{2/3}. Fix the
+        // matrix, sweep P with the matched shape m/d = n/c, fit the exponent.
+        // n must stay ≥ c³ so the paper's n₀ = n/c² base size is not clamped
+        // (clamping inflates the base-case allgather term at large c).
+        let (m, n) = (1usize << 22, 1usize << 15);
+        let mut ps = Vec::new();
+        let mut betas = Vec::new();
+        for c in [8usize, 16, 32] {
+            let d = m / (n / c); // m/d = n/c
+            let p = c * c * d;
+            let base = (n / (c * c)).max(c);
+            let cost = crate::cacqr2::ca_cqr2(m, n, c, d, base, 0);
+            ps.push(p as f64);
+            betas.push(cost.beta);
+        }
+        let slope = fit_exponent(&ps, &betas);
+        assert!((slope + 2.0 / 3.0).abs() < 0.12, "β slope {slope} should be ≈ −2/3");
+    }
+}

@@ -1,0 +1,71 @@
+//! Level-1 vector kernels used throughout the blocked algorithms.
+
+/// `y ← y + a·x`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scal(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+/// Euclidean norm with scaling to avoid overflow on extreme inputs.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let amax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return amax;
+    }
+    let mut sum = 0.0;
+    for &v in x {
+        let s = v / amax;
+        sum += s * s;
+    }
+    amax * sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn nrm2_is_scaled() {
+        let big = 1e200;
+        let x = [3.0 * big, 4.0 * big];
+        let n = nrm2(&x);
+        assert!((n - 5.0 * big).abs() / (5.0 * big) < 1e-15);
+    }
+
+    #[test]
+    fn nrm2_zero() {
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        assert_eq!(nrm2(&[]), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Sequential dense linear algebra kernels: the BLAS/LAPACK substrate of the
+//! CA-CQR2 reproduction.
+//!
+//! The paper's implementation calls BLAS (`dgemm`, `dsyrk`, `dtrsm`) and
+//! LAPACK (`dpotrf`, `dtrtri`, `dgeqrf`) for all node-local computation.
+//! This crate provides from-scratch Rust equivalents:
+//!
+//! * [`Matrix`] — an owned row-major `f64` matrix with strided views
+//!   ([`MatRef`]/[`MatMut`]) that make blocked algorithms natural.
+//! * [`gemm()`] — general matrix multiply with transpose flags.
+//! * [`syrk()`] — symmetric rank-k update `C = AᵀA`.
+//! * [`trsm`] — triangular solves and multiplies.
+//! * [`cholesky`] — blocked Cholesky, triangular inversion, and the paper's
+//!   joint `CholInv` recursion (Algorithm 2).
+//! * [`householder`] — blocked Householder QR (the sequential reference and
+//!   the kernel under the ScaLAPACK-like baseline).
+//! * [`svd`] — one-sided Jacobi SVD, used to measure condition numbers.
+//! * [`norms`] — error metrics (orthogonality, residual, triangularity).
+//! * [`random`] — seeded Gaussian matrices and prescribed-κ test matrices.
+//! * [`flops`] — the floating-point-operation conventions charged to the
+//!   α-β-γ cost ledger (chosen to match the paper's accounting).
+//!
+//! All kernels are deterministic; given identical inputs they produce
+//! bitwise-identical outputs, which the distributed tests rely on.
+
+pub mod blas1;
+pub mod cholesky;
+pub mod flops;
+pub mod gemm;
+pub mod householder;
+pub mod matrix;
+pub mod norms;
+pub mod random;
+pub mod svd;
+pub mod syrk;
+pub mod trsm;
+
+pub use cholesky::{cholinv, potrf, trtri_lower, CholeskyError};
+pub use gemm::{gemm, matmul, Trans};
+pub use householder::{form_q, householder_qr, QrFactors};
+pub use matrix::{MatMut, MatRef, Matrix};
+pub use norms::{frobenius, max_abs, orthogonality_error, residual_error};
+pub use syrk::syrk;
+pub use trsm::{trmm_upper_upper, trsm_right_lower_trans, trsm_right_upper};

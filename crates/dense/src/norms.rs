@@ -1,0 +1,135 @@
+//! Error metrics used by the correctness tests and the stability experiments.
+
+use crate::gemm::{gemm, matmul, Trans};
+use crate::matrix::{MatRef, Matrix};
+
+/// Frobenius norm `‖A‖_F`.
+pub fn frobenius(a: MatRef<'_>) -> f64 {
+    let mut s = 0.0;
+    for i in 0..a.rows() {
+        for &v in a.row(i) {
+            s += v * v;
+        }
+    }
+    s.sqrt()
+}
+
+/// Max-absolute-entry norm `‖A‖_max`.
+pub fn max_abs(a: MatRef<'_>) -> f64 {
+    let mut m = 0.0f64;
+    for i in 0..a.rows() {
+        for &v in a.row(i) {
+            m = m.max(v.abs());
+        }
+    }
+    m
+}
+
+/// Deviation from orthonormality: `‖QᵀQ − I‖_F`.
+///
+/// This is the metric the CholeskyQR2 literature reports: ≈ machine-ε for
+/// Householder QR and CQR2 on well-conditioned input, ≈ `ε·κ(A)²` for plain
+/// CholeskyQR.
+pub fn orthogonality_error(q: MatRef<'_>) -> f64 {
+    let n = q.cols();
+    let mut g = matmul(q, Trans::Yes, q, Trans::No);
+    for i in 0..n {
+        let v = g.get(i, i);
+        g.set(i, i, v - 1.0);
+    }
+    frobenius(g.as_ref())
+}
+
+/// Relative residual `‖A − QR‖_F / ‖A‖_F`.
+pub fn residual_error(a: MatRef<'_>, q: MatRef<'_>, r: MatRef<'_>) -> f64 {
+    let mut d = a.to_owned();
+    gemm(-1.0, q, Trans::No, r, Trans::No, 1.0, d.as_mut());
+    frobenius(d.as_ref()) / frobenius(a)
+}
+
+/// Frobenius norm of the strictly-lower part (how far from upper triangular).
+pub fn lower_residual(r: MatRef<'_>) -> f64 {
+    let mut s = 0.0;
+    for i in 0..r.rows() {
+        let row = r.row(i);
+        for &v in &row[..i.min(row.len())] {
+            s += v * v;
+        }
+    }
+    s.sqrt()
+}
+
+/// Relative elementwise difference `‖A − B‖_F / max(1, ‖A‖_F)`.
+pub fn rel_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let mut d = a.to_owned();
+    let mut idx = 0;
+    for i in 0..b.rows() {
+        let row = b.row(i);
+        for (j, &v) in row.iter().enumerate() {
+            let _ = j;
+            d.data_mut()[idx] -= v;
+            idx += 1;
+        }
+    }
+    frobenius(d.as_ref()) / frobenius(a).max(1.0)
+}
+
+/// Normalizes the sign of an upper-triangular factor so that diagonals are
+/// non-negative, applying the compensating signs to the columns of `Q`.
+/// QR is unique only up to these signs; tests comparing factorizations from
+/// different algorithms normalize both first.
+pub fn normalize_qr_signs(q: &mut Matrix, r: &mut Matrix) {
+    let n = r.rows();
+    for i in 0..n {
+        if r.get(i, i) < 0.0 {
+            for j in 0..r.cols() {
+                let v = r.get(i, j);
+                r.set(i, j, -v);
+            }
+            for k in 0..q.rows() {
+                let v = q.get(k, i);
+                q.set(k, i, -v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::qr;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn frobenius_known() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert_eq!(frobenius(a.as_ref()), 5.0);
+    }
+
+    #[test]
+    fn identity_is_orthogonal() {
+        let q = Matrix::identity(6);
+        assert_eq!(orthogonality_error(q.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn scaled_identity_is_not() {
+        let mut q = Matrix::identity(3);
+        q.set(0, 0, 2.0);
+        assert!(orthogonality_error(q.as_ref()) > 1.0);
+    }
+
+    #[test]
+    fn sign_normalization_preserves_product() {
+        let a = Matrix::from_fn(10, 4, |i, j| ((i + 3 * j) as f64).sin());
+        let (mut q, mut r) = qr(&a);
+        let before = residual_error(a.as_ref(), q.as_ref(), r.as_ref());
+        normalize_qr_signs(&mut q, &mut r);
+        let after = residual_error(a.as_ref(), q.as_ref(), r.as_ref());
+        assert!((before - after).abs() < 1e-14);
+        for i in 0..4 {
+            assert!(r.get(i, i) >= 0.0);
+        }
+    }
+}

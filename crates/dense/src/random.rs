@@ -1,0 +1,119 @@
+//! Seeded random test matrices.
+//!
+//! The paper's scaling studies "generate random matrices" (§IV-C); the
+//! stability discussion in §I additionally needs matrices with *prescribed
+//! condition number*. Both generators are deterministic given a seed so that
+//! distributed runs can regenerate exactly the same global matrix on every
+//! rank without communication.
+
+use crate::gemm::{gemm, Trans};
+use crate::householder::qr;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard-normal sample via Box–Muller (rand 0.8 ships no normal
+/// distribution without the `rand_distr` crate, which is out of scope).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// `m × n` matrix of i.i.d. standard normals.
+pub fn gaussian_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(m * n);
+    for _ in 0..m * n {
+        data.push(gaussian(&mut rng));
+    }
+    Matrix::from_vec(m, n, data)
+}
+
+/// An `m × n` matrix (`m ≥ n`) with singular values logarithmically spaced in
+/// `[1/cond, 1]`, built as `U·Σ·Vᵀ` with `U` (`m × n`) and `V` (`n × n`)
+/// orthonormal factors from QR of Gaussian matrices.
+///
+/// `κ₂(A) = cond` up to rounding; CholeskyQR's orthogonality loss scales as
+/// `ε·κ²` on these inputs, which the stability experiment measures.
+pub fn matrix_with_condition(m: usize, n: usize, cond: f64, seed: u64) -> Matrix {
+    assert!(m >= n, "prescribed-condition generator requires m >= n");
+    assert!(cond >= 1.0);
+    let (u, _) = qr(&gaussian_matrix(m, n, seed));
+    let (v, _) = qr(&gaussian_matrix(n, n, seed.wrapping_add(0x9e3779b97f4a7c15)));
+    // Σ: log-spaced singular values from 1 down to 1/cond.
+    let mut usigma = u;
+    for j in 0..n {
+        let t = if n == 1 { 0.0 } else { j as f64 / (n - 1) as f64 };
+        let sv = cond.powf(-t);
+        for i in 0..m {
+            let val = usigma.get(i, j) * sv;
+            usigma.set(i, j, val);
+        }
+    }
+    let mut a = Matrix::zeros(m, n);
+    gemm(1.0, usigma.as_ref(), Trans::No, v.as_ref(), Trans::Yes, 0.0, a.as_mut());
+    a
+}
+
+/// A well-conditioned random tall matrix (κ ≈ small constant) — the default
+/// workload of the scaling benchmarks.
+pub fn well_conditioned(m: usize, n: usize, seed: u64) -> Matrix {
+    // Gaussian matrices are well conditioned with overwhelming probability
+    // for m ≥ 2n; for squarer aspect ratios, shift the spectrum slightly by
+    // adding a scaled identity-like component.
+    let mut a = gaussian_matrix(m, n, seed);
+    if m < 2 * n {
+        let boost = (n as f64).sqrt();
+        for i in 0..n.min(m) {
+            let v = a.get(i, i);
+            a.set(i, i, v + boost);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::singular_values;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gaussian_matrix(8, 5, 42);
+        let b = gaussian_matrix(8, 5, 42);
+        assert_eq!(a, b);
+        let c = gaussian_matrix(8, 5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let a = gaussian_matrix(200, 50, 7);
+        let mean: f64 = a.data().iter().sum::<f64>() / a.data().len() as f64;
+        let var: f64 = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / a.data().len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn prescribed_condition_is_achieved() {
+        let cond = 1e6;
+        let a = matrix_with_condition(60, 12, cond, 3);
+        let sv = singular_values(&a);
+        let measured = sv[0] / sv[sv.len() - 1];
+        assert!((measured / cond - 1.0).abs() < 1e-6, "κ measured {measured}, wanted {cond}");
+    }
+
+    #[test]
+    fn condition_one_is_orthogonal() {
+        let a = matrix_with_condition(30, 8, 1.0, 11);
+        let sv = singular_values(&a);
+        assert!((sv[0] - 1.0).abs() < 1e-12);
+        assert!((sv[sv.len() - 1] - 1.0).abs() < 1e-12);
+    }
+}

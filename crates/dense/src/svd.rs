@@ -1,0 +1,112 @@
+//! One-sided Jacobi SVD (singular values only).
+//!
+//! Used by tests and the stability experiment to *measure* `κ₂(A)` of the
+//! generated inputs — the reproduction of the paper's §I claim that
+//! CholeskyQR loses `Θ(κ²)` digits of orthogonality needs an independent
+//! measurement of κ. One-sided Jacobi is slow (`O(n²·m)` per sweep) but
+//! simple and accurate to full precision for the small matrices tests use.
+
+use crate::matrix::Matrix;
+
+/// Returns the singular values of `a` (`m ≥ n`), sorted descending.
+pub fn singular_values(a: &Matrix) -> Vec<f64> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "one-sided Jacobi requires m >= n");
+    // Work on a column-major copy: columns are rotated in place.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| (0..m).map(|i| a.get(i, j)).collect()).collect();
+
+    let max_sweeps = 60;
+    let tol = 1e-15;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                for i in 0..m {
+                    let x = cols[p][i];
+                    let y = cols[q][i];
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                let denom = (app * aqq).sqrt();
+                if denom == 0.0 {
+                    continue;
+                }
+                let ratio = apq.abs() / denom;
+                off = off.max(ratio);
+                if ratio <= tol {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let x = cols[p][i];
+                    let y = cols[q][i];
+                    cols[p][i] = c * x - s * y;
+                    cols[q][i] = s * x + c * y;
+                }
+            }
+        }
+        if off <= tol {
+            break;
+        }
+    }
+    let mut sv: Vec<f64> = cols.iter().map(|col| col.iter().map(|v| v * v).sum::<f64>().sqrt()).collect();
+    sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sv
+}
+
+/// 2-norm condition number `σ_max / σ_min`. Returns `f64::INFINITY` for
+/// numerically rank-deficient input.
+pub fn condition_number(a: &Matrix) -> f64 {
+    let sv = singular_values(a);
+    let smin = sv[sv.len() - 1];
+    if smin == 0.0 {
+        f64::INFINITY
+    } else {
+        sv[0] / smin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let mut a = Matrix::zeros(5, 3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 2.0);
+        let sv = singular_values(&a);
+        assert!((sv[0] - 3.0).abs() < 1e-12);
+        assert!((sv[1] - 2.0).abs() < 1e-12);
+        assert!((sv[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_condition() {
+        let a = Matrix::identity(6);
+        assert!((condition_number(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_reports_infinite() {
+        let a = Matrix::from_fn(4, 2, |i, _| i as f64); // two identical columns
+        assert!(condition_number(&a).is_infinite());
+    }
+
+    #[test]
+    fn frobenius_identity_check() {
+        // Σσᵢ² = ‖A‖_F².
+        let a = Matrix::from_fn(9, 4, |i, j| ((i * 4 + j) as f64 * 0.31).sin());
+        let sv = singular_values(&a);
+        let sum_sq: f64 = sv.iter().map(|s| s * s).sum();
+        let fro_sq: f64 = a.data().iter().map(|v| v * v).sum();
+        assert!((sum_sq - fro_sq).abs() < 1e-10 * fro_sq);
+    }
+}

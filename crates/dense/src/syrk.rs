@@ -1,0 +1,84 @@
+//! Symmetric rank-k update: `C = AᵀA`.
+//!
+//! This is the Gram-matrix kernel at the heart of CholeskyQR: each processor
+//! computes `AᵀA` of its local panel (paper Algorithm 6 line 1 and
+//! Algorithm 8 line 2). Only the lower triangle is computed; the result is
+//! mirrored so callers get a full symmetric matrix (the distributed reduction
+//! then operates on plain dense buffers).
+
+use crate::matrix::{MatRef, Matrix};
+
+/// Returns the full symmetric matrix `AᵀA` (`n × n` for `A` of shape `m × n`).
+///
+/// Computes the lower triangle with a cache-friendly outer-product sweep over
+/// the rows of `A`, then mirrors it. The flop convention charged for this
+/// kernel is `m·n²` (see [`crate::flops::syrk`]).
+pub fn syrk(a: MatRef<'_>) -> Matrix {
+    let (m, n) = (a.rows(), a.cols());
+    let mut data = vec![0.0f64; n * n];
+    // Accumulate lower triangle: C[i][j] += A[k][i] * A[k][j], j <= i.
+    for k in 0..m {
+        let row = a.row(k);
+        for i in 0..n {
+            let aki = row[i];
+            if aki == 0.0 {
+                continue;
+            }
+            let dst = &mut data[i * n..i * n + i + 1];
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d += aki * row[j];
+            }
+        }
+    }
+    // Mirror to upper triangle.
+    for i in 0..n {
+        for j in 0..i {
+            data[j * n + i] = data[i * n + j];
+        }
+    }
+    Matrix::from_vec(n, n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Trans};
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn matches_gemm_ata() {
+        let a = Matrix::from_fn(11, 5, |i, j| ((i * 5 + j) as f64 * 0.7).sin());
+        let c = syrk(a.as_ref());
+        let reference = matmul(a.as_ref(), Trans::Yes, a.as_ref(), Trans::No);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((c.get(i, j) - reference.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_exactly_symmetric() {
+        let a = Matrix::from_fn(9, 6, |i, j| (i as f64 * 1.3 - j as f64 * 0.7).cos());
+        let c = syrk(a.as_ref());
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(c.get(i, j), c.get(j, i), "bitwise symmetry expected");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_of_orthonormal_is_identity() {
+        // Columns of the identity embedded in a taller matrix are orthonormal.
+        let a = Matrix::from_fn(8, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let c = syrk(a.as_ref());
+        assert_eq!(c, Matrix::identity(3));
+    }
+
+    #[test]
+    fn empty_rows() {
+        let a = Matrix::zeros(0, 4);
+        assert_eq!(syrk(a.as_ref()), Matrix::zeros(4, 4));
+    }
+}

@@ -1,0 +1,245 @@
+//! Triangular solves and multiplies.
+//!
+//! CholeskyQR applies `R⁻¹` from the right (`Q = A·R⁻¹`); with `R = Lᵀ` from
+//! the Cholesky factor this is either an explicit multiply by the inverse
+//! (the paper's default path) or a right-sided triangular solve (the
+//! `InverseDepth > 0` path). Both row-sweep kernels below are `O(m·n²)` for an
+//! `m × n` right-hand side.
+
+use crate::matrix::{MatMut, MatRef, Matrix};
+
+/// Solves `X·Lᵀ = B` in place (`B` is overwritten with `X`).
+///
+/// `l` is lower triangular `n × n`; `b` is `m × n`. Since `Lᵀ` is upper
+/// triangular, each row of `B` is solved by forward substitution across
+/// columns.
+pub fn trsm_right_lower_trans(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "triangular factor must be square");
+    assert_eq!(b.cols(), n, "rhs width must match triangular dimension");
+    for i in 0..b.rows() {
+        let row = b.row_mut(i);
+        // Row solve: x·Lᵀ = b  ⇔  for j ascending: x[j] = (b[j] - Σ_{k<j} x[k]·Lᵀ[k][j]) / L[j][j]
+        // and Lᵀ[k][j] = L[j][k].
+        for j in 0..n {
+            let lrow = l.row(j);
+            let mut s = row[j];
+            for k in 0..j {
+                s -= row[k] * lrow[k];
+            }
+            row[j] = s / lrow[j];
+        }
+    }
+}
+
+/// Solves `X·U = B` in place (`B` is overwritten with `X`), `U` upper triangular.
+pub fn trsm_right_upper(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "triangular factor must be square");
+    assert_eq!(b.cols(), n, "rhs width must match triangular dimension");
+    for i in 0..b.rows() {
+        let row = b.row_mut(i);
+        // x·U = b ⇔ for j ascending: x[j] = (b[j] - Σ_{k<j} x[k]·U[k][j]) / U[j][j].
+        for j in 0..n {
+            let mut s = row[j];
+            for k in 0..j {
+                s -= row[k] * u.at(k, j);
+            }
+            row[j] = s / u.at(j, j);
+        }
+    }
+}
+
+/// Solves `L·X = B` in place (`B` overwritten with `X`), `L` lower triangular.
+pub fn trsm_left_lower(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "triangular factor must be square");
+    assert_eq!(b.rows(), n, "rhs height must match triangular dimension");
+    for i in 0..n {
+        let lrow = l.row(i);
+        let diag = lrow[i];
+        // b[i] -= Σ_{k<i} L[i][k]·b[k], then scale. Split keeps the borrows
+        // of row i (write) and rows < i (read) disjoint.
+        let (done, mut active) = b.rb_mut().split_rows(i);
+        let done = done.rb();
+        let bi = active.row_mut(0);
+        for k in 0..i {
+            let lik = lrow[k];
+            if lik == 0.0 {
+                continue;
+            }
+            let bk = done.row(k);
+            for (x, y) in bi.iter_mut().zip(bk) {
+                *x -= lik * y;
+            }
+        }
+        for v in bi {
+            *v /= diag;
+        }
+    }
+}
+
+/// Solves `U·X = B` in place (`B` overwritten with `X`), `U` upper
+/// triangular — the backward substitution used to recover least-squares
+/// solutions from `R·x = Qᵀb`.
+pub fn trsm_left_upper(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "triangular factor must be square");
+    assert_eq!(b.rows(), n, "rhs height must match triangular dimension");
+    for i in (0..n).rev() {
+        let urow = u.row(i);
+        let diag = urow[i];
+        // b[i] -= Σ_{k>i} U[i][k]·b[k], then scale. Rows > i are final.
+        let (mut active, done) = b.rb_mut().split_rows(i + 1);
+        let done = done.rb();
+        let bi = active.row_mut(i);
+        for k in (i + 1)..n {
+            let uik = urow[k];
+            if uik == 0.0 {
+                continue;
+            }
+            let bk = done.row(k - i - 1);
+            for (x, y) in bi.iter_mut().zip(bk) {
+                *x -= uik * y;
+            }
+        }
+        for v in bi {
+            *v /= diag;
+        }
+    }
+}
+
+/// Returns the product `U₂·U₁` of two upper-triangular matrices (the result
+/// is itself upper triangular). Used for the CQR2 update `R = R₂·R₁`
+/// (paper Algorithm 5 line 3, charged `n³/3` flops).
+pub fn trmm_upper_upper(u2: MatRef<'_>, u1: MatRef<'_>) -> Matrix {
+    let n = u2.rows();
+    assert_eq!(u2.cols(), n);
+    assert_eq!((u1.rows(), u1.cols()), (n, n));
+    let mut data = vec![0.0f64; n * n];
+    for i in 0..n {
+        let dst = &mut data[i * n..(i + 1) * n];
+        for k in i..n {
+            let v = u2.at(i, k);
+            if v == 0.0 {
+                continue;
+            }
+            let src = u1.row(k);
+            // Row i of the result accumulates v * row k of u1, columns k..n only
+            // (earlier columns of row k are structurally zero).
+            for j in k..n {
+                dst[j] += v * src[j];
+            }
+        }
+    }
+    Matrix::from_vec(n, n, data)
+}
+
+/// Zeroes the strictly-lower part of a matrix in place (extract `R` from a
+/// factorization that stored the full square).
+pub fn zero_strict_lower(mut a: MatMut<'_>) {
+    let n = a.rows().min(a.cols());
+    for i in 1..n {
+        let row = a.row_mut(i);
+        let stop = i.min(row.len());
+        for v in &mut row[..stop] {
+            *v = 0.0;
+        }
+    }
+    // Rows beyond the square part (m > n) are entirely below the diagonal.
+    for i in a.cols()..a.rows() {
+        a.row_mut(i).fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, Trans};
+    use crate::matrix::Matrix;
+
+    fn lower_test_matrix(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if j > i {
+                0.0
+            } else if i == j {
+                2.0 + i as f64
+            } else {
+                ((i * n + j) as f64 * 0.13).sin()
+            }
+        })
+    }
+
+    #[test]
+    fn right_lower_trans_solves() {
+        let l = lower_test_matrix(5);
+        let x_true = Matrix::from_fn(7, 5, |i, j| (i as f64 - 2.0 * j as f64) * 0.3);
+        // B = X·Lᵀ
+        let mut b = matmul(x_true.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+        trsm_right_lower_trans(l.as_ref(), b.as_mut());
+        for (x, y) in b.data().iter().zip(x_true.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn right_upper_solves() {
+        let u = lower_test_matrix(4).transposed();
+        let x_true = Matrix::from_fn(6, 4, |i, j| ((i + j) as f64).cos());
+        let mut b = matmul(x_true.as_ref(), Trans::No, u.as_ref(), Trans::No);
+        trsm_right_upper(u.as_ref(), b.as_mut());
+        for (x, y) in b.data().iter().zip(x_true.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn left_upper_solves() {
+        let u = lower_test_matrix(6).transposed();
+        let x_true = Matrix::from_fn(6, 2, |i, j| (i as f64 + 1.0) * (j as f64 - 0.5));
+        let mut b = matmul(u.as_ref(), Trans::No, x_true.as_ref(), Trans::No);
+        trsm_left_upper(u.as_ref(), b.as_mut());
+        for (x, y) in b.data().iter().zip(x_true.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn left_lower_solves() {
+        let l = lower_test_matrix(5);
+        let x_true = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.21 - 1.0);
+        let mut b = matmul(l.as_ref(), Trans::No, x_true.as_ref(), Trans::No);
+        trsm_left_lower(l.as_ref(), b.as_mut());
+        for (x, y) in b.data().iter().zip(x_true.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_times_upper_is_upper() {
+        let u1 = lower_test_matrix(6).transposed();
+        let u2 = lower_test_matrix(6).transposed();
+        let p = trmm_upper_upper(u2.as_ref(), u1.as_ref());
+        let reference = matmul(u2.as_ref(), Trans::No, u1.as_ref(), Trans::No);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((p.get(i, j) - reference.get(i, j)).abs() < 1e-12);
+                if j < i {
+                    assert_eq!(p.get(i, j), 0.0, "product must be exactly upper triangular");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_strict_lower_rectangular() {
+        let mut a = Matrix::from_fn(5, 3, |_, _| 1.0);
+        zero_strict_lower(a.as_mut());
+        for i in 0..5 {
+            for j in 0..3 {
+                let expect = if i <= j { 1.0 } else { 0.0 };
+                assert_eq!(a.get(i, j), expect);
+            }
+        }
+    }
+}

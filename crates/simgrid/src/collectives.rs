@@ -1,0 +1,607 @@
+//! Collective operations with the butterfly schedules of §II-B.
+//!
+//! Cost behaviour for **large messages** (`n ≥ p`; p = communicator size,
+//! n = buffer words; exact formulas — the `costmodel` crate mirrors them
+//! term for term):
+//!
+//! | collective | messages/rank (critical path) | words (critical path) | reduction flops |
+//! |---|---|---|---|
+//! | `bcast` (scatter + allgather) | `2·log₂p` | `2n(1−1/p)` | — |
+//! | `reduce` (reduce-scatter + gather) | `2·log₂p` | `2n(1−1/p)` | `n(1−1/p)` |
+//! | `allreduce` (reduce-scatter + allgather) | `2·log₂p` | `2n(1−1/p)` | `n(1−1/p)` |
+//! | `allgather` (recursive doubling) | `log₂p` | `n(1−1/p)` | — |
+//! | `sendrecv` (pairwise exchange) | `1` | `n` | — |
+//!
+//! These match the paper's table (`2·log₂P·α + 2nδ(P)β` for
+//! bcast/reduce/allreduce, `log₂P·α + nδ(P)β` for allgather) including the
+//! `δ(P)` behaviour: every operation is a no-op on single-member
+//! communicators. Buffers not divisible by `p` are padded
+//! (`n̄ = p·⌈n/p⌉`).
+//!
+//! **Small messages** (`n < p`) switch to tree algorithms, exactly as MPI
+//! implementations do: binomial broadcast/reduce and recursive-doubling
+//! allreduce, all costing `log₂p·(α + n·β)` (+ `n·log₂p` reduction flops) —
+//! without this split, a 2-word allreduce over 16384 ranks would be charged
+//! thousands of padded words.
+//!
+//! All communicator sizes must be powers of two (the paper's processor grids
+//! are).
+
+use crate::comm::Comm;
+use crate::runtime::Rank;
+
+fn is_pow2(p: usize) -> bool {
+    p != 0 && p & (p - 1) == 0
+}
+
+fn log2(p: usize) -> u32 {
+    p.trailing_zeros()
+}
+
+impl Comm {
+    /// Global rank id of the member with *virtual* index `vr` relative to
+    /// `root` (virtual index 0 = root).
+    fn global_of_virtual(&self, vr: usize, root: usize) -> usize {
+        self.member((vr + root) % self.size())
+    }
+
+    /// Entry synchronization for a collective (see
+    /// [`crate::runtime::SimConfig::sync_collectives`]): draws a tag and
+    /// lifts every member's clock to the group maximum.
+    fn enter_phase(&self, rank: &mut Rank) {
+        let tag = self.next_tag();
+        rank.phase_sync((tag, self.member(0)), self.size());
+    }
+
+    /// Pairwise exchange with the member at index `partner`: sends `data`,
+    /// returns the partner's message. Exchanging with oneself is a free copy
+    /// (used by diagonal ranks in the matrix transpose).
+    pub fn sendrecv(&self, rank: &mut Rank, partner: usize, data: &[f64]) -> Vec<f64> {
+        let tag = self.next_tag();
+        if partner == self.my_index() {
+            return data.to_vec();
+        }
+        let dst = self.member(partner);
+        rank.send(dst, tag, data);
+        rank.recv(dst, tag)
+    }
+
+    /// Broadcast from `root` (member index). Large messages (`n ≥ p`) use
+    /// binomial scatter + recursive-doubling allgather (van de Geijn):
+    /// `2·log₂p·α + 2n̄(1−1/p)·β` with `n̄ = p·⌈n/p⌉`. Small messages
+    /// (`n < p`) use a binomial tree: `log₂p·(α + n·β)` — the same
+    /// large/small split MPI implementations make.
+    ///
+    /// On entry non-roots must pass a buffer of the correct length; on exit
+    /// every member holds the root's data.
+    pub fn bcast(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        assert!(is_pow2(p), "communicator size must be a power of two (got {p})");
+        if p == 1 {
+            return;
+        }
+        let n = buf.len();
+        if n < p {
+            self.enter_phase(rank);
+            self.bcast_binomial(rank, root, buf);
+            return;
+        }
+        if !n.is_multiple_of(p) {
+            // Pad to the next multiple of p so the block schedule applies;
+            // the cost model mirrors this padding (n̄ = p·⌈n/p⌉).
+            let mut padded = vec![0.0f64; n.div_ceil(p) * p];
+            padded[..n].copy_from_slice(buf);
+            self.bcast(rank, root, &mut padded);
+            buf.copy_from_slice(&padded[..n]);
+            return;
+        }
+        self.enter_phase(rank);
+        let b = n / p;
+        let vr = (self.my_index() + p - root) % p;
+
+        // Phase 1: binomial scatter in virtual space. Block `v` (buffer words
+        // [v·b, (v+1)·b)) ends up at virtual rank v.
+        let tag = self.next_tag();
+        let mut have = if vr == 0 { p } else { 0 };
+        let mut d = p / 2;
+        while d >= 1 {
+            if have == 0 {
+                if vr.is_multiple_of(d) && (vr / d) % 2 == 1 {
+                    let src = self.global_of_virtual(vr - d, root);
+                    let data = rank.recv(src, tag);
+                    debug_assert_eq!(data.len(), d * b);
+                    buf[vr * b..(vr + d) * b].copy_from_slice(&data);
+                    have = d;
+                }
+            } else if have == 2 * d {
+                let dst = self.global_of_virtual(vr + d, root);
+                rank.send(dst, tag, &buf[(vr + d) * b..(vr + 2 * d) * b]);
+                have = d;
+            }
+            d /= 2;
+        }
+
+        // Phase 2: recursive-doubling allgather in virtual space.
+        self.allgather_blocks(rank, buf, b, vr, root);
+    }
+
+    /// Small-message binomial-tree broadcast: `log₂p` rounds of the full
+    /// buffer.
+    fn bcast_binomial(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        let vr = (self.my_index() + p - root) % p;
+        let tag = self.next_tag();
+        let mut k = 1;
+        while k < p {
+            if vr < k {
+                let dst = self.global_of_virtual(vr + k, root);
+                rank.send(dst, tag, buf);
+            } else if vr < 2 * k {
+                let src = self.global_of_virtual(vr - k, root);
+                let data = rank.recv(src, tag);
+                buf.copy_from_slice(&data);
+            }
+            k *= 2;
+        }
+    }
+
+    /// Small-message recursive-doubling allreduce: `log₂p` exchanges of the
+    /// full buffer, each followed by an elementwise add.
+    fn allreduce_doubling(&self, rank: &mut Rank, buf: &mut [f64]) {
+        let p = self.size();
+        let me = self.my_index();
+        let tag = self.next_tag();
+        let mut d = 1;
+        while d < p {
+            let partner = self.member(me ^ d);
+            rank.send(partner, tag, buf);
+            let data = rank.recv(partner, tag);
+            for (x, y) in buf.iter_mut().zip(&data) {
+                *x += y;
+            }
+            rank.charge_flops(buf.len() as f64);
+            d *= 2;
+        }
+    }
+
+    /// Small-message binomial-tree reduce onto virtual root 0.
+    fn reduce_binomial(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        let vr = (self.my_index() + p - root) % p;
+        let tag = self.next_tag();
+        let mut d = 1;
+        while d < p {
+            if vr % (2 * d) == d {
+                let dst = self.global_of_virtual(vr - d, root);
+                rank.send(dst, tag, buf);
+                return;
+            }
+            if vr.is_multiple_of(2 * d) && vr + d < p {
+                let src = self.global_of_virtual(vr + d, root);
+                let data = rank.recv(src, tag);
+                for (x, y) in buf.iter_mut().zip(&data) {
+                    *x += y;
+                }
+                rank.charge_flops(buf.len() as f64);
+            }
+            d *= 2;
+        }
+    }
+
+    /// Allgather: each member contributes `local` (equal length on all
+    /// members); returns the concatenation in member-index order.
+    /// `log₂p·α + n(1−1/p)·β` for total gathered size `n = p·|local|`.
+    pub fn allgather(&self, rank: &mut Rank, local: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        assert!(is_pow2(p), "communicator size must be a power of two (got {p})");
+        let b = local.len();
+        let mut buf = vec![0.0f64; b * p];
+        let me = self.my_index();
+        buf[me * b..(me + 1) * b].copy_from_slice(local);
+        if p > 1 {
+            self.enter_phase(rank);
+            self.allgather_blocks(rank, &mut buf, b, me, 0);
+        }
+        buf
+    }
+
+    /// Recursive-doubling allgather over `buf` split into `p` blocks of `b`
+    /// words; this rank initially holds block `vr`; `root` maps virtual
+    /// indices to members.
+    fn allgather_blocks(&self, rank: &mut Rank, buf: &mut [f64], b: usize, vr: usize, root: usize) {
+        let p = self.size();
+        let tag = self.next_tag();
+        let mut d = 1;
+        while d < p {
+            let partner_vr = vr ^ d;
+            let my_start = vr & !(d - 1);
+            let partner_start = partner_vr & !(d - 1);
+            let dst = self.global_of_virtual(partner_vr, root);
+            rank.send(dst, tag, &buf[my_start * b..(my_start + d) * b]);
+            let data = rank.recv(dst, tag);
+            debug_assert_eq!(data.len(), d * b);
+            buf[partner_start * b..(partner_start + d) * b].copy_from_slice(&data);
+            d *= 2;
+        }
+    }
+
+    /// Recursive-halving reduce-scatter: on return, member `i` holds the
+    /// elementwise sum of everyone's block `i` at `buf[i·b..(i+1)·b]`
+    /// (other regions hold partial garbage). Returns the block size `b`.
+    fn reduce_scatter_blocks(&self, rank: &mut Rank, buf: &mut [f64]) -> usize {
+        let p = self.size();
+        let n = buf.len();
+        assert_eq!(n % p, 0, "reduce buffer length {n} not divisible by communicator size {p}");
+        let b = n / p;
+        let me = self.my_index();
+        let tag = self.next_tag();
+        let (mut lo, mut hi) = (0usize, p);
+        let mut d = p / 2;
+        while d >= 1 {
+            let partner = me ^ d;
+            let mid = lo + d;
+            let dst = self.member(partner);
+            if me < partner {
+                rank.send(dst, tag, &buf[mid * b..hi * b]);
+                let data = rank.recv(dst, tag);
+                debug_assert_eq!(data.len(), (mid - lo) * b);
+                for (x, y) in buf[lo * b..mid * b].iter_mut().zip(&data) {
+                    *x += y;
+                }
+                rank.charge_flops(data.len() as f64);
+                hi = mid;
+            } else {
+                rank.send(dst, tag, &buf[lo * b..mid * b]);
+                let data = rank.recv(dst, tag);
+                debug_assert_eq!(data.len(), (hi - mid) * b);
+                for (x, y) in buf[mid * b..hi * b].iter_mut().zip(&data) {
+                    *x += y;
+                }
+                rank.charge_flops(data.len() as f64);
+                lo = mid;
+            }
+            d /= 2;
+        }
+        debug_assert_eq!((lo, hi), (me, me + 1));
+        b
+    }
+
+    /// Allreduce (elementwise sum): recursive-halving reduce-scatter plus
+    /// recursive-doubling allgather — `2·log₂p·α + 2n(1−1/p)·β` and
+    /// `n(1−1/p)` reduction flops. Every member ends with the bitwise-same
+    /// result (each block is combined in one fixed tree order and then
+    /// replicated).
+    pub fn allreduce(&self, rank: &mut Rank, buf: &mut [f64]) {
+        let p = self.size();
+        assert!(is_pow2(p), "communicator size must be a power of two (got {p})");
+        if p == 1 {
+            return;
+        }
+        let n = buf.len();
+        if n < p {
+            self.enter_phase(rank);
+            self.allreduce_doubling(rank, buf);
+            return;
+        }
+        if !n.is_multiple_of(p) {
+            let mut padded = vec![0.0f64; n.div_ceil(p) * p];
+            padded[..n].copy_from_slice(buf);
+            self.allreduce(rank, &mut padded);
+            buf.copy_from_slice(&padded[..n]);
+            return;
+        }
+        self.enter_phase(rank);
+        let b = self.reduce_scatter_blocks(rank, buf);
+        self.allgather_blocks(rank, buf, b, self.my_index(), 0);
+    }
+
+    /// Reduce (elementwise sum) onto `root` (member index): reduce-scatter
+    /// plus binomial gather — `2·log₂p·α + 2n(1−1/p)·β`. Only the root's
+    /// buffer holds the result on return; other members' buffers are
+    /// clobbered with partial sums (matching MPI_Reduce, where non-root
+    /// output is undefined).
+    pub fn reduce(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        assert!(is_pow2(p), "communicator size must be a power of two (got {p})");
+        if p == 1 {
+            return;
+        }
+        let n = buf.len();
+        if n < p {
+            self.enter_phase(rank);
+            self.reduce_binomial(rank, root, buf);
+            return;
+        }
+        if !n.is_multiple_of(p) {
+            let mut padded = vec![0.0f64; n.div_ceil(p) * p];
+            padded[..n].copy_from_slice(buf);
+            self.reduce(rank, root, &mut padded);
+            buf.copy_from_slice(&padded[..n]);
+            return;
+        }
+        self.enter_phase(rank);
+        let b = self.reduce_scatter_blocks(rank, buf);
+        // Binomial gather to root in virtual space. Virtual rank v holds the
+        // reduced block with *index* i(v) = (v + root) % p; after k rounds it
+        // holds the blocks of virtual range [aligned(v), aligned(v) + 2^k).
+        let me = self.my_index();
+        let vr = (me + p - root) % p;
+        let tag = self.next_tag();
+        let mut scratch = Vec::new();
+        let mut d = 1;
+        let mut have = 1usize;
+        while d < p {
+            if vr.is_multiple_of(2 * d) {
+                let src = self.global_of_virtual(vr + d, root);
+                let data = rank.recv(src, tag);
+                debug_assert_eq!(data.len(), d * b);
+                for (off, w) in (vr + d..vr + 2 * d).enumerate() {
+                    let idx = (w + root) % p;
+                    buf[idx * b..(idx + 1) * b].copy_from_slice(&data[off * b..(off + 1) * b]);
+                }
+                have = 2 * d;
+            } else if vr % (2 * d) == d {
+                // Serialize my virtual range [vr, vr + have) in virtual order.
+                scratch.clear();
+                for w in vr..vr + have {
+                    let idx = (w + root) % p;
+                    scratch.extend_from_slice(&buf[idx * b..(idx + 1) * b]);
+                }
+                let dst = self.global_of_virtual(vr - d, root);
+                rank.send(dst, tag, &scratch);
+                break;
+            }
+            d *= 2;
+        }
+    }
+
+    /// Barrier: a zero-payload synchronization using the allreduce pattern
+    /// (charges `2·log₂p·α`).
+    pub fn barrier(&self, rank: &mut Rank) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let mut token = vec![0.0f64; p];
+        self.allreduce(rank, &mut token);
+    }
+}
+
+/// Number of message rounds a `bcast`/`reduce`/`allreduce` performs.
+pub fn butterfly_rounds(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        2 * log2(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::runtime::{run_spmd, SimConfig};
+
+    fn alpha_cfg() -> SimConfig {
+        SimConfig::with_machine(Machine::alpha_only())
+    }
+
+    fn beta_cfg() -> SimConfig {
+        SimConfig::with_machine(Machine::beta_only())
+    }
+
+    #[test]
+    fn bcast_delivers_and_costs_match() {
+        for p in [1usize, 2, 4, 8, 16] {
+            let n = 64usize;
+            let report = run_spmd(p, alpha_cfg(), move |rank| {
+                let world = rank.world();
+                let mut buf = if world.my_index() == 1 % p {
+                    (0..n).map(|i| i as f64).collect::<Vec<_>>()
+                } else {
+                    vec![0.0; n]
+                };
+                world.bcast(rank, 1 % p, &mut buf);
+                buf
+            });
+            for r in &report.results {
+                assert_eq!(r.len(), n);
+                for (i, v) in r.iter().enumerate() {
+                    assert_eq!(*v, i as f64, "p={p}");
+                }
+            }
+            // α cost: exactly 2·log₂p.
+            let expect = if p == 1 { 0.0 } else { 2.0 * (p as f64).log2() };
+            assert_eq!(report.elapsed, expect, "alpha cost at p={p}");
+        }
+    }
+
+    #[test]
+    fn bcast_beta_cost_exact() {
+        let p = 8;
+        let n = 64usize;
+        let report = run_spmd(p, beta_cfg(), move |rank| {
+            let world = rank.world();
+            let mut buf = vec![rank.id() as f64; n];
+            world.bcast(rank, 0, &mut buf);
+        });
+        // β cost: 2n(1−1/p).
+        let expect = 2.0 * n as f64 * (1.0 - 1.0 / p as f64);
+        assert_eq!(report.elapsed, expect);
+    }
+
+    #[test]
+    fn allgather_concatenates_in_member_order() {
+        let p = 8;
+        let report = run_spmd(p, alpha_cfg(), move |rank| {
+            let world = rank.world();
+            let local = vec![rank.id() as f64; 3];
+            world.allgather(rank, &local)
+        });
+        for r in &report.results {
+            let expect: Vec<f64> = (0..p).flat_map(|i| std::iter::repeat_n(i as f64, 3)).collect();
+            assert_eq!(*r, expect);
+        }
+        assert_eq!(report.elapsed, (p as f64).log2());
+    }
+
+    #[test]
+    fn allgather_beta_cost_exact() {
+        let p = 4;
+        let b = 10usize;
+        let report = run_spmd(p, beta_cfg(), move |rank| {
+            let world = rank.world();
+            let local = vec![1.0; b];
+            world.allgather(rank, &local);
+        });
+        let n = (b * p) as f64;
+        assert_eq!(report.elapsed, n * (1.0 - 1.0 / p as f64));
+    }
+
+    #[test]
+    fn allreduce_sums_identically_everywhere() {
+        let p = 8;
+        let n = 32usize;
+        let report = run_spmd(p, SimConfig::default(), move |rank| {
+            let world = rank.world();
+            let mut buf: Vec<f64> = (0..n).map(|i| (rank.id() * n + i) as f64 * 0.1).collect();
+            world.allreduce(rank, &mut buf);
+            buf
+        });
+        let first = &report.results[0];
+        for r in &report.results[1..] {
+            assert_eq!(r, first, "allreduce must be bitwise identical on every rank");
+        }
+        // Value check against sequential summation (tolerance: different order).
+        for (i, v) in first.iter().enumerate() {
+            let expect: f64 = (0..p).map(|r| (r * n + i) as f64 * 0.1).sum();
+            assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn allreduce_costs_match_model() {
+        let p = 16;
+        let n = 64usize;
+        let report = run_spmd(p, alpha_cfg(), move |rank| {
+            let world = rank.world();
+            let mut buf = vec![1.0; n];
+            world.allreduce(rank, &mut buf);
+        });
+        assert_eq!(report.elapsed, 2.0 * (p as f64).log2());
+        let report = run_spmd(p, beta_cfg(), move |rank| {
+            let world = rank.world();
+            let mut buf = vec![1.0; n];
+            world.allreduce(rank, &mut buf);
+        });
+        assert_eq!(report.elapsed, 2.0 * n as f64 * (1.0 - 1.0 / p as f64));
+        // Reduction flops: n(1−1/p) adds per rank.
+        let report = run_spmd(p, SimConfig::default(), move |rank| {
+            let world = rank.world();
+            let mut buf = vec![1.0; n];
+            world.allreduce(rank, &mut buf);
+            rank.ledger().flops
+        });
+        for f in &report.results {
+            assert_eq!(*f, n as f64 * (1.0 - 1.0 / p as f64));
+        }
+    }
+
+    #[test]
+    fn reduce_collects_to_root_only() {
+        let p = 8;
+        let n = 24usize;
+        for root in [0usize, 3, 7] {
+            let report = run_spmd(p, SimConfig::default(), move |rank| {
+                let world = rank.world();
+                let mut buf: Vec<f64> = (0..n).map(|i| (rank.id() + i) as f64).collect();
+                world.reduce(rank, root, &mut buf);
+                buf
+            });
+            let got = &report.results[root];
+            for (i, v) in got.iter().enumerate() {
+                let expect: f64 = (0..p).map(|r| (r + i) as f64).sum();
+                assert!((v - expect).abs() < 1e-9, "root={root} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_cost_matches_allreduce() {
+        let p = 8;
+        let n = 64usize;
+        let r1 = run_spmd(p, alpha_cfg(), move |rank| {
+            let world = rank.world();
+            let mut buf = vec![1.0; n];
+            world.reduce(rank, 2, &mut buf);
+        });
+        assert_eq!(r1.elapsed, 2.0 * (p as f64).log2());
+        let r2 = run_spmd(p, beta_cfg(), move |rank| {
+            let world = rank.world();
+            let mut buf = vec![1.0; n];
+            world.reduce(rank, 2, &mut buf);
+        });
+        assert_eq!(r2.elapsed, 2.0 * n as f64 * (1.0 - 1.0 / p as f64));
+    }
+
+    #[test]
+    fn sendrecv_swaps() {
+        let report = run_spmd(4, SimConfig::default(), |rank| {
+            let world = rank.world();
+            let partner = world.my_index() ^ 1;
+            let out = vec![rank.id() as f64; 2];
+            world.sendrecv(rank, partner, &out)
+        });
+        assert_eq!(report.results[0], vec![1.0, 1.0]);
+        assert_eq!(report.results[1], vec![0.0, 0.0]);
+        assert_eq!(report.results[2], vec![3.0, 3.0]);
+        assert_eq!(report.results[3], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn sendrecv_with_self_is_free() {
+        let report = run_spmd(2, alpha_cfg(), |rank| {
+            let world = rank.world();
+            let out = vec![rank.id() as f64];
+            world.sendrecv(rank, world.my_index(), &out)
+        });
+        assert_eq!(report.elapsed, 0.0);
+        assert_eq!(report.results[1], vec![1.0]);
+    }
+
+    #[test]
+    fn collectives_on_subcommunicators() {
+        // Split 8 ranks into two groups of 4 by parity; allreduce within each.
+        let report = run_spmd(8, SimConfig::default(), |rank| {
+            let members: Vec<usize> = (0..8).filter(|r| r % 2 == rank.id() % 2).collect();
+            let comm = Comm::subset(rank, members);
+            let mut buf = vec![rank.id() as f64];
+            comm.allreduce(rank, &mut buf);
+            buf[0]
+        });
+        // evens: 0+2+4+6 = 12; odds: 1+3+5+7 = 16.
+        for r in 0..8 {
+            let expect = if r % 2 == 0 { 12.0 } else { 16.0 };
+            assert_eq!(report.results[r], expect);
+        }
+    }
+
+    #[test]
+    fn nested_collectives_tag_isolation() {
+        // Interleave ops on two communicators that share members.
+        let report = run_spmd(4, SimConfig::default(), |rank| {
+            let w1 = rank.world();
+            let w2 = rank.world();
+            let mut a = vec![rank.id() as f64; 4];
+            let mut b = vec![(rank.id() * 10) as f64; 4];
+            w1.allreduce(rank, &mut a);
+            w2.allreduce(rank, &mut b);
+            w1.bcast(rank, 0, &mut b);
+            (a[0], b[0])
+        });
+        for (a, b) in &report.results {
+            assert_eq!(*a, 6.0);
+            assert_eq!(*b, 60.0);
+        }
+    }
+}

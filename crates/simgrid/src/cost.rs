@@ -1,0 +1,64 @@
+//! Per-rank cost ledgers.
+
+use serde::{Deserialize, Serialize};
+
+/// Running totals of communication and computation charged to one rank.
+///
+/// Word counts are in 8-byte `f64` units (matching the β convention of the
+/// paper's model). Flops are whatever the algorithm layer charges through
+/// [`crate::Rank::charge_flops`] — by convention the counts in
+/// `dense::flops`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Number of messages sent.
+    pub msgs_sent: u64,
+    /// Words sent.
+    pub words_sent: u64,
+    /// Number of messages received.
+    pub msgs_recv: u64,
+    /// Words received.
+    pub words_recv: u64,
+    /// Floating-point operations charged.
+    pub flops: f64,
+}
+
+impl CostLedger {
+    /// Elementwise difference (`self − earlier`): the cost incurred since a
+    /// snapshot. Used by the per-line cost verification of Tables II–VI.
+    pub fn since(&self, earlier: &CostLedger) -> CostLedger {
+        CostLedger {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            words_sent: self.words_sent - earlier.words_sent,
+            msgs_recv: self.msgs_recv - earlier.msgs_recv,
+            words_recv: self.words_recv - earlier.words_recv,
+            flops: self.flops - earlier.flops,
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn plus(&self, other: &CostLedger) -> CostLedger {
+        CostLedger {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            words_sent: self.words_sent + other.words_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            words_recv: self.words_recv + other.words_recv,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = CostLedger { msgs_sent: 5, words_sent: 100, msgs_recv: 4, words_recv: 80, flops: 1000.0 };
+        let b = CostLedger { msgs_sent: 2, words_sent: 30, msgs_recv: 1, words_recv: 10, flops: 400.0 };
+        let d = a.since(&b);
+        assert_eq!(d.msgs_sent, 3);
+        assert_eq!(d.words_sent, 70);
+        assert_eq!(d.flops, 600.0);
+        assert_eq!(b.plus(&d), a);
+    }
+}

@@ -1,0 +1,100 @@
+//! Tagged-message mailboxes: the transport layer under [`crate::Rank`].
+//!
+//! Each rank owns one mailbox. Messages are matched MPI-style on
+//! `(source, tag)`; receives block on a condition variable until a matching
+//! envelope arrives. Envelopes carry the sender's virtual departure time so
+//! the receiver can synchronize its clock (see `runtime`).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+
+/// A message in flight: payload plus the sender's virtual departure time.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Message payload (8-byte words).
+    pub data: Vec<f64>,
+    /// Sender's virtual clock at the moment the transfer completes.
+    pub depart: f64,
+}
+
+type Key = (usize, u64);
+
+/// One rank's incoming-message queue with `(source, tag)` matching.
+#[derive(Default)]
+pub struct Mailbox {
+    queues: Mutex<HashMap<Key, VecDeque<Envelope>>>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+
+    /// Deposits an envelope from `src` with tag `tag`.
+    pub fn post(&self, src: usize, tag: u64, env: Envelope) {
+        let mut q = self.queues.lock();
+        q.entry((src, tag)).or_default().push_back(env);
+        self.available.notify_all();
+    }
+
+    /// Blocks until an envelope from `src` with tag `tag` is available and
+    /// removes it.
+    pub fn take(&self, src: usize, tag: u64) -> Envelope {
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(queue) = q.get_mut(&(src, tag)) {
+                if let Some(env) = queue.pop_front() {
+                    if queue.is_empty() {
+                        q.remove(&(src, tag));
+                    }
+                    return env;
+                }
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Number of messages currently queued (for diagnostics and tests).
+    pub fn pending(&self) -> usize {
+        self.queues.lock().values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_per_key() {
+        let mb = Mailbox::new();
+        mb.post(0, 7, Envelope { data: vec![1.0], depart: 0.0 });
+        mb.post(0, 7, Envelope { data: vec![2.0], depart: 0.0 });
+        assert_eq!(mb.take(0, 7).data, vec![1.0]);
+        assert_eq!(mb.take(0, 7).data, vec![2.0]);
+    }
+
+    #[test]
+    fn keys_do_not_cross_match() {
+        let mb = Mailbox::new();
+        mb.post(0, 1, Envelope { data: vec![1.0], depart: 0.0 });
+        mb.post(1, 1, Envelope { data: vec![2.0], depart: 0.0 });
+        mb.post(0, 2, Envelope { data: vec![3.0], depart: 0.0 });
+        assert_eq!(mb.take(1, 1).data, vec![2.0]);
+        assert_eq!(mb.take(0, 2).data, vec![3.0]);
+        assert_eq!(mb.take(0, 1).data, vec![1.0]);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_post() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let handle = std::thread::spawn(move || mb2.take(3, 9).data);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.post(3, 9, Envelope { data: vec![42.0], depart: 1.5 });
+        assert_eq!(handle.join().unwrap(), vec![42.0]);
+    }
+}

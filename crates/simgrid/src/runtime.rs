@@ -1,0 +1,391 @@
+//! The SPMD runtime: rank spawning, point-to-point messaging, virtual clocks.
+
+use crate::cost::CostLedger;
+use crate::machine::Machine;
+use crate::mailbox::{Envelope, Mailbox};
+use std::sync::Arc;
+
+/// Configuration of a simulated run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// The α-β-γ parameters charged to the virtual clocks.
+    pub machine: Machine,
+    /// When true (default), every collective synchronizes its members'
+    /// virtual clocks on entry — the BSP-style accounting the paper's
+    /// per-line cost tables assume, and what the `costmodel` crate predicts
+    /// exactly. When false, clocks only synchronize through actual message
+    /// dependencies (the honest asynchronous critical path, which can be
+    /// *cheaper* because point-to-point costs hide in collective slack).
+    pub sync_collectives: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { machine: Machine::zero(), sync_collectives: true }
+    }
+}
+
+impl SimConfig {
+    /// Config with a machine model and the default synchronous accounting.
+    pub fn with_machine(machine: Machine) -> SimConfig {
+        SimConfig { machine, sync_collectives: true }
+    }
+
+    /// Fully asynchronous critical-path accounting.
+    pub fn asynchronous(machine: Machine) -> SimConfig {
+        SimConfig { machine, sync_collectives: false }
+    }
+}
+
+/// Shared registry implementing the virtual-time entry barrier of
+/// synchronous collectives: all members deposit their clocks, everyone
+/// leaves with the maximum. Zero cost is charged — this is an accounting
+/// device, not a communication operation.
+#[derive(Default)]
+pub struct BarrierTable {
+    inner: parking_lot::Mutex<std::collections::HashMap<(u64, usize), BarrierEntry>>,
+    cv: parking_lot::Condvar,
+}
+
+#[derive(Default)]
+struct BarrierEntry {
+    arrived: usize,
+    departed: usize,
+    max_clock: f64,
+    complete: bool,
+}
+
+impl BarrierTable {
+    fn sync(&self, key: (u64, usize), size: usize, clock: f64) -> f64 {
+        let mut g = self.inner.lock();
+        {
+            let e = g.entry(key).or_default();
+            e.arrived += 1;
+            e.max_clock = e.max_clock.max(clock);
+            if e.arrived == size {
+                e.complete = true;
+                self.cv.notify_all();
+            }
+        }
+        while !g.get(&key).map(|e| e.complete).unwrap_or(false) {
+            self.cv.wait(&mut g);
+        }
+        let e = g.get_mut(&key).expect("barrier entry must exist until all depart");
+        let result = e.max_clock;
+        e.departed += 1;
+        if e.departed == size {
+            g.remove(&key);
+        }
+        result
+    }
+}
+
+/// Outcome of a simulated run: one result and one ledger per rank, plus the
+/// simulated elapsed time (maximum virtual clock).
+#[derive(Debug)]
+pub struct SimReport<T> {
+    /// Per-rank return values of the SPMD closure, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank cost ledgers, indexed by rank.
+    pub ledgers: Vec<CostLedger>,
+    /// Simulated elapsed time: `max` over ranks of the final virtual clock.
+    pub elapsed: f64,
+}
+
+impl<T> SimReport<T> {
+    /// Maximum per-rank value of a ledger field, e.g. words sent.
+    pub fn max_over_ranks(&self, f: impl Fn(&CostLedger) -> f64) -> f64 {
+        self.ledgers.iter().map(&f).fold(0.0, f64::max)
+    }
+
+    /// Sum over ranks of a ledger field.
+    pub fn total_over_ranks(&self, f: impl Fn(&CostLedger) -> f64) -> f64 {
+        self.ledgers.iter().map(&f).sum()
+    }
+}
+
+/// One simulated process. Owns its mailbox handle, virtual clock, and ledger.
+///
+/// All communication goes through [`crate::Comm`] (created from
+/// [`Rank::world`] and [`crate::Comm::subset`]); the raw `send`/`recv` here
+/// are the transport those collectives are built on.
+pub struct Rank {
+    id: usize,
+    p: usize,
+    boxes: Arc<Vec<Arc<Mailbox>>>,
+    barriers: Arc<BarrierTable>,
+    machine: Machine,
+    sync_collectives: bool,
+    clock: f64,
+    ledger: CostLedger,
+    next_comm_id: u32,
+}
+
+impl Rank {
+    /// This rank's id in `[0, P)`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.p
+    }
+
+    /// The machine model in effect.
+    #[inline]
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Snapshot of the cost ledger.
+    #[inline]
+    pub fn ledger(&self) -> CostLedger {
+        self.ledger
+    }
+
+    /// Charges `flops` floating-point operations to the ledger and advances
+    /// the clock by `flops · γ`.
+    pub fn charge_flops(&mut self, flops: f64) {
+        debug_assert!(flops >= 0.0);
+        self.ledger.flops += flops;
+        self.clock += flops * self.machine.gamma;
+    }
+
+    /// Sends `data` to global rank `dst` with tag `tag`.
+    ///
+    /// Charges `α + len·β` to this rank's clock; the envelope carries the
+    /// post-transfer timestamp so the receiver can synchronize.
+    pub fn send(&mut self, dst: usize, tag: u64, data: &[f64]) {
+        debug_assert!(dst < self.p);
+        debug_assert_ne!(dst, self.id, "self-sends must be short-circuited by the caller");
+        let n = data.len();
+        self.clock += self.machine.alpha + n as f64 * self.machine.beta;
+        self.ledger.msgs_sent += 1;
+        self.ledger.words_sent += n as u64;
+        self.boxes[dst].post(self.id, tag, Envelope { data: data.to_vec(), depart: self.clock });
+    }
+
+    /// Like [`Rank::send`] but consumes the buffer, avoiding a copy.
+    pub fn send_vec(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        debug_assert!(dst < self.p);
+        debug_assert_ne!(dst, self.id, "self-sends must be short-circuited by the caller");
+        let n = data.len();
+        self.clock += self.machine.alpha + n as f64 * self.machine.beta;
+        self.ledger.msgs_sent += 1;
+        self.ledger.words_sent += n as u64;
+        self.boxes[dst].post(self.id, tag, Envelope { data, depart: self.clock });
+    }
+
+    /// Receives the message from global rank `src` with tag `tag`, blocking
+    /// until it arrives. Synchronizes the virtual clock to the arrival time.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        debug_assert!(src < self.p);
+        let env = self.boxes[self.id].take(src, tag);
+        self.clock = self.clock.max(env.depart);
+        self.ledger.msgs_recv += 1;
+        self.ledger.words_recv += env.data.len() as u64;
+        env.data
+    }
+
+    /// A communicator spanning all ranks.
+    pub fn world(&mut self) -> crate::Comm {
+        let members = (0..self.p).collect();
+        crate::Comm::from_members(self, members)
+    }
+
+    /// Allocates the next communicator id. Communicator creation is a
+    /// collective operation in program order, so ids agree across ranks.
+    pub(crate) fn alloc_comm_id(&mut self) -> u32 {
+        let id = self.next_comm_id;
+        self.next_comm_id += 1;
+        id
+    }
+
+    /// Entry barrier for synchronous collectives: lifts this rank's clock to
+    /// the maximum over the communicator's members. No-op in asynchronous
+    /// mode. `key` must be unique per operation and identical across members
+    /// (a communicator tag plus the lowest member id).
+    pub(crate) fn phase_sync(&mut self, key: (u64, usize), size: usize) {
+        if !self.sync_collectives || size <= 1 {
+            return;
+        }
+        self.clock = self.barriers.sync(key, size, self.clock);
+    }
+}
+
+/// Runs `f` as an SPMD program on `p` simulated ranks and collects results.
+///
+/// Panics in any rank propagate (the run aborts), which keeps test failures
+/// loud. The closure receives a mutable [`Rank`] handle; everything else it
+/// captures must be `Sync` (shared read-only input) — per-rank mutable state
+/// lives inside the closure.
+///
+/// # Examples
+///
+/// Sum rank ids with an allreduce and measure the α-β-γ critical path:
+///
+/// ```
+/// use simgrid::{run_spmd, Machine, SimConfig};
+///
+/// let report = run_spmd(8, SimConfig::with_machine(Machine::alpha_only()), |rank| {
+///     let world = rank.world();
+///     let mut buf = vec![rank.id() as f64; 8];
+///     world.allreduce(rank, &mut buf);
+///     buf[0]
+/// });
+/// assert!(report.results.iter().all(|&v| v == 28.0)); // 0+1+…+7
+/// assert_eq!(report.elapsed, 6.0); // 2·log₂(8) rounds of latency
+/// ```
+pub fn run_spmd<T, F>(p: usize, cfg: SimConfig, f: F) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    assert!(p > 0, "need at least one rank");
+    let boxes: Arc<Vec<Arc<Mailbox>>> = Arc::new((0..p).map(|_| Arc::new(Mailbox::new())).collect());
+    let barriers = Arc::new(BarrierTable::default());
+    let mut slots: Vec<Option<(T, CostLedger, f64)>> = (0..p).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (id, slot) in slots.iter_mut().enumerate() {
+            let boxes = Arc::clone(&boxes);
+            let barriers = Arc::clone(&barriers);
+            let fref = &f;
+            let machine = cfg.machine;
+            let sync_collectives = cfg.sync_collectives;
+            handles.push(scope.spawn(move || {
+                let mut rank = Rank {
+                    id,
+                    p,
+                    boxes,
+                    barriers,
+                    machine,
+                    sync_collectives,
+                    clock: 0.0,
+                    ledger: CostLedger::default(),
+                    next_comm_id: 0,
+                };
+                let out = fref(&mut rank);
+                *slot = Some((out, rank.ledger, rank.clock));
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let mut results = Vec::with_capacity(p);
+    let mut ledgers = Vec::with_capacity(p);
+    let mut elapsed = 0.0f64;
+    for slot in slots {
+        let (out, ledger, clock) = slot.expect("rank did not complete");
+        results.push(out);
+        ledgers.push(ledger);
+        elapsed = elapsed.max(clock);
+    }
+    SimReport { results, ledgers, elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_computes() {
+        let report = run_spmd(1, SimConfig::default(), |rank| rank.id() * 10);
+        assert_eq!(report.results, vec![0]);
+        assert_eq!(report.elapsed, 0.0);
+    }
+
+    #[test]
+    fn ring_pass_moves_data_and_time() {
+        // Rank i sends i as f64 to rank (i+1) % p; elapsed = α + β per hop.
+        let machine = Machine { alpha: 1.0, beta: 0.5, gamma: 0.0 };
+        let p = 4;
+        let report = run_spmd(p, SimConfig::with_machine(machine), |rank| {
+            let me = rank.id();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            rank.send(next, 0, &[me as f64]);
+            let got = rank.recv(prev, 0);
+            got[0]
+        });
+        assert_eq!(report.results, vec![3.0, 0.0, 1.0, 2.0]);
+        // Each rank: one send of 1 word = α + β = 1.5; receive syncs to the
+        // sender's identical departure time.
+        assert_eq!(report.elapsed, 1.5);
+        for l in &report.ledgers {
+            assert_eq!(l.msgs_sent, 1);
+            assert_eq!(l.words_sent, 1);
+            assert_eq!(l.msgs_recv, 1);
+        }
+    }
+
+    #[test]
+    fn clock_chains_through_relays() {
+        // 0 -> 1 -> 2 relay: rank 2's clock must reflect both hops (2α),
+        // even though rank 2 itself sent nothing.
+        let machine = Machine { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let report = run_spmd(3, SimConfig::with_machine(machine), |rank| match rank.id() {
+            0 => {
+                rank.send(1, 0, &[7.0]);
+                rank.clock()
+            }
+            1 => {
+                let v = rank.recv(0, 0);
+                rank.send(2, 0, &v);
+                rank.clock()
+            }
+            _ => {
+                let v = rank.recv(1, 0);
+                assert_eq!(v, vec![7.0]);
+                rank.clock()
+            }
+        });
+        assert_eq!(report.results, vec![1.0, 2.0, 2.0]);
+        assert_eq!(report.elapsed, 2.0);
+    }
+
+    #[test]
+    fn gamma_advances_clock() {
+        let machine = Machine::gamma_only();
+        let report = run_spmd(2, SimConfig::with_machine(machine), |rank| {
+            rank.charge_flops(100.0);
+            if rank.id() == 0 {
+                rank.charge_flops(50.0);
+            }
+            rank.clock()
+        });
+        assert_eq!(report.results, vec![150.0, 100.0]);
+        assert_eq!(report.elapsed, 150.0);
+    }
+
+    #[test]
+    fn out_of_order_tags_match_correctly() {
+        let report = run_spmd(2, SimConfig::default(), |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 5, &[5.0]);
+                rank.send(1, 6, &[6.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let six = rank.recv(0, 6);
+                let five = rank.recv(0, 5);
+                six[0] * 10.0 + five[0]
+            }
+        });
+        assert_eq!(report.results[1], 65.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Scaling explorer: for a matrix size and node count, enumerate every
+//! valid `c × d × c` grid, predict its α/β/γ time split on the calibrated
+//! Stampede2/Blue Waters models, and compare with the ScaLAPACK-like
+//! baseline — the tool a user would reach for before launching a real job.
+//!
+//! Usage: `cargo run --release --example scaling_explorer -- [m] [n] [nodes]`
+//! (defaults: 2^22 × 2^10 on 256 nodes).
+
+use ca_cqr2::costmodel::{self, MachineCal};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+    let m = args.first().copied().unwrap_or(1 << 22);
+    let n = args.get(1).copied().unwrap_or(1 << 10);
+    let nodes = args.get(2).copied().unwrap_or(256);
+
+    for cal in [MachineCal::stampede2(), MachineCal::bluewaters()] {
+        let p = cal.ppn * nodes;
+        println!("=== {} ({} ppn, P = {p}) — {m} x {n} on {nodes} nodes ===", cal.name, cal.ppn);
+        println!("algorithm      config               alpha_s    beta_s     gamma_s    total_s   Gf/node");
+        let mut best_ca = f64::INFINITY;
+        let mut c = 1usize;
+        while c * c * c <= p {
+            if p % (c * c) == 0 {
+                let d = p / (c * c);
+                if d >= c && m % d == 0 && n % c == 0 {
+                    if !cal.cqr2_fits(m, n, c, d) {
+                        println!("CA-CQR2        c={c:<3} d={d:<8}      (exceeds node memory — skipped)");
+                    } else {
+                        let base = (n / (c * c)).max(c).min(n);
+                        let cost = costmodel::ca_cqr2(m, n, c, d, base, 0);
+                        let ws = cal.cqr2_workingset(m, n, c, d);
+                        let gamma = cal.gamma_cqr2_at(ws);
+                        let (ta, tb) = (cost.alpha * cal.net.alpha, cost.beta * cal.net.beta);
+                        let tg = cost.gamma * gamma;
+                        let t = ta + tb + tg;
+                        best_ca = best_ca.min(t);
+                        println!(
+                            "CA-CQR2        c={c:<3} d={d:<8}   {ta:<10.4} {tb:<10.4} {tg:<10.4} {t:<9.4} {:.1}",
+                            dense::flops::householder_qr_flops(m, n) / (t * nodes as f64 * 1e9)
+                        );
+                    }
+                }
+            }
+            c *= 2;
+        }
+        let mut best_pg = f64::INFINITY;
+        let mut pr = p;
+        while pr >= 1 {
+            let pc = p / pr;
+            if pr * pc == p && pr >= pc && pc <= 64 {
+                let nb = 32.min(n);
+                if n % nb == 0 {
+                    let cost = costmodel::pgeqrf(m, n, pr, pc, nb);
+                    let t = cal.time_pgeqrf(cost);
+                    best_pg = best_pg.min(t);
+                    println!(
+                        "ScaLAPACK-like pr={pr:<6} pc={pc:<4} nb={nb:<3} {:<10.4} {:<10.4} {:<10.4} {t:<9.4} {:.1}",
+                        cost.alpha * cal.net.alpha,
+                        cost.beta * cal.net.beta,
+                        cost.gamma * cal.gamma_pgeqrf,
+                        dense::flops::householder_qr_flops(m, n) / (t * nodes as f64 * 1e9)
+                    );
+                }
+            }
+            pr /= 2;
+        }
+        if best_ca.is_finite() && best_pg.is_finite() {
+            println!("--> best CA-CQR2 vs best ScaLAPACK-like: {:.2}x\n", best_pg / best_ca);
+        }
+    }
+}

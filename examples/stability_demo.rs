@@ -1,0 +1,41 @@
+//! Stability demo: watch CholeskyQR lose orthogonality as κ(A) grows, CQR2
+//! repair it, and shifted CholeskyQR3 survive even numerically singular
+//! input — the numerical story of the paper's §I, in one screen.
+//!
+//! Run: `cargo run --release --example stability_demo`
+
+use ca_cqr2::cacqr::{cqr, cqr2, shifted_cqr3};
+use ca_cqr2::dense::norms::orthogonality_error;
+use ca_cqr2::dense::random::matrix_with_condition;
+use ca_cqr2::dense::svd::condition_number;
+
+fn fmt(res: Result<f64, String>) -> String {
+    match res {
+        Ok(v) => format!("{v:9.2e}"),
+        Err(e) => format!("FAIL({e})"),
+    }
+}
+
+fn main() {
+    let (m, n) = (128usize, 12usize);
+    println!("orthogonality error |QtQ - I|_F for {m} x {n} matrices of growing condition number\n");
+    println!("{:>8}  {:>12}  {:>11}  {:>11}  {:>11}  {:>11}", "kappa", "measured", "CQR", "CQR2", "sCQR3", "Householder");
+    for exp in [0i32, 2, 4, 6, 8, 10, 12] {
+        let kappa = 10f64.powi(exp);
+        let a = matrix_with_condition(m, n, kappa, 77 + exp as u64);
+        let measured = condition_number(&a);
+
+        let e_cqr = cqr(&a).map(|(q, _)| orthogonality_error(q.as_ref())).map_err(|e| format!("pivot {}", e.index));
+        let e_cqr2 = cqr2(&a).map(|(q, _)| orthogonality_error(q.as_ref())).map_err(|e| format!("pivot {}", e.index));
+        let e_s3 = shifted_cqr3(&a).map(|(q, _)| orthogonality_error(q.as_ref())).map_err(|e| format!("pivot {}", e.index));
+        let (qh, _) = ca_cqr2::dense::householder::qr(&a);
+        let e_h = orthogonality_error(qh.as_ref());
+
+        println!("{:>8}  {measured:>12.2e}  {}  {}  {}  {e_h:>11.2e}", format!("1e{exp}"), fmt(e_cqr), fmt(e_cqr2), fmt(e_s3));
+    }
+    println!();
+    println!("reading guide:");
+    println!("  * CQR's error grows like eps*kappa^2 and the Cholesky of AtA fails near kappa ~ 1e8;");
+    println!("  * CQR2 matches Householder until the same failure point (its first pass must still succeed);");
+    println!("  * shifted CholeskyQR3 (the paper's cited extension [3]) stays at machine precision throughout.");
+}

@@ -1,0 +1,50 @@
+//! Tall-skinny SVD via distributed QR — the eigenvalue/SVD pipeline the
+//! paper's introduction motivates ("solve linear systems, least squares
+//! problems, as well as eigenvalue problems").
+//!
+//! For `m ≫ n`, the standard trick: factor `A = QR` with the distributed
+//! CA-CQR2 (communication-optimal), then compute the SVD of the tiny
+//! `n × n` factor `R = U_R Σ Vᵀ` sequentially; `A`'s singular values are
+//! `Σ` and its left vectors are `Q·U_R`.
+//!
+//! Run: `cargo run --release --example tall_skinny_svd`
+
+use ca_cqr2::cacqr::validate::run_cacqr2_global;
+use ca_cqr2::cacqr::CfrParams;
+use ca_cqr2::dense::random::matrix_with_condition;
+use ca_cqr2::dense::svd::singular_values;
+use ca_cqr2::pargrid::GridShape;
+use ca_cqr2::simgrid::Machine;
+
+fn main() {
+    let (m, n) = (4096usize, 16usize);
+    let kappa = 1e3;
+    let a = matrix_with_condition(m, n, kappa, 2024);
+
+    // Distributed QR on a 2 × 16 × 2 grid (P = 64 simulated ranks).
+    let shape = GridShape::new(2, 16).unwrap();
+    let run = run_cacqr2_global(&a, shape, CfrParams::default_for(n, 2), Machine::stampede2(64))
+        .expect("well-conditioned input");
+
+    // SVD of the small R factor (n × n) — sequential one-sided Jacobi.
+    let sv_r = singular_values(&run.r);
+    // Reference: direct Jacobi SVD of A itself (expensive; fine at demo size).
+    let sv_a = singular_values(&a);
+
+    println!("tall-skinny SVD of a {m} x {n} matrix with prescribed kappa = {kappa:.0e}");
+    println!("  (QR on {} simulated ranks took {:.3} ms of virtual time)\n", shape.p(), run.elapsed * 1e3);
+    println!("  i   sigma_i(from R)   sigma_i(direct)   rel.diff");
+    let mut worst: f64 = 0.0;
+    for i in 0..n {
+        let rel = (sv_r[i] - sv_a[i]).abs() / sv_a[i];
+        worst = worst.max(rel);
+        if i < 4 || i >= n - 2 {
+            println!("  {i:<3} {:<17.10} {:<17.10} {rel:.2e}", sv_r[i], sv_a[i]);
+        } else if i == 4 {
+            println!("  ...");
+        }
+    }
+    println!("\n  max relative singular-value error: {worst:.2e}");
+    println!("  measured kappa from R: {:.4e} (target {kappa:.0e})", sv_r[0] / sv_r[n - 1]);
+    assert!(worst < 1e-10, "singular values via QR must match the direct SVD");
+}

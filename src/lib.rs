@@ -1,0 +1,25 @@
+//! # ca-cqr2 — Communication-Avoiding CholeskyQR2 for Rectangular Matrices
+//!
+//! Umbrella crate for the reproduction of Hutter & Solomonik,
+//! *"Communication-avoiding CholeskyQR2 for rectangular matrices"*
+//! (IPDPS 2019). It re-exports the workspace crates:
+//!
+//! * [`dense`] — sequential dense linear algebra kernels (the BLAS/LAPACK
+//!   substrate).
+//! * [`simgrid`] — a deterministic SPMD message-passing runtime with α-β-γ
+//!   cost accounting (the MPI substitute).
+//! * [`pargrid`] — tunable `c × d × c` processor grids and cyclic
+//!   distributions.
+//! * [`cacqr`] — the paper's algorithms: MM3D, CFR3D, 1D-/3D-/CA-CQR2.
+//! * [`baseline`] — the ScaLAPACK-`PGEQRF`-like 2D Householder QR baseline.
+//! * [`costmodel`] — closed-form α-β-γ cost recurrences (paper Tables I–VI).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the system inventory and experiment index.
+
+pub use baseline;
+pub use cacqr;
+pub use costmodel;
+pub use dense;
+pub use pargrid;
+pub use simgrid;

@@ -1,0 +1,85 @@
+//! Determinism: repeated runs must be bitwise identical — results, cost
+//! ledgers, and virtual clocks — regardless of OS thread scheduling. The
+//! fixed collective schedules and combine orders guarantee it; these tests
+//! enforce it.
+
+use cacqr::validate::run_cacqr2_global;
+use cacqr::CfrParams;
+use dense::random::well_conditioned;
+use pargrid::GridShape;
+use simgrid::{run_spmd, Machine, SimConfig};
+
+#[test]
+fn repeated_cacqr2_runs_are_bitwise_identical() {
+    let a = well_conditioned(64, 16, 99);
+    let shape = GridShape::new(2, 4).unwrap();
+    let params = CfrParams::validated(16, 2, 4, 0).unwrap();
+    let first = run_cacqr2_global(&a, shape, params, Machine::stampede2(64)).unwrap();
+    for _ in 0..3 {
+        let again = run_cacqr2_global(&a, shape, params, Machine::stampede2(64)).unwrap();
+        assert_eq!(first.q, again.q, "Q must be bitwise reproducible");
+        assert_eq!(first.r, again.r, "R must be bitwise reproducible");
+        assert_eq!(first.elapsed, again.elapsed, "virtual time must be bitwise reproducible");
+        assert_eq!(first.ledgers, again.ledgers, "ledgers must be bitwise reproducible");
+    }
+}
+
+#[test]
+fn allreduce_result_is_schedule_independent() {
+    // Stress the mailbox/thread layer: many repetitions under contention
+    // must all produce the identical bits.
+    let p = 16usize;
+    let n = 257usize; // odd length exercises the padding path
+    let reference = run_spmd(p, SimConfig::default(), move |rank| {
+        let world = rank.world();
+        let mut buf: Vec<f64> = (0..n).map(|i| ((rank.id() * n + i) as f64).sin()).collect();
+        world.allreduce(rank, &mut buf);
+        buf
+    })
+    .results;
+    for _ in 0..5 {
+        let again = run_spmd(p, SimConfig::default(), move |rank| {
+            let world = rank.world();
+            let mut buf: Vec<f64> = (0..n).map(|i| ((rank.id() * n + i) as f64).sin()).collect();
+            world.allreduce(rank, &mut buf);
+            buf
+        })
+        .results;
+        assert_eq!(reference, again);
+    }
+}
+
+#[test]
+fn pgeqrf_is_deterministic() {
+    let a = well_conditioned(64, 32, 55);
+    let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 };
+    let first = baseline::run_pgeqrf_global(&a, grid, Machine::bluewaters(16));
+    let again = baseline::run_pgeqrf_global(&a, grid, Machine::bluewaters(16));
+    assert_eq!(first.q, again.q);
+    assert_eq!(first.r, again.r);
+    assert_eq!(first.elapsed, again.elapsed);
+}
+
+#[test]
+fn asynchronous_mode_is_also_deterministic() {
+    // Even without entry barriers, clocks depend only on message timestamps,
+    // not on wall-clock interleaving.
+    let shape = GridShape::new(2, 4).unwrap();
+    let run_once = || {
+        let a = well_conditioned(32, 8, 3);
+        run_spmd(shape.p(), SimConfig::asynchronous(Machine::stampede2(64)), move |rank| {
+            let comms = pargrid::TunableComms::build(rank, shape);
+            let (x, y, _) = comms.coords;
+            let al = pargrid::DistMatrix::from_global(&a, 4, 2, y, x);
+            let params = CfrParams::validated(8, 2, 4, 0).unwrap();
+            cacqr::ca_cqr2(rank, &comms, &al.local, 8, &params).unwrap();
+            rank.clock()
+        })
+    };
+    let first = run_once();
+    for _ in 0..3 {
+        let again = run_once();
+        assert_eq!(first.results, again.results, "per-rank clocks must be schedule-independent");
+        assert_eq!(first.elapsed, again.elapsed);
+    }
+}

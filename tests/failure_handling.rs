@@ -1,0 +1,122 @@
+//! Failure injection: rank-deficient and ill-conditioned inputs must
+//! produce *consistent, informative* errors on every rank — never a hang,
+//! panic, or divergent control flow.
+
+use cacqr::validate::run_cacqr2_global;
+use cacqr::CfrParams;
+use dense::random::{matrix_with_condition, well_conditioned};
+use dense::Matrix;
+use pargrid::{DistMatrix, GridShape, TunableComms};
+use simgrid::{run_spmd, Machine, SimConfig};
+
+#[test]
+fn rank_deficient_input_reports_pivot_on_all_ranks() {
+    // An exactly-zero column: AᵀA has a zero pivot at that index. Every
+    // rank must see the same CholeskyError, at the right global index.
+    let (m, n) = (32usize, 8usize);
+    let mut a = well_conditioned(m, n, 3);
+    for i in 0..m {
+        a.set(i, 5, 0.0);
+    }
+    let shape = GridShape::new(2, 4).unwrap();
+    let report = run_spmd(shape.p(), SimConfig::default(), move |rank| {
+        let comms = TunableComms::build(rank, shape);
+        let (x, y, _) = comms.coords;
+        let al = DistMatrix::from_global(&a, 4, 2, y, x);
+        let params = CfrParams::validated(n, 2, 4, 0).unwrap();
+        cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).err()
+    });
+    let first = report.results[0].expect("singular input must fail");
+    for r in &report.results {
+        assert_eq!(*r, Some(first), "all ranks must report the identical error");
+    }
+    assert_eq!(first.index, 5, "the zero column's pivot index must surface globally");
+}
+
+#[test]
+fn duplicate_columns_fail_or_factor_validly() {
+    // Exactly duplicated columns make AᵀA singular in exact arithmetic. In
+    // floating point the Cholesky may survive on a roundoff-sized pivot —
+    // and when it does, CQR2's second pass still delivers a *valid*
+    // factorization: orthonormal Q, small residual, and a (near-)zero
+    // diagonal entry in R exposing the rank deficiency to the caller.
+    let (m, n) = (32usize, 8usize);
+    let mut a = well_conditioned(m, n, 3);
+    for i in 0..m {
+        let v = a.get(i, 2);
+        a.set(i, 5, v);
+    }
+    let shape = GridShape::new(2, 4).unwrap();
+    match run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()) {
+        Err(_) => {}
+        Ok(run) => {
+            assert!(dense::norms::orthogonality_error(run.q.as_ref()) < 1e-12);
+            assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-10);
+            let min_diag = (0..n).map(|i| run.r.get(i, i).abs()).fold(f64::INFINITY, f64::min);
+            let max_diag = (0..n).map(|i| run.r.get(i, i).abs()).fold(0.0, f64::max);
+            assert!(
+                min_diag < 1e-6 * max_diag,
+                "rank deficiency must surface as a tiny R diagonal ({min_diag:.2e} vs {max_diag:.2e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn driver_surfaces_errors_not_panics() {
+    let a = matrix_with_condition(64, 8, 1e13, 5);
+    let shape = GridShape::new(2, 4).unwrap();
+    let res = run_cacqr2_global(&a, shape, CfrParams::validated(8, 2, 4, 0).unwrap(), Machine::zero());
+    assert!(res.is_err());
+}
+
+#[test]
+fn shifted_cqr3_rescues_what_cqr2_cannot() {
+    let a = matrix_with_condition(96, 12, 1e12, 8);
+    assert!(cacqr::cqr2(&a).is_err(), "plain CQR2 must fail at kappa = 1e12");
+    let (q, r) = cacqr::shifted_cqr3(&a).expect("shifted CQR3 must succeed");
+    assert!(dense::norms::orthogonality_error(q.as_ref()) < 1e-12);
+    assert!(dense::norms::residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-11);
+}
+
+#[test]
+fn grid_validation_rejects_bad_shapes() {
+    assert!(GridShape::new(3, 9).is_err(), "non-power-of-two");
+    assert!(GridShape::new(4, 2).is_err(), "d < c");
+    assert!(CfrParams::validated(64, 4, 2, 0).is_err(), "base below cube edge");
+    assert!(CfrParams::validated(64, 2, 16, 9).is_err(), "inverse depth too deep");
+}
+
+#[test]
+#[should_panic(expected = "requires d | m")]
+fn driver_rejects_indivisible_rows() {
+    let a = well_conditioned(30, 8, 1);
+    let shape = GridShape::new(2, 4).unwrap();
+    let _ = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 2), Machine::zero());
+}
+
+#[test]
+fn zero_matrix_fails_cleanly() {
+    let a = Matrix::zeros(32, 8);
+    let shape = GridShape::new(2, 4).unwrap();
+    let res = run_cacqr2_global(&a, shape, CfrParams::validated(8, 2, 4, 0).unwrap(), Machine::zero());
+    match res {
+        Err(e) => assert_eq!(e.index, 0, "first pivot of a zero Gram matrix"),
+        Ok(_) => panic!("zero matrix must not factor"),
+    }
+}
+
+#[test]
+fn pgeqrf_handles_rank_deficiency_gracefully() {
+    // Householder QR of a rank-deficient matrix is still well defined
+    // (R acquires zero diagonal entries); it must not panic.
+    let (m, n) = (32usize, 8usize);
+    let mut a = well_conditioned(m, n, 11);
+    for i in 0..m {
+        a.set(i, 7, 0.0);
+    }
+    let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 4 };
+    let run = baseline::run_pgeqrf_global(&a, grid, Machine::zero());
+    assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
+    assert!(run.r.get(7, 7).abs() < 1e-12, "zero column must give a zero diagonal in R");
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the core invariants: collective
+//! semantics, distribution round-trips, QR invariants over random shapes and
+//! grids, and the partial-inverse solver.
+
+use cacqr::validate::run_cacqr2_global;
+use cacqr::CfrParams;
+use dense::norms::{lower_residual, orthogonality_error, residual_error};
+use dense::random::well_conditioned;
+use dense::Matrix;
+use pargrid::{DistMatrix, GridShape};
+use proptest::prelude::*;
+use simgrid::{run_spmd, Machine, SimConfig};
+
+/// Power-of-two in [lo, hi].
+fn pow2_in(lo: u32, hi: u32) -> impl Strategy<Value = usize> {
+    (lo..=hi).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_equals_sequential_sum(
+        p in pow2_in(0, 4),
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let report = run_spmd(p, SimConfig::default(), move |rank| {
+            let world = rank.world();
+            let mut buf: Vec<f64> = (0..n)
+                .map(|i| (((rank.id() * n + i) as u64).wrapping_mul(seed + 1) % 997) as f64 * 0.01)
+                .collect();
+            world.allreduce(rank, &mut buf);
+            buf
+        });
+        // All ranks identical, and equal to the sequential sum within rounding.
+        for r in &report.results[1..] {
+            prop_assert_eq!(r, &report.results[0]);
+        }
+        for (i, v) in report.results[0].iter().enumerate() {
+            let expect: f64 = (0..p)
+                .map(|r| (((r * n + i) as u64).wrapping_mul(seed + 1) % 997) as f64 * 0.01)
+                .sum();
+            prop_assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bcast_any_root_delivers(
+        p in pow2_in(0, 4),
+        n in 1usize..60,
+        root_pick in 0usize..16,
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        let report = run_spmd(p, SimConfig::default(), move |rank| {
+            let world = rank.world();
+            let mut buf: Vec<f64> = if world.my_index() == root {
+                (0..n).map(|i| (i as f64 + seed as f64) * 0.5).collect()
+            } else {
+                vec![f64::NAN; n]
+            };
+            world.bcast(rank, root, &mut buf);
+            buf
+        });
+        let expect: Vec<f64> = (0..n).map(|i| (i as f64 + seed as f64) * 0.5).collect();
+        for r in &report.results {
+            prop_assert_eq!(r, &expect);
+        }
+    }
+
+    #[test]
+    fn cyclic_distribution_round_trips(
+        m in 1usize..40,
+        n in 1usize..40,
+        rp in 1usize..6,
+        cp in 1usize..6,
+    ) {
+        let g = Matrix::from_fn(m, n, |i, j| (i * 131 + j) as f64);
+        let pieces: Vec<Vec<Matrix>> = (0..rp)
+            .map(|r| (0..cp).map(|c| DistMatrix::from_global(&g, rp, cp, r, c).local).collect())
+            .collect();
+        let re = DistMatrix::assemble(m, n, rp, cp, &pieces);
+        prop_assert_eq!(re, g);
+    }
+
+    #[test]
+    fn block_cyclic_round_trips(
+        m in 1usize..50,
+        nblocks in 1usize..6,
+        pr in 1usize..5,
+        pc in 1usize..4,
+        nb in 1usize..8,
+    ) {
+        let n = nblocks * nb * pc;
+        let bc = baseline::BlockCyclic { pr, pc, nb };
+        let g = Matrix::from_fn(m, n, |i, j| (i * 517 + j) as f64);
+        let pieces: Vec<Vec<Matrix>> = (0..pr)
+            .map(|r| (0..pc).map(|c| bc.scatter(&g, r, c)).collect())
+            .collect();
+        prop_assert_eq!(bc.assemble(m, n, &pieces), g);
+    }
+
+    #[test]
+    fn cacqr2_qr_invariants_random_configs(
+        c_exp in 0u32..2,
+        d_extra in 0u32..3,
+        m_mult in 1usize..5,
+        n in pow2_in(3, 5),
+        seed in 0u64..500,
+    ) {
+        let c = 1usize << c_exp;
+        let d = c << d_extra;
+        let m = (m_mult * d * n.max(8)).next_multiple_of(d);
+        prop_assume!(m >= n);
+        let a = well_conditioned(m, n, seed);
+        let shape = GridShape::new(c, d).unwrap();
+        let params = CfrParams::default_for(n, c);
+        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).unwrap();
+        prop_assert!(orthogonality_error(run.q.as_ref()) < 1e-11);
+        prop_assert!(residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-11);
+        prop_assert!(lower_residual(run.r.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn cost_model_exact_on_random_configs(
+        c_exp in 0u32..2,
+        d_extra in 0u32..3,
+        n in pow2_in(3, 5),
+        base_exp in 0u32..3,
+        seed in 0u64..100,
+    ) {
+        let c = 1usize << c_exp;
+        let d = c << d_extra;
+        let m = 4 * d.max(n);
+        let base = (n >> base_exp).max(c);
+        let inv = 0usize;
+        let shape = GridShape::new(c, d).unwrap();
+        let model = costmodel::ca_cqr2(m, n, c, d, base, inv);
+        let elapsed = run_spmd(shape.p(), SimConfig::with_machine(Machine::beta_only()), move |rank| {
+            let comms = pargrid::TunableComms::build(rank, shape);
+            let (x, y, _) = comms.coords;
+            let al = DistMatrix::from_global(&well_conditioned(m, n, seed), d, c, y, x);
+            let params = CfrParams::validated(n, c, base, inv).unwrap();
+            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
+        })
+        .elapsed;
+        prop_assert_eq!(elapsed, model.beta);
+    }
+
+    #[test]
+    fn panel_cqr2_invariants(
+        m in 30usize..80,
+        n in 4usize..20,
+        b in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(m >= 2 * n);
+        let a = well_conditioned(m, n, seed);
+        let (q, r) = cacqr::panel::panel_cqr2(&a, b, true).unwrap();
+        prop_assert!(orthogonality_error(q.as_ref()) < 1e-11);
+        prop_assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn sequential_qr_equivalences(
+        m in 16usize..64,
+        n in 2usize..14,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(m >= n);
+        let a = well_conditioned(m, n, seed);
+        // Householder and CQR2 must agree up to column signs.
+        let (mut qh, mut rh) = dense::householder::qr(&a);
+        let (mut qc, mut rc) = cacqr::cqr2(&a).unwrap();
+        dense::norms::normalize_qr_signs(&mut qh, &mut rh);
+        dense::norms::normalize_qr_signs(&mut qc, &mut rc);
+        for (u, v) in rc.data().iter().zip(rh.data()) {
+            prop_assert!((u - v).abs() < 1e-8 * (1.0 + v.abs()));
+        }
+        for (u, v) in qc.data().iter().zip(qh.data()) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-algorithm integration tests: every QR variant in the workspace,
+//! factored on the same matrices, must agree with sequential Householder QR
+//! up to column signs and produce orthonormal factors.
+
+use cacqr::validate::{run_cacqr2_global, run_cqr2_1d_global};
+use cacqr::CfrParams;
+use dense::norms::{lower_residual, normalize_qr_signs, orthogonality_error, residual_error};
+use dense::random::well_conditioned;
+use dense::Matrix;
+use pargrid::GridShape;
+use simgrid::Machine;
+
+fn assert_valid_qr(label: &str, a: &Matrix, q: &Matrix, r: &Matrix) {
+    assert!(
+        orthogonality_error(q.as_ref()) < 1e-12,
+        "{label}: orthogonality {:.2e}",
+        orthogonality_error(q.as_ref())
+    );
+    assert!(
+        residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-12,
+        "{label}: residual {:.2e}",
+        residual_error(a.as_ref(), q.as_ref(), r.as_ref())
+    );
+    assert!(lower_residual(r.as_ref()) < 1e-13, "{label}: R not upper triangular");
+}
+
+fn assert_same_factorization(label: &str, qa: &Matrix, ra: &Matrix, qb: &Matrix, rb: &Matrix) {
+    let (mut qa, mut ra) = (qa.clone(), ra.clone());
+    let (mut qb, mut rb) = (qb.clone(), rb.clone());
+    normalize_qr_signs(&mut qa, &mut ra);
+    normalize_qr_signs(&mut qb, &mut rb);
+    for (u, v) in ra.data().iter().zip(rb.data()) {
+        assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()), "{label}: R factors differ: {u} vs {v}");
+    }
+    for (u, v) in qa.data().iter().zip(qb.data()) {
+        assert!((u - v).abs() < 1e-9, "{label}: Q factors differ: {u} vs {v}");
+    }
+}
+
+#[test]
+fn all_variants_agree_on_one_matrix() {
+    let (m, n) = (64usize, 16usize);
+    let a = well_conditioned(m, n, 123);
+    let (qh, rh) = dense::householder::qr(&a);
+    assert_valid_qr("householder", &a, &qh, &rh);
+
+    // Sequential CQR2.
+    let (qs, rs) = cacqr::cqr2(&a).unwrap();
+    assert_valid_qr("cqr2-seq", &a, &qs, &rs);
+    assert_same_factorization("cqr2-seq vs householder", &qs, &rs, &qh, &rh);
+
+    // 1D-CQR2 on 4 ranks.
+    let run = run_cqr2_1d_global(&a, 4, Machine::zero()).unwrap();
+    assert_valid_qr("1d-cqr2", &a, &run.q, &run.r);
+    assert_same_factorization("1d vs seq", &run.q, &run.r, &qs, &rs);
+
+    // CA-CQR2 on assorted grids.
+    for (c, d) in [(1usize, 8usize), (2, 4), (2, 8), (2, 16), (4, 4)] {
+        let shape = GridShape::new(c, d).unwrap();
+        if m % d != 0 {
+            continue;
+        }
+        let params = CfrParams::default_for(n, c);
+        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).unwrap();
+        assert_valid_qr(&format!("ca-cqr2 c={c} d={d}"), &a, &run.q, &run.r);
+        assert_same_factorization(&format!("ca c={c} d={d} vs seq"), &run.q, &run.r, &qs, &rs);
+    }
+
+    // ScaLAPACK-like baseline.
+    let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 };
+    let run = baseline::run_pgeqrf_global(&a, grid, Machine::zero());
+    assert_valid_qr("pgeqrf", &a, &run.q, &run.r);
+    assert_same_factorization("pgeqrf vs householder", &run.q, &run.r, &qh, &rh);
+
+    // Panel-blocked CQR2 (the §V extension).
+    let (qp, rp) = cacqr::panel::panel_cqr2(&a, 4, true).unwrap();
+    assert_valid_qr("panel-cqr2", &a, &qp, &rp);
+    assert_same_factorization("panel vs householder", &qp, &rp, &qh, &rh);
+}
+
+#[test]
+fn inverse_depth_variants_are_bitwise_equivalent_in_q() {
+    // Different InverseDepth settings change the schedule, not the math;
+    // results must stay within rounding of each other and valid.
+    let (m, n) = (128usize, 32usize);
+    let a = well_conditioned(m, n, 7);
+    let shape = GridShape::new(2, 8).unwrap();
+    let r0 = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()).unwrap();
+    for inv in [1usize, 2, 3] {
+        let ri = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, inv).unwrap(), Machine::zero()).unwrap();
+        assert_valid_qr(&format!("inverse_depth={inv}"), &a, &ri.q, &ri.r);
+        for (u, v) in ri.q.data().iter().zip(r0.q.data()) {
+            assert!((u - v).abs() < 1e-10, "Q should agree across InverseDepth settings");
+        }
+    }
+}
+
+#[test]
+fn base_case_size_does_not_change_results() {
+    let (m, n) = (64usize, 32usize);
+    let a = well_conditioned(m, n, 9);
+    let shape = GridShape::new(2, 4).unwrap();
+    let mut reference: Option<Matrix> = None;
+    for base in [2usize, 4, 8, 16, 32] {
+        let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, base, 0).unwrap(), Machine::zero()).unwrap();
+        assert_valid_qr(&format!("n0={base}"), &a, &run.q, &run.r);
+        match &reference {
+            None => reference = Some(run.q),
+            Some(qref) => {
+                for (u, v) in run.q.data().iter().zip(qref.data()) {
+                    assert!((u - v).abs() < 1e-10, "n0={base}: Q drifted");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn square_matrix_support() {
+    // m == n: the "rectangular" algorithm must still work (d | m permitting).
+    let n = 32usize;
+    let a = well_conditioned(n, n, 31);
+    let shape = GridShape::new(2, 4).unwrap();
+    let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 8, 0).unwrap(), Machine::zero()).unwrap();
+    assert_valid_qr("square", &a, &run.q, &run.r);
+}
+
+#[test]
+fn wide_range_of_shapes_and_grids() {
+    for (m, n, c, d, seed) in [
+        (256usize, 8usize, 2usize, 8usize, 1u64),
+        (128, 64, 2, 4, 2),
+        (512, 16, 4, 8, 3),
+        (96, 8, 1, 12, 4), // non-power-of-two d with c = 1 (1D path)
+    ] {
+        if !d.is_power_of_two() && c != 1 {
+            continue;
+        }
+        let a = well_conditioned(m, n, seed);
+        // d = 12 is not a power of two: GridShape rejects it — skip validly.
+        let Ok(shape) = GridShape::new(c, d) else { continue };
+        let params = CfrParams::default_for(n, c);
+        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).unwrap();
+        assert_valid_qr(&format!("m={m} n={n} c={c} d={d}"), &a, &run.q, &run.r);
+    }
+}
