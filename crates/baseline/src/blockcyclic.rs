@@ -69,7 +69,9 @@ impl BlockCyclic {
     pub fn scatter(&self, global: &Matrix, prow: usize, pcol: usize) -> Matrix {
         let lr = self.local_rows(global.rows(), prow);
         let lc = self.local_cols(global.cols(), pcol);
-        Matrix::from_fn(lr, lc, |li, lj| global.get(self.global_row(li, prow), self.global_col(lj, pcol)))
+        Matrix::from_fn(lr, lc, |li, lj| {
+            global.get(self.global_row(li, prow), self.global_col(lj, pcol))
+        })
     }
 
     /// Reassembles the global matrix from every process's local piece
@@ -97,8 +99,7 @@ mod tests {
     fn scatter_assemble_round_trip() {
         let bc = BlockCyclic { pr: 3, pc: 2, nb: 4 };
         let g = Matrix::from_fn(13, 16, |i, j| (i * 100 + j) as f64);
-        let pieces: Vec<Vec<Matrix>> =
-            (0..3).map(|r| (0..2).map(|c| bc.scatter(&g, r, c)).collect()).collect();
+        let pieces: Vec<Vec<Matrix>> = (0..3).map(|r| (0..2).map(|c| bc.scatter(&g, r, c)).collect()).collect();
         assert_eq!(bc.assemble(13, 16, &pieces), g);
     }
 

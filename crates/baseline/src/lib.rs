@@ -17,6 +17,10 @@
 //! The per-process α-β-γ costs therefore scale exactly like the library the
 //! paper measured; `costmodel::pgeqrf` mirrors the schedule term by term.
 
+// Index-based loops are the house style for the numeric kernels: the
+// subscripts mirror the paper's subscripted recurrences.
+#![allow(clippy::needless_range_loop)]
+
 pub mod blockcyclic;
 pub mod pgeqrf;
 

@@ -4,8 +4,8 @@
 //! `dense::householder` (LAPACK `dgeqrf`): `H_j = I − τ v vᵀ`, unit head.
 
 use crate::blockcyclic::BlockCyclic;
-use dense::gemm::{gemm, Trans};
-use dense::Matrix;
+use dense::gemm::Trans;
+use dense::{Backend, BackendKind, Matrix};
 use simgrid::{Comm, Rank};
 
 /// Configuration of a PGEQRF run.
@@ -13,6 +13,19 @@ use simgrid::{Comm, Rank};
 pub struct PgeqrfConfig {
     /// The process grid and block size.
     pub grid: BlockCyclic,
+    /// Node-local kernel backend for the panel Gram and trailing-update
+    /// gemms. Never changes the communication schedule or charged flops.
+    pub backend: BackendKind,
+}
+
+impl PgeqrfConfig {
+    /// Config with the process default backend.
+    pub fn new(grid: BlockCyclic) -> PgeqrfConfig {
+        PgeqrfConfig {
+            grid,
+            backend: BackendKind::default_kind(),
+        }
+    }
 }
 
 /// One factored elimination panel, replicated along its process row after
@@ -58,7 +71,28 @@ impl PgeqrfComms {
 /// and returns the broadcast panels for later use by [`pgeqrf_form_q`].
 ///
 /// `a_local` is this process's piece per [`BlockCyclic`]; `m ≥ n`, `nb | n`.
-pub fn pgeqrf(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, a_local: &mut Matrix, m: usize, n: usize) -> Vec<Panel> {
+pub fn pgeqrf(
+    rank: &mut Rank,
+    comms: &PgeqrfComms,
+    grid: BlockCyclic,
+    a_local: &mut Matrix,
+    m: usize,
+    n: usize,
+) -> Vec<Panel> {
+    pgeqrf_with(rank, comms, PgeqrfConfig::new(grid), a_local, m, n)
+}
+
+/// [`pgeqrf`] with an explicit kernel backend (from [`PgeqrfConfig`]).
+pub fn pgeqrf_with(
+    rank: &mut Rank,
+    comms: &PgeqrfComms,
+    config: PgeqrfConfig,
+    a_local: &mut Matrix,
+    m: usize,
+    n: usize,
+) -> Vec<Panel> {
+    let grid = config.grid;
+    let be: &dyn Backend = config.backend.get();
     assert!(m >= n, "reduced QR requires m >= n");
     assert_eq!(n % grid.nb, 0, "this implementation requires nb | n");
     let (prow, pcol) = (comms.prow, comms.pcol);
@@ -124,7 +158,11 @@ pub fn pgeqrf(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, a_local: 
                     let mut wv = vec![0.0f64; wlen];
                     for (kk, wvk) in wv.iter_mut().enumerate() {
                         let lck = lc + 1 + kk;
-                        let mut s = if prow == head_owner { a_local.get(li_head, lck) } else { 0.0 };
+                        let mut s = if prow == head_owner {
+                            a_local.get(li_head, lck)
+                        } else {
+                            0.0
+                        };
                         for li in li0..mloc {
                             s += a_local.get(li, lc) * a_local.get(li, lck);
                         }
@@ -164,7 +202,15 @@ pub fn pgeqrf(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, a_local: 
             }
             // G = VᵀV (rows ≥ j suffice), allreduced over the column.
             let mut g = Matrix::zeros(w, w);
-            gemm(1.0, v.view(lrs, 0, mloc - lrs, w), Trans::Yes, v.view(lrs, 0, mloc - lrs, w), Trans::No, 0.0, g.as_mut());
+            be.gemm(
+                1.0,
+                v.view(lrs, 0, mloc - lrs, w),
+                Trans::Yes,
+                v.view(lrs, 0, mloc - lrs, w),
+                Trans::No,
+                0.0,
+                g.as_mut(),
+            );
             rank.charge_flops(dense::flops::gemm(w, mloc - lrs, w));
             let mut gbuf = g.into_vec();
             comms.col.allreduce(rank, &mut gbuf);
@@ -205,22 +251,35 @@ pub fn pgeqrf(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, a_local: 
             let vsub = v.view(lrs, 0, mloc - lrs, w);
             let csub = a_local.view(lrs, lcstart, mloc - lrs, ncrest);
             let mut wmat = Matrix::zeros(w, ncrest);
-            gemm(1.0, vsub, Trans::Yes, csub, Trans::No, 0.0, wmat.as_mut());
+            be.gemm(1.0, vsub, Trans::Yes, csub, Trans::No, 0.0, wmat.as_mut());
             rank.charge_flops(dense::flops::gemm(w, mloc - lrs, ncrest));
             let mut wbuf = wmat.into_vec();
             comms.col.allreduce(rank, &mut wbuf);
             let wmat = Matrix::from_vec(w, ncrest, wbuf);
             // W2 = Tᵀ·W
             let mut w2 = Matrix::zeros(w, ncrest);
-            gemm(1.0, t.as_ref(), Trans::Yes, wmat.as_ref(), Trans::No, 0.0, w2.as_mut());
+            be.gemm(1.0, t.as_ref(), Trans::Yes, wmat.as_ref(), Trans::No, 0.0, w2.as_mut());
             rank.charge_flops(dense::flops::gemm(w, w, ncrest));
             // C −= V·W2
             let vsub = v.view(lrs, 0, mloc - lrs, w);
-            gemm(-1.0, vsub, Trans::No, w2.as_ref(), Trans::No, 1.0, a_local.view_mut(lrs, lcstart, mloc - lrs, ncrest));
+            be.gemm(
+                -1.0,
+                vsub,
+                Trans::No,
+                w2.as_ref(),
+                Trans::No,
+                1.0,
+                a_local.view_mut(lrs, lcstart, mloc - lrs, ncrest),
+            );
             rank.charge_flops(dense::flops::gemm(mloc - lrs, w, ncrest));
         }
 
-        panels.push(Panel { jcol: j, width: w, v, t });
+        panels.push(Panel {
+            jcol: j,
+            width: w,
+            v,
+            t,
+        });
         j += w;
     }
     panels
@@ -228,7 +287,28 @@ pub fn pgeqrf(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, a_local: 
 
 /// Forms the reduced `Q` (distributed like `A`) from the factored panels by
 /// backward accumulation: `Q = (I − V₀T₀V₀ᵀ)⋯(I − V_{K−1}T_{K−1}V_{K−1}ᵀ)·E`.
-pub fn pgeqrf_form_q(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, panels: &[Panel], m: usize, n: usize) -> Matrix {
+pub fn pgeqrf_form_q(
+    rank: &mut Rank,
+    comms: &PgeqrfComms,
+    grid: BlockCyclic,
+    panels: &[Panel],
+    m: usize,
+    n: usize,
+) -> Matrix {
+    pgeqrf_form_q_with(rank, comms, PgeqrfConfig::new(grid), panels, m, n)
+}
+
+/// [`pgeqrf_form_q`] with an explicit kernel backend.
+pub fn pgeqrf_form_q_with(
+    rank: &mut Rank,
+    comms: &PgeqrfComms,
+    config: PgeqrfConfig,
+    panels: &[Panel],
+    m: usize,
+    n: usize,
+) -> Matrix {
+    let grid = config.grid;
+    let be: &dyn Backend = config.backend.get();
     let (prow, pcol) = (comms.prow, comms.pcol);
     let mloc = grid.local_rows(m, prow);
     let nloc = grid.local_cols(n, pcol);
@@ -253,16 +333,32 @@ pub fn pgeqrf_form_q(rank: &mut Rank, comms: &PgeqrfComms, grid: BlockCyclic, pa
         let vsub = panel.v.view(lrs, 0, mloc - lrs, w);
         let esub = e.view(lrs, 0, mloc - lrs, nloc);
         let mut wmat = Matrix::zeros(w, nloc);
-        gemm(1.0, vsub, Trans::Yes, esub, Trans::No, 0.0, wmat.as_mut());
+        be.gemm(1.0, vsub, Trans::Yes, esub, Trans::No, 0.0, wmat.as_mut());
         rank.charge_flops(dense::flops::gemm(w, mloc - lrs, nloc));
         let mut wbuf = wmat.into_vec();
         comms.col.allreduce(rank, &mut wbuf);
         let wmat = Matrix::from_vec(w, nloc, wbuf);
         let mut w2 = Matrix::zeros(w, nloc);
-        gemm(1.0, panel.t.as_ref(), Trans::No, wmat.as_ref(), Trans::No, 0.0, w2.as_mut());
+        be.gemm(
+            1.0,
+            panel.t.as_ref(),
+            Trans::No,
+            wmat.as_ref(),
+            Trans::No,
+            0.0,
+            w2.as_mut(),
+        );
         rank.charge_flops(dense::flops::gemm(w, w, nloc));
         let vsub = panel.v.view(lrs, 0, mloc - lrs, w);
-        gemm(-1.0, vsub, Trans::No, w2.as_ref(), Trans::No, 1.0, e.view_mut(lrs, 0, mloc - lrs, nloc));
+        be.gemm(
+            -1.0,
+            vsub,
+            Trans::No,
+            w2.as_ref(),
+            Trans::No,
+            1.0,
+            e.view_mut(lrs, 0, mloc - lrs, nloc),
+        );
         rank.charge_flops(dense::flops::gemm(mloc - lrs, w, nloc));
     }
     e
@@ -282,17 +378,26 @@ pub struct PgeqrfRun {
 
 /// Scatters `a`, runs PGEQRF + Q formation on the simulator, reassembles.
 pub fn run_pgeqrf_global(a: &Matrix, grid: BlockCyclic, machine: simgrid::Machine) -> PgeqrfRun {
+    run_pgeqrf_global_with(a, PgeqrfConfig::new(grid), machine)
+}
+
+/// [`run_pgeqrf_global`] with an explicit kernel backend (from
+/// [`PgeqrfConfig`]).
+pub fn run_pgeqrf_global_with(a: &Matrix, config: PgeqrfConfig, machine: simgrid::Machine) -> PgeqrfRun {
+    let grid = config.grid;
     let (m, n) = (a.rows(), a.cols());
     let p = grid.pr * grid.pc;
     let a = a.clone();
     let report = simgrid::run_spmd(p, simgrid::SimConfig::with_machine(machine), move |rank| {
         let comms = PgeqrfComms::build(rank, grid);
         let mut local = grid.scatter(&a, comms.prow, comms.pcol);
-        let panels = pgeqrf(rank, &comms, grid, &mut local, m, n);
-        let q = pgeqrf_form_q(rank, &comms, grid, &panels, m, n);
+        let panels = pgeqrf_with(rank, &comms, config, &mut local, m, n);
+        let q = pgeqrf_form_q_with(rank, &comms, config, &panels, m, n);
         (comms.prow, comms.pcol, local, q)
     });
-    let mut packed: Vec<Vec<Matrix>> = (0..grid.pr).map(|_| (0..grid.pc).map(|_| Matrix::zeros(0, 0)).collect()).collect();
+    let mut packed: Vec<Vec<Matrix>> = (0..grid.pr)
+        .map(|_| (0..grid.pc).map(|_| Matrix::zeros(0, 0)).collect())
+        .collect();
     let mut qp = packed.clone();
     for (prow, pcol, local, q) in report.results {
         packed[prow][pcol] = local;
@@ -307,7 +412,12 @@ pub fn run_pgeqrf_global(a: &Matrix, grid: BlockCyclic, machine: simgrid::Machin
             r.set(i, j, full.get(i, j));
         }
     }
-    PgeqrfRun { q, r, elapsed: report.elapsed, ledgers: report.ledgers }
+    PgeqrfRun {
+        q,
+        r,
+        elapsed: report.elapsed,
+        ledgers: report.ledgers,
+    }
 }
 
 #[cfg(test)]

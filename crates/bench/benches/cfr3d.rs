@@ -20,7 +20,12 @@ fn spd(n: usize) -> Matrix {
 fn bench_cfr3d(crit: &mut Criterion) {
     let mut g = crit.benchmark_group("cfr3d");
     g.sample_size(10);
-    for &(c, n, base, inv) in &[(1usize, 64usize, 64usize, 0usize), (2, 64, 8, 0), (2, 64, 8, 1), (2, 128, 16, 0)] {
+    for &(c, n, base, inv) in &[
+        (1usize, 64usize, 64usize, 0usize),
+        (2, 64, 8, 0),
+        (2, 64, 8, 1),
+        (2, 128, 16, 0),
+    ] {
         let label = format!("c{c}_n{n}_n0{base}_id{inv}");
         g.bench_with_input(BenchmarkId::from_parameter(label), &n, |bench, &n| {
             bench.iter(|| {
@@ -30,7 +35,10 @@ fn bench_cfr3d(crit: &mut Criterion) {
                     let (x, yh, _) = comms.subcube.coords;
                     let al = DistMatrix::from_global(&spd(n), c, c, yh, x);
                     let params = CfrParams::validated(n, c, base, inv).unwrap();
-                    cacqr::cfr3d(rank, &comms.subcube, &al.local, n, &params).unwrap().0.get(0, 0)
+                    cacqr::cfr3d(rank, &comms.subcube, &al.local, n, &params)
+                        .unwrap()
+                        .0
+                        .get(0, 0)
                 })
             });
         });

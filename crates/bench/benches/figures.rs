@@ -15,12 +15,16 @@ fn run_ca(m: usize, n: usize, c: usize, d: usize, inv: usize) -> f64 {
     let shape = GridShape::new(c, d).unwrap();
     let base = (n / (c * c)).max(c).min(n);
     let params = CfrParams::validated(n, c, base, inv).unwrap();
-    run_spmd(shape.p(), SimConfig::with_machine(Machine::stampede2(64)), move |rank| {
-        let comms = TunableComms::build(rank, shape);
-        let (x, y, _) = comms.coords;
-        let al = DistMatrix::from_global(&well_conditioned(m, n, 11), d, c, y, x);
-        cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
-    })
+    run_spmd(
+        shape.p(),
+        SimConfig::with_machine(Machine::stampede2(64)),
+        move |rank| {
+            let comms = TunableComms::build(rank, shape);
+            let (x, y, _) = comms.coords;
+            let al = DistMatrix::from_global(&well_conditioned(m, n, 11), d, c, y, x);
+            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
+        },
+    )
     .elapsed
 }
 

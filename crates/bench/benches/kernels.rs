@@ -74,5 +74,12 @@ fn bench_cqr2_sequential(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_syrk, bench_cholinv, bench_householder, bench_cqr2_sequential);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_syrk,
+    bench_cholinv,
+    bench_householder,
+    bench_cqr2_sequential
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn bench_sequential(c: &mut Criterion) {
     g.bench_function("householder", |b| b.iter(|| dense::householder::qr(&a)));
     g.bench_function("cqr2", |b| b.iter(|| cacqr::cqr2(&a).unwrap()));
     g.bench_function("shifted_cqr3", |b| b.iter(|| cacqr::shifted_cqr3(&a).unwrap()));
-    g.bench_function("panel_cqr2_b16", |b| b.iter(|| cacqr::panel::panel_cqr2(&a, 16, true).unwrap()));
+    g.bench_function("panel_cqr2_b16", |b| {
+        b.iter(|| cacqr::panel::panel_cqr2(&a, 16, true).unwrap())
+    });
     g.finish();
 }
 
@@ -36,7 +38,12 @@ fn bench_distributed(c: &mut Criterion) {
         let shape = GridShape::new(cc, d).unwrap();
         let params = CfrParams::default_for(n, cc);
         g.bench_with_input(BenchmarkId::new("cacqr2", format!("c{cc}d{d}")), &d, |b, _| {
-            b.iter(|| run_cacqr2_global(&a2, shape, params, Machine::zero()).unwrap().q.get(0, 0));
+            b.iter(|| {
+                run_cacqr2_global(&a2, shape, params, Machine::zero())
+                    .unwrap()
+                    .q
+                    .get(0, 0)
+            });
         });
     }
 

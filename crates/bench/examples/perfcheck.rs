@@ -1,0 +1,29 @@
+//! Quick single-number perf check: Naive vs Blocked backend on one 512³
+//! gemm. A leaner alternative to the full `dense_backends` criterion bench
+//! when tuning kernel parameters.
+//!
+//! Run: `cargo run --release -p bench --example perfcheck`
+
+use dense::backend::BackendKind;
+use dense::gemm::Trans;
+use dense::Matrix;
+use std::time::Instant;
+
+fn main() {
+    let n = 512;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.3).sin());
+    let b = Matrix::from_fn(n, n, |i, j| ((i + 2 * j) as f64 * 0.17).cos());
+    for kind in [BackendKind::Naive, BackendKind::Blocked] {
+        let be = kind.get();
+        let mut c = Matrix::zeros(n, n);
+        be.gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut()); // warmup
+        let reps = 5;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            be.gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut());
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let gf = 2.0 * (n as f64).powi(3) / dt / 1e9;
+        println!("{:8}: {:.4} s  {:.2} GF/s", kind.to_string(), dt, gf);
+    }
+}

@@ -13,12 +13,19 @@
 
 fn main() {
     for (n, c) in [(4096usize, 8usize), (2048, 4)] {
-        println!("# Base-case sweep: CFR3D n={n}, cube c={c} (paper default n0 = n/c^2 = {})", n / (c * c));
+        println!(
+            "# Base-case sweep: CFR3D n={n}, cube c={c} (paper default n0 = n/c^2 = {})",
+            n / (c * c)
+        );
         println!("n0\talpha\tbeta\tgamma");
         let mut n0 = c;
         while n0 <= n {
             let cost = costmodel::cfr3d(n, c, n0, 0);
-            let marker = if n0 == (n / (c * c)).max(c) { "  <- paper default" } else { "" };
+            let marker = if n0 == (n / (c * c)).max(c) {
+                "  <- paper default"
+            } else {
+                ""
+            };
             println!("{n0}\t{:.0}\t{:.4e}\t{:.4e}{marker}", cost.alpha, cost.beta, cost.gamma);
             n0 *= 2;
         }

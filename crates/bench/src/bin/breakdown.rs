@@ -16,7 +16,10 @@ fn main() {
     let cal = MachineCal::stampede2();
     let p = cal.ppn * nodes;
 
-    println!("m={m} n={n} nodes={nodes} P={p}  (Stampede2 model: alpha={:.1e}s beta={:.2e}s/word)", cal.net.alpha, cal.net.beta);
+    println!(
+        "m={m} n={n} nodes={nodes} P={p}  (Stampede2 model: alpha={:.1e}s beta={:.2e}s/word)",
+        cal.net.alpha, cal.net.beta
+    );
     println!("algorithm\tconfig\talpha_s\tbeta_s\tgamma_s\ttotal_s\tGf/node");
     let mut c = 1usize;
     while c * c * c <= p {
@@ -30,9 +33,17 @@ fn main() {
                 } else {
                     cal.gamma_cqr2
                 };
-                let (ta, tb, tg) = (cost.alpha * cal.net.alpha, cost.beta * cal.net.beta, cost.gamma * gamma_rate);
+                let (ta, tb, tg) = (
+                    cost.alpha * cal.net.alpha,
+                    cost.beta * cal.net.beta,
+                    cost.gamma * gamma_rate,
+                );
                 let t = ta + tb + tg;
-                let fits = if cal.cqr2_fits(m, n, c, d) { "" } else { " (exceeds node memory!)" };
+                let fits = if cal.cqr2_fits(m, n, c, d) {
+                    ""
+                } else {
+                    " (exceeds node memory!)"
+                };
                 println!(
                     "CA-CQR2\tc={c} d={d}{fits}\t{ta:.4}\t{tb:.4}\t{tg:.4}\t{t:.4}\t{:.1}",
                     bench_harness::gflops_per_node(m, n, t, nodes)
@@ -48,7 +59,11 @@ fn main() {
             continue;
         }
         let cost = costmodel::pgeqrf(m, n, pr, pc, nb);
-        let (ta, tb, tg) = (cost.alpha * cal.net.alpha, cost.beta * cal.net.beta, cost.gamma * cal.gamma_pgeqrf);
+        let (ta, tb, tg) = (
+            cost.alpha * cal.net.alpha,
+            cost.beta * cal.net.beta,
+            cost.gamma * cal.gamma_pgeqrf,
+        );
         let t = ta + tb + tg;
         println!(
             "PGEQRF\tpr={pr} pc={pc} nb={nb}\t{ta:.4}\t{tb:.4}\t{tg:.4}\t{t:.4}\t{:.1}",

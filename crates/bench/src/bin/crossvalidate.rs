@@ -58,7 +58,8 @@ fn main() {
     }
 
     // PGEQRF configurations (model is approximate; tolerance 20%).
-    let pg_cases: Vec<(usize, usize, usize, usize, usize)> = vec![(256, 64, 8, 2, 8), (512, 64, 4, 4, 16), (256, 128, 2, 8, 16)];
+    let pg_cases: Vec<(usize, usize, usize, usize, usize)> =
+        vec![(256, 64, 8, 2, 8), (512, 64, 4, 4, 16), (256, 128, 2, 8, 16)];
     for (m, n, pr, pc, nb) in pg_cases {
         let grid = baseline::BlockCyclic { pr, pc, nb };
         let model = costmodel::pgeqrf(m, n, pr, pc, nb);

@@ -48,10 +48,16 @@ fn main() {
             }
         }
         if at_1024.1 > 0.0 {
-            summary.push(format!("strong {label}: CA-CQR2 speedup over ScaLAPACK at 1024 nodes = {:.2}x", at_1024.0 / at_1024.1));
+            summary.push(format!(
+                "strong {label}: CA-CQR2 speedup over ScaLAPACK at 1024 nodes = {:.2}x",
+                at_1024.0 / at_1024.1
+            ));
         }
     }
-    print_figure("Figure 1(a): QR strong scaling, Stampede2, best grids (paper: CA-CQR2 2.6x-3.3x at 1024 nodes)", &pts);
+    print_figure(
+        "Figure 1(a): QR strong scaling, Stampede2, best grids (paper: CA-CQR2 2.6x-3.3x at 1024 nodes)",
+        &pts,
+    );
 
     // ---- Figure 1(b): weak scaling, m = 131072a, n = 1024b, nodes = 8ab². ----
     let mut pts = Vec::new();
@@ -76,11 +82,17 @@ fn main() {
         // Weak-scaling speedup at the largest configuration.
         if (a, b) == (8, 4) {
             if let (Some((_, ts)), Some((_, tc))) = (best_pgeqrf(&cal, m, n, p), best_cacqr2(&cal, m, n, p)) {
-                summary.push(format!("weak 131072a x 1024b at (8,4): CA-CQR2 speedup = {:.2}x", ts / tc));
+                summary.push(format!(
+                    "weak 131072a x 1024b at (8,4): CA-CQR2 speedup = {:.2}x",
+                    ts / tc
+                ));
             }
         }
     }
-    print_figure("Figure 1(b): QR weak scaling 131072a x 1024b, Stampede2 (paper: CA-CQR2 1.1x-1.9x)", &pts);
+    print_figure(
+        "Figure 1(b): QR weak scaling 131072a x 1024b, Stampede2 (paper: CA-CQR2 1.1x-1.9x)",
+        &pts,
+    );
 
     println!("# Summary");
     for s in &summary {

@@ -56,14 +56,22 @@ fn main() {
                 SclLegend { pr_coef: 256, nb: 64 },
                 SclLegend { pr_coef: 128, nb: 32 },
             ],
-            ca: vec![CaLegend { coef: 32, inv: 0 }, CaLegend { coef: 256, inv: 0 }, CaLegend { coef: 4, inv: 0 }],
+            ca: vec![
+                CaLegend { coef: 32, inv: 0 },
+                CaLegend { coef: 256, inv: 0 },
+                CaLegend { coef: 4, inv: 0 },
+            ],
         },
         Plot {
             title: "Figure 4(c): weak scaling 1048576a x 512b, Blue Waters",
             m_coef: 1048576,
             n_coef: 512,
             scl: vec![SclLegend { pr_coef: 256, nb: 32 }, SclLegend { pr_coef: 256, nb: 64 }],
-            ca: vec![CaLegend { coef: 256, inv: 0 }, CaLegend { coef: 512, inv: 0 }, CaLegend { coef: 32, inv: 0 }],
+            ca: vec![
+                CaLegend { coef: 256, inv: 0 },
+                CaLegend { coef: 512, inv: 0 },
+                CaLegend { coef: 32, inv: 0 },
+            ],
         },
     ];
 
@@ -87,7 +95,9 @@ fn main() {
                 });
             }
             for s in &plot.ca {
-                let Some((c, d)) = weak_legend_grid(p, s.coef, a, b) else { continue };
+                let Some((c, d)) = weak_legend_grid(p, s.coef, a, b) else {
+                    continue;
+                };
                 if m % d != 0 || n % c != 0 || !cal.cqr2_fits(m, n, c, d) {
                     continue;
                 }

@@ -40,9 +40,21 @@ fn main() {
                 SclLegend { pr_coef: 64, nb: 32 },
             ],
             ca: vec![
-                CaLegend { coef: 1, inv: 0, ppn: 64 },
-                CaLegend { coef: 8, inv: 0, ppn: 64 },
-                CaLegend { coef: 64, inv: 0, ppn: 64 },
+                CaLegend {
+                    coef: 1,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 8,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 64,
+                    inv: 0,
+                    ppn: 64,
+                },
             ],
         },
         Plot {
@@ -55,9 +67,21 @@ fn main() {
                 SclLegend { pr_coef: 128, nb: 32 },
             ],
             ca: vec![
-                CaLegend { coef: 8, inv: 0, ppn: 64 },
-                CaLegend { coef: 1, inv: 0, ppn: 64 },
-                CaLegend { coef: 64, inv: 0, ppn: 64 },
+                CaLegend {
+                    coef: 8,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 1,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 64,
+                    inv: 0,
+                    ppn: 64,
+                },
             ],
         },
         Plot {
@@ -65,7 +89,18 @@ fn main() {
             m_coef: 524288,
             n_coef: 2048,
             scl: vec![SclLegend { pr_coef: 512, nb: 32 }, SclLegend { pr_coef: 512, nb: 64 }],
-            ca: vec![CaLegend { coef: 64, inv: 1, ppn: 64 }, CaLegend { coef: 128, inv: 0, ppn: 16 }],
+            ca: vec![
+                CaLegend {
+                    coef: 64,
+                    inv: 1,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 128,
+                    inv: 0,
+                    ppn: 16,
+                },
+            ],
         },
         Plot {
             title: "Figure 5(d): weak scaling 1048576a x 1024b, Stampede2",
@@ -73,10 +108,26 @@ fn main() {
             n_coef: 1024,
             scl: vec![SclLegend { pr_coef: 512, nb: 32 }],
             ca: vec![
-                CaLegend { coef: 512, inv: 1, ppn: 64 },
-                CaLegend { coef: 512, inv: 0, ppn: 64 },
-                CaLegend { coef: 64, inv: 1, ppn: 64 },
-                CaLegend { coef: 64, inv: 0, ppn: 64 },
+                CaLegend {
+                    coef: 512,
+                    inv: 1,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 512,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 64,
+                    inv: 1,
+                    ppn: 64,
+                },
+                CaLegend {
+                    coef: 64,
+                    inv: 0,
+                    ppn: 64,
+                },
             ],
         },
     ];
@@ -109,7 +160,9 @@ fn main() {
             for s in &plot.ca {
                 let (cal, ppn) = if s.ppn == 64 { (&cal64, 64) } else { (&cal16, 16) };
                 let p = ppn * nodes;
-                let Some((c, d)) = weak_legend_grid(p, s.coef, a, b) else { continue };
+                let Some((c, d)) = weak_legend_grid(p, s.coef, a, b) else {
+                    continue;
+                };
                 if m % d != 0 || n % c != 0 || !cal.cqr2_fits(m, n, c, d) {
                     continue;
                 }

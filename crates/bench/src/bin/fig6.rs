@@ -36,12 +36,36 @@ fn main() {
             title: "Figure 6(a): strong scaling 1048576 x 4096, Blue Waters",
             m: 1048576,
             n: 4096,
-            scl: vec![SclLegend { pr_coef: 8, nb: 32 }, SclLegend { pr_coef: 8, nb: 64 }, SclLegend { pr_coef: 4, nb: 32 }],
+            scl: vec![
+                SclLegend { pr_coef: 8, nb: 32 },
+                SclLegend { pr_coef: 8, nb: 64 },
+                SclLegend { pr_coef: 4, nb: 32 },
+            ],
             ca: vec![
-                CaLegend { d_num: 1, d_den: 1, c: 4, inv: 0 },
-                CaLegend { d_num: 4, d_den: 1, c: 2, inv: 0 },
-                CaLegend { d_num: 1, d_den: 4, c: 8, inv: 0 },
-                CaLegend { d_num: 1, d_den: 4, c: 8, inv: 2 },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 1,
+                    c: 4,
+                    inv: 0,
+                },
+                CaLegend {
+                    d_num: 4,
+                    d_den: 1,
+                    c: 2,
+                    inv: 0,
+                },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 4,
+                    c: 8,
+                    inv: 0,
+                },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 4,
+                    c: 8,
+                    inv: 2,
+                },
             ],
         },
         Plot {
@@ -55,9 +79,24 @@ fn main() {
                 SclLegend { pr_coef: 8, nb: 64 },
             ],
             ca: vec![
-                CaLegend { d_num: 16, d_den: 1, c: 1, inv: 0 },
-                CaLegend { d_num: 4, d_den: 1, c: 2, inv: 0 },
-                CaLegend { d_num: 1, d_den: 1, c: 4, inv: 0 },
+                CaLegend {
+                    d_num: 16,
+                    d_den: 1,
+                    c: 1,
+                    inv: 0,
+                },
+                CaLegend {
+                    d_num: 4,
+                    d_den: 1,
+                    c: 2,
+                    inv: 0,
+                },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 1,
+                    c: 4,
+                    inv: 0,
+                },
             ],
         },
     ];
@@ -91,7 +130,11 @@ fn main() {
                     continue;
                 }
                 let t = cacqr2_time(&cal, plot.m, plot.n, s.c, d, s.inv);
-                let dspec = if s.d_den == 1 { format!("{}N", s.d_num) } else { format!("N/{}", s.d_den) };
+                let dspec = if s.d_den == 1 {
+                    format!("{}N", s.d_num)
+                } else {
+                    format!("N/{}", s.d_den)
+                };
                 pts.push(Point {
                     series: format!("CA-CQR2-({},{},{},16,1)", dspec, s.c, s.inv),
                     x: nodes.to_string(),
@@ -123,7 +166,12 @@ fn main() {
         }
         if let Some((_, c)) = best {
             if prev_best.map(|(_, pc)| pc != c).unwrap_or(false) {
-                println!("# crossover: best c changes {} -> {} at N={}", prev_best.unwrap().1, c, nodes);
+                println!(
+                    "# crossover: best c changes {} -> {} at N={}",
+                    prev_best.unwrap().1,
+                    c,
+                    nodes
+                );
             }
             prev_best = Some((nodes, c));
         }

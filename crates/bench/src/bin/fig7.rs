@@ -39,9 +39,27 @@ fn main() {
             n: 8192,
             scl: vec![SclLegend { pr_coef: 8, nb: 16 }, SclLegend { pr_coef: 4, nb: 32 }],
             ca: vec![
-                CaLegend { d_num: 1, d_den: 1, c: 8, inv: 0, ppn: 64 },
-                CaLegend { d_num: 1, d_den: 1, c: 8, inv: 1, ppn: 64 },
-                CaLegend { d_num: 1, d_den: 4, c: 16, inv: 0, ppn: 64 },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 1,
+                    c: 8,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 1,
+                    c: 8,
+                    inv: 1,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 4,
+                    c: 16,
+                    inv: 0,
+                    ppn: 64,
+                },
             ],
         },
         Plot {
@@ -50,10 +68,34 @@ fn main() {
             n: 4096,
             scl: vec![SclLegend { pr_coef: 64, nb: 64 }, SclLegend { pr_coef: 16, nb: 32 }],
             ca: vec![
-                CaLegend { d_num: 4, d_den: 1, c: 4, inv: 0, ppn: 64 },
-                CaLegend { d_num: 4, d_den: 1, c: 4, inv: 1, ppn: 64 },
-                CaLegend { d_num: 1, d_den: 1, c: 8, inv: 0, ppn: 64 },
-                CaLegend { d_num: 16, d_den: 1, c: 2, inv: 0, ppn: 64 },
+                CaLegend {
+                    d_num: 4,
+                    d_den: 1,
+                    c: 4,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 4,
+                    d_den: 1,
+                    c: 4,
+                    inv: 1,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 1,
+                    d_den: 1,
+                    c: 8,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 16,
+                    d_den: 1,
+                    c: 2,
+                    inv: 0,
+                    ppn: 64,
+                },
             ],
         },
         Plot {
@@ -62,9 +104,27 @@ fn main() {
             n: 2048,
             scl: vec![SclLegend { pr_coef: 32, nb: 32 }, SclLegend { pr_coef: 64, nb: 32 }],
             ca: vec![
-                CaLegend { d_num: 16, d_den: 1, c: 1, inv: 0, ppn: 16 },
-                CaLegend { d_num: 16, d_den: 1, c: 2, inv: 0, ppn: 64 },
-                CaLegend { d_num: 4, d_den: 1, c: 4, inv: 0, ppn: 64 },
+                CaLegend {
+                    d_num: 16,
+                    d_den: 1,
+                    c: 1,
+                    inv: 0,
+                    ppn: 16,
+                },
+                CaLegend {
+                    d_num: 16,
+                    d_den: 1,
+                    c: 2,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 4,
+                    d_den: 1,
+                    c: 4,
+                    inv: 0,
+                    ppn: 64,
+                },
             ],
         },
         Plot {
@@ -73,10 +133,34 @@ fn main() {
             n: 1024,
             scl: vec![SclLegend { pr_coef: 64, nb: 16 }, SclLegend { pr_coef: 64, nb: 32 }],
             ca: vec![
-                CaLegend { d_num: 64, d_den: 1, c: 1, inv: 0, ppn: 64 },
-                CaLegend { d_num: 16, d_den: 1, c: 1, inv: 0, ppn: 16 },
-                CaLegend { d_num: 16, d_den: 1, c: 2, inv: 0, ppn: 64 },
-                CaLegend { d_num: 4, d_den: 1, c: 2, inv: 0, ppn: 16 },
+                CaLegend {
+                    d_num: 64,
+                    d_den: 1,
+                    c: 1,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 16,
+                    d_den: 1,
+                    c: 1,
+                    inv: 0,
+                    ppn: 16,
+                },
+                CaLegend {
+                    d_num: 16,
+                    d_den: 1,
+                    c: 2,
+                    inv: 0,
+                    ppn: 64,
+                },
+                CaLegend {
+                    d_num: 4,
+                    d_den: 1,
+                    c: 2,
+                    inv: 0,
+                    ppn: 16,
+                },
             ],
         },
     ];
@@ -121,7 +205,11 @@ fn main() {
                 if nodes == 1024 {
                     best_at_1024.1 = best_at_1024.1.min(t);
                 }
-                let dspec = if s.d_den == 1 { format!("{}N", s.d_num) } else { format!("N/{}", s.d_den) };
+                let dspec = if s.d_den == 1 {
+                    format!("{}N", s.d_num)
+                } else {
+                    format!("N/{}", s.d_den)
+                };
                 pts.push(Point {
                     series: format!("CA-CQR2-({},{},{},{},{})", dspec, s.c, s.inv, ppn, 64 / ppn),
                     x: nodes.to_string(),
@@ -131,7 +219,10 @@ fn main() {
         }
         print_figure(plot.title, &pts);
         if best_at_1024.0.is_finite() && best_at_1024.1.is_finite() {
-            println!("# measured speedup at 1024 nodes (best legend entries): {:.2}x\n", best_at_1024.0 / best_at_1024.1);
+            println!(
+                "# measured speedup at 1024 nodes (best legend entries): {:.2}x\n",
+                best_at_1024.0 / best_at_1024.1
+            );
         }
     }
 }

@@ -18,12 +18,16 @@ fn simulate_ca(m: usize, n: usize, c: usize, d: usize) -> f64 {
     let shape = GridShape::new(c, d).unwrap();
     let base = (n / (c * c)).max(c).min(n);
     let params = CfrParams::validated(n, c, base, 0).unwrap();
-    run_spmd(shape.p(), SimConfig::with_machine(Machine::stampede2(64)), move |rank| {
-        let comms = TunableComms::build(rank, shape);
-        let (x, y, _) = comms.coords;
-        let al = DistMatrix::from_global(&well_conditioned(m, n, 17), d, c, y, x);
-        cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
-    })
+    run_spmd(
+        shape.p(),
+        SimConfig::with_machine(Machine::stampede2(64)),
+        move |rank| {
+            let comms = TunableComms::build(rank, shape);
+            let (x, y, _) = comms.coords;
+            let al = DistMatrix::from_global(&well_conditioned(m, n, 17), d, c, y, x);
+            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
+        },
+    )
     .elapsed
 }
 
@@ -62,7 +66,12 @@ fn main() {
             c *= 2;
         }
         let b = *base_ca.get_or_insert(best);
-        println!("CA-CQR2 (c={},d={})\t{p}\t{best:.6}\t{:.2}", best_grid.0, best_grid.1, b / best);
+        println!(
+            "CA-CQR2 (c={},d={})\t{p}\t{best:.6}\t{:.2}",
+            best_grid.0,
+            best_grid.1,
+            b / best
+        );
 
         let pr = p / 2;
         let t = simulate_pg(m, n, pr.max(1), p / pr.max(1), 16);
@@ -81,5 +90,7 @@ fn main() {
         println!("PGEQRF\t{p}\t{t:.6}");
     }
     println!();
-    println!("# Real-execution counterpart of the model-evaluated figures; see crossvalidate for exact agreement checks.");
+    println!(
+        "# Real-execution counterpart of the model-evaluated figures; see crossvalidate for exact agreement checks."
+    );
 }

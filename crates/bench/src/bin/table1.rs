@@ -21,17 +21,32 @@ fn main() {
     let n = 1024usize;
     let cs = [8usize, 16, 32];
     let ps: Vec<f64> = cs.iter().map(|c| (c * c * c) as f64).collect();
-    let betas: Vec<f64> = cs.iter().map(|&c| costmodel::mm3d_local(n / c, n / c, n / c, c).beta).collect();
-    let gammas: Vec<f64> = cs.iter().map(|&c| costmodel::mm3d_local(n / c, n / c, n / c, c).gamma).collect();
+    let betas: Vec<f64> = cs
+        .iter()
+        .map(|&c| costmodel::mm3d_local(n / c, n / c, n / c, c).beta)
+        .collect();
+    let gammas: Vec<f64> = cs
+        .iter()
+        .map(|&c| costmodel::mm3d_local(n / c, n / c, n / c, c).gamma)
+        .collect();
     println!("MM3D\tbeta\t{:.3}\t-2/3", fit_exponent(&ps, &betas));
     println!("MM3D\tgamma\t{:.3}\t-1", fit_exponent(&ps, &gammas));
 
     // CFR3D: fixed n = 65536 (large enough that n₀ = n/c² is never clamped
     // to the cube edge), n₀ = n/c².
     let n = 65536usize;
-    let betas: Vec<f64> = cs.iter().map(|&c| costmodel::cfr3d(n, c, (n / (c * c)).max(c), 0).beta).collect();
-    let gammas: Vec<f64> = cs.iter().map(|&c| costmodel::cfr3d(n, c, (n / (c * c)).max(c), 0).gamma).collect();
-    let alphas: Vec<f64> = cs.iter().map(|&c| costmodel::cfr3d(n, c, (n / (c * c)).max(c), 0).alpha).collect();
+    let betas: Vec<f64> = cs
+        .iter()
+        .map(|&c| costmodel::cfr3d(n, c, (n / (c * c)).max(c), 0).beta)
+        .collect();
+    let gammas: Vec<f64> = cs
+        .iter()
+        .map(|&c| costmodel::cfr3d(n, c, (n / (c * c)).max(c), 0).gamma)
+        .collect();
+    let alphas: Vec<f64> = cs
+        .iter()
+        .map(|&c| costmodel::cfr3d(n, c, (n / (c * c)).max(c), 0).alpha)
+        .collect();
     println!("CFR3D\talpha\t{:.3}\t+2/3 (P^(2/3) log P)", fit_exponent(&ps, &alphas));
     println!("CFR3D\tbeta\t{:.3}\t-2/3", fit_exponent(&ps, &betas));
     println!("CFR3D\tgamma\t{:.3}\t-1", fit_exponent(&ps, &gammas));
@@ -42,7 +57,10 @@ fn main() {
     let ps: Vec<f64> = pls.iter().map(|&p| p as f64).collect();
     let betas: Vec<f64> = pls.iter().map(|&p| costmodel::cqr1d(m, n, p).beta).collect();
     let alphas: Vec<f64> = pls.iter().map(|&p| costmodel::cqr1d(m, n, p).alpha).collect();
-    println!("1D-CQR\tbeta\t{:.3}\t0 (n^2, independent of P)", fit_exponent(&ps, &betas));
+    println!(
+        "1D-CQR\tbeta\t{:.3}\t0 (n^2, independent of P)",
+        fit_exponent(&ps, &betas)
+    );
     println!("1D-CQR\talpha exponent\t{:.3}\t~0 (log P)", fit_exponent(&ps, &alphas));
 
     // CA-CQR2 with the optimal grid (m/d = n/c): β ~ (mn²/P)^{2/3}.
@@ -58,8 +76,14 @@ fn main() {
         betas.push(cost.beta);
         gammas.push(cost.gamma);
     }
-    println!("CA-CQR2 (best c,d)\tbeta\t{:.3}\t-2/3 ((mn^2/P)^(2/3))", fit_exponent(&ps, &betas));
-    println!("CA-CQR2 (best c,d)\tgamma\t{:.3}\t-1 (mn^2/P)", fit_exponent(&ps, &gammas));
+    println!(
+        "CA-CQR2 (best c,d)\tbeta\t{:.3}\t-2/3 ((mn^2/P)^(2/3))",
+        fit_exponent(&ps, &betas)
+    );
+    println!(
+        "CA-CQR2 (best c,d)\tgamma\t{:.3}\t-1 (mn^2/P)",
+        fit_exponent(&ps, &gammas)
+    );
 
     println!();
     println!("# The Θ(P^(1/6)) claim: CA-CQR2's bandwidth advantage over the best 2D grid, growing with P");

@@ -31,7 +31,13 @@ fn spd(n: usize) -> Matrix {
 }
 
 fn row(label: &str, measured: (f64, f64, f64), model: costmodel::Cost) {
-    let ok = |m: f64, pred: f64| if (m - pred).abs() <= 1e-6 * pred.max(1.0) { "exact" } else { "DIFFERS" };
+    let ok = |m: f64, pred: f64| {
+        if (m - pred).abs() <= 1e-6 * pred.max(1.0) {
+            "exact"
+        } else {
+            "DIFFERS"
+        }
+    };
     println!(
         "{label}\talpha {} ({} vs {})\tbeta {} ({} vs {})\tgamma {} ({:.1} vs {:.1})",
         ok(measured.0, model.alpha),
@@ -57,7 +63,11 @@ fn main() {
             let params = CfrParams::validated(n, c, base, inv).unwrap();
             cacqr::cfr3d(rank, &comms.subcube, &al.local, n, &params).unwrap();
         });
-        row(&format!("CFR3D c={c} n={n} n0={base} invdepth={inv}"), meas, costmodel::cfr3d(n, c, base, inv));
+        row(
+            &format!("CFR3D c={c} n={n} n0={base} invdepth={inv}"),
+            meas,
+            costmodel::cfr3d(n, c, base, inv),
+        );
     }
     println!();
 
@@ -88,7 +98,11 @@ fn main() {
             let params = CfrParams::validated(n, c, base, inv).unwrap();
             cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
         });
-        row(&format!("CA-CQR2 c={c} d={d} m={m} n={n} n0={base} id={inv}"), meas, costmodel::ca_cqr2(m, n, c, d, base, inv));
+        row(
+            &format!("CA-CQR2 c={c} d={d} m={m} n={n} n0={base} id={inv}"),
+            meas,
+            costmodel::ca_cqr2(m, n, c, d, base, inv),
+        );
     }
     println!();
     println!("# 'exact' = simulator elapsed time equals the closed-form model (alpha/beta to the ulp, gamma to 1e-6 relative).");

@@ -63,7 +63,14 @@ pub fn best_cacqr2(cal: &MachineCal, m: usize, n: usize, p: usize) -> Option<(Ca
                 for inv in [0usize, 1, 2] {
                     let t = cacqr2_time(cal, m, n, c, d, inv);
                     if best.map(|(_, bt)| t < bt).unwrap_or(true) {
-                        best = Some((CaGrid { c, d, inverse_depth: inv }, t));
+                        best = Some((
+                            CaGrid {
+                                c,
+                                d,
+                                inverse_depth: inv,
+                            },
+                            t,
+                        ));
                     }
                 }
             }

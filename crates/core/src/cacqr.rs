@@ -26,7 +26,7 @@ use crate::cfr3d::cfr3d;
 use crate::config::CfrParams;
 use crate::invtree::InvTree;
 use dense::cholesky::CholeskyError;
-use dense::gemm::{gemm, Trans};
+use dense::gemm::Trans;
 use dense::Matrix;
 use pargrid::TunableComms;
 use simgrid::Rank;
@@ -80,7 +80,15 @@ pub fn ca_cqr_shifted(
 
     // Line 2: local Gram contribution X = Wᵀ·A ((n/c) × (n/c)).
     let mut xm = Matrix::zeros(lc, lc);
-    gemm(1.0, w.as_ref(), Trans::Yes, a_local.as_ref(), Trans::No, 0.0, xm.as_mut());
+    params.backend.get().gemm(
+        1.0,
+        w.as_ref(),
+        Trans::Yes,
+        a_local.as_ref(),
+        Trans::No,
+        0.0,
+        xm.as_mut(),
+    );
     rank.charge_flops(dense::flops::gemm(lc, lr, lc));
 
     // Line 3: reduce within the contiguous y-group onto the root ŷ == z.
@@ -112,7 +120,7 @@ pub fn ca_cqr_shifted(
     let (l_local, inv) = cfr3d(rank, &comms.subcube, &z_local, n, params)?;
 
     // Line 8: Q = A·R⁻¹ over the subcube.
-    let q_local = inv.apply_rinv(rank, &comms.subcube, a_local);
+    let q_local = inv.apply_rinv_with(rank, &comms.subcube, a_local, params.backend);
 
     Ok(CaCqrOutput { q_local, l_local, inv })
 }

@@ -7,7 +7,7 @@
 
 use crate::cacqr::{ca_cqr, CaCqrOutput};
 use crate::config::CfrParams;
-use crate::mm3d::{mm3d, transpose_cube};
+use crate::mm3d::{mm3d_with, transpose_cube};
 use dense::cholesky::CholeskyError;
 use dense::Matrix;
 use pargrid::TunableComms;
@@ -36,13 +36,21 @@ pub fn ca_cqr2(
     params: &CfrParams,
 ) -> Result<CaCqr2Output, CholeskyError> {
     // Line 1: first pass on A.
-    let CaCqrOutput { q_local: q1, l_local: l1, .. } = ca_cqr(rank, comms, a_local, n, params)?;
+    let CaCqrOutput {
+        q_local: q1,
+        l_local: l1,
+        ..
+    } = ca_cqr(rank, comms, a_local, n, params)?;
     // Line 2: second pass on Q₁.
-    let CaCqrOutput { q_local: q, l_local: l2, .. } = ca_cqr(rank, comms, &q1, n, params)?;
+    let CaCqrOutput {
+        q_local: q,
+        l_local: l2,
+        ..
+    } = ca_cqr(rank, comms, &q1, n, params)?;
     // Line 4: R = R₂·R₁ over the subcube (R_i = L_iᵀ).
     let r2 = transpose_cube(rank, &comms.subcube, &l2);
     let r1 = transpose_cube(rank, &comms.subcube, &l1);
-    let r_local = mm3d(rank, &comms.subcube, &r2, &r1);
+    let r_local = mm3d_with(rank, &comms.subcube, &r2, &r1, params.backend);
     Ok(CaCqr2Output { q_local: q, r_local })
 }
 
@@ -76,22 +84,46 @@ mod tests {
 
     #[test]
     fn grid_tunable_2_4() {
-        check(GridShape::new(2, 4).unwrap(), 32, 8, 2, CfrParams::validated(8, 2, 4, 0).unwrap());
+        check(
+            GridShape::new(2, 4).unwrap(),
+            32,
+            8,
+            2,
+            CfrParams::validated(8, 2, 4, 0).unwrap(),
+        );
     }
 
     #[test]
     fn grid_tunable_2_8() {
-        check(GridShape::new(2, 8).unwrap(), 64, 16, 3, CfrParams::validated(16, 2, 4, 0).unwrap());
+        check(
+            GridShape::new(2, 8).unwrap(),
+            64,
+            16,
+            3,
+            CfrParams::validated(16, 2, 4, 0).unwrap(),
+        );
     }
 
     #[test]
     fn grid_cubic_2() {
-        check(GridShape::cubic(2).unwrap(), 16, 8, 4, CfrParams::validated(8, 2, 4, 0).unwrap());
+        check(
+            GridShape::cubic(2).unwrap(),
+            16,
+            8,
+            4,
+            CfrParams::validated(8, 2, 4, 0).unwrap(),
+        );
     }
 
     #[test]
     fn grid_cubic_2_with_inverse_depth() {
-        check(GridShape::cubic(2).unwrap(), 32, 16, 5, CfrParams::validated(16, 2, 8, 1).unwrap());
+        check(
+            GridShape::cubic(2).unwrap(),
+            32,
+            16,
+            5,
+            CfrParams::validated(16, 2, 8, 1).unwrap(),
+        );
     }
 
     #[test]
@@ -129,6 +161,9 @@ mod tests {
         let a = matrix_with_condition(m, n, 1e12, 8);
         let shape = GridShape::new(2, 4).unwrap();
         let res = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero());
-        assert!(res.is_err(), "κ=1e12 must fail the Cholesky (and be reported, not panic)");
+        assert!(
+            res.is_err(),
+            "κ=1e12 must fail the Cholesky (and be reported, not panic)"
+        );
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::config::CfrParams;
 use crate::invtree::InvTree;
-use crate::mm3d::{mm3d, mm3d_scaled, transpose_cube};
+use crate::mm3d::{mm3d_scaled_with, mm3d_with, transpose_cube};
 use dense::cholesky::CholeskyError;
 use dense::Matrix;
 use pargrid::CubeComms;
@@ -44,7 +44,10 @@ pub fn cfr3d(
     assert!(n.is_power_of_two(), "CFR3D requires a power-of-two dimension (got {n})");
     assert_eq!(a_local.rows(), n / c, "local block must be (n/c) x (n/c)");
     assert_eq!(a_local.cols(), n / c, "local block must be (n/c) x (n/c)");
-    assert!(params.base_size >= c, "base case must give every processor at least one entry");
+    assert!(
+        params.base_size >= c,
+        "base case must give every processor at least one entry"
+    );
     recurse(rank, cube, a_local, n, 0, 0, params)
 }
 
@@ -59,7 +62,7 @@ fn recurse(
 ) -> Result<(Matrix, InvTree), CholeskyError> {
     let c = cube.c;
     if n <= params.base_size {
-        return base_case(rank, cube, a_local, n, offset);
+        return base_case(rank, cube, a_local, n, offset, params.backend);
     }
     let h = n / 2;
     let hl = h / c;
@@ -73,11 +76,11 @@ fn recurse(
 
     // L21 <- A21 · Y11^T  (Transpose + MM3D for a Full inverse; recursive
     // block solve when the child is partially inverted).
-    let l21 = inv11.apply_rinv(rank, cube, &a21);
+    let l21 = inv11.apply_rinv_with(rank, cube, &a21, params.backend);
 
     // Z <- A22 - L21·L21^T
     let l21t = transpose_cube(rank, cube, &l21);
-    let u = mm3d(rank, cube, &l21, &l21t);
+    let u = mm3d_with(rank, cube, &l21, &l21t, params.backend);
     let mut z = a22;
     for (x, y) in z.data_mut().iter_mut().zip(u.data()) {
         *x -= y;
@@ -95,13 +98,24 @@ fn recurse(
 
     // Inverse: form Y21 only below the InverseDepth horizon.
     let inv = if depth < params.inverse_depth {
-        InvTree::Split { dim: n, y11: Box::new(inv11), y22: Box::new(inv22), l21 }
+        InvTree::Split {
+            dim: n,
+            y11: Box::new(inv11),
+            y22: Box::new(inv22),
+            l21,
+        }
     } else {
-        let y11 = inv11.full_y().expect("children below InverseDepth are fully inverted").clone();
-        let y22 = inv22.full_y().expect("children below InverseDepth are fully inverted").clone();
+        let y11 = inv11
+            .full_y()
+            .expect("children below InverseDepth are fully inverted")
+            .clone();
+        let y22 = inv22
+            .full_y()
+            .expect("children below InverseDepth are fully inverted")
+            .clone();
         // Y21 = -Y22·(L21·Y11)
-        let t = mm3d(rank, cube, &l21, &y11);
-        let y21 = mm3d_scaled(rank, cube, -1.0, &y22, &t);
+        let t = mm3d_with(rank, cube, &l21, &y11, params.backend);
+        let y21 = mm3d_scaled_with(rank, cube, -1.0, &y22, &t, params.backend);
         let mut y_local = Matrix::zeros(2 * hl, 2 * hl);
         y_local.view_mut(0, 0, hl, hl).copy_from(y11.as_ref());
         y_local.view_mut(hl, 0, hl, hl).copy_from(y21.as_ref());
@@ -120,6 +134,7 @@ fn base_case(
     a_local: &Matrix,
     n: usize,
     offset: usize,
+    backend: dense::BackendKind,
 ) -> Result<(Matrix, InvTree), CholeskyError> {
     let c = cube.c;
     let lb = n / c;
@@ -130,7 +145,10 @@ fn base_case(
         let idx = (i % c) * c + (j % c);
         gathered[idx * lb * lb + (i / c) * lb + (j / c)]
     });
-    let (l, y) = dense::cholesky::cholinv(full.as_ref()).map_err(|e| CholeskyError { index: offset + e.index, pivot: e.pivot })?;
+    let (l, y) = dense::cholesky::cholinv_with(full.as_ref(), backend.get()).map_err(|e| CholeskyError {
+        index: offset + e.index,
+        pivot: e.pivot,
+    })?;
     rank.charge_flops(dense::flops::cholinv(n));
     let (x, yh, _z) = cube.coords;
     let l_local = pargrid::DistMatrix::from_global(&l, c, c, yh, x).local;
@@ -181,7 +199,10 @@ mod tests {
                 assert_eq!(*l, lp[*yh][*x], "L must be replicated across depth");
             }
         }
-        (DistMatrix::assemble(n, n, c, c, &lp), DistMatrix::assemble(n, n, c, c, &yp))
+        (
+            DistMatrix::assemble(n, n, c, c, &lp),
+            DistMatrix::assemble(n, n, c, c, &yp),
+        )
     }
 
     fn check_factorization(n: usize, a: &Matrix, l: &Matrix, y: &Matrix) {

@@ -1,4 +1,7 @@
-//! Algorithm parameters: base-case size `n₀` and `InverseDepth`.
+//! Algorithm parameters: base-case size `n₀`, `InverseDepth`, and the
+//! node-local kernel backend.
+
+use dense::BackendKind;
 
 /// Tuning parameters of CFR3D (Algorithm 3) and the `Q = A·R⁻¹` solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,6 +19,11 @@ pub struct CfrParams {
     /// block triangular solves built on MM3D — trading up to ~2× fewer
     /// Cholesky-inverse flops for extra synchronization (§III-A).
     pub inverse_depth: usize,
+    /// Node-local kernel backend for every gemm/syrk/trsm the distributed
+    /// schedule performs. Changing the backend changes wall-clock speed and
+    /// last-bit rounding, but never the communication schedule or the flop
+    /// counts charged to the α-β-γ ledger.
+    pub backend: BackendKind,
 }
 
 impl CfrParams {
@@ -35,10 +43,16 @@ impl CfrParams {
         if base_size > n {
             return Err(format!("base size n0={base_size} exceeds matrix dimension n={n}"));
         }
-        let params = CfrParams { base_size, inverse_depth };
+        let params = CfrParams {
+            base_size,
+            inverse_depth,
+            backend: BackendKind::default_kind(),
+        };
         let levels = params.levels(n);
         if inverse_depth > levels {
-            return Err(format!("inverse_depth={inverse_depth} exceeds recursion depth {levels} (n={n}, n0={base_size})"));
+            return Err(format!(
+                "inverse_depth={inverse_depth} exceeds recursion depth {levels} (n={n}, n0={base_size})"
+            ));
         }
         Ok(params)
     }
@@ -47,7 +61,16 @@ impl CfrParams {
     /// `[c, n]`), `inverse_depth = 0`.
     pub fn default_for(n: usize, c: usize) -> CfrParams {
         let base = (n / (c * c)).max(c).min(n);
-        CfrParams { base_size: base, inverse_depth: 0 }
+        CfrParams {
+            base_size: base,
+            inverse_depth: 0,
+            backend: BackendKind::default_kind(),
+        }
+    }
+
+    /// Same parameters with a different kernel backend.
+    pub fn with_backend(self, backend: BackendKind) -> CfrParams {
+        CfrParams { backend, ..self }
     }
 
     /// Recursion depth `φ = log₂(n / n₀)` when factoring an `n × n` matrix.

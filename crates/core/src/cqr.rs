@@ -12,25 +12,37 @@
 //! the unconditionally stable variant the paper cites as reference \[3\] and names as
 //! future work in §V: one CholeskyQR on `AᵀA + σI` followed by CQR2.
 
-use dense::cholesky::{cholinv, CholeskyError};
-use dense::gemm::{matmul, Trans};
+use dense::cholesky::{cholinv_with, CholeskyError};
+use dense::gemm::Trans;
 use dense::trsm::trmm_upper_upper;
-use dense::{syrk, Matrix};
+use dense::{BackendKind, Matrix};
 
 /// One CholeskyQR pass (Algorithm 4): `A = QR` with `Q` having *nearly*
-/// orthonormal columns (error `O(ε·κ²)`) and `R` upper triangular.
+/// orthonormal columns (error `O(ε·κ²)`) and `R` upper triangular. Uses the
+/// process default kernel backend.
 pub fn cqr(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    let w = syrk(a.as_ref());
-    let (l, y) = cholinv(w.as_ref())?; // W = LLᵀ; R = Lᵀ, R⁻¹ = Yᵀ
-    let q = matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
+    cqr_with(a, BackendKind::default_kind())
+}
+
+/// [`cqr`] with an explicit kernel backend.
+pub fn cqr_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
+    let be = backend.get();
+    let w = be.syrk(a.as_ref());
+    let (l, y) = cholinv_with(w.as_ref(), be)?; // W = LLᵀ; R = Lᵀ, R⁻¹ = Yᵀ
+    let q = be.matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
     Ok((q, l.transposed()))
 }
 
 /// CholeskyQR2 (Algorithm 5): two CQR passes; accuracy comparable to
 /// Householder QR for `κ(A) = O(1/√ε)`.
 pub fn cqr2(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    let (q1, r1) = cqr(a)?;
-    let (q, r2) = cqr(&q1)?;
+    cqr2_with(a, BackendKind::default_kind())
+}
+
+/// [`cqr2`] with an explicit kernel backend.
+pub fn cqr2_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
+    let (q1, r1) = cqr_with(a, backend)?;
+    let (q, r2) = cqr_with(&q1, backend)?;
     Ok((q, trmm_upper_upper(r2.as_ref(), r1.as_ref())))
 }
 
@@ -44,6 +56,12 @@ pub fn cqr2(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
 /// If the shifted Cholesky still fails (pathological input), the shift is
 /// grown ×100 up to a small number of retries.
 pub fn shifted_cqr3(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    shifted_cqr3_with(a, BackendKind::default_kind())
+}
+
+/// [`shifted_cqr3`] with an explicit kernel backend.
+pub fn shifted_cqr3_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
+    let be = backend.get();
     let (m, n) = (a.rows(), a.cols());
     let norm2_bound = {
         let f = dense::norms::frobenius(a.as_ref());
@@ -53,16 +71,16 @@ pub fn shifted_cqr3(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
     let mut sigma = 11.0 * ((m * n) as f64 + (n * (n + 1)) as f64) * eps * norm2_bound;
     let mut last_err = CholeskyError { index: 0, pivot: 0.0 };
     for _ in 0..4 {
-        let mut w = syrk(a.as_ref());
+        let mut w = be.syrk(a.as_ref());
         for i in 0..n {
             let v = w.get(i, i);
             w.set(i, i, v + sigma);
         }
-        match cholinv(w.as_ref()) {
+        match cholinv_with(w.as_ref(), be) {
             Ok((l, y)) => {
-                let q1 = matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
+                let q1 = be.matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
                 let r1 = l.transposed();
-                let (q, r23) = cqr2(&q1)?;
+                let (q, r23) = cqr2_with(&q1, backend)?;
                 return Ok((q, trmm_upper_upper(r23.as_ref(), r1.as_ref())));
             }
             Err(e) => {

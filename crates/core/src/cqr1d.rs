@@ -12,20 +12,33 @@
 //! Costs per Table III/IV: `T_syrk(m/P, n) + T_allreduce(n², P) +
 //! T_cholinv(n) + T_MM(m/P, n, n)`, i.e. `O(log P·α + n²β + (mn²/P + n³)γ)`.
 
-use dense::cholesky::{cholinv, CholeskyError};
-use dense::gemm::{gemm, Trans};
+use dense::cholesky::{cholinv_with, CholeskyError};
+use dense::gemm::Trans;
 use dense::trsm::trmm_upper_upper;
-use dense::{syrk, Matrix};
+use dense::{BackendKind, Matrix};
 use simgrid::{Comm, Rank};
 
 /// One 1D-CholeskyQR pass (Algorithm 6). `a_local` holds this rank's cyclic
-/// rows; returns `(Q_local, R)` with `R` replicated on every rank.
+/// rows; returns `(Q_local, R)` with `R` replicated on every rank. Uses the
+/// process default kernel backend.
 pub fn cqr1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    cqr1d_with(rank, comm, a_local, BackendKind::default_kind())
+}
+
+/// [`cqr1d`] with an explicit kernel backend for the local syrk, CholInv,
+/// and `Q = A·R⁻¹` products.
+pub fn cqr1d_with(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    backend: BackendKind,
+) -> Result<(Matrix, Matrix), CholeskyError> {
+    let be = backend.get();
     let n = a_local.cols();
     let lr = a_local.rows();
 
     // Line 1: local Gram matrix.
-    let x = syrk(a_local.as_ref());
+    let x = be.syrk(a_local.as_ref());
     rank.charge_flops(dense::flops::syrk(lr, n));
 
     // Line 2: allreduce over the 1D grid.
@@ -34,12 +47,20 @@ pub fn cqr1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, 
     let z = Matrix::from_vec(n, n, z);
 
     // Line 3: redundant CholInv.
-    let (l, y) = cholinv(z.as_ref())?;
+    let (l, y) = cholinv_with(z.as_ref(), be)?;
     rank.charge_flops(dense::flops::cholinv(n));
 
     // Line 4: local Q rows.
     let mut q = Matrix::zeros(lr, n);
-    gemm(1.0, a_local.as_ref(), Trans::No, y.as_ref(), Trans::Yes, 0.0, q.as_mut());
+    be.gemm(
+        1.0,
+        a_local.as_ref(),
+        Trans::No,
+        y.as_ref(),
+        Trans::Yes,
+        0.0,
+        q.as_mut(),
+    );
     rank.charge_flops(dense::flops::gemm(lr, n, n));
 
     Ok((q, l.transposed()))
@@ -48,9 +69,19 @@ pub fn cqr1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, 
 /// 1D-CholeskyQR2 (Algorithm 7): two 1D-CQR passes plus the local triangular
 /// update `R = R₂·R₁`.
 pub fn cqr2_1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
+    cqr2_1d_with(rank, comm, a_local, BackendKind::default_kind())
+}
+
+/// [`cqr2_1d`] with an explicit kernel backend.
+pub fn cqr2_1d_with(
+    rank: &mut Rank,
+    comm: &Comm,
+    a_local: &Matrix,
+    backend: BackendKind,
+) -> Result<(Matrix, Matrix), CholeskyError> {
     let n = a_local.cols();
-    let (q1, r1) = cqr1d(rank, comm, a_local)?;
-    let (q, r2) = cqr1d(rank, comm, &q1)?;
+    let (q1, r1) = cqr1d_with(rank, comm, a_local, backend)?;
+    let (q, r2) = cqr1d_with(rank, comm, &q1, backend)?;
     let r = trmm_upper_upper(r2.as_ref(), r1.as_ref());
     rank.charge_flops(dense::flops::triu_mul(n));
     Ok((q, r))

@@ -26,19 +26,38 @@
 //! allreduce), and `2·l_r·l_k·l_c·γ` local compute — Table I's
 //! `(mn + nk + mk)/P^{2/3}·β + (mnk/P)·γ` with `log P · α`.
 
-use dense::gemm::{gemm, Trans};
-use dense::Matrix;
+use dense::{BackendKind, Matrix};
 use pargrid::CubeComms;
 use simgrid::Rank;
 
 /// `C = A·B` over the cube (see module docs). `a` and `b` are this rank's
-/// local pieces; the returned matrix is this rank's piece of `C`.
+/// local pieces; the returned matrix is this rank's piece of `C`. Local
+/// arithmetic uses the process default backend.
 pub fn mm3d(rank: &mut Rank, cube: &CubeComms, a: &Matrix, b: &Matrix) -> Matrix {
-    mm3d_scaled(rank, cube, 1.0, a, b)
+    mm3d_scaled_with(rank, cube, 1.0, a, b, BackendKind::default_kind())
 }
 
-/// `C = alpha·A·B` over the cube.
+/// [`mm3d`] with an explicit kernel backend for the local partial product.
+pub fn mm3d_with(rank: &mut Rank, cube: &CubeComms, a: &Matrix, b: &Matrix, backend: BackendKind) -> Matrix {
+    mm3d_scaled_with(rank, cube, 1.0, a, b, backend)
+}
+
+/// `C = alpha·A·B` over the cube, with the process default backend.
 pub fn mm3d_scaled(rank: &mut Rank, cube: &CubeComms, alpha: f64, a: &Matrix, b: &Matrix) -> Matrix {
+    mm3d_scaled_with(rank, cube, alpha, a, b, BackendKind::default_kind())
+}
+
+/// [`mm3d_scaled`] with an explicit kernel backend. The backend changes
+/// only local arithmetic: the collective schedule and the `2·l_r·l_k·l_c`
+/// flops charged to the γ ledger are identical for every backend.
+pub fn mm3d_scaled_with(
+    rank: &mut Rank,
+    cube: &CubeComms,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    backend: BackendKind,
+) -> Matrix {
     let (_x, _yh, z) = cube.coords;
     let (lr, lk) = (a.rows(), a.cols());
     let (lkb, lc) = (b.rows(), b.cols());
@@ -56,7 +75,10 @@ pub fn mm3d_scaled(rank: &mut Rank, cube: &CubeComms, alpha: f64, a: &Matrix, b:
 
     // Step 3: local partial product.
     let mut zm = Matrix::zeros(lr, lc);
-    gemm(alpha, xm.as_ref(), Trans::No, ym.as_ref(), Trans::No, 0.0, zm.as_mut());
+    use dense::gemm::Trans;
+    backend
+        .get()
+        .gemm(alpha, xm.as_ref(), Trans::No, ym.as_ref(), Trans::No, 0.0, zm.as_mut());
     rank.charge_flops(dense::flops::gemm(lr, lk, lc));
 
     // Step 4: sum partial products along the depth fiber.
@@ -70,7 +92,11 @@ pub fn mm3d_scaled(rank: &mut Rank, cube: &CubeComms, alpha: f64, a: &Matrix, b:
 /// primitive, §II-B) and transposes it locally. Cost: `α + l_r·l_c·β` for
 /// off-diagonal ranks, free on the diagonal.
 pub fn transpose_cube(rank: &mut Rank, cube: &CubeComms, m: &Matrix) -> Matrix {
-    assert_eq!(m.rows(), m.cols(), "transpose_cube handles square cyclic blocks (square global matrices)");
+    assert_eq!(
+        m.rows(),
+        m.cols(),
+        "transpose_cube handles square cyclic blocks (square global matrices)"
+    );
     let (x, yh, _z) = cube.coords;
     let partner = cube.slice_index(yh, x); // slice index of (x', ŷ') = (ŷ, x)
     let swapped = cube.slice.sendrecv(rank, partner, m.data());
@@ -80,7 +106,7 @@ pub fn transpose_cube(rank: &mut Rank, cube: &CubeComms, m: &Matrix) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dense::gemm::matmul;
+    use dense::gemm::{matmul, Trans};
     use pargrid::DistMatrix;
     use simgrid::{run_spmd, Machine, SimConfig};
 

@@ -21,12 +21,25 @@
 //! stability instead.
 
 use dense::cholesky::CholeskyError;
-use dense::gemm::{gemm, matmul, Trans};
-use dense::Matrix;
+use dense::gemm::Trans;
+use dense::{Backend, BackendKind, Matrix};
 
 /// Panel-blocked CQR2 (see module docs). Requires `b ≥ 1`; `b ≥ n` collapses
-/// to plain CQR2. `reorth` enables a second projection pass per panel.
+/// to plain CQR2. `reorth` enables a second projection pass per panel. Uses
+/// the process default kernel backend.
 pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool) -> Result<(Matrix, Matrix), CholeskyError> {
+    panel_cqr2_with(a, b, reorth, BackendKind::default_kind())
+}
+
+/// [`panel_cqr2`] with an explicit kernel backend for the panel CQR2s and
+/// the block Gram–Schmidt updates.
+pub fn panel_cqr2_with(
+    a: &Matrix,
+    b: usize,
+    reorth: bool,
+    backend: BackendKind,
+) -> Result<(Matrix, Matrix), CholeskyError> {
+    let be: &dyn Backend = backend.get();
     let (m, n) = (a.rows(), a.cols());
     assert!(b >= 1, "panel width must be positive");
     assert!(m >= n, "reduced QR requires m >= n");
@@ -39,7 +52,7 @@ pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool) -> Result<(Matrix, Matrix)
         let w = b.min(n - k);
         // Panel CQR2.
         let panel = work.view(0, k, m, w).to_owned();
-        let (qk, rkk) = crate::cqr::cqr2(&panel)?;
+        let (qk, rkk) = crate::cqr::cqr2_with(&panel, backend)?;
         q.view_mut(0, k, m, w).copy_from(qk.as_ref());
         r.view_mut(k, k, w, w).copy_from(rkk.as_ref());
 
@@ -47,14 +60,30 @@ pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool) -> Result<(Matrix, Matrix)
         if rest > 0 {
             // Projection: R_{k, k+w:} = Q_kᵀ · A_{:, k+w:}.
             let trailing = work.view(0, k + w, m, rest).to_owned();
-            let proj = matmul(qk.as_ref(), Trans::Yes, trailing.as_ref(), Trans::No);
+            let proj = be.matmul(qk.as_ref(), Trans::Yes, trailing.as_ref(), Trans::No);
             // Update: A_{:, k+w:} −= Q_k · proj.
-            gemm(-1.0, qk.as_ref(), Trans::No, proj.as_ref(), Trans::No, 1.0, work.view_mut(0, k + w, m, rest));
+            be.gemm(
+                -1.0,
+                qk.as_ref(),
+                Trans::No,
+                proj.as_ref(),
+                Trans::No,
+                1.0,
+                work.view_mut(0, k + w, m, rest),
+            );
             let mut total_proj = proj;
             if reorth {
                 let trailing2 = work.view(0, k + w, m, rest).to_owned();
-                let proj2 = matmul(qk.as_ref(), Trans::Yes, trailing2.as_ref(), Trans::No);
-                gemm(-1.0, qk.as_ref(), Trans::No, proj2.as_ref(), Trans::No, 1.0, work.view_mut(0, k + w, m, rest));
+                let proj2 = be.matmul(qk.as_ref(), Trans::Yes, trailing2.as_ref(), Trans::No);
+                be.gemm(
+                    -1.0,
+                    qk.as_ref(),
+                    Trans::No,
+                    proj2.as_ref(),
+                    Trans::No,
+                    1.0,
+                    work.view_mut(0, k + w, m, rest),
+                );
                 for (x, y) in total_proj.data_mut().iter_mut().zip(proj2.data()) {
                     *x += y;
                 }
@@ -122,7 +151,10 @@ mod tests {
             "panels should cut flops substantially: {paneled:.3e} vs {full:.3e}"
         );
         let householder = dense::flops::householder_qr_flops(m, n);
-        assert!(paneled < 2.0 * householder, "paneled CQR2 should approach 2x Householder");
+        assert!(
+            paneled < 2.0 * householder,
+            "paneled CQR2 should approach 2x Householder"
+        );
     }
 
     #[test]

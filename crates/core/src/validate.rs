@@ -38,7 +38,12 @@ pub struct QrRun {
 /// assert!(dense::norms::orthogonality_error(run.q.as_ref()) < 1e-12);
 /// assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
 /// ```
-pub fn run_cacqr2_global(a: &Matrix, shape: GridShape, params: CfrParams, machine: Machine) -> Result<QrRun, CholeskyError> {
+pub fn run_cacqr2_global(
+    a: &Matrix,
+    shape: GridShape,
+    params: CfrParams,
+    machine: Machine,
+) -> Result<QrRun, CholeskyError> {
     let (m, n) = (a.rows(), a.cols());
     let (c, d) = (shape.c, shape.d);
     assert_eq!(m % d, 0, "CA-CQR2 requires d | m (m={m}, d={d})");
@@ -76,11 +81,20 @@ pub fn run_cacqr2_global(a: &Matrix, shape: GridShape, params: CfrParams, machin
         if *z != 0 {
             assert_eq!(*q, qp[*y][*x], "Q pieces must be replicated across depth");
         }
-        assert_eq!(*r, rp[*y % c][*x], "R pieces must be replicated across depth and subcubes");
+        assert_eq!(
+            *r,
+            rp[*y % c][*x],
+            "R pieces must be replicated across depth and subcubes"
+        );
     }
     let q = DistMatrix::assemble(m, n, d, c, &qp);
     let r = DistMatrix::assemble(n, n, c, c, &rp);
-    Ok(QrRun { q, r, elapsed: report.elapsed, ledgers: report.ledgers })
+    Ok(QrRun {
+        q,
+        r,
+        elapsed: report.elapsed,
+        ledgers: report.ledgers,
+    })
 }
 
 /// Runs 1D-CQR2 (Algorithm 7) on the simulator and reassembles the factors.
@@ -104,7 +118,12 @@ pub fn run_cqr2_1d_global(a: &Matrix, p: usize, machine: Machine) -> Result<QrRu
         }
     }
     let q = DistMatrix::assemble(m, n, p, 1, &pieces);
-    Ok(QrRun { q, r: r0.unwrap(), elapsed: report.elapsed, ledgers: report.ledgers })
+    Ok(QrRun {
+        q,
+        r: r0.unwrap(),
+        elapsed: report.elapsed,
+        ledgers: report.ledgers,
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +151,10 @@ mod tests {
         let run1 = run_cqr2_1d_global(&a, 4, Machine::zero()).unwrap();
         let shape = GridShape::one_d(4).unwrap();
         let run2 = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 1), Machine::zero()).unwrap();
-        assert_eq!(run1.q, run2.q, "bitwise agreement between Algorithm 7 and Algorithm 9 with c=1");
+        assert_eq!(
+            run1.q, run2.q,
+            "bitwise agreement between Algorithm 7 and Algorithm 9 with c=1"
+        );
         assert_eq!(run1.r, run2.r);
     }
 }

@@ -89,10 +89,24 @@ mod tests {
 
     #[test]
     fn cfr3d_model_alpha_beta_exact() {
-        for (c, n, base, inv) in [(1usize, 16usize, 16usize, 0usize), (2, 16, 4, 0), (2, 32, 8, 1), (2, 32, 4, 2), (4, 32, 8, 0)] {
+        for (c, n, base, inv) in [
+            (1usize, 16usize, 16usize, 0usize),
+            (2, 16, 4, 0),
+            (2, 32, 8, 1),
+            (2, 32, 4, 2),
+            (4, 32, 8, 0),
+        ] {
             let model = cfr3d(n, c, base, inv);
-            assert_eq!(measure(c, n, base, inv, Machine::alpha_only()), model.alpha, "alpha c={c} n={n} n0={base} k={inv}");
-            assert_eq!(measure(c, n, base, inv, Machine::beta_only()), model.beta, "beta c={c} n={n} n0={base} k={inv}");
+            assert_eq!(
+                measure(c, n, base, inv, Machine::alpha_only()),
+                model.alpha,
+                "alpha c={c} n={n} n0={base} k={inv}"
+            );
+            assert_eq!(
+                measure(c, n, base, inv, Machine::beta_only()),
+                model.beta,
+                "beta c={c} n={n} n0={base} k={inv}"
+            );
         }
     }
 
@@ -102,7 +116,11 @@ mod tests {
         for (c, n, base, inv) in [(2usize, 32usize, 8usize, 0usize), (2, 32, 8, 1)] {
             let model = cfr3d(n, c, base, inv);
             let got = measure(c, n, base, inv, Machine::gamma_only());
-            assert!((got - model.gamma).abs() < 1e-6 * model.gamma.max(1.0), "gamma c={c} n={n}: {got} vs {}", model.gamma);
+            assert!(
+                (got - model.gamma).abs() < 1e-6 * model.gamma.max(1.0),
+                "gamma c={c} n={n}: {got} vs {}",
+                model.gamma
+            );
         }
     }
 
@@ -117,7 +135,10 @@ mod tests {
         assert!(partial.gamma < plain.gamma, "skipping Y21 must save flops");
         let apply_plain = apply_rinv(64, n, c, 0);
         let apply_partial = apply_rinv(64, n, c, 2);
-        assert!(apply_partial.alpha > apply_plain.alpha, "partial inverse must synchronize more");
+        assert!(
+            apply_partial.alpha > apply_plain.alpha,
+            "partial inverse must synchronize more"
+        );
     }
 
     #[test]

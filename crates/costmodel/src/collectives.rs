@@ -22,10 +22,18 @@ pub fn bcast(n: usize, p: usize) -> Cost {
         return Cost::ZERO;
     }
     if n < p {
-        return Cost { alpha: log2(p), beta: n as f64 * log2(p), gamma: 0.0 };
+        return Cost {
+            alpha: log2(p),
+            beta: n as f64 * log2(p),
+            gamma: 0.0,
+        };
     }
     let nb = padded(n, p);
-    Cost { alpha: 2.0 * log2(p), beta: 2.0 * nb * (1.0 - 1.0 / p as f64), gamma: 0.0 }
+    Cost {
+        alpha: 2.0 * log2(p),
+        beta: 2.0 * nb * (1.0 - 1.0 / p as f64),
+        gamma: 0.0,
+    }
 }
 
 /// Allreduce of `n` words over `p` ranks. Large (`n ≥ p`): reduce-scatter +
@@ -38,11 +46,19 @@ pub fn allreduce(n: usize, p: usize) -> Cost {
     }
     if n < p {
         let l = log2(p);
-        return Cost { alpha: l, beta: n as f64 * l, gamma: n as f64 * l };
+        return Cost {
+            alpha: l,
+            beta: n as f64 * l,
+            gamma: n as f64 * l,
+        };
     }
     let nb = padded(n, p);
     let frac = 1.0 - 1.0 / p as f64;
-    Cost { alpha: 2.0 * log2(p), beta: 2.0 * nb * frac, gamma: nb * frac }
+    Cost {
+        alpha: 2.0 * log2(p),
+        beta: 2.0 * nb * frac,
+        gamma: nb * frac,
+    }
 }
 
 /// Reduce. Large messages cost the same as allreduce (reduce-scatter +
@@ -54,7 +70,11 @@ pub fn reduce(n: usize, p: usize) -> Cost {
     }
     if n < p {
         let l = log2(p);
-        return Cost { alpha: l, beta: n as f64 * l, gamma: n as f64 * l };
+        return Cost {
+            alpha: l,
+            beta: n as f64 * l,
+            gamma: n as f64 * l,
+        };
     }
     allreduce(n, p)
 }
@@ -65,7 +85,11 @@ pub fn allgather(b: usize, p: usize) -> Cost {
     if p <= 1 {
         return Cost::ZERO;
     }
-    Cost { alpha: log2(p), beta: (b * (p - 1)) as f64, gamma: 0.0 }
+    Cost {
+        alpha: log2(p),
+        beta: (b * (p - 1)) as f64,
+        gamma: 0.0,
+    }
 }
 
 /// Pairwise exchange of `n` words (the transpose primitive): `α + n·β`;
@@ -74,7 +98,11 @@ pub fn sendrecv(n: usize, p: usize) -> Cost {
     if p <= 1 {
         return Cost::ZERO;
     }
-    Cost { alpha: 1.0, beta: n as f64, gamma: 0.0 }
+    Cost {
+        alpha: 1.0,
+        beta: n as f64,
+        gamma: 0.0,
+    }
 }
 
 #[cfg(test)]

@@ -17,11 +17,19 @@ pub struct Cost {
 
 impl Cost {
     /// The zero cost.
-    pub const ZERO: Cost = Cost { alpha: 0.0, beta: 0.0, gamma: 0.0 };
+    pub const ZERO: Cost = Cost {
+        alpha: 0.0,
+        beta: 0.0,
+        gamma: 0.0,
+    };
 
     /// A pure-compute cost.
     pub fn flops(gamma: f64) -> Cost {
-        Cost { alpha: 0.0, beta: 0.0, gamma }
+        Cost {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma,
+        }
     }
 
     /// Predicted execution time on a machine.
@@ -39,7 +47,11 @@ impl Cost {
 impl std::ops::Add for Cost {
     type Output = Cost;
     fn add(self, rhs: Cost) -> Cost {
-        Cost { alpha: self.alpha + rhs.alpha, beta: self.beta + rhs.beta, gamma: self.gamma + rhs.gamma }
+        Cost {
+            alpha: self.alpha + rhs.alpha,
+            beta: self.beta + rhs.beta,
+            gamma: self.gamma + rhs.gamma,
+        }
     }
 }
 
@@ -52,7 +64,11 @@ impl std::ops::AddAssign for Cost {
 impl std::ops::Mul<f64> for Cost {
     type Output = Cost;
     fn mul(self, k: f64) -> Cost {
-        Cost { alpha: self.alpha * k, beta: self.beta * k, gamma: self.gamma * k }
+        Cost {
+            alpha: self.alpha * k,
+            beta: self.beta * k,
+            gamma: self.gamma * k,
+        }
     }
 }
 
@@ -62,17 +78,47 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let a = Cost { alpha: 1.0, beta: 2.0, gamma: 3.0 };
-        let b = Cost { alpha: 10.0, beta: 20.0, gamma: 30.0 };
+        let a = Cost {
+            alpha: 1.0,
+            beta: 2.0,
+            gamma: 3.0,
+        };
+        let b = Cost {
+            alpha: 10.0,
+            beta: 20.0,
+            gamma: 30.0,
+        };
         let s = a + b;
-        assert_eq!(s, Cost { alpha: 11.0, beta: 22.0, gamma: 33.0 });
-        assert_eq!(s * 2.0, Cost { alpha: 22.0, beta: 44.0, gamma: 66.0 });
+        assert_eq!(
+            s,
+            Cost {
+                alpha: 11.0,
+                beta: 22.0,
+                gamma: 33.0
+            }
+        );
+        assert_eq!(
+            s * 2.0,
+            Cost {
+                alpha: 22.0,
+                beta: 44.0,
+                gamma: 66.0
+            }
+        );
     }
 
     #[test]
     fn time_is_linear() {
-        let c = Cost { alpha: 2.0, beta: 100.0, gamma: 1000.0 };
-        let m = Machine { alpha: 1e-6, beta: 1e-9, gamma: 1e-12 };
+        let c = Cost {
+            alpha: 2.0,
+            beta: 100.0,
+            gamma: 1000.0,
+        };
+        let m = Machine {
+            alpha: 1e-6,
+            beta: 1e-9,
+            gamma: 1e-12,
+        };
         let t = c.time(&m);
         assert!((t - (2e-6 + 1e-7 + 1e-9)).abs() < 1e-18);
     }

@@ -56,7 +56,11 @@ mod tests {
             assert_eq!(measure(p, m, n, Machine::alpha_only()), model.alpha, "alpha p={p}");
             assert_eq!(measure(p, m, n, Machine::beta_only()), model.beta, "beta p={p}");
             let g = measure(p, m, n, Machine::gamma_only());
-            assert!((g - model.gamma).abs() < 1e-9 * model.gamma, "gamma p={p}: {g} vs {}", model.gamma);
+            assert!(
+                (g - model.gamma).abs() < 1e-9 * model.gamma,
+                "gamma p={p}: {g} vs {}",
+                model.gamma
+            );
         }
     }
 

@@ -26,11 +26,10 @@
 //! prediction).
 
 use crate::cost::Cost;
-use serde::{Deserialize, Serialize};
 use simgrid::Machine;
 
 /// A calibrated machine: network model + per-algorithm effective flop rates.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MachineCal {
     /// Human-readable name.
     pub name: &'static str,
@@ -61,7 +60,11 @@ impl MachineCal {
             // Omni-Path; butterfly rounds are symmetric exchanges, so each
             // direction carries half the traffic), shared by 64 processes;
             // ~5 µs effective per-round latency (wire latency ~1 µs plus MPI/collective software overhead at scale).
-            net: Machine { alpha: 5.0e-6, beta: 8.0 * 64.0 / (2.0 * 12.5e9), gamma: 0.0 },
+            net: Machine {
+                alpha: 5.0e-6,
+                beta: 8.0 * 64.0 / (2.0 * 12.5e9),
+                gamma: 0.0,
+            },
             ppn: 64,
             // Calibrated to Fig. 1(a): CA-CQR2 ≈ 110-130 Gf/node (credited)
             // at 64 nodes (DDR-streaming) rising past 200 Gf/node once the
@@ -80,7 +83,11 @@ impl MachineCal {
         MachineCal {
             name: "bluewaters",
             // 9.6 GB/s per direction (Gemini), 16 ppn.
-            net: Machine { alpha: 3.0e-6, beta: 8.0 * 16.0 / (2.0 * 9.6e9), gamma: 0.0 },
+            net: Machine {
+                alpha: 3.0e-6,
+                beta: 8.0 * 16.0 / (2.0 * 9.6e9),
+                gamma: 0.0,
+            },
             ppn: 16,
             // Calibrated to Fig. 6(b): CA-CQR2 ≈ 42 Gf/node (credited) at
             // small node counts; no fast-memory tier on XE nodes.

@@ -52,9 +52,17 @@ mod tests {
         for c in [1usize, 2, 4] {
             let (m, n, k) = (16usize, 8, 8);
             let model = mm3d_global(m, n, k, c);
-            assert_eq!(measure_mm3d(c, m, n, k, Machine::alpha_only()), model.alpha, "alpha c={c}");
+            assert_eq!(
+                measure_mm3d(c, m, n, k, Machine::alpha_only()),
+                model.alpha,
+                "alpha c={c}"
+            );
             assert_eq!(measure_mm3d(c, m, n, k, Machine::beta_only()), model.beta, "beta c={c}");
-            assert_eq!(measure_mm3d(c, m, n, k, Machine::gamma_only()), model.gamma, "gamma c={c}");
+            assert_eq!(
+                measure_mm3d(c, m, n, k, Machine::gamma_only()),
+                model.gamma,
+                "gamma c={c}"
+            );
         }
     }
 

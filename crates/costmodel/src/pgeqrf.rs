@@ -69,7 +69,7 @@ mod tests {
     use simgrid::{run_spmd, Machine, SimConfig};
 
     fn measure(m: usize, n: usize, pr: usize, pc: usize, nb: usize, machine: Machine) -> f64 {
-        let _ = PgeqrfConfig { grid: BlockCyclic { pr, pc, nb } };
+        let _ = PgeqrfConfig::new(BlockCyclic { pr, pc, nb });
         run_spmd(pr * pc, SimConfig::with_machine(machine), move |rank| {
             let grid = BlockCyclic { pr, pc, nb };
             let comms = baseline::pgeqrf::PgeqrfComms::build(rank, grid);
@@ -84,14 +84,30 @@ mod tests {
     fn model_tracks_simulator_within_tolerance() {
         // The model uses per-rank averages where the implementation's local
         // sizes are ragged across the grid; agreement tightens as sizes grow.
-        for (m, n, pr, pc, nb) in [(256usize, 64usize, 4usize, 2usize, 8usize), (256, 64, 8, 1, 8), (128, 128, 2, 4, 16)] {
+        for (m, n, pr, pc, nb) in [
+            (256usize, 64usize, 4usize, 2usize, 8usize),
+            (256, 64, 8, 1, 8),
+            (128, 128, 2, 4, 16),
+        ] {
             let model = pgeqrf(m, n, pr, pc, nb);
             let a = measure(m, n, pr, pc, nb, Machine::alpha_only());
             let b = measure(m, n, pr, pc, nb, Machine::beta_only());
             let g = measure(m, n, pr, pc, nb, Machine::gamma_only());
-            assert!((a - model.alpha).abs() <= 0.10 * model.alpha, "alpha {a} vs {}", model.alpha);
-            assert!((b - model.beta).abs() <= 0.15 * model.beta, "beta {b} vs {}", model.beta);
-            assert!((g - model.gamma).abs() <= 0.20 * model.gamma, "gamma {g} vs {}", model.gamma);
+            assert!(
+                (a - model.alpha).abs() <= 0.10 * model.alpha,
+                "alpha {a} vs {}",
+                model.alpha
+            );
+            assert!(
+                (b - model.beta).abs() <= 0.15 * model.beta,
+                "beta {b} vs {}",
+                model.beta
+            );
+            assert!(
+                (g - model.gamma).abs() <= 0.20 * model.gamma,
+                "gamma {g} vs {}",
+                model.gamma
+            );
         }
     }
 
@@ -118,6 +134,11 @@ mod tests {
         let p = 64usize;
         let model = pgeqrf(m, n, 16, 4, 16);
         let ideal = dense::flops::householder_qr_flops(m, n) / p as f64;
-        assert!(model.gamma > ideal && model.gamma < 1.25 * ideal, "{} vs {}", model.gamma, ideal);
+        assert!(
+            model.gamma > ideal && model.gamma < 1.25 * ideal,
+            "{} vs {}",
+            model.gamma,
+            ideal
+        );
     }
 }

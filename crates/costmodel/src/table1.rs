@@ -18,10 +18,30 @@ pub struct Table1Row {
 /// The paper's Table I, verbatim.
 pub fn table1_paper() -> Vec<Table1Row> {
     vec![
-        Table1Row { algorithm: "MM3D", latency: "log P", bandwidth: "(mn+nk+mk)/P^(2/3)", flops: "mnk/P" },
-        Table1Row { algorithm: "CFR3D", latency: "P^(2/3) log P", bandwidth: "n^2/P^(2/3)", flops: "n^3/P" },
-        Table1Row { algorithm: "1D-CQR", latency: "log P", bandwidth: "n^2", flops: "mn^2/P + n^3" },
-        Table1Row { algorithm: "3D-CQR", latency: "P^(2/3) log P", bandwidth: "mn/P^(2/3)", flops: "mn^2/P" },
+        Table1Row {
+            algorithm: "MM3D",
+            latency: "log P",
+            bandwidth: "(mn+nk+mk)/P^(2/3)",
+            flops: "mnk/P",
+        },
+        Table1Row {
+            algorithm: "CFR3D",
+            latency: "P^(2/3) log P",
+            bandwidth: "n^2/P^(2/3)",
+            flops: "n^3/P",
+        },
+        Table1Row {
+            algorithm: "1D-CQR",
+            latency: "log P",
+            bandwidth: "n^2",
+            flops: "mn^2/P + n^3",
+        },
+        Table1Row {
+            algorithm: "3D-CQR",
+            latency: "P^(2/3) log P",
+            bandwidth: "mn/P^(2/3)",
+            flops: "mn^2/P",
+        },
         Table1Row {
             algorithm: "CA-CQR (c,d)",
             latency: "c^2 log P",

@@ -1,0 +1,80 @@
+//! Minimal block-parallel helper for the blocked backend.
+//!
+//! The workspace builds offline (no `rayon`), so parallelism is implemented
+//! with `std::thread::scope`: a shared atomic counter hands out block
+//! indices to a small pool of scoped workers. Work assignment is dynamic
+//! (nondeterministic), but every block writes a disjoint region and each
+//! block's arithmetic is self-contained, so results are bitwise independent
+//! of the schedule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Maximum worker threads for block-parallel kernels: the `CACQR_THREADS`
+/// environment variable if set, else `std::thread::available_parallelism()`.
+/// Read once and cached.
+pub fn max_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("CACQR_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Runs `f(0..nblocks)` across up to `threads` scoped workers.
+///
+/// `f` must be safe to call concurrently for distinct block indices (each
+/// index must touch disjoint output). Falls back to a plain loop when one
+/// worker suffices.
+pub fn par_blocks<F: Fn(usize) + Sync>(nblocks: usize, threads: usize, f: F) {
+    let workers = threads.min(nblocks);
+    if workers <= 1 {
+        for i in 0..nblocks {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= nblocks {
+            break;
+        }
+        f(i);
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(work);
+        }
+        work(); // the calling thread is worker 0
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_block_exactly_once() {
+        let n = 97;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_blocks(n, 4, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let hits: Vec<AtomicU64> = (0..5).map(|_| AtomicU64::new(0)).collect();
+        par_blocks(5, 1, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+}

@@ -14,9 +14,9 @@
 //! CholeskyQR drivers use this to detect loss of positive-definiteness in
 //! `AᵀA` for ill-conditioned `A` and to trigger the shifted variant.
 
-use crate::gemm::{gemm, Trans};
+use crate::backend::{Backend, BackendKind};
+use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef, Matrix};
-use crate::trsm::trsm_right_lower_trans;
 
 /// Cholesky failure: the pivot at `index` was non-positive.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,7 +29,11 @@ pub struct CholeskyError {
 
 impl std::fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is not positive definite: pivot {} at index {}", self.pivot, self.index)
+        write!(
+            f,
+            "matrix is not positive definite: pivot {} at index {}",
+            self.pivot, self.index
+        )
     }
 }
 
@@ -46,7 +50,10 @@ fn potrf_unblocked(mut a: MatMut<'_>, index_offset: usize) -> Result<(), Cholesk
             d -= v * v;
         }
         if d <= 0.0 || !d.is_finite() {
-            return Err(CholeskyError { index: index_offset + j, pivot: d });
+            return Err(CholeskyError {
+                index: index_offset + j,
+                pivot: d,
+            });
         }
         let ljj = d.sqrt();
         a.set(j, j, ljj);
@@ -70,8 +77,15 @@ fn potrf_unblocked(mut a: MatMut<'_>, index_offset: usize) -> Result<(), Cholesk
 }
 
 /// Blocked right-looking Cholesky: factors `A = LLᵀ` in place, returning the
-/// lower factor in `a` (strict upper triangle zeroed).
-pub fn potrf(mut a: MatMut<'_>) -> Result<(), CholeskyError> {
+/// lower factor in `a` (strict upper triangle zeroed). Uses the process
+/// default backend ([`BackendKind::default_kind`]).
+pub fn potrf(a: MatMut<'_>) -> Result<(), CholeskyError> {
+    potrf_with(a, BackendKind::default_kind().get())
+}
+
+/// [`potrf`] with an explicit kernel backend for the panel solve and
+/// trailing update.
+pub fn potrf_with(mut a: MatMut<'_>, backend: &dyn Backend) -> Result<(), CholeskyError> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "Cholesky input must be square");
     const NB: usize = 64;
@@ -87,14 +101,22 @@ pub fn potrf(mut a: MatMut<'_>) -> Result<(), CholeskyError> {
             let rest = n - k - nb;
             // Panel solve: A[k+nb.., k..k+nb] ← A[k+nb.., k..k+nb] · L[k,k]⁻ᵀ
             let (diag_rows, below) = a.rb_mut().sub(k, k, n - k, nb).split_rows(nb);
-            trsm_right_lower_trans(diag_rows.rb(), below);
+            backend.trsm_right_lower_trans(diag_rows.rb(), below);
             // Trailing update: A22 ← A22 − L21·L21ᵀ (lower triangle suffices,
             // but a full gemm keeps the kernel simple; the strict upper part
             // of the trailing block is rewritten symmetrically).
             let l21 = a.rb().sub(k + nb, k, rest, nb);
             let l21_copy = l21.to_owned();
             let a22 = a.rb_mut().sub(k + nb, k + nb, rest, rest);
-            gemm(-1.0, l21_copy.as_ref(), Trans::No, l21_copy.as_ref(), Trans::Yes, 1.0, a22);
+            backend.gemm(
+                -1.0,
+                l21_copy.as_ref(),
+                Trans::No,
+                l21_copy.as_ref(),
+                Trans::Yes,
+                1.0,
+                a22,
+            );
         }
         k += nb;
     }
@@ -131,6 +153,12 @@ fn trtri_unblocked(l: MatRef<'_>) -> Matrix {
 /// Recursive blocked algorithm mirroring the paper's `Inv` recursion
 /// (§II-D): `Y₁₁ = L₁₁⁻¹`, `Y₂₂ = L₂₂⁻¹`, `Y₂₁ = −Y₂₂·L₂₁·Y₁₁`.
 pub fn trtri_lower(l: MatRef<'_>) -> Matrix {
+    trtri_lower_with(l, BackendKind::default_kind().get())
+}
+
+/// [`trtri_lower`] with an explicit kernel backend for the off-diagonal
+/// multiplies.
+pub fn trtri_lower_with(l: MatRef<'_>, backend: &dyn Backend) -> Matrix {
     let n = l.rows();
     assert_eq!(l.cols(), n, "triangular inverse input must be square");
     const NB: usize = 32;
@@ -138,14 +166,22 @@ pub fn trtri_lower(l: MatRef<'_>) -> Matrix {
         return trtri_unblocked(l);
     }
     let h = n / 2;
-    let y11 = trtri_lower(l.sub(0, 0, h, h));
-    let y22 = trtri_lower(l.sub(h, h, n - h, n - h));
+    let y11 = trtri_lower_with(l.sub(0, 0, h, h), backend);
+    let y22 = trtri_lower_with(l.sub(h, h, n - h, n - h), backend);
     // Y21 = -Y22 · L21 · Y11
-    let t = crate::gemm::matmul(l.sub(h, 0, n - h, h), Trans::No, y11.as_ref(), Trans::No);
+    let t = backend.matmul(l.sub(h, 0, n - h, h), Trans::No, y11.as_ref(), Trans::No);
     let mut y = Matrix::zeros(n, n);
     y.view_mut(0, 0, h, h).copy_from(y11.as_ref());
     y.view_mut(h, h, n - h, n - h).copy_from(y22.as_ref());
-    gemm(-1.0, y22.as_ref(), Trans::No, t.as_ref(), Trans::No, 0.0, y.view_mut(h, 0, n - h, h));
+    backend.gemm(
+        -1.0,
+        y22.as_ref(),
+        Trans::No,
+        t.as_ref(),
+        Trans::No,
+        0.0,
+        y.view_mut(h, 0, n - h, h),
+    );
     y
 }
 
@@ -163,12 +199,19 @@ pub fn trtri_lower(l: MatRef<'_>) -> Matrix {
 /// CFR3D base case; the distributed CFR3D (crate `cacqr`) parallelizes the
 /// same recursion with MM3D in place of the local multiplies.
 pub fn cholinv(a: MatRef<'_>) -> Result<(Matrix, Matrix), CholeskyError> {
-    let n = a.rows();
-    assert_eq!(a.cols(), n, "CholInv input must be square");
-    cholinv_inner(a, 0)
+    cholinv_with(a, BackendKind::default_kind().get())
 }
 
-fn cholinv_inner(a: MatRef<'_>, index_offset: usize) -> Result<(Matrix, Matrix), CholeskyError> {
+/// [`cholinv`] with an explicit kernel backend for the panel and inverse
+/// multiplies. Every distributed caller threads its configured backend here
+/// so redundant base-case factorizations stay bitwise replicated.
+pub fn cholinv_with(a: MatRef<'_>, backend: &dyn Backend) -> Result<(Matrix, Matrix), CholeskyError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "CholInv input must be square");
+    cholinv_inner(a, 0, backend)
+}
+
+fn cholinv_inner(a: MatRef<'_>, index_offset: usize, backend: &dyn Backend) -> Result<(Matrix, Matrix), CholeskyError> {
     let n = a.rows();
     const NB: usize = 32;
     if n <= NB {
@@ -178,15 +221,15 @@ fn cholinv_inner(a: MatRef<'_>, index_offset: usize) -> Result<(Matrix, Matrix),
         return Ok((l, y));
     }
     let h = n / 2;
-    let (l11, y11) = cholinv_inner(a.sub(0, 0, h, h), index_offset)?;
+    let (l11, y11) = cholinv_inner(a.sub(0, 0, h, h), index_offset, backend)?;
     // L21 = A21 · Y11ᵀ
-    let l21 = crate::gemm::matmul(a.sub(h, 0, n - h, h), Trans::No, y11.as_ref(), Trans::Yes);
+    let l21 = backend.matmul(a.sub(h, 0, n - h, h), Trans::No, y11.as_ref(), Trans::Yes);
     // S = A22 − L21·L21ᵀ
     let mut s = a.sub(h, h, n - h, n - h).to_owned();
-    gemm(-1.0, l21.as_ref(), Trans::No, l21.as_ref(), Trans::Yes, 1.0, s.as_mut());
-    let (l22, y22) = cholinv_inner(s.as_ref(), index_offset + h)?;
+    backend.gemm(-1.0, l21.as_ref(), Trans::No, l21.as_ref(), Trans::Yes, 1.0, s.as_mut());
+    let (l22, y22) = cholinv_inner(s.as_ref(), index_offset + h, backend)?;
     // Y21 = −Y22·(L21·Y11)
-    let t = crate::gemm::matmul(l21.as_ref(), Trans::No, y11.as_ref(), Trans::No);
+    let t = backend.matmul(l21.as_ref(), Trans::No, y11.as_ref(), Trans::No);
     let mut l = Matrix::zeros(n, n);
     let mut y = Matrix::zeros(n, n);
     l.view_mut(0, 0, h, h).copy_from(l11.as_ref());
@@ -194,7 +237,15 @@ fn cholinv_inner(a: MatRef<'_>, index_offset: usize) -> Result<(Matrix, Matrix),
     l.view_mut(h, h, n - h, n - h).copy_from(l22.as_ref());
     y.view_mut(0, 0, h, h).copy_from(y11.as_ref());
     y.view_mut(h, h, n - h, n - h).copy_from(y22.as_ref());
-    gemm(-1.0, y22.as_ref(), Trans::No, t.as_ref(), Trans::No, 0.0, y.view_mut(h, 0, n - h, h));
+    backend.gemm(
+        -1.0,
+        y22.as_ref(),
+        Trans::No,
+        t.as_ref(),
+        Trans::No,
+        0.0,
+        y.view_mut(h, 0, n - h, h),
+    );
     Ok((l, y))
 }
 

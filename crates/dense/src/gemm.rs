@@ -3,8 +3,14 @@
 //! The workhorse is an `i-k-j` loop nest over row-major storage, which keeps
 //! the innermost loop a unit-stride fused multiply-add over the rows of `B`
 //! and `C` (auto-vectorizes well). Transposed operands are packed into
-//! row-major temporaries first; all distributed kernels in this workspace
-//! multiply local blocks that comfortably amortize the packing cost.
+//! row-major temporaries first (a full `to_owned_transposed()` copy — fine
+//! for an oracle; the `Blocked` backend instead absorbs transposes into its
+//! panel packing).
+//!
+//! This module is the **naive reference path**: it backs
+//! [`crate::backend::Naive`] and serves as the correctness oracle that the
+//! blocked backend's property tests compare against. Performance-sensitive
+//! callers should go through [`crate::backend::Backend`].
 
 use crate::matrix::{MatMut, MatRef, Matrix};
 
@@ -119,7 +125,10 @@ mod tests {
     fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
         a.rows() == b.rows()
             && a.cols() == b.cols()
-            && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs()))
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs()))
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! with `v_j[j] = 1` implicit, stored below the diagonal; `R` is stored on and
 //! above the diagonal.
 
+use crate::backend::{Backend, BackendKind};
 use crate::blas1::nrm2;
-use crate::gemm::{gemm, matmul, Trans};
+use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef, Matrix};
 
 /// Result of a Householder factorization: packed `V\R` storage plus the
@@ -163,6 +164,12 @@ pub fn larft(v: MatRef<'_>, tau: &[f64]) -> Matrix {
 /// `v` is `m × k` unit-lower-trapezoidal (as stored by [`panel_qr`]),
 /// `t` is the `k × k` factor from [`larft`], `c` is `m × n`.
 pub fn apply_block_reflector(v: MatRef<'_>, t: MatRef<'_>, c: MatMut<'_>) {
+    apply_block_reflector_with(v, t, c, BackendKind::default_kind().get())
+}
+
+/// [`apply_block_reflector`] with an explicit kernel backend for the three
+/// level-3 products.
+pub fn apply_block_reflector_with(v: MatRef<'_>, t: MatRef<'_>, c: MatMut<'_>, backend: &dyn Backend) {
     let k = v.cols();
     if k == 0 || c.cols() == 0 {
         return;
@@ -177,11 +184,11 @@ pub fn apply_block_reflector(v: MatRef<'_>, t: MatRef<'_>, c: MatMut<'_>) {
         vfull.set(i, i, 1.0);
     }
     // W = Vᵀ C  (k × n)
-    let w = matmul(vfull.as_ref(), Trans::Yes, c.rb(), Trans::No);
+    let w = backend.matmul(vfull.as_ref(), Trans::Yes, c.rb(), Trans::No);
     // W ← Tᵀ W
-    let tw = matmul(t, Trans::Yes, w.as_ref(), Trans::No);
+    let tw = backend.matmul(t, Trans::Yes, w.as_ref(), Trans::No);
     // C ← C − V W
-    gemm(-1.0, vfull.as_ref(), Trans::No, tw.as_ref(), Trans::No, 1.0, c);
+    backend.gemm(-1.0, vfull.as_ref(), Trans::No, tw.as_ref(), Trans::No, 1.0, c);
 }
 
 /// Factors an `m × k` panel in place and returns `(τ, T)`; the panel is left
@@ -193,8 +200,14 @@ pub fn panel_qr(mut panel: MatMut<'_>) -> (Vec<f64>, Matrix) {
     (tau, t)
 }
 
-/// Blocked Householder QR of `a` in place. Returns the factors.
+/// Blocked Householder QR of `a` in place. Returns the factors. Uses the
+/// process default backend for the trailing updates.
 pub fn householder_qr(a: &Matrix) -> QrFactors {
+    householder_qr_with(a, BackendKind::default_kind().get())
+}
+
+/// [`householder_qr`] with an explicit kernel backend.
+pub fn householder_qr_with(a: &Matrix, backend: &dyn Backend) -> QrFactors {
     let mut packed = a.clone();
     let (m, n) = (packed.rows(), packed.cols());
     let kmax = m.min(n);
@@ -213,7 +226,7 @@ pub fn householder_qr(a: &Matrix) -> QrFactors {
             let all = packed.view_mut(j, 0, m - j, n);
             let (left, trailing) = all.split_cols(j + nb);
             let v = left.rb().sub(0, j, m - j, nb);
-            apply_block_reflector(v, t.as_ref(), trailing);
+            apply_block_reflector_with(v, t.as_ref(), trailing, backend);
         }
         tau.append(&mut panel_taus);
         j += nb;
@@ -243,8 +256,13 @@ pub fn form_q(f: &QrFactors) -> Matrix {
 /// Convenience: full reduced QR returning `(Q, R)` with `Q` `m × n`
 /// orthonormal and `R` `n × n` upper triangular (requires `m ≥ n`).
 pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+    qr_with(a, BackendKind::default_kind().get())
+}
+
+/// [`qr`] with an explicit kernel backend.
+pub fn qr_with(a: &Matrix, backend: &dyn Backend) -> (Matrix, Matrix) {
     assert!(a.rows() >= a.cols(), "reduced QR requires m >= n");
-    let f = householder_qr(a);
+    let f = householder_qr_with(a, backend);
     (form_q(&f), f.r())
 }
 
@@ -254,7 +272,9 @@ mod tests {
     use crate::norms::{frobenius, orthogonality_error, residual_error};
 
     fn pseudo(m: usize, n: usize) -> Matrix {
-        Matrix::from_fn(m, n, |i, j| ((i * n + j) as f64 * 0.37).sin() + if i == j { 2.0 } else { 0.0 })
+        Matrix::from_fn(m, n, |i, j| {
+            ((i * n + j) as f64 * 0.37).sin() + if i == j { 2.0 } else { 0.0 }
+        })
     }
 
     #[test]

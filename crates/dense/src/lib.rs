@@ -7,22 +7,41 @@
 //!
 //! * [`Matrix`] — an owned row-major `f64` matrix with strided views
 //!   ([`MatRef`]/[`MatMut`]) that make blocked algorithms natural.
-//! * [`gemm()`] — general matrix multiply with transpose flags.
-//! * [`syrk()`] — symmetric rank-k update `C = AᵀA`.
-//! * [`trsm`] — triangular solves and multiplies.
+//! * [`backend`] — the pluggable BLAS-3 kernel layer: a [`Backend`] trait
+//!   with two implementations, [`backend::Naive`] (the audited loop-nest
+//!   oracle) and [`backend::Blocked`] (packed cache-blocked panels, an
+//!   `MR × NR` register-tiled microkernel, optional block-level threading).
+//!   Select by value with [`BackendKind`]; the process default is `Blocked`
+//!   (`CACQR_BACKEND=naive` overrides).
+//! * [`gemm()`] — general matrix multiply with transpose flags (the naive
+//!   reference path; backend-routed code calls `Backend::gemm`).
+//! * [`syrk()`] — symmetric rank-k update `C = AᵀA` (naive reference).
+//! * [`trsm`] — triangular solves and multiplies (naive reference).
 //! * [`cholesky`] — blocked Cholesky, triangular inversion, and the paper's
-//!   joint `CholInv` recursion (Algorithm 2).
+//!   joint `CholInv` recursion (Algorithm 2). BLAS-3 work routes through a
+//!   backend (`*_with` variants take it explicitly).
 //! * [`householder`] — blocked Householder QR (the sequential reference and
-//!   the kernel under the ScaLAPACK-like baseline).
+//!   the kernel under the ScaLAPACK-like baseline); block-reflector
+//!   applications route through a backend.
 //! * [`svd`] — one-sided Jacobi SVD, used to measure condition numbers.
+//!   (Pure BLAS-1 column rotations — there is no BLAS-3 call to route
+//!   through a backend.)
 //! * [`norms`] — error metrics (orthogonality, residual, triangularity).
 //! * [`random`] — seeded Gaussian matrices and prescribed-κ test matrices.
 //! * [`flops`] — the floating-point-operation conventions charged to the
-//!   α-β-γ cost ledger (chosen to match the paper's accounting).
+//!   α-β-γ cost ledger (chosen to match the paper's accounting). Charges
+//!   depend only on operand shapes, never on the backend, so cost-model
+//!   exactness is backend-invariant.
 //!
 //! All kernels are deterministic; given identical inputs they produce
-//! bitwise-identical outputs, which the distributed tests rely on.
+//! bitwise-identical outputs (independent of thread count), which the
+//! distributed tests rely on.
 
+// Index-based loops are the house style for the numeric kernels: the
+// subscripts mirror the paper's subscripted recurrences.
+#![allow(clippy::needless_range_loop)]
+
+pub mod backend;
 pub mod blas1;
 pub mod cholesky;
 pub mod flops;
@@ -35,7 +54,8 @@ pub mod svd;
 pub mod syrk;
 pub mod trsm;
 
-pub use cholesky::{cholinv, potrf, trtri_lower, CholeskyError};
+pub use backend::{Backend, BackendKind};
+pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, trtri_lower, trtri_lower_with, CholeskyError};
 pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};
 pub use matrix::{MatMut, MatRef, Matrix};

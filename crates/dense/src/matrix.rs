@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -95,13 +99,25 @@ impl Matrix {
     /// Immutable view of the whole matrix.
     #[inline]
     pub fn as_ref(&self) -> MatRef<'_> {
-        MatRef { ptr: self.data.as_ptr(), rows: self.rows, cols: self.cols, stride: self.cols, _life: PhantomData }
+        MatRef {
+            ptr: self.data.as_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            _life: PhantomData,
+        }
     }
 
     /// Mutable view of the whole matrix.
     #[inline]
     pub fn as_mut(&mut self) -> MatMut<'_> {
-        MatMut { ptr: self.data.as_mut_ptr(), rows: self.rows, cols: self.cols, stride: self.cols, _life: PhantomData }
+        MatMut {
+            ptr: self.data.as_mut_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            _life: PhantomData,
+        }
     }
 
     /// Immutable view of the `nr × nc` submatrix anchored at `(r0, c0)`.
@@ -296,16 +312,55 @@ impl<'a> MatMut<'a> {
         unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.stride), self.cols) }
     }
 
+    /// Base pointer of the view (row-major, `stride()` elements between
+    /// consecutive rows). For splitting schemes the built-in `split_*`
+    /// helpers cannot express (e.g. the blocked backend's dynamic
+    /// block-parallel partition).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+        self.ptr
+    }
+
+    /// Reassembles a view from raw parts.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads and writes of every element addressed
+    /// by `(rows, cols, stride)` for the lifetime `'a`, and the caller must
+    /// guarantee no other live view aliases those elements mutably.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, stride: usize) -> MatMut<'a> {
+        MatMut {
+            ptr,
+            rows,
+            cols,
+            stride,
+            _life: PhantomData,
+        }
+    }
+
     /// Reborrows as an immutable view.
     #[inline]
     pub fn rb(&self) -> MatRef<'_> {
-        MatRef { ptr: self.ptr, rows: self.rows, cols: self.cols, stride: self.stride, _life: PhantomData }
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _life: PhantomData,
+        }
     }
 
     /// Reborrows as a shorter-lived mutable view.
     #[inline]
     pub fn rb_mut(&mut self) -> MatMut<'_> {
-        MatMut { ptr: self.ptr, rows: self.rows, cols: self.cols, stride: self.stride, _life: PhantomData }
+        MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _life: PhantomData,
+        }
     }
 
     /// Consumes the view, returning the `nr × nc` sub-view at `(r0, c0)`.
@@ -323,7 +378,13 @@ impl<'a> MatMut<'a> {
     /// Splits into (top, bottom) at row `r`.
     pub fn split_rows(self, r: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(r <= self.rows);
-        let top = MatMut { ptr: self.ptr, rows: r, cols: self.cols, stride: self.stride, _life: PhantomData };
+        let top = MatMut {
+            ptr: self.ptr,
+            rows: r,
+            cols: self.cols,
+            stride: self.stride,
+            _life: PhantomData,
+        };
         let bot = MatMut {
             ptr: unsafe { self.ptr.add(r * self.stride) },
             rows: self.rows - r,
@@ -337,7 +398,13 @@ impl<'a> MatMut<'a> {
     /// Splits into (left, right) at column `c`.
     pub fn split_cols(self, c: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(c <= self.cols);
-        let left = MatMut { ptr: self.ptr, rows: self.rows, cols: c, stride: self.stride, _life: PhantomData };
+        let left = MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: c,
+            stride: self.stride,
+            _life: PhantomData,
+        };
         let right = MatMut {
             ptr: unsafe { self.ptr.add(c) },
             rows: self.rows,
@@ -359,7 +426,11 @@ impl<'a> MatMut<'a> {
 
     /// Copies the contents of `src` (same shape) into this view.
     pub fn copy_from(&mut self, src: MatRef<'_>) {
-        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()), "copy_from shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows(), src.cols()),
+            "copy_from shape mismatch"
+        );
         for i in 0..self.rows {
             self.row_mut(i).copy_from_slice(src.row(i));
         }

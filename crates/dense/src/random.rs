@@ -9,24 +9,56 @@
 use crate::gemm::{gemm, Trans};
 use crate::householder::qr;
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-/// Standard-normal sample via Box–Muller (rand 0.8 ships no normal
-/// distribution without the `rand_distr` crate, which is out of scope).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        let u2: f64 = rng.gen::<f64>();
-        if u1 > f64::MIN_POSITIVE {
-            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+/// Self-contained deterministic RNG (splitmix64): the workspace builds
+/// offline, so the `rand` crate is unavailable; this generator is more than
+/// adequate for test matrices and keeps seeded streams stable across
+/// platforms and toolchains.
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Seeds the stream; equal seeds give bitwise-equal streams.
+    pub fn seed_from_u64(seed: u64) -> SeededRng {
+        SeededRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x2545_f491_4f6c_dd1d,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.uniform();
+            let u2 = self.uniform();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
         }
     }
 }
 
+fn gaussian(rng: &mut SeededRng) -> f64 {
+    rng.gaussian()
+}
+
 /// `m × n` matrix of i.i.d. standard normals.
 pub fn gaussian_matrix(m: usize, n: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut data = Vec::with_capacity(m * n);
     for _ in 0..m * n {
         data.push(gaussian(&mut rng));
@@ -106,7 +138,10 @@ mod tests {
         let a = matrix_with_condition(60, 12, cond, 3);
         let sv = singular_values(&a);
         let measured = sv[0] / sv[sv.len() - 1];
-        assert!((measured / cond - 1.0).abs() < 1e-6, "κ measured {measured}, wanted {cond}");
+        assert!(
+            (measured / cond - 1.0).abs() < 1e-6,
+            "κ measured {measured}, wanted {cond}"
+        );
     }
 
     #[test]

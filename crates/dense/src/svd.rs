@@ -55,7 +55,10 @@ pub fn singular_values(a: &Matrix) -> Vec<f64> {
             break;
         }
     }
-    let mut sv: Vec<f64> = cols.iter().map(|col| col.iter().map(|v| v * v).sum::<f64>().sqrt()).collect();
+    let mut sv: Vec<f64> = cols
+        .iter()
+        .map(|col| col.iter().map(|v| v * v).sum::<f64>().sqrt())
+        .collect();
     sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
     sv
 }

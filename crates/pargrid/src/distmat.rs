@@ -34,13 +34,24 @@ pub struct DistMatrix {
 impl DistMatrix {
     /// Local block dimensions for a given global size and distribution.
     pub fn local_dims(grows: usize, gcols: usize, rp: usize, cp: usize, my_r: usize, my_c: usize) -> (usize, usize) {
-        (crate::dist::local_count(grows, my_r, rp), crate::dist::local_count(gcols, my_c, cp))
+        (
+            crate::dist::local_count(grows, my_r, rp),
+            crate::dist::local_count(gcols, my_c, cp),
+        )
     }
 
     /// A zero-initialized distributed matrix.
     pub fn zeros(grows: usize, gcols: usize, rp: usize, cp: usize, my_r: usize, my_c: usize) -> DistMatrix {
         let (lr, lc) = Self::local_dims(grows, gcols, rp, cp, my_r, my_c);
-        DistMatrix { local: Matrix::zeros(lr, lc), grows, gcols, rp, cp, my_r, my_c }
+        DistMatrix {
+            local: Matrix::zeros(lr, lc),
+            grows,
+            gcols,
+            rp,
+            cp,
+            my_r,
+            my_c,
+        }
     }
 
     /// Extracts this processor's cyclic piece of a (replicated) global matrix.
@@ -48,7 +59,15 @@ impl DistMatrix {
         let (grows, gcols) = (global.rows(), global.cols());
         let (lr, lc) = Self::local_dims(grows, gcols, rp, cp, my_r, my_c);
         let local = Matrix::from_fn(lr, lc, |li, lj| global.get(li * rp + my_r, lj * cp + my_c));
-        DistMatrix { local, grows, gcols, rp, cp, my_r, my_c }
+        DistMatrix {
+            local,
+            grows,
+            gcols,
+            rp,
+            cp,
+            my_r,
+            my_c,
+        }
     }
 
     /// Builds a distributed piece directly from an index function over
@@ -65,7 +84,15 @@ impl DistMatrix {
     ) -> DistMatrix {
         let (lr, lc) = Self::local_dims(grows, gcols, rp, cp, my_r, my_c);
         let local = Matrix::from_fn(lr, lc, |li, lj| f(li * rp + my_r, lj * cp + my_c));
-        DistMatrix { local, grows, gcols, rp, cp, my_r, my_c }
+        DistMatrix {
+            local,
+            grows,
+            gcols,
+            rp,
+            cp,
+            my_r,
+            my_c,
+        }
     }
 
     /// Global index of local entry `(li, lj)`.
@@ -105,7 +132,11 @@ mod tests {
         let g = test_matrix(12, 8);
         let (rp, cp) = (4, 2);
         let pieces: Vec<Vec<Matrix>> = (0..rp)
-            .map(|r| (0..cp).map(|c| DistMatrix::from_global(&g, rp, cp, r, c).local).collect())
+            .map(|r| {
+                (0..cp)
+                    .map(|c| DistMatrix::from_global(&g, rp, cp, r, c).local)
+                    .collect()
+            })
             .collect();
         let re = DistMatrix::assemble(12, 8, rp, cp, &pieces);
         assert_eq!(re, g);
@@ -142,7 +173,11 @@ mod tests {
         let g = test_matrix(7, 5);
         let (rp, cp) = (2, 2);
         let pieces: Vec<Vec<Matrix>> = (0..rp)
-            .map(|r| (0..cp).map(|c| DistMatrix::from_global(&g, rp, cp, r, c).local).collect())
+            .map(|r| {
+                (0..cp)
+                    .map(|c| DistMatrix::from_global(&g, rp, cp, r, c).local)
+                    .collect()
+            })
             .collect();
         assert_eq!(pieces[0][0].rows(), 4); // rows 0,2,4,6
         assert_eq!(pieces[1][0].rows(), 3); // rows 1,3,5

@@ -126,7 +126,14 @@ impl CubeComms {
         }
         slice_members.sort_unstable();
         let slice = Comm::subset(rank, slice_members);
-        CubeComms { c, coords, row, col, depth, slice }
+        CubeComms {
+            c,
+            coords,
+            row,
+            col,
+            depth,
+            slice,
+        }
     }
 
     /// Index of cube coordinates `(x, ŷ)` within the slice communicator.
@@ -168,9 +175,22 @@ impl TunableComms {
         let row = Comm::subset(rank, (0..c).map(|i| shape.rank_of(i, y, z)).collect());
         let depth = Comm::subset(rank, (0..c).map(|k| shape.rank_of(x, y, k)).collect());
         let ygroup = Comm::subset(rank, (0..c).map(|j| shape.rank_of(x, group * c + j, z)).collect());
-        let ystride = Comm::subset(rank, (0..shape.subcubes()).map(|g| shape.rank_of(x, g * c + (y % c), z)).collect());
+        let ystride = Comm::subset(
+            rank,
+            (0..shape.subcubes())
+                .map(|g| shape.rank_of(x, g * c + (y % c), z))
+                .collect(),
+        );
         let subcube = CubeComms::build(rank, c, (x, y % c, z), |i, j, k| shape.rank_of(i, group * c + j, k));
-        TunableComms { shape, coords: (x, y, z), row, depth, ygroup, ystride, subcube }
+        TunableComms {
+            shape,
+            coords: (x, y, z),
+            row,
+            depth,
+            ygroup,
+            ystride,
+            subcube,
+        }
     }
 
     /// Index of this rank's subcube (its contiguous y-group), in `[0, d/c)`.
@@ -226,7 +246,10 @@ mod tests {
             assert_eq!(comms.subcube.row.my_index(), x);
             assert_eq!(comms.subcube.col.my_index(), y % shape.c);
             assert_eq!(comms.subcube.depth.my_index(), z);
-            assert_eq!(comms.subcube.slice.my_index(), comms.subcube.slice_index(x, y % shape.c));
+            assert_eq!(
+                comms.subcube.slice.my_index(),
+                comms.subcube.slice_index(x, y % shape.c)
+            );
             (x, y, z)
         });
         // Every coordinate triple appears exactly once.

@@ -1,0 +1,255 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in fully offline environments where the registry is
+//! unreachable, so the real criterion cannot be resolved. This crate provides
+//! the subset of criterion's surface API the benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timer: each benchmark is warmed up once, run `sample_size`
+//! times, and its minimum / mean / maximum per-iteration times are printed.
+//!
+//! The output format is one TSV-ish line per benchmark, stable enough for
+//! scripts to scrape:
+//!
+//! ```text
+//! gemm/256                time: [min 1.23 ms  mean 1.31 ms  max 1.52 ms]  thrpt: 25.61 Melem/s
+//! ```
+//!
+//! Passing `--test` (as `cargo test` does for harness-free bench targets)
+//! runs every benchmark exactly once, unmeasured.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint that prevents the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // One untimed warmup pass.
+        black_box(f());
+        self.recorded.clear();
+        self.recorded.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.recorded.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn report(full_name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{full_name:<48}ran (unmeasured)");
+        return;
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let mut line = format!(
+        "{full_name:<48}time: [min {}  mean {}  max {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => line += &format!("  thrpt: {:.2} Melem/s", per_sec(n) / 1e6),
+            Throughput::Bytes(n) => line += &format!("  thrpt: {:.2} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            recorded: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&full, &b.recorded, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.recorded, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing left to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: self.default_samples,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            test_mode: self.test_mode,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.recorded, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as the real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -231,7 +231,11 @@ impl Comm {
     fn reduce_scatter_blocks(&self, rank: &mut Rank, buf: &mut [f64]) -> usize {
         let p = self.size();
         let n = buf.len();
-        assert_eq!(n % p, 0, "reduce buffer length {n} not divisible by communicator size {p}");
+        assert_eq!(
+            n % p,
+            0,
+            "reduce buffer length {n} not divisible by communicator size {p}"
+        );
         let b = n / p;
         let me = self.my_index();
         let tag = self.next_tag();

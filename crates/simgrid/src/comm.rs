@@ -32,13 +32,21 @@ impl Comm {
     /// rank; order defines member indices and must be identical on all
     /// members — use sorted global ids).
     pub fn from_members(rank: &mut Rank, members: Vec<usize>) -> Comm {
-        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "member list must be strictly sorted");
+        debug_assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "member list must be strictly sorted"
+        );
         let my_index = members
             .iter()
             .position(|&m| m == rank.id())
             .expect("calling rank must be a member of its communicator");
         let comm_id = rank.alloc_comm_id();
-        Comm { members, my_index, comm_id, next_seq: Cell::new(0) }
+        Comm {
+            members,
+            my_index,
+            comm_id,
+            next_seq: Cell::new(0),
+        }
     }
 
     /// Collectively creates a sub-communicator. Every rank of the parent must

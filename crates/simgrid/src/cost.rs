@@ -1,14 +1,12 @@
 //! Per-rank cost ledgers.
 
-use serde::{Deserialize, Serialize};
-
 /// Running totals of communication and computation charged to one rank.
 ///
 /// Word counts are in 8-byte `f64` units (matching the β convention of the
 /// paper's model). Flops are whatever the algorithm layer charges through
 /// [`crate::Rank::charge_flops`] — by convention the counts in
 /// `dense::flops`.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostLedger {
     /// Number of messages sent.
     pub msgs_sent: u64,
@@ -53,8 +51,20 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = CostLedger { msgs_sent: 5, words_sent: 100, msgs_recv: 4, words_recv: 80, flops: 1000.0 };
-        let b = CostLedger { msgs_sent: 2, words_sent: 30, msgs_recv: 1, words_recv: 10, flops: 400.0 };
+        let a = CostLedger {
+            msgs_sent: 5,
+            words_sent: 100,
+            msgs_recv: 4,
+            words_recv: 80,
+            flops: 1000.0,
+        };
+        let b = CostLedger {
+            msgs_sent: 2,
+            words_sent: 30,
+            msgs_recv: 1,
+            words_recv: 10,
+            flops: 400.0,
+        };
         let d = a.since(&b);
         assert_eq!(d.msgs_sent, 3);
         assert_eq!(d.words_sent, 70);

@@ -16,10 +16,8 @@
 //! peak terms, ≈ 8 in sustained terms (KNL sustains a larger fraction of
 //! peak in DGEMM than the Bulldozer cores do).
 
-use serde::{Deserialize, Serialize};
-
 /// An α-β-γ machine: cost parameters per process.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Machine {
     /// Latency: seconds per message.
     pub alpha: f64,
@@ -33,23 +31,39 @@ impl Machine {
     /// Zero-cost machine: use for pure functional/correctness runs where
     /// virtual time is irrelevant.
     pub const fn zero() -> Machine {
-        Machine { alpha: 0.0, beta: 0.0, gamma: 0.0 }
+        Machine {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
     }
 
     /// Counts latency hops only (`α = 1`, `β = γ = 0`): the run's elapsed
     /// virtual time equals the synchronization cost in units of α.
     pub const fn alpha_only() -> Machine {
-        Machine { alpha: 1.0, beta: 0.0, gamma: 0.0 }
+        Machine {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
     }
 
     /// Counts words on the critical path only (`β = 1`).
     pub const fn beta_only() -> Machine {
-        Machine { alpha: 0.0, beta: 1.0, gamma: 0.0 }
+        Machine {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        }
     }
 
     /// Counts flops on the critical path only (`γ = 1`).
     pub const fn gamma_only() -> Machine {
-        Machine { alpha: 0.0, beta: 0.0, gamma: 1.0 }
+        Machine {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+        }
     }
 
     /// Per-process machine derived from node-level specs.
@@ -62,7 +76,11 @@ impl Machine {
     ///   flat-MPI configuration).
     pub fn from_node_specs(node_flops: f64, node_bw_bytes: f64, alpha: f64, ppn: usize) -> Machine {
         let p = ppn as f64;
-        Machine { alpha, beta: 8.0 * p / node_bw_bytes, gamma: p / node_flops }
+        Machine {
+            alpha,
+            beta: 8.0 * p / node_bw_bytes,
+            gamma: p / node_flops,
+        }
     }
 
     /// Stampede2-like KNL machine at the given processes-per-node.

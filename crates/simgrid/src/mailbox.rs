@@ -5,8 +5,15 @@
 //! envelope arrives. Envelopes carry the sender's virtual departure time so
 //! the receiver can synchronize its clock (see `runtime`).
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, ignoring poisoning: ranks that panic abort the whole
+/// simulated run anyway, so a poisoned queue is never observed by a
+/// continuing rank.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A message in flight: payload plus the sender's virtual departure time.
 #[derive(Debug)]
@@ -34,7 +41,7 @@ impl Mailbox {
 
     /// Deposits an envelope from `src` with tag `tag`.
     pub fn post(&self, src: usize, tag: u64, env: Envelope) {
-        let mut q = self.queues.lock();
+        let mut q = lock_unpoisoned(&self.queues);
         q.entry((src, tag)).or_default().push_back(env);
         self.available.notify_all();
     }
@@ -42,7 +49,7 @@ impl Mailbox {
     /// Blocks until an envelope from `src` with tag `tag` is available and
     /// removes it.
     pub fn take(&self, src: usize, tag: u64) -> Envelope {
-        let mut q = self.queues.lock();
+        let mut q = lock_unpoisoned(&self.queues);
         loop {
             if let Some(queue) = q.get_mut(&(src, tag)) {
                 if let Some(env) = queue.pop_front() {
@@ -52,13 +59,13 @@ impl Mailbox {
                     return env;
                 }
             }
-            self.available.wait(&mut q);
+            q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Number of messages currently queued (for diagnostics and tests).
     pub fn pending(&self) -> usize {
-        self.queues.lock().values().map(|v| v.len()).sum()
+        lock_unpoisoned(&self.queues).values().map(|v| v.len()).sum()
     }
 }
 
@@ -70,8 +77,22 @@ mod tests {
     #[test]
     fn fifo_per_key() {
         let mb = Mailbox::new();
-        mb.post(0, 7, Envelope { data: vec![1.0], depart: 0.0 });
-        mb.post(0, 7, Envelope { data: vec![2.0], depart: 0.0 });
+        mb.post(
+            0,
+            7,
+            Envelope {
+                data: vec![1.0],
+                depart: 0.0,
+            },
+        );
+        mb.post(
+            0,
+            7,
+            Envelope {
+                data: vec![2.0],
+                depart: 0.0,
+            },
+        );
         assert_eq!(mb.take(0, 7).data, vec![1.0]);
         assert_eq!(mb.take(0, 7).data, vec![2.0]);
     }
@@ -79,9 +100,30 @@ mod tests {
     #[test]
     fn keys_do_not_cross_match() {
         let mb = Mailbox::new();
-        mb.post(0, 1, Envelope { data: vec![1.0], depart: 0.0 });
-        mb.post(1, 1, Envelope { data: vec![2.0], depart: 0.0 });
-        mb.post(0, 2, Envelope { data: vec![3.0], depart: 0.0 });
+        mb.post(
+            0,
+            1,
+            Envelope {
+                data: vec![1.0],
+                depart: 0.0,
+            },
+        );
+        mb.post(
+            1,
+            1,
+            Envelope {
+                data: vec![2.0],
+                depart: 0.0,
+            },
+        );
+        mb.post(
+            0,
+            2,
+            Envelope {
+                data: vec![3.0],
+                depart: 0.0,
+            },
+        );
         assert_eq!(mb.take(1, 1).data, vec![2.0]);
         assert_eq!(mb.take(0, 2).data, vec![3.0]);
         assert_eq!(mb.take(0, 1).data, vec![1.0]);
@@ -94,7 +136,14 @@ mod tests {
         let mb2 = mb.clone();
         let handle = std::thread::spawn(move || mb2.take(3, 9).data);
         std::thread::sleep(std::time::Duration::from_millis(20));
-        mb.post(3, 9, Envelope { data: vec![42.0], depart: 1.5 });
+        mb.post(
+            3,
+            9,
+            Envelope {
+                data: vec![42.0],
+                depart: 1.5,
+            },
+        );
         assert_eq!(handle.join().unwrap(), vec![42.0]);
     }
 }

@@ -21,19 +21,28 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { machine: Machine::zero(), sync_collectives: true }
+        SimConfig {
+            machine: Machine::zero(),
+            sync_collectives: true,
+        }
     }
 }
 
 impl SimConfig {
     /// Config with a machine model and the default synchronous accounting.
     pub fn with_machine(machine: Machine) -> SimConfig {
-        SimConfig { machine, sync_collectives: true }
+        SimConfig {
+            machine,
+            sync_collectives: true,
+        }
     }
 
     /// Fully asynchronous critical-path accounting.
     pub fn asynchronous(machine: Machine) -> SimConfig {
-        SimConfig { machine, sync_collectives: false }
+        SimConfig {
+            machine,
+            sync_collectives: false,
+        }
     }
 }
 
@@ -43,8 +52,8 @@ impl SimConfig {
 /// device, not a communication operation.
 #[derive(Default)]
 pub struct BarrierTable {
-    inner: parking_lot::Mutex<std::collections::HashMap<(u64, usize), BarrierEntry>>,
-    cv: parking_lot::Condvar,
+    inner: std::sync::Mutex<std::collections::HashMap<(u64, usize), BarrierEntry>>,
+    cv: std::sync::Condvar,
 }
 
 #[derive(Default)]
@@ -57,7 +66,7 @@ struct BarrierEntry {
 
 impl BarrierTable {
     fn sync(&self, key: (u64, usize), size: usize, clock: f64) -> f64 {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         {
             let e = g.entry(key).or_default();
             e.arrived += 1;
@@ -68,7 +77,7 @@ impl BarrierTable {
             }
         }
         while !g.get(&key).map(|e| e.complete).unwrap_or(false) {
-            self.cv.wait(&mut g);
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         let e = g.get_mut(&key).expect("barrier entry must exist until all depart");
         let result = e.max_clock;
@@ -171,7 +180,14 @@ impl Rank {
         self.clock += self.machine.alpha + n as f64 * self.machine.beta;
         self.ledger.msgs_sent += 1;
         self.ledger.words_sent += n as u64;
-        self.boxes[dst].post(self.id, tag, Envelope { data: data.to_vec(), depart: self.clock });
+        self.boxes[dst].post(
+            self.id,
+            tag,
+            Envelope {
+                data: data.to_vec(),
+                depart: self.clock,
+            },
+        );
     }
 
     /// Like [`Rank::send`] but consumes the buffer, avoiding a copy.
@@ -182,7 +198,14 @@ impl Rank {
         self.clock += self.machine.alpha + n as f64 * self.machine.beta;
         self.ledger.msgs_sent += 1;
         self.ledger.words_sent += n as u64;
-        self.boxes[dst].post(self.id, tag, Envelope { data, depart: self.clock });
+        self.boxes[dst].post(
+            self.id,
+            tag,
+            Envelope {
+                data,
+                depart: self.clock,
+            },
+        );
     }
 
     /// Receives the message from global rank `src` with tag `tag`, blocking
@@ -295,7 +318,11 @@ where
         ledgers.push(ledger);
         elapsed = elapsed.max(clock);
     }
-    SimReport { results, ledgers, elapsed }
+    SimReport {
+        results,
+        ledgers,
+        elapsed,
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +339,11 @@ mod tests {
     #[test]
     fn ring_pass_moves_data_and_time() {
         // Rank i sends i as f64 to rank (i+1) % p; elapsed = α + β per hop.
-        let machine = Machine { alpha: 1.0, beta: 0.5, gamma: 0.0 };
+        let machine = Machine {
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 0.0,
+        };
         let p = 4;
         let report = run_spmd(p, SimConfig::with_machine(machine), |rank| {
             let me = rank.id();
@@ -337,7 +368,11 @@ mod tests {
     fn clock_chains_through_relays() {
         // 0 -> 1 -> 2 relay: rank 2's clock must reflect both hops (2α),
         // even though rank 2 itself sent nothing.
-        let machine = Machine { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let machine = Machine {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         let report = run_spmd(3, SimConfig::with_machine(machine), |rank| match rank.id() {
             0 => {
                 rank.send(1, 0, &[7.0]);

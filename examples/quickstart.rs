@@ -2,11 +2,16 @@
 //! `c × d × c` processor grid and check the result.
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! Pick the node-local kernel backend with `CfrParams::with_backend`
+//! (as below) or process-wide via the environment:
+//! `CACQR_BACKEND=naive cargo run --release --example quickstart`.
 
 use ca_cqr2::cacqr::validate::run_cacqr2_global;
 use ca_cqr2::cacqr::CfrParams;
 use ca_cqr2::dense::norms::{orthogonality_error, residual_error};
 use ca_cqr2::dense::random::well_conditioned;
+use ca_cqr2::dense::BackendKind;
 use ca_cqr2::pargrid::GridShape;
 use ca_cqr2::simgrid::Machine;
 
@@ -16,24 +21,55 @@ fn main() {
     let a = well_conditioned(m, n, 42);
 
     // A 2 × 8 × 2 tunable grid: P = c²·d = 32 simulated processors.
+    // Node-local gemm/syrk/trsm go through the default kernel backend
+    // (the packed cache-blocked one, or whatever CACQR_BACKEND says).
+    // To pin a backend in code instead:
+    //   CfrParams::default_for(n, shape.c).with_backend(BackendKind::Naive)
+    // — identical communication schedule and cost ledger, slower wall-clock.
     let shape = GridShape::new(2, 8).expect("valid grid");
     let params = CfrParams::default_for(n, shape.c);
+    assert_eq!(params.backend, BackendKind::default_kind());
 
     // Factor on the simulated Stampede2-like machine: every rank owns only
     // its cyclic piece; communication goes through the α-β-γ runtime.
     let machine = Machine::stampede2(64);
     let run = run_cacqr2_global(&a, shape, params, machine).expect("well-conditioned input");
 
-    println!("CA-CQR2 on a {}x{}x{} grid (P = {}):", shape.c, shape.d, shape.c, shape.p());
-    println!("  A: {m} x {n}, Q: {} x {}, R: {} x {}", run.q.rows(), run.q.cols(), run.r.rows(), run.r.cols());
-    println!("  orthogonality  |QtQ - I|_F   = {:.3e}", orthogonality_error(run.q.as_ref()));
-    println!("  residual       |A - QR|/|A|  = {:.3e}", residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()));
-    println!("  simulated time on Stampede2-like machine: {:.3} ms", run.elapsed * 1e3);
+    println!(
+        "CA-CQR2 on a {}x{}x{} grid (P = {}), {} backend:",
+        shape.c,
+        shape.d,
+        shape.c,
+        shape.p(),
+        params.backend
+    );
+    println!(
+        "  A: {m} x {n}, Q: {} x {}, R: {} x {}",
+        run.q.rows(),
+        run.q.cols(),
+        run.r.rows(),
+        run.r.cols()
+    );
+    println!(
+        "  orthogonality  |QtQ - I|_F   = {:.3e}",
+        orthogonality_error(run.q.as_ref())
+    );
+    println!(
+        "  residual       |A - QR|/|A|  = {:.3e}",
+        residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref())
+    );
+    println!(
+        "  simulated time on Stampede2-like machine: {:.3} ms",
+        run.elapsed * 1e3
+    );
     let words: u64 = run.ledgers.iter().map(|l| l.words_sent).sum();
     let flops: f64 = run.ledgers.iter().map(|l| l.flops).sum();
     println!("  total words communicated: {words}, total flops: {flops:.3e}");
 
     // Compare against sequential Householder QR.
     let (qh, _) = ca_cqr2::dense::householder::qr(&a);
-    println!("  Householder reference orthogonality = {:.3e}", orthogonality_error(qh.as_ref()));
+    println!(
+        "  Householder reference orthogonality = {:.3e}",
+        orthogonality_error(qh.as_ref())
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
 
     for cal in [MachineCal::stampede2(), MachineCal::bluewaters()] {
         let p = cal.ppn * nodes;
-        println!("=== {} ({} ppn, P = {p}) — {m} x {n} on {nodes} nodes ===", cal.name, cal.ppn);
+        println!(
+            "=== {} ({} ppn, P = {p}) — {m} x {n} on {nodes} nodes ===",
+            cal.name, cal.ppn
+        );
         println!("algorithm      config               alpha_s    beta_s     gamma_s    total_s   Gf/node");
         let mut best_ca = f64::INFINITY;
         let mut c = 1usize;

@@ -19,19 +19,34 @@ fn fmt(res: Result<f64, String>) -> String {
 fn main() {
     let (m, n) = (128usize, 12usize);
     println!("orthogonality error |QtQ - I|_F for {m} x {n} matrices of growing condition number\n");
-    println!("{:>8}  {:>12}  {:>11}  {:>11}  {:>11}  {:>11}", "kappa", "measured", "CQR", "CQR2", "sCQR3", "Householder");
+    println!(
+        "{:>8}  {:>12}  {:>11}  {:>11}  {:>11}  {:>11}",
+        "kappa", "measured", "CQR", "CQR2", "sCQR3", "Householder"
+    );
     for exp in [0i32, 2, 4, 6, 8, 10, 12] {
         let kappa = 10f64.powi(exp);
         let a = matrix_with_condition(m, n, kappa, 77 + exp as u64);
         let measured = condition_number(&a);
 
-        let e_cqr = cqr(&a).map(|(q, _)| orthogonality_error(q.as_ref())).map_err(|e| format!("pivot {}", e.index));
-        let e_cqr2 = cqr2(&a).map(|(q, _)| orthogonality_error(q.as_ref())).map_err(|e| format!("pivot {}", e.index));
-        let e_s3 = shifted_cqr3(&a).map(|(q, _)| orthogonality_error(q.as_ref())).map_err(|e| format!("pivot {}", e.index));
+        let e_cqr = cqr(&a)
+            .map(|(q, _)| orthogonality_error(q.as_ref()))
+            .map_err(|e| format!("pivot {}", e.index));
+        let e_cqr2 = cqr2(&a)
+            .map(|(q, _)| orthogonality_error(q.as_ref()))
+            .map_err(|e| format!("pivot {}", e.index));
+        let e_s3 = shifted_cqr3(&a)
+            .map(|(q, _)| orthogonality_error(q.as_ref()))
+            .map_err(|e| format!("pivot {}", e.index));
         let (qh, _) = ca_cqr2::dense::householder::qr(&a);
         let e_h = orthogonality_error(qh.as_ref());
 
-        println!("{:>8}  {measured:>12.2e}  {}  {}  {}  {e_h:>11.2e}", format!("1e{exp}"), fmt(e_cqr), fmt(e_cqr2), fmt(e_s3));
+        println!(
+            "{:>8}  {measured:>12.2e}  {}  {}  {}  {e_h:>11.2e}",
+            format!("1e{exp}"),
+            fmt(e_cqr),
+            fmt(e_cqr2),
+            fmt(e_s3)
+        );
     }
     println!();
     println!("reading guide:");

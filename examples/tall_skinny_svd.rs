@@ -32,7 +32,11 @@ fn main() {
     let sv_a = singular_values(&a);
 
     println!("tall-skinny SVD of a {m} x {n} matrix with prescribed kappa = {kappa:.0e}");
-    println!("  (QR on {} simulated ranks took {:.3} ms of virtual time)\n", shape.p(), run.elapsed * 1e3);
+    println!(
+        "  (QR on {} simulated ranks took {:.3} ms of virtual time)\n",
+        shape.p(),
+        run.elapsed * 1e3
+    );
     println!("  i   sigma_i(from R)   sigma_i(direct)   rel.diff");
     let mut worst: f64 = 0.0;
     for i in 0..n {
@@ -45,6 +49,9 @@ fn main() {
         }
     }
     println!("\n  max relative singular-value error: {worst:.2e}");
-    println!("  measured kappa from R: {:.4e} (target {kappa:.0e})", sv_r[0] / sv_r[n - 1]);
+    println!(
+        "  measured kappa from R: {:.4e} (target {kappa:.0e})",
+        sv_r[0] / sv_r[n - 1]
+    );
     assert!(worst < 1e-10, "singular values via QR must match the direct SVD");
 }

@@ -38,9 +38,15 @@ fn cacqr2_exact_over_parameter_sweep() {
         let shape = GridShape::new(c, d).unwrap();
         let model = costmodel::ca_cqr2(m, n, c, d, base, inv);
         let a = measure_cacqr2(shape, m, n, base, inv, Machine::alpha_only());
-        assert_eq!(a, model.alpha, "alpha mismatch at c={c} d={d} m={m} n={n} n0={base} id={inv}");
+        assert_eq!(
+            a, model.alpha,
+            "alpha mismatch at c={c} d={d} m={m} n={n} n0={base} id={inv}"
+        );
         let b = measure_cacqr2(shape, m, n, base, inv, Machine::beta_only());
-        assert_eq!(b, model.beta, "beta mismatch at c={c} d={d} m={m} n={n} n0={base} id={inv}");
+        assert_eq!(
+            b, model.beta,
+            "beta mismatch at c={c} d={d} m={m} n={n} n0={base} id={inv}"
+        );
         let g = measure_cacqr2(shape, m, n, base, inv, Machine::gamma_only());
         assert!(
             (g - model.gamma).abs() < 1e-9 * model.gamma.max(1.0),
@@ -56,7 +62,11 @@ fn mixed_machine_time_is_separable() {
     // exactly — the property that lets the figures decompose cost.
     let shape = GridShape::new(2, 8).unwrap();
     let (m, n, base, inv) = (64usize, 16usize, 4usize, 0usize);
-    let machine = Machine { alpha: 1e-3, beta: 1e-6, gamma: 1e-9 };
+    let machine = Machine {
+        alpha: 1e-3,
+        beta: 1e-6,
+        gamma: 1e-9,
+    };
     let total = measure_cacqr2(shape, m, n, base, inv, machine);
     let model = costmodel::ca_cqr2(m, n, 2, 8, base, inv);
     let predicted = model.time(&machine);
@@ -73,7 +83,15 @@ fn asynchronous_mode_is_never_slower() {
     // bound on the synchronous (paper-accounting) time.
     let shape = GridShape::new(2, 8).unwrap();
     let (m, n) = (64usize, 16usize);
-    for machine in [Machine::alpha_only(), Machine::beta_only(), Machine { alpha: 1.0, beta: 0.5, gamma: 1e-6 }] {
+    for machine in [
+        Machine::alpha_only(),
+        Machine::beta_only(),
+        Machine {
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 1e-6,
+        },
+    ] {
         let sync = measure_cacqr2(shape, m, n, 4, 0, machine);
         let (c, d) = (shape.c, shape.d);
         let async_t = run_spmd(shape.p(), SimConfig::asynchronous(machine), move |rank| {
@@ -91,7 +109,11 @@ fn asynchronous_mode_is_never_slower() {
 
 #[test]
 fn pgeqrf_model_tracks_implementation() {
-    for (m, n, pr, pc, nb) in [(128usize, 32usize, 4usize, 2usize, 8usize), (256, 64, 8, 2, 16), (128, 64, 2, 4, 16)] {
+    for (m, n, pr, pc, nb) in [
+        (128usize, 32usize, 4usize, 2usize, 8usize),
+        (256, 64, 8, 2, 16),
+        (128, 64, 2, 4, 16),
+    ] {
         let grid = baseline::BlockCyclic { pr, pc, nb };
         let model = costmodel::pgeqrf(m, n, pr, pc, nb);
         for (machine, label, expect) in [
@@ -133,6 +155,12 @@ fn ledger_words_match_beta_totals() {
     let total_sent: u64 = report.results.iter().map(|l| l.words_sent).sum();
     let total_recv: u64 = report.results.iter().map(|l| l.words_recv).sum();
     assert_eq!(total_sent, total_recv, "every sent word must be received");
-    assert!(report.elapsed >= max_sent as f64, "critical path can't undercut the busiest rank");
-    assert!(report.elapsed <= total_sent as f64, "critical path can't exceed total traffic");
+    assert!(
+        report.elapsed >= max_sent as f64,
+        "critical path can't undercut the busiest rank"
+    );
+    assert!(
+        report.elapsed <= total_sent as f64,
+        "critical path can't exceed total traffic"
+    );
 }

@@ -19,7 +19,10 @@ fn repeated_cacqr2_runs_are_bitwise_identical() {
         let again = run_cacqr2_global(&a, shape, params, Machine::stampede2(64)).unwrap();
         assert_eq!(first.q, again.q, "Q must be bitwise reproducible");
         assert_eq!(first.r, again.r, "R must be bitwise reproducible");
-        assert_eq!(first.elapsed, again.elapsed, "virtual time must be bitwise reproducible");
+        assert_eq!(
+            first.elapsed, again.elapsed,
+            "virtual time must be bitwise reproducible"
+        );
         assert_eq!(first.ledgers, again.ledgers, "ledgers must be bitwise reproducible");
     }
 }
@@ -67,19 +70,26 @@ fn asynchronous_mode_is_also_deterministic() {
     let shape = GridShape::new(2, 4).unwrap();
     let run_once = || {
         let a = well_conditioned(32, 8, 3);
-        run_spmd(shape.p(), SimConfig::asynchronous(Machine::stampede2(64)), move |rank| {
-            let comms = pargrid::TunableComms::build(rank, shape);
-            let (x, y, _) = comms.coords;
-            let al = pargrid::DistMatrix::from_global(&a, 4, 2, y, x);
-            let params = CfrParams::validated(8, 2, 4, 0).unwrap();
-            cacqr::ca_cqr2(rank, &comms, &al.local, 8, &params).unwrap();
-            rank.clock()
-        })
+        run_spmd(
+            shape.p(),
+            SimConfig::asynchronous(Machine::stampede2(64)),
+            move |rank| {
+                let comms = pargrid::TunableComms::build(rank, shape);
+                let (x, y, _) = comms.coords;
+                let al = pargrid::DistMatrix::from_global(&a, 4, 2, y, x);
+                let params = CfrParams::validated(8, 2, 4, 0).unwrap();
+                cacqr::ca_cqr2(rank, &comms, &al.local, 8, &params).unwrap();
+                rank.clock()
+            },
+        )
     };
     let first = run_once();
     for _ in 0..3 {
         let again = run_once();
-        assert_eq!(first.results, again.results, "per-rank clocks must be schedule-independent");
+        assert_eq!(
+            first.results, again.results,
+            "per-rank clocks must be schedule-independent"
+        );
         assert_eq!(first.elapsed, again.elapsed);
     }
 }

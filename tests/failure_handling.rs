@@ -118,5 +118,8 @@ fn pgeqrf_handles_rank_deficiency_gracefully() {
     let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 4 };
     let run = baseline::run_pgeqrf_global(&a, grid, Machine::zero());
     assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
-    assert!(run.r.get(7, 7).abs() < 1e-12, "zero column must give a zero diagonal in R");
+    assert!(
+        run.r.get(7, 7).abs() < 1e-12,
+        "zero column must give a zero diagonal in R"
+    );
 }

@@ -30,7 +30,10 @@ fn assert_same_factorization(label: &str, qa: &Matrix, ra: &Matrix, qb: &Matrix,
     normalize_qr_signs(&mut qa, &mut ra);
     normalize_qr_signs(&mut qb, &mut rb);
     for (u, v) in ra.data().iter().zip(rb.data()) {
-        assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()), "{label}: R factors differ: {u} vs {v}");
+        assert!(
+            (u - v).abs() < 1e-9 * (1.0 + v.abs()),
+            "{label}: R factors differ: {u} vs {v}"
+        );
     }
     for (u, v) in qa.data().iter().zip(qb.data()) {
         assert!((u - v).abs() < 1e-9, "{label}: Q factors differ: {u} vs {v}");

@@ -44,7 +44,10 @@ fn cqr2_matches_householder_within_its_domain() {
         let (qh, _) = dense::householder::qr(&a);
         let e2 = orthogonality_error(q2.as_ref());
         let eh = orthogonality_error(qh.as_ref());
-        assert!(e2 < 20.0 * eh.max(1e-15), "κ=1e{exp}: CQR2 {e2:.2e} vs Householder {eh:.2e}");
+        assert!(
+            e2 < 20.0 * eh.max(1e-15),
+            "κ=1e{exp}: CQR2 {e2:.2e} vs Householder {eh:.2e}"
+        );
     }
 }
 
