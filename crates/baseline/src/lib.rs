@@ -25,4 +25,4 @@ pub mod blockcyclic;
 pub mod pgeqrf;
 
 pub use blockcyclic::BlockCyclic;
-pub use pgeqrf::{pgeqrf, pgeqrf_form_q, run_pgeqrf_global, PgeqrfConfig, PgeqrfRun};
+pub use pgeqrf::{pgeqrf, pgeqrf_form_q, run_pgeqrf_global, PgeqrfComms, PgeqrfConfig, PgeqrfRun};

@@ -70,20 +70,9 @@ impl PgeqrfComms {
 /// Factors the distributed matrix in place (packed `V\R` storage, as LAPACK)
 /// and returns the broadcast panels for later use by [`pgeqrf_form_q`].
 ///
-/// `a_local` is this process's piece per [`BlockCyclic`]; `m ≥ n`, `nb | n`.
+/// `a_local` is this process's piece per the [`BlockCyclic`] in `config`;
+/// `m ≥ n`, `nb | n`. Local gemms go through the config's kernel backend.
 pub fn pgeqrf(
-    rank: &mut Rank,
-    comms: &PgeqrfComms,
-    grid: BlockCyclic,
-    a_local: &mut Matrix,
-    m: usize,
-    n: usize,
-) -> Vec<Panel> {
-    pgeqrf_with(rank, comms, PgeqrfConfig::new(grid), a_local, m, n)
-}
-
-/// [`pgeqrf`] with an explicit kernel backend (from [`PgeqrfConfig`]).
-pub fn pgeqrf_with(
     rank: &mut Rank,
     comms: &PgeqrfComms,
     config: PgeqrfConfig,
@@ -290,18 +279,6 @@ pub fn pgeqrf_with(
 pub fn pgeqrf_form_q(
     rank: &mut Rank,
     comms: &PgeqrfComms,
-    grid: BlockCyclic,
-    panels: &[Panel],
-    m: usize,
-    n: usize,
-) -> Matrix {
-    pgeqrf_form_q_with(rank, comms, PgeqrfConfig::new(grid), panels, m, n)
-}
-
-/// [`pgeqrf_form_q`] with an explicit kernel backend.
-pub fn pgeqrf_form_q_with(
-    rank: &mut Rank,
-    comms: &PgeqrfComms,
     config: PgeqrfConfig,
     panels: &[Panel],
     m: usize,
@@ -377,13 +354,12 @@ pub struct PgeqrfRun {
 }
 
 /// Scatters `a`, runs PGEQRF + Q formation on the simulator, reassembles.
-pub fn run_pgeqrf_global(a: &Matrix, grid: BlockCyclic, machine: simgrid::Machine) -> PgeqrfRun {
-    run_pgeqrf_global_with(a, PgeqrfConfig::new(grid), machine)
-}
-
-/// [`run_pgeqrf_global`] with an explicit kernel backend (from
-/// [`PgeqrfConfig`]).
-pub fn run_pgeqrf_global_with(a: &Matrix, config: PgeqrfConfig, machine: simgrid::Machine) -> PgeqrfRun {
+///
+/// This is the expert layer; most callers should factor through a
+/// `QrPlan` with `Algorithm::Pgeqrf` (see the `cacqr` crate's `driver`
+/// module), which validates the configuration and returns the unified
+/// report type.
+pub fn run_pgeqrf_global(a: &Matrix, config: PgeqrfConfig, machine: simgrid::Machine) -> PgeqrfRun {
     let grid = config.grid;
     let (m, n) = (a.rows(), a.cols());
     let p = grid.pr * grid.pc;
@@ -391,8 +367,8 @@ pub fn run_pgeqrf_global_with(a: &Matrix, config: PgeqrfConfig, machine: simgrid
     let report = simgrid::run_spmd(p, simgrid::SimConfig::with_machine(machine), move |rank| {
         let comms = PgeqrfComms::build(rank, grid);
         let mut local = grid.scatter(&a, comms.prow, comms.pcol);
-        let panels = pgeqrf_with(rank, &comms, config, &mut local, m, n);
-        let q = pgeqrf_form_q_with(rank, &comms, config, &panels, m, n);
+        let panels = pgeqrf(rank, &comms, config, &mut local, m, n);
+        let q = pgeqrf_form_q(rank, &comms, config, &panels, m, n);
         (comms.prow, comms.pcol, local, q)
     });
     let mut packed: Vec<Vec<Matrix>> = (0..grid.pr)
@@ -430,7 +406,7 @@ mod tests {
     fn check(m: usize, n: usize, pr: usize, pc: usize, nb: usize, seed: u64) -> PgeqrfRun {
         let a = well_conditioned(m, n, seed);
         let grid = BlockCyclic { pr, pc, nb };
-        let run = run_pgeqrf_global(&a, grid, Machine::zero());
+        let run = run_pgeqrf_global(&a, PgeqrfConfig::new(grid), Machine::zero());
         assert!(
             orthogonality_error(run.q.as_ref()) < 1e-12,
             "orthogonality {:.2e} for grid {pr}x{pc} nb={nb}",
@@ -490,8 +466,8 @@ mod tests {
         let grid = BlockCyclic { pr: 4, pc: 1, nb: 4 };
         let a1 = well_conditioned(128, 16, 7);
         let a2 = well_conditioned(128, 32, 7);
-        let r1 = run_pgeqrf_global(&a1, grid, Machine::alpha_only());
-        let r2 = run_pgeqrf_global(&a2, grid, Machine::alpha_only());
+        let r1 = run_pgeqrf_global(&a1, PgeqrfConfig::new(grid), Machine::alpha_only());
+        let r2 = run_pgeqrf_global(&a2, PgeqrfConfig::new(grid), Machine::alpha_only());
         let ratio = r2.elapsed / r1.elapsed;
         assert!(
             (1.6..=2.4).contains(&ratio),

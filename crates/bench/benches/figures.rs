@@ -3,29 +3,22 @@
 //! full-scale model evaluations the figure binaries use. `cargo bench`
 //! therefore exercises every code path behind every figure.
 
-use cacqr::CfrParams;
+use cacqr::QrPlan;
 use costmodel::MachineCal;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dense::random::well_conditioned;
-use pargrid::{DistMatrix, GridShape, TunableComms};
-use simgrid::{run_spmd, Machine, SimConfig};
+use pargrid::GridShape;
+use simgrid::Machine;
 
 /// Scaled-down execution of one CA-CQR2 configuration (the figures' workload).
 fn run_ca(m: usize, n: usize, c: usize, d: usize, inv: usize) -> f64 {
-    let shape = GridShape::new(c, d).unwrap();
-    let base = (n / (c * c)).max(c).min(n);
-    let params = CfrParams::validated(n, c, base, inv).unwrap();
-    run_spmd(
-        shape.p(),
-        SimConfig::with_machine(Machine::stampede2(64)),
-        move |rank| {
-            let comms = TunableComms::build(rank, shape);
-            let (x, y, _) = comms.coords;
-            let al = DistMatrix::from_global(&well_conditioned(m, n, 11), d, c, y, x);
-            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
-        },
-    )
-    .elapsed
+    let plan = QrPlan::new(m, n)
+        .grid(GridShape::new(c, d).unwrap())
+        .inverse_depth(inv)
+        .machine(Machine::stampede2(64))
+        .build()
+        .unwrap();
+    plan.factor(&well_conditioned(m, n, 11)).unwrap().elapsed
 }
 
 fn bench_fig1_strong(crit: &mut Criterion) {
@@ -101,8 +94,12 @@ fn bench_stability_workload(crit: &mut Criterion) {
     let mut g = crit.benchmark_group("stability_workload");
     g.sample_size(10);
     let a = dense::random::matrix_with_condition(192, 16, 1e4, 5);
-    g.bench_function("cqr2_kappa1e4", |b| b.iter(|| cacqr::cqr2(&a).unwrap()));
-    g.bench_function("shifted_cqr3_kappa1e4", |b| b.iter(|| cacqr::shifted_cqr3(&a).unwrap()));
+    g.bench_function("cqr2_kappa1e4", |b| {
+        b.iter(|| cacqr::cqr2(&a, dense::BackendKind::default_kind()).unwrap())
+    });
+    g.bench_function("shifted_cqr3_kappa1e4", |b| {
+        b.iter(|| cacqr::shifted_cqr3(&a, dense::BackendKind::default_kind()).unwrap())
+    });
     g.finish();
 }
 

@@ -68,7 +68,7 @@ fn bench_cqr2_sequential(c: &mut Criterion) {
     for &(m, n) in &[(512usize, 64usize), (1024, 128)] {
         let a = well_conditioned(m, n, 3);
         g.bench_with_input(BenchmarkId::new("cqr2", format!("{m}x{n}")), &m, |bench, _| {
-            bench.iter(|| cacqr::cqr2(&a).unwrap());
+            bench.iter(|| cacqr::cqr2(&a, dense::BackendKind::default_kind()).unwrap());
         });
     }
     g.finish();

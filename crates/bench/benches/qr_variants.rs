@@ -1,23 +1,25 @@
 //! Wall-clock of the full QR algorithms at laptop scale: sequential
-//! references and all distributed variants on the threaded simulator.
+//! references, all distributed variants through the `QrPlan` facade, and
+//! the plan-reuse (batching) path.
 
-use cacqr::validate::{run_cacqr2_global, run_cqr2_1d_global};
-use cacqr::CfrParams;
+use baseline::BlockCyclic;
+use cacqr::{Algorithm, QrPlan};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dense::random::well_conditioned;
+use dense::BackendKind;
 use pargrid::GridShape;
-use simgrid::Machine;
 
 fn bench_sequential(c: &mut Criterion) {
     let mut g = c.benchmark_group("qr_sequential");
     g.sample_size(10);
     let (m, n) = (1024usize, 64usize);
     let a = well_conditioned(m, n, 1);
+    let be = BackendKind::default_kind();
     g.bench_function("householder", |b| b.iter(|| dense::householder::qr(&a)));
-    g.bench_function("cqr2", |b| b.iter(|| cacqr::cqr2(&a).unwrap()));
-    g.bench_function("shifted_cqr3", |b| b.iter(|| cacqr::shifted_cqr3(&a).unwrap()));
+    g.bench_function("cqr2", |b| b.iter(|| cacqr::cqr2(&a, be).unwrap()));
+    g.bench_function("shifted_cqr3", |b| b.iter(|| cacqr::shifted_cqr3(&a, be).unwrap()));
     g.bench_function("panel_cqr2_b16", |b| {
-        b.iter(|| cacqr::panel::panel_cqr2(&a, 16, true).unwrap())
+        b.iter(|| cacqr::panel::panel_cqr2(&a, 16, true, be).unwrap())
     });
     g.finish();
 }
@@ -28,32 +30,60 @@ fn bench_distributed(c: &mut Criterion) {
     let (m, n) = (256usize, 32usize);
     let a = well_conditioned(m, n, 2);
 
-    let a1 = a.clone();
-    g.bench_function("cqr2_1d_p8", |b| {
-        b.iter(|| run_cqr2_1d_global(&a1, 8, Machine::zero()).unwrap().q.get(0, 0));
-    });
-
-    for &(cc, d) in &[(1usize, 8usize), (2, 4), (2, 8)] {
-        let a2 = a.clone();
-        let shape = GridShape::new(cc, d).unwrap();
-        let params = CfrParams::default_for(n, cc);
-        g.bench_with_input(BenchmarkId::new("cacqr2", format!("c{cc}d{d}")), &d, |b, _| {
-            b.iter(|| {
-                run_cacqr2_global(&a2, shape, params, Machine::zero())
-                    .unwrap()
-                    .q
-                    .get(0, 0)
-            });
+    // Every algorithm through the same facade, 16 ranks each.
+    for alg in Algorithm::ALL {
+        let plan = QrPlan::new(m, n)
+            .algorithm(alg)
+            .grid(GridShape::new(2, 4).unwrap())
+            .block_cyclic(BlockCyclic { pr: 4, pc: 4, nb: 8 })
+            .build()
+            .unwrap();
+        g.bench_function(BenchmarkId::new("facade", alg.name()), |b| {
+            b.iter(|| plan.factor(&a).unwrap().q.get(0, 0));
         });
     }
 
-    let a3 = a.clone();
-    let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 };
-    g.bench_function("pgeqrf_4x2", |b| {
-        b.iter(|| baseline::run_pgeqrf_global(&a3, grid, Machine::zero()).q.get(0, 0));
+    // CA-CQR2 across grid shapes.
+    for &(cc, d) in &[(1usize, 8usize), (2, 8)] {
+        let plan = QrPlan::new(m, n).grid(GridShape::new(cc, d).unwrap()).build().unwrap();
+        g.bench_with_input(BenchmarkId::new("cacqr2", format!("c{cc}d{d}")), &d, |b, _| {
+            b.iter(|| plan.factor(&a).unwrap().q.get(0, 0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    // The batching primitive: amortizing one validated plan over a batch of
+    // same-shape matrices versus rebuilding the plan for every call.
+    let mut g = c.benchmark_group("plan_reuse");
+    g.sample_size(10);
+    let (m, n) = (256usize, 32usize);
+    let shape = GridShape::new(2, 4).unwrap();
+    let batch: Vec<_> = (0..8u64).map(|s| well_conditioned(m, n, 100 + s)).collect();
+
+    let plan = QrPlan::new(m, n).grid(shape).build().unwrap();
+    g.bench_function("one_plan_batch8", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in &batch {
+                acc += plan.factor(a).unwrap().q.get(0, 0);
+            }
+            acc
+        });
+    });
+    g.bench_function("rebuild_per_call_batch8", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in &batch {
+                let plan = QrPlan::new(m, n).grid(shape).build().unwrap();
+                acc += plan.factor(a).unwrap().q.get(0, 0);
+            }
+            acc
+        });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_sequential, bench_distributed);
+criterion_group!(benches, bench_sequential, bench_distributed, bench_plan_reuse);
 criterion_main!(benches);

@@ -9,26 +9,18 @@
 //!
 //! Run: `cargo run --release -p bench-harness --bin figs_simulated`
 
-use cacqr::CfrParams;
+use cacqr::QrPlan;
 use dense::random::well_conditioned;
-use pargrid::{DistMatrix, GridShape, TunableComms};
+use pargrid::GridShape;
 use simgrid::{run_spmd, Machine, SimConfig};
 
 fn simulate_ca(m: usize, n: usize, c: usize, d: usize) -> f64 {
-    let shape = GridShape::new(c, d).unwrap();
-    let base = (n / (c * c)).max(c).min(n);
-    let params = CfrParams::validated(n, c, base, 0).unwrap();
-    run_spmd(
-        shape.p(),
-        SimConfig::with_machine(Machine::stampede2(64)),
-        move |rank| {
-            let comms = TunableComms::build(rank, shape);
-            let (x, y, _) = comms.coords;
-            let al = DistMatrix::from_global(&well_conditioned(m, n, 17), d, c, y, x);
-            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
-        },
-    )
-    .elapsed
+    let plan = QrPlan::new(m, n)
+        .grid(GridShape::new(c, d).unwrap())
+        .machine(Machine::stampede2(64))
+        .build()
+        .unwrap();
+    plan.factor(&well_conditioned(m, n, 17)).unwrap().elapsed
 }
 
 fn simulate_pg(m: usize, n: usize, pr: usize, pc: usize, nb: usize) -> f64 {
@@ -36,7 +28,7 @@ fn simulate_pg(m: usize, n: usize, pr: usize, pc: usize, nb: usize) -> f64 {
     run_spmd(pr * pc, SimConfig::with_machine(Machine::stampede2(64)), move |rank| {
         let comms = baseline::pgeqrf::PgeqrfComms::build(rank, grid);
         let mut local = grid.scatter(&well_conditioned(m, n, 17), comms.prow, comms.pcol);
-        baseline::pgeqrf(rank, &comms, grid, &mut local, m, n);
+        baseline::pgeqrf(rank, &comms, baseline::PgeqrfConfig::new(grid), &mut local, m, n);
     })
     .elapsed
 }

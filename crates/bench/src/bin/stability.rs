@@ -13,13 +13,12 @@
 //!
 //! Run: `cargo run --release -p bench-harness --bin stability`
 
-use cacqr::validate::run_cacqr2_global;
-use cacqr::CfrParams;
+use cacqr::{Algorithm, QrPlan};
 use dense::norms::{orthogonality_error, residual_error};
 use dense::random::matrix_with_condition;
 use dense::svd::condition_number;
+use dense::BackendKind;
 use pargrid::GridShape;
-use simgrid::Machine;
 
 fn main() {
     let (m, n) = (192usize, 16usize);
@@ -38,8 +37,9 @@ fn main() {
             residual_error(a.as_ref(), q.as_ref(), r.as_ref())
         );
 
+        let be = BackendKind::default_kind();
         // Plain CholeskyQR.
-        match cacqr::cqr(&a) {
+        match cacqr::cqr(&a, be) {
             Ok((q, r)) => println!(
                 "1e{exp}\t{measured:.2e}\tCholeskyQR\t{:.2e}\t{:.2e}",
                 orthogonality_error(q.as_ref()),
@@ -49,7 +49,7 @@ fn main() {
         }
 
         // CholeskyQR2 (sequential).
-        match cacqr::cqr2(&a) {
+        match cacqr::cqr2(&a, be) {
             Ok((q, r)) => println!(
                 "1e{exp}\t{measured:.2e}\tCholeskyQR2\t{:.2e}\t{:.2e}",
                 orthogonality_error(q.as_ref()),
@@ -58,19 +58,26 @@ fn main() {
             Err(e) => println!("1e{exp}\t{measured:.2e}\tCholeskyQR2\tFAILED ({e})\t-"),
         }
 
-        // Distributed CA-CQR2 on a 2x4x2 grid: identical stability behaviour.
-        let shape = GridShape::new(2, 4).unwrap();
-        match run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 8, 0).unwrap(), Machine::zero()) {
-            Ok(run) => println!(
-                "1e{exp}\t{measured:.2e}\tCA-CQR2(2x4x2)\t{:.2e}\t{:.2e}",
-                orthogonality_error(run.q.as_ref()),
-                residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref())
-            ),
-            Err(e) => println!("1e{exp}\t{measured:.2e}\tCA-CQR2(2x4x2)\tFAILED ({e})\t-"),
+        // Distributed CA-CQR2 and CA-CQR3 on a 2x4x2 grid, through the
+        // facade: identical stability behaviour to their sequential kin.
+        for alg in [Algorithm::CaCqr2, Algorithm::CaCqr3] {
+            let plan = QrPlan::new(m, n)
+                .algorithm(alg)
+                .grid(GridShape::new(2, 4).unwrap())
+                .base_size(8)
+                .build()
+                .expect("valid plan");
+            match plan.factor(&a) {
+                Ok(run) => println!(
+                    "1e{exp}\t{measured:.2e}\t{alg}(2x4x2)\t{:.2e}\t{:.2e}",
+                    run.orthogonality_error, run.residual_error
+                ),
+                Err(e) => println!("1e{exp}\t{measured:.2e}\t{alg}(2x4x2)\tFAILED ({e})\t-"),
+            }
         }
 
         // Shifted CholeskyQR3 (the paper's §V future-work variant).
-        match cacqr::shifted_cqr3(&a) {
+        match cacqr::shifted_cqr3(&a, be) {
             Ok((q, r)) => println!(
                 "1e{exp}\t{measured:.2e}\tShiftedCQR3\t{:.2e}\t{:.2e}",
                 orthogonality_error(q.as_ref()),

@@ -76,7 +76,7 @@ fn main() {
         let meas = measure3(p, move |rank| {
             let world = rank.world();
             let al = DistMatrix::from_global(&well_conditioned(m, n, 5), p, 1, rank.id(), 0);
-            cacqr::cqr2_1d(rank, &world, &al.local).unwrap();
+            cacqr::cqr2_1d(rank, &world, &al.local, dense::BackendKind::default_kind()).unwrap();
         });
         row(&format!("1D-CQR2 P={p} m={m} n={n}"), meas, costmodel::cqr2_1d(m, n, p));
     }

@@ -120,7 +120,7 @@ pub fn ca_cqr_shifted(
     let (l_local, inv) = cfr3d(rank, &comms.subcube, &z_local, n, params)?;
 
     // Line 8: Q = A·R⁻¹ over the subcube.
-    let q_local = inv.apply_rinv_with(rank, &comms.subcube, a_local, params.backend);
+    let q_local = inv.apply_rinv(rank, &comms.subcube, a_local, params.backend);
 
     Ok(CaCqrOutput { q_local, l_local, inv })
 }
@@ -181,7 +181,7 @@ mod tests {
         let report = run_spmd(p, SimConfig::default(), move |rank| {
             let world = rank.world();
             let al = DistMatrix::from_global(&a2, p, 1, rank.id(), 0);
-            let (q, r) = crate::cqr1d::cqr1d(rank, &world, &al.local).unwrap();
+            let (q, r) = crate::cqr1d::cqr1d(rank, &world, &al.local, dense::BackendKind::default_kind()).unwrap();
             (rank.id(), q, r)
         });
         let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();

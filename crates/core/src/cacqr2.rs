@@ -7,7 +7,7 @@
 
 use crate::cacqr::{ca_cqr, CaCqrOutput};
 use crate::config::CfrParams;
-use crate::mm3d::{mm3d_with, transpose_cube};
+use crate::mm3d::{mm3d, transpose_cube};
 use dense::cholesky::CholeskyError;
 use dense::Matrix;
 use pargrid::TunableComms;
@@ -50,7 +50,7 @@ pub fn ca_cqr2(
     // Line 4: R = R₂·R₁ over the subcube (R_i = L_iᵀ).
     let r2 = transpose_cube(rank, &comms.subcube, &l2);
     let r1 = transpose_cube(rank, &comms.subcube, &l1);
-    let r_local = mm3d_with(rank, &comms.subcube, &r2, &r1, params.backend);
+    let r_local = mm3d(rank, &comms.subcube, &r2, &r1, params.backend);
     Ok(CaCqr2Output { q_local: q, r_local })
 }
 

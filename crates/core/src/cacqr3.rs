@@ -14,7 +14,7 @@
 use crate::cacqr::{ca_cqr_shifted, CaCqrOutput};
 use crate::cacqr2::{ca_cqr2, CaCqr2Output};
 use crate::config::CfrParams;
-use crate::mm3d::{mm3d_with, transpose_cube};
+use crate::mm3d::{mm3d, transpose_cube};
 use dense::cholesky::CholeskyError;
 use dense::Matrix;
 use pargrid::TunableComms;
@@ -75,7 +75,7 @@ pub fn ca_cqr3(
 
     // R = R₂₃ · R₁ over the subcube (R₁ = L₁ᵀ).
     let r1 = transpose_cube(rank, &comms.subcube, &l1);
-    let r_local = mm3d_with(rank, &comms.subcube, &r23, &r1, params.backend);
+    let r_local = mm3d(rank, &comms.subcube, &r23, &r1, params.backend);
     Ok(CaCqr2Output { q_local, r_local })
 }
 

@@ -24,7 +24,7 @@
 
 use crate::config::CfrParams;
 use crate::invtree::InvTree;
-use crate::mm3d::{mm3d_scaled_with, mm3d_with, transpose_cube};
+use crate::mm3d::{mm3d, mm3d_scaled, transpose_cube};
 use dense::cholesky::CholeskyError;
 use dense::Matrix;
 use pargrid::CubeComms;
@@ -76,11 +76,11 @@ fn recurse(
 
     // L21 <- A21 · Y11^T  (Transpose + MM3D for a Full inverse; recursive
     // block solve when the child is partially inverted).
-    let l21 = inv11.apply_rinv_with(rank, cube, &a21, params.backend);
+    let l21 = inv11.apply_rinv(rank, cube, &a21, params.backend);
 
     // Z <- A22 - L21·L21^T
     let l21t = transpose_cube(rank, cube, &l21);
-    let u = mm3d_with(rank, cube, &l21, &l21t, params.backend);
+    let u = mm3d(rank, cube, &l21, &l21t, params.backend);
     let mut z = a22;
     for (x, y) in z.data_mut().iter_mut().zip(u.data()) {
         *x -= y;
@@ -114,8 +114,8 @@ fn recurse(
             .expect("children below InverseDepth are fully inverted")
             .clone();
         // Y21 = -Y22·(L21·Y11)
-        let t = mm3d_with(rank, cube, &l21, &y11, params.backend);
-        let y21 = mm3d_scaled_with(rank, cube, -1.0, &y22, &t, params.backend);
+        let t = mm3d(rank, cube, &l21, &y11, params.backend);
+        let y21 = mm3d_scaled(rank, cube, -1.0, &y22, &t, params.backend);
         let mut y_local = Matrix::zeros(2 * hl, 2 * hl);
         y_local.view_mut(0, 0, hl, hl).copy_from(y11.as_ref());
         y_local.view_mut(hl, 0, hl, hl).copy_from(y21.as_ref());
@@ -186,7 +186,7 @@ mod tests {
             let (x, yh, z) = cube.coords;
             let al = DistMatrix::from_global(&a2, c, c, yh, x);
             let (l, inv) = cfr3d(rank, cube, &al.local, n, &params).expect("SPD input must factor");
-            let y = inv.densify(rank, cube);
+            let y = inv.densify(rank, cube, dense::BackendKind::default_kind());
             (x, yh, z, l, y)
         });
         let mut lp: Vec<Vec<Matrix>> = (0..c).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();

@@ -3,6 +3,66 @@
 
 use dense::BackendKind;
 
+/// Why a set of CFR3D parameters is invalid for a given matrix/grid.
+///
+/// Every variant captures the offending values, so a caller (or the
+/// [`crate::driver::PlanError`] wrapper) can report the exact constraint
+/// that failed instead of a formatted string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// `n`, `c`, or `n₀` is not a power of two (the recursion halves
+    /// dimensions, so every one of them must be).
+    NotPowerOfTwo {
+        /// Which quantity failed (`"n"`, `"c"`, or `"n0"`).
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// The base-case block must give every processor of a slice at least one
+    /// row/column: `n₀ ≥ c`.
+    BaseBelowGridEdge {
+        /// Requested base-case size.
+        base_size: usize,
+        /// Cube edge.
+        c: usize,
+    },
+    /// The base case cannot exceed the matrix: `n₀ ≤ n`.
+    BaseExceedsMatrix {
+        /// Requested base-case size.
+        base_size: usize,
+        /// Matrix dimension being factored.
+        n: usize,
+    },
+    /// `InverseDepth` is limited by the recursion depth `φ = log₂(n/n₀)`.
+    InverseDepthTooDeep {
+        /// Requested depth.
+        inverse_depth: usize,
+        /// Available recursion depth `φ`.
+        levels: usize,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what}={value} must be a power of two")
+            }
+            ParamError::BaseBelowGridEdge { base_size, c } => {
+                write!(f, "base size n0={base_size} must be at least the cube edge c={c}")
+            }
+            ParamError::BaseExceedsMatrix { base_size, n } => {
+                write!(f, "base size n0={base_size} exceeds matrix dimension n={n}")
+            }
+            ParamError::InverseDepthTooDeep { inverse_depth, levels } => {
+                write!(f, "inverse_depth={inverse_depth} exceeds recursion depth {levels}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// Tuning parameters of CFR3D (Algorithm 3) and the `Q = A·R⁻¹` solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CfrParams {
@@ -28,33 +88,62 @@ pub struct CfrParams {
 
 impl CfrParams {
     /// Validates parameters for factoring an `n × n` matrix over a cube of
-    /// edge `c`.
+    /// edge `c`, using the process-default kernel backend.
     ///
     /// Requirements: `n`, `c`, `base_size` powers of two with
     /// `c ≤ base_size ≤ n` (each processor must own at least one row/column
     /// of the base block) and `inverse_depth ≤ log₂(n / base_size)`.
-    pub fn validated(n: usize, c: usize, base_size: usize, inverse_depth: usize) -> Result<CfrParams, String> {
-        if !n.is_power_of_two() || !c.is_power_of_two() || !base_size.is_power_of_two() {
-            return Err(format!("n={n}, c={c}, n0={base_size} must all be powers of two"));
-        }
-        if base_size < c {
-            return Err(format!("base size n0={base_size} must be at least the cube edge c={c}"));
-        }
-        if base_size > n {
-            return Err(format!("base size n0={base_size} exceeds matrix dimension n={n}"));
-        }
-        let params = CfrParams {
+    pub fn validated(n: usize, c: usize, base_size: usize, inverse_depth: usize) -> Result<CfrParams, ParamError> {
+        CfrParams::validated_with(n, c, base_size, inverse_depth, BackendKind::default_kind())
+    }
+
+    /// [`CfrParams::validated`] with an explicit kernel backend — the chosen
+    /// backend is carried into the returned parameters instead of being
+    /// reset to the process default.
+    pub fn validated_with(
+        n: usize,
+        c: usize,
+        base_size: usize,
+        inverse_depth: usize,
+        backend: BackendKind,
+    ) -> Result<CfrParams, ParamError> {
+        CfrParams {
             base_size,
             inverse_depth,
-            backend: BackendKind::default_kind(),
-        };
-        let levels = params.levels(n);
-        if inverse_depth > levels {
-            return Err(format!(
-                "inverse_depth={inverse_depth} exceeds recursion depth {levels} (n={n}, n0={base_size})"
-            ));
+            backend,
         }
-        Ok(params)
+        .validate(n, c)
+    }
+
+    /// Validates `self` for factoring an `n × n` matrix over a cube of edge
+    /// `c`, preserving every field — including a previously chosen
+    /// [`BackendKind`] — on success.
+    pub fn validate(self, n: usize, c: usize) -> Result<CfrParams, ParamError> {
+        for (what, value) in [("n", n), ("c", c), ("n0", self.base_size)] {
+            if !value.is_power_of_two() {
+                return Err(ParamError::NotPowerOfTwo { what, value });
+            }
+        }
+        if self.base_size < c {
+            return Err(ParamError::BaseBelowGridEdge {
+                base_size: self.base_size,
+                c,
+            });
+        }
+        if self.base_size > n {
+            return Err(ParamError::BaseExceedsMatrix {
+                base_size: self.base_size,
+                n,
+            });
+        }
+        let levels = self.levels(n);
+        if self.inverse_depth > levels {
+            return Err(ParamError::InverseDepthTooDeep {
+                inverse_depth: self.inverse_depth,
+                levels,
+            });
+        }
+        Ok(self)
     }
 
     /// The paper's bandwidth-minimizing default: `n₀ = n/c²` (clamped to
@@ -106,11 +195,50 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_bad_configs() {
-        assert!(CfrParams::validated(64, 2, 1, 0).is_err(), "n0 < c");
-        assert!(CfrParams::validated(64, 2, 128, 0).is_err(), "n0 > n");
-        assert!(CfrParams::validated(48, 2, 16, 0).is_err(), "n not a power of two");
-        assert!(CfrParams::validated(64, 2, 16, 3).is_err(), "inverse_depth too deep");
+    fn validation_rejects_bad_configs_with_typed_errors() {
+        assert_eq!(
+            CfrParams::validated(64, 2, 1, 0),
+            Err(ParamError::BaseBelowGridEdge { base_size: 1, c: 2 })
+        );
+        assert_eq!(
+            CfrParams::validated(64, 2, 128, 0),
+            Err(ParamError::BaseExceedsMatrix { base_size: 128, n: 64 })
+        );
+        assert_eq!(
+            CfrParams::validated(48, 2, 16, 0),
+            Err(ParamError::NotPowerOfTwo { what: "n", value: 48 })
+        );
+        assert_eq!(
+            CfrParams::validated(64, 2, 16, 3),
+            Err(ParamError::InverseDepthTooDeep {
+                inverse_depth: 3,
+                levels: 2
+            })
+        );
         assert!(CfrParams::validated(64, 2, 16, 2).is_ok());
+    }
+
+    #[test]
+    fn errors_are_std_errors_with_display() {
+        let e = CfrParams::validated(48, 2, 16, 0).unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("48"), "display must carry the offending value: {msg}");
+        let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn validation_preserves_chosen_backend() {
+        // The historical bug: `validated` silently reset the backend to the
+        // process-wide default. Both explicit-backend paths must carry the
+        // caller's choice through.
+        for kind in BackendKind::ALL {
+            let p = CfrParams::validated_with(64, 2, 16, 1, kind).unwrap();
+            assert_eq!(p.backend, kind);
+            let q = CfrParams::default_for(64, 2)
+                .with_backend(kind)
+                .validate(64, 2)
+                .unwrap();
+            assert_eq!(q.backend, kind);
+        }
     }
 }

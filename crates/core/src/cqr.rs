@@ -18,14 +18,10 @@ use dense::trsm::trmm_upper_upper;
 use dense::{BackendKind, Matrix};
 
 /// One CholeskyQR pass (Algorithm 4): `A = QR` with `Q` having *nearly*
-/// orthonormal columns (error `O(ε·κ²)`) and `R` upper triangular. Uses the
-/// process default kernel backend.
-pub fn cqr(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    cqr_with(a, BackendKind::default_kind())
-}
-
-/// [`cqr`] with an explicit kernel backend.
-pub fn cqr_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
+/// orthonormal columns (error `O(ε·κ²)`) and `R` upper triangular. Local
+/// arithmetic goes through the given kernel backend (pass
+/// [`BackendKind::default_kind`] for the process default).
+pub fn cqr(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
     let be = backend.get();
     let w = be.syrk(a.as_ref());
     let (l, y) = cholinv_with(w.as_ref(), be)?; // W = LLᵀ; R = Lᵀ, R⁻¹ = Yᵀ
@@ -35,14 +31,9 @@ pub fn cqr_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), Ch
 
 /// CholeskyQR2 (Algorithm 5): two CQR passes; accuracy comparable to
 /// Householder QR for `κ(A) = O(1/√ε)`.
-pub fn cqr2(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    cqr2_with(a, BackendKind::default_kind())
-}
-
-/// [`cqr2`] with an explicit kernel backend.
-pub fn cqr2_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
-    let (q1, r1) = cqr_with(a, backend)?;
-    let (q, r2) = cqr_with(&q1, backend)?;
+pub fn cqr2(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
+    let (q1, r1) = cqr(a, backend)?;
+    let (q, r2) = cqr(&q1, backend)?;
     Ok((q, trmm_upper_upper(r2.as_ref(), r1.as_ref())))
 }
 
@@ -55,12 +46,7 @@ pub fn cqr2_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), C
 /// `κ(Q₁) = O(1)` and two further CholeskyQR passes (CQR2) finish the job.
 /// If the shifted Cholesky still fails (pathological input), the shift is
 /// grown ×100 up to a small number of retries.
-pub fn shifted_cqr3(a: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    shifted_cqr3_with(a, BackendKind::default_kind())
-}
-
-/// [`shifted_cqr3`] with an explicit kernel backend.
-pub fn shifted_cqr3_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
+pub fn shifted_cqr3(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
     let be = backend.get();
     let (m, n) = (a.rows(), a.cols());
     let norm2_bound = {
@@ -80,7 +66,7 @@ pub fn shifted_cqr3_with(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Ma
             Ok((l, y)) => {
                 let q1 = be.matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
                 let r1 = l.transposed();
-                let (q, r23) = cqr2_with(&q1, backend)?;
+                let (q, r23) = cqr2(&q1, backend)?;
                 return Ok((q, trmm_upper_upper(r23.as_ref(), r1.as_ref())));
             }
             Err(e) => {
@@ -101,7 +87,7 @@ mod tests {
     #[test]
     fn cqr_factorizes_well_conditioned() {
         let a = well_conditioned(60, 12, 1);
-        let (q, r) = cqr(&a).unwrap();
+        let (q, r) = cqr(&a, BackendKind::default_kind()).unwrap();
         assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13);
         assert!(orthogonality_error(q.as_ref()) < 1e-12);
         assert_eq!(lower_residual(r.as_ref()), 0.0);
@@ -111,8 +97,8 @@ mod tests {
     fn cqr2_repairs_orthogonality() {
         // κ = 1e4: CQR loses ~ε·κ² ≈ 1e-8 of orthogonality; CQR2 restores ~ε.
         let a = matrix_with_condition(80, 10, 1e4, 2);
-        let (q1, _) = cqr(&a).unwrap();
-        let (q2, r2) = cqr2(&a).unwrap();
+        let (q1, _) = cqr(&a, BackendKind::default_kind()).unwrap();
+        let (q2, r2) = cqr2(&a, BackendKind::default_kind()).unwrap();
         let e1 = orthogonality_error(q1.as_ref());
         let e2 = orthogonality_error(q2.as_ref());
         assert!(e1 > 1e-11, "CQR should visibly degrade at κ=1e4 (got {e1:.2e})");
@@ -125,7 +111,7 @@ mod tests {
         // κ ≈ 1e9 ≫ 1/√ε: AᵀA is numerically indefinite (Cholesky breaks)
         // or the computed Q is far from orthonormal.
         let a = matrix_with_condition(64, 8, 1e9, 3);
-        match cqr(&a) {
+        match cqr(&a, BackendKind::default_kind()) {
             Err(_) => {}
             Ok((q, _)) => assert!(orthogonality_error(q.as_ref()) > 1e-3),
         }
@@ -135,7 +121,7 @@ mod tests {
     fn shifted_cqr3_handles_extreme_condition() {
         for kappa in [1e8, 1e12] {
             let a = matrix_with_condition(96, 12, kappa, 4);
-            let (q, r) = shifted_cqr3(&a).expect("shifted CQR3 must not fail");
+            let (q, r) = shifted_cqr3(&a, BackendKind::default_kind()).expect("shifted CQR3 must not fail");
             assert!(
                 orthogonality_error(q.as_ref()) < 1e-12,
                 "κ={kappa}: orthogonality {:.2e}",
@@ -148,7 +134,7 @@ mod tests {
     #[test]
     fn r_factors_match_householder_up_to_sign() {
         let a = well_conditioned(50, 8, 7);
-        let (mut q_c, mut r_c) = cqr2(&a).unwrap();
+        let (mut q_c, mut r_c) = cqr2(&a, BackendKind::default_kind()).unwrap();
         let (mut q_h, mut r_h) = dense::householder::qr(&a);
         dense::norms::normalize_qr_signs(&mut q_c, &mut r_c);
         dense::norms::normalize_qr_signs(&mut q_h, &mut r_h);

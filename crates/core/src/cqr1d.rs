@@ -19,15 +19,10 @@ use dense::{BackendKind, Matrix};
 use simgrid::{Comm, Rank};
 
 /// One 1D-CholeskyQR pass (Algorithm 6). `a_local` holds this rank's cyclic
-/// rows; returns `(Q_local, R)` with `R` replicated on every rank. Uses the
-/// process default kernel backend.
-pub fn cqr1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    cqr1d_with(rank, comm, a_local, BackendKind::default_kind())
-}
-
-/// [`cqr1d`] with an explicit kernel backend for the local syrk, CholInv,
-/// and `Q = A·R⁻¹` products.
-pub fn cqr1d_with(
+/// rows; returns `(Q_local, R)` with `R` replicated on every rank. The local
+/// syrk, CholInv, and `Q = A·R⁻¹` products go through the given kernel
+/// backend (pass [`BackendKind::default_kind`] for the process default).
+pub fn cqr1d(
     rank: &mut Rank,
     comm: &Comm,
     a_local: &Matrix,
@@ -68,20 +63,15 @@ pub fn cqr1d_with(
 
 /// 1D-CholeskyQR2 (Algorithm 7): two 1D-CQR passes plus the local triangular
 /// update `R = R₂·R₁`.
-pub fn cqr2_1d(rank: &mut Rank, comm: &Comm, a_local: &Matrix) -> Result<(Matrix, Matrix), CholeskyError> {
-    cqr2_1d_with(rank, comm, a_local, BackendKind::default_kind())
-}
-
-/// [`cqr2_1d`] with an explicit kernel backend.
-pub fn cqr2_1d_with(
+pub fn cqr2_1d(
     rank: &mut Rank,
     comm: &Comm,
     a_local: &Matrix,
     backend: BackendKind,
 ) -> Result<(Matrix, Matrix), CholeskyError> {
     let n = a_local.cols();
-    let (q1, r1) = cqr1d_with(rank, comm, a_local, backend)?;
-    let (q, r2) = cqr1d_with(rank, comm, &q1, backend)?;
+    let (q1, r1) = cqr1d(rank, comm, a_local, backend)?;
+    let (q, r2) = cqr1d(rank, comm, &q1, backend)?;
     let r = trmm_upper_upper(r2.as_ref(), r1.as_ref());
     rank.charge_flops(dense::flops::triu_mul(n));
     Ok((q, r))
@@ -101,7 +91,7 @@ mod tests {
         let report = run_spmd(p, SimConfig::with_machine(Machine::alpha_only()), move |rank| {
             let world = rank.world();
             let al = DistMatrix::from_global(&a2, p, 1, rank.id(), 0);
-            let (q, r) = cqr2_1d(rank, &world, &al.local).expect("well-conditioned input");
+            let (q, r) = cqr2_1d(rank, &world, &al.local, BackendKind::default_kind()).expect("well-conditioned input");
             (rank.id(), q, r)
         });
         let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();
@@ -128,7 +118,7 @@ mod tests {
     #[test]
     fn single_rank_equals_sequential_cqr2() {
         let a = well_conditioned(40, 8, 5);
-        let (q_seq, r_seq) = crate::cqr::cqr2(&a).unwrap();
+        let (q_seq, r_seq) = crate::cqr::cqr2(&a, BackendKind::default_kind()).unwrap();
         let (q, r, _) = run_1d(1, 40, 8, 5);
         assert_eq!(q, q_seq, "P=1 must be bitwise identical to sequential CQR2");
         assert_eq!(r, r_seq);
@@ -150,7 +140,7 @@ mod tests {
         let report = run_spmd(p, SimConfig::default(), move |rank| {
             let world = rank.world();
             let al = DistMatrix::from_global(&a, p, 1, rank.id(), 0);
-            cqr2_1d(rank, &world, &al.local).unwrap();
+            cqr2_1d(rank, &world, &al.local, BackendKind::default_kind()).unwrap();
             rank.ledger().flops
         });
         let lr = m / p;

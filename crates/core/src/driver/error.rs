@@ -1,0 +1,155 @@
+//! The typed error surface of the [`QrPlan`](super::QrPlan) facade.
+//!
+//! Every way a plan can be rejected at [`build`](super::QrPlanBuilder::build)
+//! time — and every way a built plan can fail at
+//! [`factor`](super::QrPlan::factor) time — is a distinct [`PlanError`]
+//! variant carrying the offending values. Lower-layer errors
+//! ([`ParamError`], [`GridError`], [`CholeskyError`]) convert in via
+//! [`From`], so `?` composes across the layers.
+
+use super::Algorithm;
+use crate::config::ParamError;
+use dense::cholesky::CholeskyError;
+use pargrid::GridError;
+
+/// Why a [`QrPlan`](super::QrPlan) could not be built, or why a built plan
+/// could not factor the given matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// Invalid CFR3D parameters (base-case size / `InverseDepth` / grid
+    /// power-of-two constraints).
+    Param(ParamError),
+    /// Invalid `c × d × c` grid shape.
+    Grid(GridError),
+    /// The chosen algorithm needs a [`pargrid::GridShape`] but none was
+    /// supplied to the builder.
+    MissingGrid {
+        /// The algorithm that needed the grid.
+        algorithm: Algorithm,
+    },
+    /// `Algorithm::Pgeqrf` needs a [`baseline::BlockCyclic`] descriptor but
+    /// none was supplied to the builder.
+    MissingBlockCyclic,
+    /// The block-cyclic descriptor has a zero dimension or block size.
+    BlockCyclicZero {
+        /// Process-grid rows.
+        pr: usize,
+        /// Process-grid columns.
+        pc: usize,
+        /// Column block width.
+        nb: usize,
+    },
+    /// The algorithm's row partition must divide the row count evenly.
+    RowsNotDivisible {
+        /// Global row count.
+        m: usize,
+        /// Required divisor (`d` for the CA family, `P` for 1D-CQR2).
+        divisor: usize,
+        /// The algorithm imposing the constraint.
+        algorithm: Algorithm,
+    },
+    /// The CA family requires the grid's `c` to divide the column count.
+    ColsNotDivisible {
+        /// Global column count.
+        n: usize,
+        /// Required divisor (`c`).
+        divisor: usize,
+    },
+    /// `Algorithm::Pgeqrf` requires the panel width `nb` to divide `n`.
+    BlockSizeMismatch {
+        /// Global column count.
+        n: usize,
+        /// Block-cyclic panel width.
+        nb: usize,
+    },
+    /// Reduced QR requires `m ≥ n`.
+    NotTall {
+        /// Global row count.
+        m: usize,
+        /// Global column count.
+        n: usize,
+    },
+    /// The matrix handed to [`factor`](super::QrPlan::factor) does not have
+    /// the shape the plan was built for.
+    InputShapeMismatch {
+        /// `(m, n)` the plan was built for.
+        expected: (usize, usize),
+        /// `(rows, cols)` of the matrix actually supplied.
+        got: (usize, usize),
+    },
+    /// The factorization itself failed: the Gram matrix lost positive
+    /// definiteness (ill-conditioned or rank-deficient input). Carries the
+    /// offending pivot; consider [`Algorithm::CaCqr3`], which is
+    /// unconditionally stable for numerically full-rank input.
+    NotPositiveDefinite(CholeskyError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Param(e) => write!(f, "invalid CFR3D parameters: {e}"),
+            PlanError::Grid(e) => write!(f, "invalid grid shape: {e}"),
+            PlanError::MissingGrid { algorithm } => {
+                write!(f, "{algorithm} needs a processor grid: call QrPlanBuilder::grid")
+            }
+            PlanError::MissingBlockCyclic => {
+                write!(
+                    f,
+                    "pgeqrf needs a block-cyclic layout: call QrPlanBuilder::block_cyclic"
+                )
+            }
+            PlanError::BlockCyclicZero { pr, pc, nb } => {
+                write!(f, "block-cyclic layout must be non-empty (pr={pr}, pc={pc}, nb={nb})")
+            }
+            PlanError::RowsNotDivisible { m, divisor, algorithm } => {
+                write!(f, "{algorithm} requires {divisor} | m (m={m})")
+            }
+            PlanError::ColsNotDivisible { n, divisor } => {
+                write!(f, "the CA family requires c | n (n={n}, c={divisor})")
+            }
+            PlanError::BlockSizeMismatch { n, nb } => {
+                write!(f, "pgeqrf requires nb | n (n={n}, nb={nb})")
+            }
+            PlanError::NotTall { m, n } => {
+                write!(f, "reduced QR requires m >= n (m={m}, n={n})")
+            }
+            PlanError::InputShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "plan was built for a {}x{} matrix but factor() received {}x{}",
+                    expected.0, expected.1, got.0, got.1
+                )
+            }
+            PlanError::NotPositiveDefinite(e) => write!(f, "factorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Param(e) => Some(e),
+            PlanError::Grid(e) => Some(e),
+            PlanError::NotPositiveDefinite(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for PlanError {
+    fn from(e: ParamError) -> PlanError {
+        PlanError::Param(e)
+    }
+}
+
+impl From<GridError> for PlanError {
+    fn from(e: GridError) -> PlanError {
+        PlanError::Grid(e)
+    }
+}
+
+impl From<CholeskyError> for PlanError {
+    fn from(e: CholeskyError) -> PlanError {
+        PlanError::NotPositiveDefinite(e)
+    }
+}

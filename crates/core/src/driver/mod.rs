@@ -1,0 +1,509 @@
+//! The `QrPlan` facade: one typed entry point for every QR variant.
+//!
+//! # Plan / execute split
+//!
+//! The paper evaluates a *family* of algorithms — 1D-CQR2, CA-CQR2, the
+//! shifted CA-CQR3 extension, and a ScaLAPACK-`PGEQRF`-like baseline — and
+//! every experiment runs the same factorization many times over
+//! different data. This module therefore splits the work the way
+//! TSQR-style libraries do (Demmel, Grigori, Hoemmen & Langou):
+//!
+//! 1. **Plan** — [`QrPlan::new(m, n)`](QrPlan::new) returns a builder;
+//!    choose the [`Algorithm`], the processor grid, the simulated
+//!    [`simgrid::Machine`], the kernel
+//!    [`dense::BackendKind`], and the CFR3D tuning knobs, then
+//!    call [`build`](QrPlanBuilder::build). *All* validation happens here,
+//!    once, and returns a typed [`PlanError`] (never a `panic!` or a
+//!    `String`): power-of-two and divisibility constraints,
+//!    `inverse_depth ≤ φ`, grid-vs-algorithm compatibility, `nb | n` for
+//!    the baseline.
+//! 2. **Execute** — [`QrPlan::factor`] borrows the plan (`&self`), runs the
+//!    simulator, and returns a unified [`QrReport`]: global `Q`/`R`, the
+//!    simulated elapsed time, the per-rank α-β-γ [`CostLedger`]s, and
+//!    computed orthogonality/residual diagnostics. A plan is reusable
+//!    across any number of same-shape matrices — the batching primitive
+//!    for high-throughput workloads — and comparing algorithms is a loop
+//!    over [`Algorithm::ALL`] instead of four bespoke call sites.
+//!
+//! # Which layer to use when
+//!
+//! * **This facade** — anything that factors matrices and wants validated
+//!   configuration, unified reports, or cross-algorithm loops: examples,
+//!   integration tests, applications, batch services.
+//! * **The expert layer** ([`crate::validate`],
+//!   [`baseline::run_pgeqrf_global`]) — single-algorithm global drivers
+//!   without validation; useful when you need a factorization *without*
+//!   the facade's diagnostics, e.g. exact cost cross-validation of one
+//!   schedule under a unit machine.
+//! * **The SPMD layer** ([`crate::ca_cqr2`], [`crate::cqr2_1d`],
+//!   [`baseline::pgeqrf()`], …) — per-rank algorithm bodies for custom
+//!   simulator harnesses: per-line cost measurement, fault injection,
+//!   partial pipelines (e.g. PGEQRF without Q formation).
+//!
+//! # Example
+//!
+//! ```
+//! use cacqr::driver::{Algorithm, QrPlan};
+//! use pargrid::GridShape;
+//! use simgrid::Machine;
+//!
+//! let a = dense::random::well_conditioned(64, 16, 1);
+//! // Build once: validated, reusable.
+//! let plan = QrPlan::new(64, 16)
+//!     .algorithm(Algorithm::CaCqr2)
+//!     .grid(GridShape::new(2, 4)?) // c=2, d=4: P = 16 simulated ranks
+//!     .machine(Machine::stampede2(64))
+//!     .build()?;
+//! // Execute many times: factor borrows &self.
+//! let report = plan.factor(&a)?;
+//! assert!(report.orthogonality_error < 1e-12);
+//! assert!(report.residual_error < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+
+pub use error::PlanError;
+
+use crate::config::CfrParams;
+use crate::validate::{run_cacqr2_global, run_cacqr3_global, run_cqr2_1d_global, QrRun};
+use baseline::{run_pgeqrf_global, BlockCyclic, PgeqrfConfig};
+use dense::norms;
+use dense::{BackendKind, Matrix};
+use pargrid::GridShape;
+use simgrid::{CostLedger, Machine};
+
+/// The QR variants the workspace implements, as data.
+///
+/// Cross-algorithm comparisons iterate [`Algorithm::ALL`] and build one
+/// [`QrPlan`] per variant from the same builder configuration.
+#[allow(non_camel_case_types)] // `Cqr2_1d` mirrors the paper's "1D-CQR2" naming
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 7: 1D-CholeskyQR2 over a flat row partition (`P` ranks).
+    Cqr2_1d,
+    /// Algorithm 9: CA-CQR2 over the tunable `c × d × c` grid — the paper's
+    /// headline algorithm. `c = d` gives 3D-CQR2, `c = 1` matches
+    /// [`Algorithm::Cqr2_1d`] bitwise.
+    CaCqr2,
+    /// Shifted CA-CQR3 (the paper's §V extension): one shifted pass then
+    /// CA-CQR2; unconditionally stable for numerically full-rank input.
+    CaCqr3,
+    /// The ScaLAPACK-`PGEQRF`-like 2D block-cyclic Householder baseline.
+    Pgeqrf,
+}
+
+impl Algorithm {
+    /// Every variant, in the order the paper presents them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Cqr2_1d,
+        Algorithm::CaCqr2,
+        Algorithm::CaCqr3,
+        Algorithm::Pgeqrf,
+    ];
+
+    /// Short display name (`"1d-cqr2"`, `"ca-cqr2"`, `"ca-cqr3"`,
+    /// `"pgeqrf"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Cqr2_1d => "1d-cqr2",
+            Algorithm::CaCqr2 => "ca-cqr2",
+            Algorithm::CaCqr3 => "ca-cqr3",
+            Algorithm::Pgeqrf => "pgeqrf",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The global driver a CA-family plan executes: [`run_cacqr2_global`] or
+/// [`run_cacqr3_global`], resolved once at build time.
+type CaDriver = fn(&Matrix, GridShape, CfrParams, Machine) -> Result<QrRun, dense::cholesky::CholeskyError>;
+
+/// The resolved per-algorithm execution recipe of a built plan.
+#[derive(Clone, Copy, Debug)]
+enum Exec {
+    /// 1D-CQR2 on `p` ranks.
+    Cqr1d { p: usize },
+    /// CA-CQR2 / CA-CQR3 on the tunable grid; `run` is the matching global
+    /// driver, chosen at build time so execution has one source of truth.
+    Ca {
+        shape: GridShape,
+        params: CfrParams,
+        run: CaDriver,
+    },
+    /// The block-cyclic Householder baseline.
+    Pgeqrf { config: PgeqrfConfig },
+}
+
+/// A validated, reusable recipe for factoring `m × n` matrices.
+///
+/// Built by [`QrPlan::new`] → [`QrPlanBuilder::build`]; executed by
+/// [`QrPlan::factor`], any number of times. See the [module docs](self).
+#[derive(Clone, Copy, Debug)]
+pub struct QrPlan {
+    m: usize,
+    n: usize,
+    algorithm: Algorithm,
+    machine: Machine,
+    backend: BackendKind,
+    exec: Exec,
+}
+
+/// Builder for [`QrPlan`]; created by [`QrPlan::new`].
+///
+/// Unset knobs fall back to sensible defaults: algorithm
+/// [`Algorithm::CaCqr2`], machine [`Machine::zero`] (pure correctness, no
+/// simulated time), the process-default kernel backend, the paper's
+/// bandwidth-minimizing base-case size `n₀ = n/c²`, and `inverse_depth = 0`.
+/// Knobs irrelevant to the chosen algorithm (e.g. `inverse_depth` under
+/// [`Algorithm::Pgeqrf`]) are ignored.
+#[derive(Clone, Copy, Debug)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct QrPlanBuilder {
+    m: usize,
+    n: usize,
+    algorithm: Algorithm,
+    grid: Option<GridShape>,
+    block_cyclic: Option<BlockCyclic>,
+    machine: Machine,
+    backend: BackendKind,
+    base_size: Option<usize>,
+    inverse_depth: usize,
+}
+
+impl QrPlan {
+    /// Starts planning a factorization of `m × n` matrices.
+    #[allow(clippy::new_ret_no_self)] // the builder idiom the ISSUE-facing API specifies
+    pub fn new(m: usize, n: usize) -> QrPlanBuilder {
+        QrPlanBuilder {
+            m,
+            n,
+            algorithm: Algorithm::CaCqr2,
+            grid: None,
+            block_cyclic: None,
+            machine: Machine::zero(),
+            backend: BackendKind::default_kind(),
+            base_size: None,
+            inverse_depth: 0,
+        }
+    }
+
+    /// Global row count the plan factors.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Global column count the plan factors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The algorithm this plan runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The simulated machine model charged during [`QrPlan::factor`].
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// The node-local kernel backend every local gemm/syrk/trsm uses.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Number of simulated ranks a factorization occupies.
+    pub fn processors(&self) -> usize {
+        match self.exec {
+            Exec::Cqr1d { p } => p,
+            Exec::Ca { shape, .. } => shape.p(),
+            Exec::Pgeqrf { config } => config.grid.pr * config.grid.pc,
+        }
+    }
+
+    /// Factors `a`, returning the unified report.
+    ///
+    /// Borrows the plan immutably: one plan can factor any number of
+    /// same-shape matrices (sequentially or from multiple threads). The
+    /// only runtime errors are a shape mismatch between `a` and the plan,
+    /// and loss of positive definiteness on ill-conditioned input
+    /// ([`PlanError::NotPositiveDefinite`] — see [`Algorithm::CaCqr3`] for
+    /// the unconditionally stable variant).
+    ///
+    /// The returned report carries *computed* diagnostics — one `m × n × n`
+    /// gemm for the residual and one `n × n` Gram product for
+    /// orthogonality. That is a small constant factor next to the simulated
+    /// execution itself (which performs all `P` ranks' arithmetic in this
+    /// process), and it keeps the report self-contained: the alternative —
+    /// lazy diagnostics — would have to retain a copy of `a` inside every
+    /// report, which is strictly worse for the batching path. Callers that
+    /// need the factors with *no* post-processing at all belong on the
+    /// expert layer ([`crate::validate`]).
+    pub fn factor(&self, a: &Matrix) -> Result<QrReport, PlanError> {
+        if (a.rows(), a.cols()) != (self.m, self.n) {
+            return Err(PlanError::InputShapeMismatch {
+                expected: (self.m, self.n),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let run = match self.exec {
+            Exec::Cqr1d { p } => run_cqr2_1d_global(a, p, self.backend, self.machine)?,
+            Exec::Ca { shape, params, run } => run(a, shape, params, self.machine)?,
+            Exec::Pgeqrf { config } => {
+                let run = run_pgeqrf_global(a, config, self.machine);
+                QrRun {
+                    q: run.q,
+                    r: run.r,
+                    elapsed: run.elapsed,
+                    ledgers: run.ledgers,
+                }
+            }
+        };
+        Ok(QrReport::from_run(self.algorithm, a, run))
+    }
+}
+
+impl QrPlanBuilder {
+    /// Chooses the QR variant (default [`Algorithm::CaCqr2`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> QrPlanBuilder {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the `c × d × c` processor grid used by the CA family; for
+    /// [`Algorithm::Cqr2_1d`] the grid contributes its total rank count
+    /// `P = c²·d` (the 1D row partition ignores the shape).
+    pub fn grid(mut self, shape: GridShape) -> QrPlanBuilder {
+        self.grid = Some(shape);
+        self
+    }
+
+    /// Sets the 2D block-cyclic layout used by [`Algorithm::Pgeqrf`].
+    pub fn block_cyclic(mut self, grid: BlockCyclic) -> QrPlanBuilder {
+        self.block_cyclic = Some(grid);
+        self
+    }
+
+    /// Sets the simulated machine model (default [`Machine::zero`]).
+    pub fn machine(mut self, machine: Machine) -> QrPlanBuilder {
+        self.machine = machine;
+        self
+    }
+
+    /// Pins the node-local kernel backend (default: the process-wide
+    /// default, see [`BackendKind::default_kind`]). The choice survives
+    /// validation — it is never silently reset.
+    pub fn backend(mut self, backend: BackendKind) -> QrPlanBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the CFR3D base-case size `n₀` (default: the paper's
+    /// bandwidth-minimizing `n/c²`, clamped to `[c, n]`). CA family only.
+    pub fn base_size(mut self, base_size: usize) -> QrPlanBuilder {
+        self.base_size = Some(base_size);
+        self
+    }
+
+    /// Sets the paper's `InverseDepth` knob (default 0: full explicit
+    /// inverse). Must satisfy `inverse_depth ≤ log₂(n/n₀)`. CA family only.
+    pub fn inverse_depth(mut self, inverse_depth: usize) -> QrPlanBuilder {
+        self.inverse_depth = inverse_depth;
+        self
+    }
+
+    /// Validates the configuration and returns the reusable plan.
+    ///
+    /// Every constraint is checked here, once, so [`QrPlan::factor`] cannot
+    /// trip an `assert!` in the layers below.
+    pub fn build(self) -> Result<QrPlan, PlanError> {
+        let (m, n) = (self.m, self.n);
+        if m < n {
+            return Err(PlanError::NotTall { m, n });
+        }
+        let exec = match self.algorithm {
+            Algorithm::Cqr2_1d => {
+                let shape = self.grid.ok_or(PlanError::MissingGrid {
+                    algorithm: self.algorithm,
+                })?;
+                let p = shape.p();
+                if m % p != 0 {
+                    return Err(PlanError::RowsNotDivisible {
+                        m,
+                        divisor: p,
+                        algorithm: self.algorithm,
+                    });
+                }
+                Exec::Cqr1d { p }
+            }
+            Algorithm::CaCqr2 | Algorithm::CaCqr3 => {
+                let shape = self.grid.ok_or(PlanError::MissingGrid {
+                    algorithm: self.algorithm,
+                })?;
+                let (c, d) = (shape.c, shape.d);
+                if m % d != 0 {
+                    return Err(PlanError::RowsNotDivisible {
+                        m,
+                        divisor: d,
+                        algorithm: self.algorithm,
+                    });
+                }
+                if n % c != 0 {
+                    return Err(PlanError::ColsNotDivisible { n, divisor: c });
+                }
+                let base_size = self.base_size.unwrap_or_else(|| CfrParams::default_for(n, c).base_size);
+                let params = CfrParams {
+                    base_size,
+                    inverse_depth: self.inverse_depth,
+                    backend: self.backend,
+                }
+                .validate(n, c)?;
+                let run: CaDriver = match self.algorithm {
+                    Algorithm::CaCqr3 => run_cacqr3_global,
+                    _ => run_cacqr2_global,
+                };
+                Exec::Ca { shape, params, run }
+            }
+            Algorithm::Pgeqrf => {
+                let grid = self.block_cyclic.ok_or(PlanError::MissingBlockCyclic)?;
+                if grid.pr == 0 || grid.pc == 0 || grid.nb == 0 {
+                    return Err(PlanError::BlockCyclicZero {
+                        pr: grid.pr,
+                        pc: grid.pc,
+                        nb: grid.nb,
+                    });
+                }
+                if n % grid.nb != 0 {
+                    return Err(PlanError::BlockSizeMismatch { n, nb: grid.nb });
+                }
+                Exec::Pgeqrf {
+                    config: PgeqrfConfig {
+                        grid,
+                        backend: self.backend,
+                    },
+                }
+            }
+        };
+        Ok(QrPlan {
+            m,
+            n,
+            algorithm: self.algorithm,
+            machine: self.machine,
+            backend: self.backend,
+            exec,
+        })
+    }
+}
+
+/// A completed factorization: global factors, cost accounting, and
+/// numerical diagnostics — the same shape for every [`Algorithm`].
+#[derive(Clone, Debug)]
+pub struct QrReport {
+    /// The algorithm that produced this report.
+    pub algorithm: Algorithm,
+    /// The assembled `m × n` orthonormal factor.
+    pub q: Matrix,
+    /// The assembled `n × n` upper-triangular factor.
+    pub r: Matrix,
+    /// Simulated elapsed time under the plan's machine model.
+    pub elapsed: f64,
+    /// Per-rank α-β-γ cost ledgers.
+    pub ledgers: Vec<CostLedger>,
+    /// `‖QᵀQ − I‖_F` — deviation from orthogonality.
+    pub orthogonality_error: f64,
+    /// `‖A − QR‖_F / ‖A‖_F` — relative residual.
+    pub residual_error: f64,
+}
+
+impl QrReport {
+    fn from_run(algorithm: Algorithm, a: &Matrix, run: QrRun) -> QrReport {
+        let orthogonality_error = norms::orthogonality_error(run.q.as_ref());
+        let residual_error = norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref());
+        QrReport {
+            algorithm,
+            q: run.q,
+            r: run.r,
+            elapsed: run.elapsed,
+            ledgers: run.ledgers,
+            orthogonality_error,
+            residual_error,
+        }
+    }
+
+    /// Total flops charged across all ranks.
+    pub fn total_flops(&self) -> f64 {
+        self.ledgers.iter().map(|l| l.flops).sum()
+    }
+
+    /// Total words sent across all ranks (8-byte `f64` units).
+    pub fn total_words(&self) -> u64 {
+        self.ledgers.iter().map(|l| l.words_sent).sum()
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.ledgers.iter().map(|l| l.msgs_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::random::well_conditioned;
+
+    #[test]
+    fn plans_are_reusable_and_copy() {
+        let plan = QrPlan::new(32, 8).grid(GridShape::new(2, 4).unwrap()).build().unwrap();
+        let a = well_conditioned(32, 8, 1);
+        let b = well_conditioned(32, 8, 2);
+        let ra = plan.factor(&a).unwrap();
+        let rb = plan.factor(&b).unwrap();
+        assert!(ra.orthogonality_error < 1e-12);
+        assert!(rb.orthogonality_error < 1e-12);
+        assert_ne!(ra.r, rb.r, "different inputs, different factors");
+        // Re-factoring the same input is bitwise reproducible.
+        let ra2 = plan.factor(&a).unwrap();
+        assert_eq!(ra.q, ra2.q);
+        assert_eq!(ra.r, ra2.r);
+    }
+
+    #[test]
+    fn unified_report_carries_costs() {
+        let plan = QrPlan::new(32, 8)
+            .grid(GridShape::new(2, 4).unwrap())
+            .machine(Machine::stampede2(64))
+            .build()
+            .unwrap();
+        let report = plan.factor(&well_conditioned(32, 8, 3)).unwrap();
+        assert_eq!(report.ledgers.len(), plan.processors());
+        assert!(report.elapsed > 0.0);
+        assert!(report.total_flops() > 0.0);
+        assert!(report.total_words() > 0);
+        assert!(report.total_messages() > 0);
+    }
+
+    #[test]
+    fn factor_rejects_wrong_shape() {
+        let plan = QrPlan::new(32, 8).grid(GridShape::new(2, 4).unwrap()).build().unwrap();
+        let err = plan.factor(&well_conditioned(16, 8, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::InputShapeMismatch {
+                expected: (32, 8),
+                got: (16, 8),
+            }
+        );
+    }
+
+    #[test]
+    fn algorithm_names_are_stable() {
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["1d-cqr2", "ca-cqr2", "ca-cqr3", "pgeqrf"]);
+    }
+}

@@ -19,7 +19,7 @@
 //! n₀ and solving for Q with multiple instances of MM3D" (§III-A). It also
 //! serves CFR3D's own recursion: `L₂₁ ← A₂₁·Y₁₁ᵀ` is the same operation.
 
-use crate::mm3d::{mm3d_scaled_with, mm3d_with, transpose_cube};
+use crate::mm3d::{mm3d, mm3d_scaled, transpose_cube};
 use dense::{BackendKind, Matrix};
 use pargrid::CubeComms;
 use simgrid::Rank;
@@ -78,18 +78,13 @@ impl InvTree {
 
     /// Computes `X = B·R⁻¹ = B·Yᵀ` (with `R = Lᵀ` upper triangular), where
     /// `b` is this rank's local piece of a matrix whose columns are cyclic
-    /// over the cube. Collective over the cube.
-    pub fn apply_rinv(&self, rank: &mut Rank, cube: &CubeComms, b: &Matrix) -> Matrix {
-        self.apply_rinv_with(rank, cube, b, BackendKind::default_kind())
-    }
-
-    /// [`InvTree::apply_rinv`] with an explicit kernel backend for the MM3D
-    /// local products.
-    pub fn apply_rinv_with(&self, rank: &mut Rank, cube: &CubeComms, b: &Matrix, backend: BackendKind) -> Matrix {
+    /// over the cube. Collective over the cube; the MM3D local products go
+    /// through the given kernel backend.
+    pub fn apply_rinv(&self, rank: &mut Rank, cube: &CubeComms, b: &Matrix, backend: BackendKind) -> Matrix {
         match self {
             InvTree::Full { y, .. } => {
                 let yt = transpose_cube(rank, cube, y);
-                mm3d_with(rank, cube, b, &yt, backend)
+                mm3d(rank, cube, b, &yt, backend)
             }
             InvTree::Split { y11, y22, l21, .. } => {
                 let (lr, lc) = (b.rows(), b.cols());
@@ -97,16 +92,16 @@ impl InvTree {
                 let b1 = b.view(0, 0, lr, hl).to_owned();
                 let b2 = b.view(0, hl, lr, lc - hl).to_owned();
                 // X₁ = B₁·Y₁₁ᵀ
-                let x1 = y11.apply_rinv_with(rank, cube, &b1, backend);
+                let x1 = y11.apply_rinv(rank, cube, &b1, backend);
                 // X₂ = (B₂ − X₁·L₂₁ᵀ)·Y₂₂ᵀ
                 let l21t = transpose_cube(rank, cube, l21);
-                let t = mm3d_with(rank, cube, &x1, &l21t, backend);
+                let t = mm3d(rank, cube, &x1, &l21t, backend);
                 let mut b2c = b2;
                 for (x, y) in b2c.data_mut().iter_mut().zip(t.data()) {
                     *x -= y;
                 }
                 rank.charge_flops(dense::flops::axpy(lr, lc - hl));
-                let x2 = y22.apply_rinv_with(rank, cube, &b2c, backend);
+                let x2 = y22.apply_rinv(rank, cube, &b2c, backend);
                 // Concatenate local column halves.
                 let mut out = Matrix::zeros(lr, lc);
                 out.view_mut(0, 0, lr, hl).copy_from(x1.as_ref());
@@ -119,19 +114,14 @@ impl InvTree {
     /// Materializes the full explicit inverse `Y` (local piece), forming the
     /// missing `Y₂₁ = −Y₂₂·L₂₁·Y₁₁` blocks with MM3D. Collective over the
     /// cube. Used by tests and by callers that need `R⁻¹` itself.
-    pub fn densify(&self, rank: &mut Rank, cube: &CubeComms) -> Matrix {
-        self.densify_with(rank, cube, BackendKind::default_kind())
-    }
-
-    /// [`InvTree::densify`] with an explicit kernel backend.
-    pub fn densify_with(&self, rank: &mut Rank, cube: &CubeComms, backend: BackendKind) -> Matrix {
+    pub fn densify(&self, rank: &mut Rank, cube: &CubeComms, backend: BackendKind) -> Matrix {
         match self {
             InvTree::Full { y, .. } => y.clone(),
             InvTree::Split { y11, y22, l21, .. } => {
-                let y11d = y11.densify_with(rank, cube, backend);
-                let y22d = y22.densify_with(rank, cube, backend);
-                let t = mm3d_with(rank, cube, l21, &y11d, backend);
-                let y21 = mm3d_scaled_with(rank, cube, -1.0, &y22d, &t, backend);
+                let y11d = y11.densify(rank, cube, backend);
+                let y22d = y22.densify(rank, cube, backend);
+                let t = mm3d(rank, cube, l21, &y11d, backend);
+                let y21 = mm3d_scaled(rank, cube, -1.0, &y22d, &t, backend);
                 let hl = y11d.rows();
                 let mut out = Matrix::zeros(2 * hl, 2 * y11d.cols());
                 out.view_mut(0, 0, hl, y11d.cols()).copy_from(y11d.as_ref());

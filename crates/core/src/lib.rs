@@ -21,8 +21,13 @@
 //! * [`panel`] — the §V "operate on subpanels" extension: panel-blocked
 //!   CA-CQR2 for near-square matrices.
 //! * [`config`] — grid/base-case/inverse-depth parameter handling.
-//! * [`validate`] — whole-pipeline drivers used by tests, examples and
-//!   benches (run a factorization on the simulator, assemble and check).
+//! * [`driver`] — **the recommended entry point**: the [`QrPlan`] facade.
+//!   Build a validated, reusable plan for any [`Algorithm`] in the family
+//!   (1D-CQR2, CA-CQR2, CA-CQR3, or the `PGEQRF` baseline) and factor
+//!   matrices through one unified [`QrReport`].
+//! * [`validate`] — the expert layer underneath the facade: single-
+//!   algorithm global drivers without validation, for cost
+//!   cross-validation harnesses.
 
 pub mod cacqr;
 pub mod cacqr2;
@@ -31,6 +36,7 @@ pub mod cfr3d;
 pub mod config;
 pub mod cqr;
 pub mod cqr1d;
+pub mod driver;
 pub mod invtree;
 pub mod mm3d;
 pub mod panel;
@@ -39,8 +45,9 @@ pub mod validate;
 pub use cacqr2::{ca_cqr2, CaCqr2Output};
 pub use cacqr3::ca_cqr3;
 pub use cfr3d::cfr3d;
-pub use config::CfrParams;
+pub use config::{CfrParams, ParamError};
 pub use cqr::{cqr, cqr2, shifted_cqr3};
 pub use cqr1d::{cqr1d, cqr2_1d};
+pub use driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
 pub use invtree::InvTree;
 pub use mm3d::{mm3d, mm3d_scaled, transpose_cube};

@@ -32,25 +32,16 @@ use simgrid::Rank;
 
 /// `C = A·B` over the cube (see module docs). `a` and `b` are this rank's
 /// local pieces; the returned matrix is this rank's piece of `C`. Local
-/// arithmetic uses the process default backend.
-pub fn mm3d(rank: &mut Rank, cube: &CubeComms, a: &Matrix, b: &Matrix) -> Matrix {
-    mm3d_scaled_with(rank, cube, 1.0, a, b, BackendKind::default_kind())
+/// arithmetic goes through the given kernel backend (pass
+/// [`BackendKind::default_kind`] for the process default).
+pub fn mm3d(rank: &mut Rank, cube: &CubeComms, a: &Matrix, b: &Matrix, backend: BackendKind) -> Matrix {
+    mm3d_scaled(rank, cube, 1.0, a, b, backend)
 }
 
-/// [`mm3d`] with an explicit kernel backend for the local partial product.
-pub fn mm3d_with(rank: &mut Rank, cube: &CubeComms, a: &Matrix, b: &Matrix, backend: BackendKind) -> Matrix {
-    mm3d_scaled_with(rank, cube, 1.0, a, b, backend)
-}
-
-/// `C = alpha·A·B` over the cube, with the process default backend.
-pub fn mm3d_scaled(rank: &mut Rank, cube: &CubeComms, alpha: f64, a: &Matrix, b: &Matrix) -> Matrix {
-    mm3d_scaled_with(rank, cube, alpha, a, b, BackendKind::default_kind())
-}
-
-/// [`mm3d_scaled`] with an explicit kernel backend. The backend changes
-/// only local arithmetic: the collective schedule and the `2·l_r·l_k·l_c`
-/// flops charged to the γ ledger are identical for every backend.
-pub fn mm3d_scaled_with(
+/// `C = alpha·A·B` over the cube. The backend changes only local
+/// arithmetic: the collective schedule and the `2·l_r·l_k·l_c` flops
+/// charged to the γ ledger are identical for every backend.
+pub fn mm3d_scaled(
     rank: &mut Rank,
     cube: &CubeComms,
     alpha: f64,
@@ -126,7 +117,7 @@ mod tests {
             let (x, yh, _z) = cube.coords;
             let al = DistMatrix::from_global(&a, c, c, yh, x);
             let bl = DistMatrix::from_global(&b, c, c, yh, x);
-            let cl = mm3d(rank, cube, &al.local, &bl.local);
+            let cl = mm3d(rank, cube, &al.local, &bl.local, BackendKind::default_kind());
             (x, yh, cube.coords.2, cl)
         });
         let mut pieces: Vec<Vec<Matrix>> = (0..c).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();
@@ -189,7 +180,7 @@ mod tests {
             let (x, yh, _) = cube.coords;
             let al = DistMatrix::from_global(&a, 2, 2, yh, x);
             let bl = DistMatrix::from_global(&b, 2, 2, yh, x);
-            mm3d_scaled(rank, cube, -1.0, &al.local, &bl.local)
+            mm3d_scaled(rank, cube, -1.0, &al.local, &bl.local, BackendKind::default_kind())
         });
         // piece (0,0) of -(I·B) = -B: entries (0,0), (0,2), (2,0), (2,2).
         let p00 = &report.results[0];

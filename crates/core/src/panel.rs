@@ -25,20 +25,10 @@ use dense::gemm::Trans;
 use dense::{Backend, BackendKind, Matrix};
 
 /// Panel-blocked CQR2 (see module docs). Requires `b ≥ 1`; `b ≥ n` collapses
-/// to plain CQR2. `reorth` enables a second projection pass per panel. Uses
-/// the process default kernel backend.
-pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool) -> Result<(Matrix, Matrix), CholeskyError> {
-    panel_cqr2_with(a, b, reorth, BackendKind::default_kind())
-}
-
-/// [`panel_cqr2`] with an explicit kernel backend for the panel CQR2s and
-/// the block Gram–Schmidt updates.
-pub fn panel_cqr2_with(
-    a: &Matrix,
-    b: usize,
-    reorth: bool,
-    backend: BackendKind,
-) -> Result<(Matrix, Matrix), CholeskyError> {
+/// to plain CQR2. `reorth` enables a second projection pass per panel. The
+/// panel CQR2s and block Gram–Schmidt updates go through the given kernel
+/// backend (pass [`BackendKind::default_kind`] for the process default).
+pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
     let be: &dyn Backend = backend.get();
     let (m, n) = (a.rows(), a.cols());
     assert!(b >= 1, "panel width must be positive");
@@ -52,7 +42,7 @@ pub fn panel_cqr2_with(
         let w = b.min(n - k);
         // Panel CQR2.
         let panel = work.view(0, k, m, w).to_owned();
-        let (qk, rkk) = crate::cqr::cqr2_with(&panel, backend)?;
+        let (qk, rkk) = crate::cqr::cqr2(&panel, backend)?;
         q.view_mut(0, k, m, w).copy_from(qk.as_ref());
         r.view_mut(k, k, w, w).copy_from(rkk.as_ref());
 
@@ -123,7 +113,7 @@ mod tests {
     fn matches_qr_invariants() {
         let a = well_conditioned(96, 32, 41);
         for b in [4usize, 8, 16, 32, 64] {
-            let (q, r) = panel_cqr2(&a, b, true).unwrap();
+            let (q, r) = panel_cqr2(&a, b, true, BackendKind::default_kind()).unwrap();
             assert!(orthogonality_error(q.as_ref()) < 1e-12, "b={b}");
             assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-12, "b={b}");
             assert!(lower_residual(r.as_ref()) < 1e-13, "b={b}");
@@ -133,8 +123,8 @@ mod tests {
     #[test]
     fn full_width_is_plain_cqr2() {
         let a = well_conditioned(40, 10, 43);
-        let (qp, rp) = panel_cqr2(&a, 10, false).unwrap();
-        let (qc, rc) = crate::cqr::cqr2(&a).unwrap();
+        let (qp, rp) = panel_cqr2(&a, 10, false, BackendKind::default_kind()).unwrap();
+        let (qc, rc) = crate::cqr::cqr2(&a, BackendKind::default_kind()).unwrap();
         assert_eq!(qp, qc);
         assert_eq!(rp, rc);
     }
@@ -160,7 +150,7 @@ mod tests {
     #[test]
     fn moderate_condition_number_with_reorth() {
         let a = matrix_with_condition(80, 16, 1e4, 44);
-        let (q, r) = panel_cqr2(&a, 4, true).unwrap();
+        let (q, r) = panel_cqr2(&a, 4, true, BackendKind::default_kind()).unwrap();
         assert!(orthogonality_error(q.as_ref()) < 1e-12);
         assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-12);
     }

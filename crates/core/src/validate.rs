@@ -1,13 +1,29 @@
-//! Whole-pipeline drivers: run a distributed factorization on the simulator
-//! from a global input matrix, reassemble the global `Q`/`R`, and return the
-//! cost report. Used by integration tests, examples, and the bench harness.
+//! Whole-pipeline drivers (the **expert layer**): run a distributed
+//! factorization on the simulator from a global input matrix, assert the
+//! replication invariants, reassemble the global `Q`/`R`, and return the
+//! cost report.
+//!
+//! Most callers should use the [`crate::driver`] facade instead: build a
+//! [`crate::driver::QrPlan`] once and call
+//! [`factor`](crate::driver::QrPlan::factor) per matrix. The functions here
+//! are the layer underneath — they skip the facade's validation (invalid
+//! grid/shape combinations `assert!` rather than returning typed errors)
+//! and expose exactly one algorithm each, which is what the cost-model
+//! cross-validation binaries need when they measure a single schedule under
+//! a unit machine.
 
-use crate::cacqr2::ca_cqr2;
+use crate::cacqr2::{ca_cqr2, CaCqr2Output};
+use crate::cacqr3::ca_cqr3;
 use crate::config::CfrParams;
 use dense::cholesky::CholeskyError;
-use dense::Matrix;
+use dense::{BackendKind, Matrix};
 use pargrid::{DistMatrix, GridShape, TunableComms};
-use simgrid::{run_spmd, CostLedger, Machine, SimConfig};
+use simgrid::{run_spmd, CostLedger, Machine, Rank, SimConfig};
+
+/// Per-rank body of one CA-family algorithm, as consumed by
+/// [`run_ca_family`]: `(rank, comms, a_local, m, n, params) → output`.
+type CaAlgorithm =
+    fn(&mut Rank, &TunableComms, &Matrix, usize, usize, &CfrParams) -> Result<CaCqr2Output, CholeskyError>;
 
 /// A completed distributed QR run with global factors and cost accounting.
 pub struct QrRun {
@@ -44,16 +60,45 @@ pub fn run_cacqr2_global(
     params: CfrParams,
     machine: Machine,
 ) -> Result<QrRun, CholeskyError> {
+    run_ca_family(a, shape, params, machine, |rank, comms, a_local, _m, n, params| {
+        ca_cqr2(rank, comms, a_local, n, params)
+    })
+}
+
+/// Runs shifted CA-CQR3 (unconditionally stable for numerically full-rank
+/// input) on the simulator and reassembles the factors. Same distribution
+/// and invariants as [`run_cacqr2_global`].
+pub fn run_cacqr3_global(
+    a: &Matrix,
+    shape: GridShape,
+    params: CfrParams,
+    machine: Machine,
+) -> Result<QrRun, CholeskyError> {
+    run_ca_family(a, shape, params, machine, |rank, comms, a_local, m, n, params| {
+        ca_cqr3(rank, comms, a_local, m, n, params)
+    })
+}
+
+/// Shared driver for the CA family (Algorithms 8–9 and the shifted-CQR3
+/// extension): scatter cyclically over the `c × d × c` grid, run `alg` on
+/// every rank, check replication, reassemble.
+fn run_ca_family(
+    a: &Matrix,
+    shape: GridShape,
+    params: CfrParams,
+    machine: Machine,
+    alg: CaAlgorithm,
+) -> Result<QrRun, CholeskyError> {
     let (m, n) = (a.rows(), a.cols());
     let (c, d) = (shape.c, shape.d);
-    assert_eq!(m % d, 0, "CA-CQR2 requires d | m (m={m}, d={d})");
-    assert_eq!(n % c, 0, "CA-CQR2 requires c | n (n={n}, c={c})");
+    assert_eq!(m % d, 0, "the CA family requires d | m (m={m}, d={d})");
+    assert_eq!(n % c, 0, "the CA family requires c | n (n={n}, c={c})");
     let a = a.clone();
     let report = run_spmd(shape.p(), SimConfig::with_machine(machine), move |rank| {
         let comms = TunableComms::build(rank, shape);
         let (x, y, z) = comms.coords;
         let al = DistMatrix::from_global(&a, d, c, y, x);
-        match ca_cqr2(rank, &comms, &al.local, n, &params) {
+        match alg(rank, &comms, &al.local, m, n, &params) {
             Ok(out) => Ok((x, y, z, out.q_local, out.r_local)),
             Err(e) => Err(e),
         }
@@ -98,14 +143,20 @@ pub fn run_cacqr2_global(
 }
 
 /// Runs 1D-CQR2 (Algorithm 7) on the simulator and reassembles the factors.
-pub fn run_cqr2_1d_global(a: &Matrix, p: usize, machine: Machine) -> Result<QrRun, CholeskyError> {
+/// Local kernels go through `backend`.
+pub fn run_cqr2_1d_global(
+    a: &Matrix,
+    p: usize,
+    backend: BackendKind,
+    machine: Machine,
+) -> Result<QrRun, CholeskyError> {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(m % p, 0, "1D-CQR2 requires p | m");
     let a = a.clone();
     let report = run_spmd(p, SimConfig::with_machine(machine), move |rank| {
         let world = rank.world();
         let al = DistMatrix::from_global(&a, p, 1, rank.id(), 0);
-        crate::cqr1d::cqr2_1d(rank, &world, &al.local).map(|(q, r)| (rank.id(), q, r))
+        crate::cqr1d::cqr2_1d(rank, &world, &al.local, backend).map(|(q, r)| (rank.id(), q, r))
     });
     let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();
     let mut r0: Option<Matrix> = None;
@@ -130,7 +181,7 @@ pub fn run_cqr2_1d_global(a: &Matrix, p: usize, machine: Machine) -> Result<QrRu
 mod tests {
     use super::*;
     use dense::norms::{orthogonality_error, residual_error};
-    use dense::random::well_conditioned;
+    use dense::random::{matrix_with_condition, well_conditioned};
 
     #[test]
     fn driver_runs_and_reports_costs() {
@@ -148,7 +199,7 @@ mod tests {
     #[test]
     fn one_d_driver_matches_ca_driver_with_c1() {
         let a = well_conditioned(24, 8, 19);
-        let run1 = run_cqr2_1d_global(&a, 4, Machine::zero()).unwrap();
+        let run1 = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), Machine::zero()).unwrap();
         let shape = GridShape::one_d(4).unwrap();
         let run2 = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 1), Machine::zero()).unwrap();
         assert_eq!(
@@ -156,5 +207,14 @@ mod tests {
             "bitwise agreement between Algorithm 7 and Algorithm 9 with c=1"
         );
         assert_eq!(run1.r, run2.r);
+    }
+
+    #[test]
+    fn cacqr3_driver_survives_ill_conditioning() {
+        let a = matrix_with_condition(64, 8, 1e12, 91);
+        let shape = GridShape::new(2, 4).unwrap();
+        let run = run_cacqr3_global(&a, shape, CfrParams::default_for(8, 2), Machine::zero()).unwrap();
+        assert!(orthogonality_error(run.q.as_ref()) < 1e-12);
+        assert!(residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-10);
     }
 }

@@ -42,7 +42,7 @@ mod tests {
             let b = Matrix::from_fn(n, k, |i, j| (i * 2 + j) as f64);
             let al = DistMatrix::from_global(&a, c, c, yh, x);
             let bl = DistMatrix::from_global(&b, c, c, yh, x);
-            cacqr::mm3d(rank, cube, &al.local, &bl.local);
+            cacqr::mm3d(rank, cube, &al.local, &bl.local, dense::BackendKind::default_kind());
         })
         .elapsed
     }

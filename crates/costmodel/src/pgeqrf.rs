@@ -75,7 +75,7 @@ mod tests {
             let comms = baseline::pgeqrf::PgeqrfComms::build(rank, grid);
             let a = well_conditioned(m, n, 3);
             let mut local = grid.scatter(&a, comms.prow, comms.pcol);
-            baseline::pgeqrf(rank, &comms, grid, &mut local, m, n);
+            baseline::pgeqrf(rank, &comms, baseline::PgeqrfConfig::new(grid), &mut local, m, n);
         })
         .elapsed
     }

@@ -7,7 +7,7 @@
 //! choice behind the [`Backend`] trait:
 //!
 //! * [`Naive`] — the original straightforward loop nests (see
-//!   [`crate::gemm`], [`crate::syrk`], [`crate::trsm`]). Kept as the
+//!   [`mod@crate::gemm`], [`mod@crate::syrk`], [`mod@crate::trsm`]). Kept as the
 //!   correctness oracle: simple enough to audit by eye, and the reference
 //!   the property tests compare against.
 //! * [`Blocked`] — a cache-blocked implementation in the BLIS/faer style:

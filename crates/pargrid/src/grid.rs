@@ -2,6 +2,44 @@
 
 use simgrid::{Comm, Rank};
 
+/// Why a requested grid shape is invalid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// A grid dimension was zero.
+    ZeroDimension,
+    /// `c` or `d` is not a power of two.
+    NotPowerOfTwo {
+        /// Requested replication-dimension size.
+        c: usize,
+        /// Requested row-dimension size.
+        d: usize,
+    },
+    /// The tunable grid requires `d ≥ c` so the y dimension splits into
+    /// whole `c × c × c` subcubes.
+    DSmallerThanC {
+        /// Requested replication-dimension size.
+        c: usize,
+        /// Requested row-dimension size.
+        d: usize,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::ZeroDimension => write!(f, "grid dimensions must be positive"),
+            GridError::NotPowerOfTwo { c, d } => {
+                write!(f, "grid dimensions must be powers of two (got c={c}, d={d})")
+            }
+            GridError::DSmallerThanC { c, d } => {
+                write!(f, "tunable grid requires d >= c (got c={c}, d={d})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// Shape of the tunable processor grid `Π`: `c × d × c` with `P = c²·d`.
 ///
 /// Constraints (matching the regime of the paper's experiments): `c` and `d`
@@ -18,26 +56,26 @@ pub struct GridShape {
 
 impl GridShape {
     /// Validates and constructs a grid shape.
-    pub fn new(c: usize, d: usize) -> Result<GridShape, String> {
+    pub fn new(c: usize, d: usize) -> Result<GridShape, GridError> {
         if c == 0 || d == 0 {
-            return Err("grid dimensions must be positive".into());
+            return Err(GridError::ZeroDimension);
         }
         if !c.is_power_of_two() || !d.is_power_of_two() {
-            return Err(format!("grid dimensions must be powers of two (got c={c}, d={d})"));
+            return Err(GridError::NotPowerOfTwo { c, d });
         }
         if d < c {
-            return Err(format!("tunable grid requires d >= c (got c={c}, d={d})"));
+            return Err(GridError::DSmallerThanC { c, d });
         }
         Ok(GridShape { c, d })
     }
 
     /// The cubic grid `c × c × c` used by 3D-CQR2.
-    pub fn cubic(c: usize) -> Result<GridShape, String> {
+    pub fn cubic(c: usize) -> Result<GridShape, GridError> {
         GridShape::new(c, c)
     }
 
     /// The 1D grid `1 × P × 1` used by 1D-CQR2.
-    pub fn one_d(p: usize) -> Result<GridShape, String> {
+    pub fn one_d(p: usize) -> Result<GridShape, GridError> {
         GridShape::new(1, p)
     }
 

@@ -22,4 +22,4 @@ pub mod grid;
 
 pub use dist::{local_count, local_to_global, owner_of_global};
 pub use distmat::DistMatrix;
-pub use grid::{CubeComms, GridShape, TunableComms};
+pub use grid::{CubeComms, GridError, GridShape, TunableComms};

@@ -7,14 +7,13 @@
 //!
 //! Run: `cargo run --release --example least_squares`
 
-use ca_cqr2::cacqr::validate::run_cacqr2_global;
-use ca_cqr2::cacqr::CfrParams;
 use ca_cqr2::dense::gemm::{matmul, Trans};
 use ca_cqr2::dense::random::SeededRng;
 use ca_cqr2::dense::trsm::trsm_left_upper;
 use ca_cqr2::dense::Matrix;
 use ca_cqr2::pargrid::GridShape;
 use ca_cqr2::simgrid::Machine;
+use ca_cqr2::QrPlan;
 
 fn main() {
     // Ground truth: y(t) = 3 − 2t + 0.5t² − 0.1t³ plus noise.
@@ -34,10 +33,14 @@ fn main() {
         clean + 0.01 * (rng.uniform() - 0.5)
     });
 
-    // Distributed QR of the design matrix on a 2x8x2 grid.
-    let shape = GridShape::new(2, 8).unwrap();
-    let run =
-        run_cacqr2_global(&a, shape, CfrParams::default_for(n, 2), Machine::stampede2(64)).expect("full-rank design");
+    // Distributed QR of the design matrix on a 2x8x2 grid. The plan is
+    // validated once and could be reused for every refit of the model.
+    let plan = QrPlan::new(m, n)
+        .grid(GridShape::new(2, 8).unwrap())
+        .machine(Machine::stampede2(64))
+        .build()
+        .expect("valid plan");
+    let run = plan.factor(&a).expect("full-rank design");
 
     // Solve R·x = Qᵀb by backward substitution.
     let mut x = matmul(run.q.as_ref(), Trans::Yes, b.as_ref(), Trans::No); // n × 1

@@ -8,6 +8,7 @@ use ca_cqr2::cacqr::{cqr, cqr2, shifted_cqr3};
 use ca_cqr2::dense::norms::orthogonality_error;
 use ca_cqr2::dense::random::matrix_with_condition;
 use ca_cqr2::dense::svd::condition_number;
+use ca_cqr2::dense::BackendKind;
 
 fn fmt(res: Result<f64, String>) -> String {
     match res {
@@ -28,13 +29,14 @@ fn main() {
         let a = matrix_with_condition(m, n, kappa, 77 + exp as u64);
         let measured = condition_number(&a);
 
-        let e_cqr = cqr(&a)
+        let be = BackendKind::default_kind();
+        let e_cqr = cqr(&a, be)
             .map(|(q, _)| orthogonality_error(q.as_ref()))
             .map_err(|e| format!("pivot {}", e.index));
-        let e_cqr2 = cqr2(&a)
+        let e_cqr2 = cqr2(&a, be)
             .map(|(q, _)| orthogonality_error(q.as_ref()))
             .map_err(|e| format!("pivot {}", e.index));
-        let e_s3 = shifted_cqr3(&a)
+        let e_s3 = shifted_cqr3(&a, be)
             .map(|(q, _)| orthogonality_error(q.as_ref()))
             .map_err(|e| format!("pivot {}", e.index));
         let (qh, _) = ca_cqr2::dense::householder::qr(&a);

@@ -9,12 +9,11 @@
 //!
 //! Run: `cargo run --release --example tall_skinny_svd`
 
-use ca_cqr2::cacqr::validate::run_cacqr2_global;
-use ca_cqr2::cacqr::CfrParams;
 use ca_cqr2::dense::random::matrix_with_condition;
 use ca_cqr2::dense::svd::singular_values;
 use ca_cqr2::pargrid::GridShape;
 use ca_cqr2::simgrid::Machine;
+use ca_cqr2::QrPlan;
 
 fn main() {
     let (m, n) = (4096usize, 16usize);
@@ -23,8 +22,12 @@ fn main() {
 
     // Distributed QR on a 2 × 16 × 2 grid (P = 64 simulated ranks).
     let shape = GridShape::new(2, 16).unwrap();
-    let run = run_cacqr2_global(&a, shape, CfrParams::default_for(n, 2), Machine::stampede2(64))
-        .expect("well-conditioned input");
+    let plan = QrPlan::new(m, n)
+        .grid(shape)
+        .machine(Machine::stampede2(64))
+        .build()
+        .expect("valid plan");
+    let run = plan.factor(&a).expect("well-conditioned input");
 
     // SVD of the small R factor (n × n) — sequential one-sided Jacobi.
     let sv_r = singular_values(&run.r);

@@ -2,20 +2,50 @@
 //!
 //! Umbrella crate for the reproduction of Hutter & Solomonik,
 //! *"Communication-avoiding CholeskyQR2 for rectangular matrices"*
-//! (IPDPS 2019). It re-exports the workspace crates:
+//! (IPDPS 2019).
+//!
+//! ## The front door: [`QrPlan`]
+//!
+//! Every QR variant in the workspace — 1D-CQR2, CA-CQR2, shifted CA-CQR3,
+//! and the ScaLAPACK-`PGEQRF`-like baseline — runs through one typed,
+//! validated facade with a plan/execute split: build a [`QrPlan`] once,
+//! then [`factor`](QrPlan::factor) any number of same-shape matrices, each
+//! returning a unified [`QrReport`] (global `Q`/`R`, simulated time,
+//! per-rank cost ledgers, numerical diagnostics).
+//!
+//! ```
+//! use ca_cqr2::{Algorithm, QrPlan};
+//! use ca_cqr2::pargrid::GridShape;
+//! use ca_cqr2::simgrid::Machine;
+//!
+//! let a = ca_cqr2::dense::random::well_conditioned(64, 16, 1);
+//! let plan = QrPlan::new(64, 16)
+//!     .algorithm(Algorithm::CaCqr2)
+//!     .grid(GridShape::new(2, 4)?)
+//!     .machine(Machine::stampede2(64))
+//!     .build()?;
+//! let report = plan.factor(&a)?;
+//! assert!(report.orthogonality_error < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See [`cacqr::driver`] for the full plan/execute story and the layering
+//! guide (facade vs expert vs SPMD layer).
+//!
+//! ## The workspace crates
 //!
 //! * [`dense`] — sequential dense linear algebra kernels (the BLAS/LAPACK
-//!   substrate).
+//!   substrate) with the pluggable `Backend` layer.
 //! * [`simgrid`] — a deterministic SPMD message-passing runtime with α-β-γ
 //!   cost accounting (the MPI substitute).
 //! * [`pargrid`] — tunable `c × d × c` processor grids and cyclic
 //!   distributions.
-//! * [`cacqr`] — the paper's algorithms: MM3D, CFR3D, 1D-/3D-/CA-CQR2.
+//! * [`cacqr`] — the paper's algorithms (MM3D, CFR3D, 1D-/3D-/CA-CQR2) and
+//!   the [`QrPlan`] driver.
 //! * [`baseline`] — the ScaLAPACK-`PGEQRF`-like 2D Householder QR baseline.
 //! * [`costmodel`] — closed-form α-β-γ cost recurrences (paper Tables I–VI).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the system inventory and experiment index.
+//! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use baseline;
 pub use cacqr;
@@ -23,3 +53,5 @@ pub use costmodel;
 pub use dense;
 pub use pargrid;
 pub use simgrid;
+
+pub use cacqr::driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};

@@ -5,8 +5,7 @@
 //! bitwise identical, because flop charges come from shape-based
 //! conventions, never from kernel internals.
 
-use cacqr::validate::run_cacqr2_global;
-use cacqr::CfrParams;
+use cacqr::{Algorithm, QrPlan};
 use dense::norms::{orthogonality_error, residual_error};
 use dense::random::well_conditioned;
 use dense::{BackendKind, Matrix};
@@ -30,8 +29,16 @@ fn cacqr2_validates_identically_under_both_backends() {
     let machine = Machine::stampede2(64);
     let mut runs = Vec::new();
     for kind in BackendKind::ALL {
-        let params = CfrParams::validated(n, 2, 4, 1).unwrap().with_backend(kind);
-        let run = run_cacqr2_global(&a, shape, params, machine).unwrap();
+        let plan = QrPlan::new(m, n)
+            .grid(shape)
+            .base_size(4)
+            .inverse_depth(1)
+            .backend(kind)
+            .machine(machine)
+            .build()
+            .unwrap();
+        assert_eq!(plan.backend(), kind, "the chosen backend must survive validation");
+        let run = plan.factor(&a).unwrap();
         assert!(
             orthogonality_error(run.q.as_ref()) < 1e-12,
             "{kind}: orthogonality {:.2e}",
@@ -65,8 +72,14 @@ fn pgeqrf_validates_identically_under_both_backends() {
     let machine = Machine::bluewaters(16);
     let mut runs = Vec::new();
     for kind in BackendKind::ALL {
-        let config = baseline::PgeqrfConfig { grid, backend: kind };
-        let run = baseline::pgeqrf::run_pgeqrf_global_with(&a, config, machine);
+        let plan = QrPlan::new(m, n)
+            .algorithm(Algorithm::Pgeqrf)
+            .block_cyclic(grid)
+            .backend(kind)
+            .machine(machine)
+            .build()
+            .unwrap();
+        let run = plan.factor(&a).unwrap();
         assert!(orthogonality_error(run.q.as_ref()) < 1e-12, "{kind}: orthogonality");
         assert!(
             residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12,
@@ -108,7 +121,7 @@ fn mm3d_validates_identically_under_both_backends() {
                 let (x, yh, _z) = cube.coords;
                 let al = DistMatrix::from_global(&a, c, c, yh, x);
                 let bl = DistMatrix::from_global(&b, c, c, yh, x);
-                let cl = cacqr::mm3d::mm3d_with(rank, cube, &al.local, &bl.local, kind);
+                let cl = cacqr::mm3d::mm3d(rank, cube, &al.local, &bl.local, kind);
                 (x, yh, cl, rank.ledger())
             },
         );
@@ -137,7 +150,7 @@ fn sequential_cqr2_validates_identically_under_both_backends() {
     let a = well_conditioned(96, 24, 9);
     let mut qs = Vec::new();
     for kind in BackendKind::ALL {
-        let (q, r) = cacqr::cqr::cqr2_with(&a, kind).unwrap();
+        let (q, r) = cacqr::cqr::cqr2(&a, kind).unwrap();
         assert!(orthogonality_error(q.as_ref()) < 1e-13, "{kind}");
         assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-13, "{kind}");
         qs.push((q, r));

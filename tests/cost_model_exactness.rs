@@ -124,7 +124,7 @@ fn pgeqrf_model_tracks_implementation() {
             let got = run_spmd(pr * pc, SimConfig::with_machine(machine), move |rank| {
                 let comms = baseline::pgeqrf::PgeqrfComms::build(rank, grid);
                 let mut local = grid.scatter(&well_conditioned(m, n, 3), comms.prow, comms.pcol);
-                baseline::pgeqrf(rank, &comms, grid, &mut local, m, n);
+                baseline::pgeqrf(rank, &comms, baseline::PgeqrfConfig::new(grid), &mut local, m, n);
             })
             .elapsed;
             assert!(

@@ -3,8 +3,7 @@
 //! fixed collective schedules and combine orders guarantee it; these tests
 //! enforce it.
 
-use cacqr::validate::run_cacqr2_global;
-use cacqr::CfrParams;
+use cacqr::{Algorithm, CfrParams, QrPlan};
 use dense::random::well_conditioned;
 use pargrid::GridShape;
 use simgrid::{run_spmd, Machine, SimConfig};
@@ -12,11 +11,17 @@ use simgrid::{run_spmd, Machine, SimConfig};
 #[test]
 fn repeated_cacqr2_runs_are_bitwise_identical() {
     let a = well_conditioned(64, 16, 99);
-    let shape = GridShape::new(2, 4).unwrap();
-    let params = CfrParams::validated(16, 2, 4, 0).unwrap();
-    let first = run_cacqr2_global(&a, shape, params, Machine::stampede2(64)).unwrap();
+    // One plan, many factorizations: the reuse path must also be bitwise
+    // reproducible.
+    let plan = QrPlan::new(64, 16)
+        .grid(GridShape::new(2, 4).unwrap())
+        .base_size(4)
+        .machine(Machine::stampede2(64))
+        .build()
+        .unwrap();
+    let first = plan.factor(&a).unwrap();
     for _ in 0..3 {
-        let again = run_cacqr2_global(&a, shape, params, Machine::stampede2(64)).unwrap();
+        let again = plan.factor(&a).unwrap();
         assert_eq!(first.q, again.q, "Q must be bitwise reproducible");
         assert_eq!(first.r, again.r, "R must be bitwise reproducible");
         assert_eq!(
@@ -55,9 +60,14 @@ fn allreduce_result_is_schedule_independent() {
 #[test]
 fn pgeqrf_is_deterministic() {
     let a = well_conditioned(64, 32, 55);
-    let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 };
-    let first = baseline::run_pgeqrf_global(&a, grid, Machine::bluewaters(16));
-    let again = baseline::run_pgeqrf_global(&a, grid, Machine::bluewaters(16));
+    let plan = QrPlan::new(64, 32)
+        .algorithm(Algorithm::Pgeqrf)
+        .block_cyclic(baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 })
+        .machine(Machine::bluewaters(16))
+        .build()
+        .unwrap();
+    let first = plan.factor(&a).unwrap();
+    let again = plan.factor(&a).unwrap();
     assert_eq!(first.q, again.q);
     assert_eq!(first.r, again.r);
     assert_eq!(first.elapsed, again.elapsed);

@@ -2,12 +2,11 @@
 //! produce *consistent, informative* errors on every rank — never a hang,
 //! panic, or divergent control flow.
 
-use cacqr::validate::run_cacqr2_global;
-use cacqr::CfrParams;
+use cacqr::{Algorithm, CfrParams, PlanError, QrPlan};
 use dense::random::{matrix_with_condition, well_conditioned};
-use dense::Matrix;
+use dense::{BackendKind, Matrix};
 use pargrid::{DistMatrix, GridShape, TunableComms};
-use simgrid::{run_spmd, Machine, SimConfig};
+use simgrid::{run_spmd, SimConfig};
 
 #[test]
 fn rank_deficient_input_reports_pivot_on_all_ranks() {
@@ -47,8 +46,10 @@ fn duplicate_columns_fail_or_factor_validly() {
         a.set(i, 5, v);
     }
     let shape = GridShape::new(2, 4).unwrap();
-    match run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()) {
-        Err(_) => {}
+    let plan = QrPlan::new(m, n).grid(shape).base_size(4).build().unwrap();
+    match plan.factor(&a) {
+        Err(PlanError::NotPositiveDefinite(_)) => {}
+        Err(e) => panic!("only loss of positive definiteness is acceptable, got {e}"),
         Ok(run) => {
             assert!(dense::norms::orthogonality_error(run.q.as_ref()) < 1e-12);
             assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-10);
@@ -65,16 +66,29 @@ fn duplicate_columns_fail_or_factor_validly() {
 #[test]
 fn driver_surfaces_errors_not_panics() {
     let a = matrix_with_condition(64, 8, 1e13, 5);
-    let shape = GridShape::new(2, 4).unwrap();
-    let res = run_cacqr2_global(&a, shape, CfrParams::validated(8, 2, 4, 0).unwrap(), Machine::zero());
-    assert!(res.is_err());
+    let plan = QrPlan::new(64, 8)
+        .grid(GridShape::new(2, 4).unwrap())
+        .base_size(4)
+        .build()
+        .unwrap();
+    assert!(matches!(plan.factor(&a), Err(PlanError::NotPositiveDefinite(_))));
+    // The same input through the unconditionally stable variant succeeds.
+    let plan3 = QrPlan::new(64, 8)
+        .algorithm(Algorithm::CaCqr3)
+        .grid(GridShape::new(2, 4).unwrap())
+        .base_size(4)
+        .build()
+        .unwrap();
+    let report = plan3.factor(&a).expect("CA-CQR3 is unconditionally stable");
+    assert!(report.orthogonality_error < 1e-12);
 }
 
 #[test]
 fn shifted_cqr3_rescues_what_cqr2_cannot() {
     let a = matrix_with_condition(96, 12, 1e12, 8);
-    assert!(cacqr::cqr2(&a).is_err(), "plain CQR2 must fail at kappa = 1e12");
-    let (q, r) = cacqr::shifted_cqr3(&a).expect("shifted CQR3 must succeed");
+    let be = BackendKind::default_kind();
+    assert!(cacqr::cqr2(&a, be).is_err(), "plain CQR2 must fail at kappa = 1e12");
+    let (q, r) = cacqr::shifted_cqr3(&a, be).expect("shifted CQR3 must succeed");
     assert!(dense::norms::orthogonality_error(q.as_ref()) < 1e-12);
     assert!(dense::norms::residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-11);
 }
@@ -88,21 +102,29 @@ fn grid_validation_rejects_bad_shapes() {
 }
 
 #[test]
-#[should_panic(expected = "requires d | m")]
-fn driver_rejects_indivisible_rows() {
-    let a = well_conditioned(30, 8, 1);
+fn facade_rejects_indivisible_rows_without_panicking() {
     let shape = GridShape::new(2, 4).unwrap();
-    let _ = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 2), Machine::zero());
+    let err = QrPlan::new(30, 8).grid(shape).build().unwrap_err();
+    assert_eq!(
+        err,
+        PlanError::RowsNotDivisible {
+            m: 30,
+            divisor: 4,
+            algorithm: Algorithm::CaCqr2,
+        }
+    );
 }
 
 #[test]
 fn zero_matrix_fails_cleanly() {
     let a = Matrix::zeros(32, 8);
     let shape = GridShape::new(2, 4).unwrap();
-    let res = run_cacqr2_global(&a, shape, CfrParams::validated(8, 2, 4, 0).unwrap(), Machine::zero());
-    match res {
-        Err(e) => assert_eq!(e.index, 0, "first pivot of a zero Gram matrix"),
-        Ok(_) => panic!("zero matrix must not factor"),
+    let plan = QrPlan::new(32, 8).grid(shape).base_size(4).build().unwrap();
+    match plan.factor(&a) {
+        Err(PlanError::NotPositiveDefinite(e)) => {
+            assert_eq!(e.index, 0, "first pivot of a zero Gram matrix")
+        }
+        other => panic!("zero matrix must not factor: {other:?}"),
     }
 }
 
@@ -116,7 +138,12 @@ fn pgeqrf_handles_rank_deficiency_gracefully() {
         a.set(i, 7, 0.0);
     }
     let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 4 };
-    let run = baseline::run_pgeqrf_global(&a, grid, Machine::zero());
+    let plan = QrPlan::new(m, n)
+        .algorithm(Algorithm::Pgeqrf)
+        .block_cyclic(grid)
+        .build()
+        .unwrap();
+    let run = plan.factor(&a).unwrap();
     assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
     assert!(
         run.r.get(7, 7).abs() < 1e-12,

@@ -2,11 +2,10 @@
 //! semantics, distribution round-trips, QR invariants over random shapes and
 //! grids, and the partial-inverse solver.
 
-use cacqr::validate::run_cacqr2_global;
-use cacqr::CfrParams;
+use cacqr::{CfrParams, QrPlan};
 use dense::norms::{lower_residual, orthogonality_error, residual_error};
 use dense::random::well_conditioned;
-use dense::Matrix;
+use dense::{BackendKind, Matrix};
 use pargrid::{DistMatrix, GridShape};
 use proptest::prelude::*;
 use simgrid::{run_spmd, Machine, SimConfig};
@@ -115,10 +114,9 @@ proptest! {
         prop_assume!(m >= n);
         let a = well_conditioned(m, n, seed);
         let shape = GridShape::new(c, d).unwrap();
-        let params = CfrParams::default_for(n, c);
-        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).unwrap();
-        prop_assert!(orthogonality_error(run.q.as_ref()) < 1e-11);
-        prop_assert!(residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-11);
+        let run = QrPlan::new(m, n).grid(shape).build().unwrap().factor(&a).unwrap();
+        prop_assert!(run.orthogonality_error < 1e-11);
+        prop_assert!(run.residual_error < 1e-11);
         prop_assert!(lower_residual(run.r.as_ref()) < 1e-12);
     }
 
@@ -157,7 +155,7 @@ proptest! {
     ) {
         prop_assume!(m >= 2 * n);
         let a = well_conditioned(m, n, seed);
-        let (q, r) = cacqr::panel::panel_cqr2(&a, b, true).unwrap();
+        let (q, r) = cacqr::panel::panel_cqr2(&a, b, true, BackendKind::default_kind()).unwrap();
         prop_assert!(orthogonality_error(q.as_ref()) < 1e-11);
         prop_assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-11);
     }
@@ -172,7 +170,7 @@ proptest! {
         let a = well_conditioned(m, n, seed);
         // Householder and CQR2 must agree up to column signs.
         let (mut qh, mut rh) = dense::householder::qr(&a);
-        let (mut qc, mut rc) = cacqr::cqr2(&a).unwrap();
+        let (mut qc, mut rc) = cacqr::cqr2(&a, BackendKind::default_kind()).unwrap();
         dense::norms::normalize_qr_signs(&mut qh, &mut rh);
         dense::norms::normalize_qr_signs(&mut qc, &mut rc);
         for (u, v) in rc.data().iter().zip(rh.data()) {

@@ -2,13 +2,11 @@
 //! factored on the same matrices, must agree with sequential Householder QR
 //! up to column signs and produce orthonormal factors.
 
-use cacqr::validate::{run_cacqr2_global, run_cqr2_1d_global};
-use cacqr::CfrParams;
+use cacqr::{Algorithm, QrPlan};
 use dense::norms::{lower_residual, normalize_qr_signs, orthogonality_error, residual_error};
 use dense::random::well_conditioned;
-use dense::Matrix;
+use dense::{BackendKind, Matrix};
 use pargrid::GridShape;
-use simgrid::Machine;
 
 fn assert_valid_qr(label: &str, a: &Matrix, q: &Matrix, r: &Matrix) {
     assert!(
@@ -48,35 +46,34 @@ fn all_variants_agree_on_one_matrix() {
     assert_valid_qr("householder", &a, &qh, &rh);
 
     // Sequential CQR2.
-    let (qs, rs) = cacqr::cqr2(&a).unwrap();
+    let (qs, rs) = cacqr::cqr2(&a, BackendKind::default_kind()).unwrap();
     assert_valid_qr("cqr2-seq", &a, &qs, &rs);
     assert_same_factorization("cqr2-seq vs householder", &qs, &rs, &qh, &rh);
 
-    // 1D-CQR2 on 4 ranks.
-    let run = run_cqr2_1d_global(&a, 4, Machine::zero()).unwrap();
-    assert_valid_qr("1d-cqr2", &a, &run.q, &run.r);
-    assert_same_factorization("1d vs seq", &run.q, &run.r, &qs, &rs);
+    // Every distributed variant, through one facade loop: 1D-CQR2, the
+    // CA family, and the ScaLAPACK-like baseline, all on 16 ranks.
+    for alg in Algorithm::ALL {
+        let plan = QrPlan::new(m, n)
+            .algorithm(alg)
+            .grid(GridShape::new(2, 4).unwrap())
+            .block_cyclic(baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 })
+            .build()
+            .unwrap();
+        let report = plan.factor(&a).unwrap();
+        assert_valid_qr(&format!("{alg}"), &a, &report.q, &report.r);
+        assert_same_factorization(&format!("{alg} vs seq"), &report.q, &report.r, &qs, &rs);
+    }
 
-    // CA-CQR2 on assorted grids.
-    for (c, d) in [(1usize, 8usize), (2, 4), (2, 8), (2, 16), (4, 4)] {
-        let shape = GridShape::new(c, d).unwrap();
-        if m % d != 0 {
-            continue;
-        }
-        let params = CfrParams::default_for(n, c);
-        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).unwrap();
+    // CA-CQR2 on assorted further grids.
+    for (c, d) in [(1usize, 8usize), (2, 8), (2, 16), (4, 4)] {
+        let plan = QrPlan::new(m, n).grid(GridShape::new(c, d).unwrap()).build().unwrap();
+        let run = plan.factor(&a).unwrap();
         assert_valid_qr(&format!("ca-cqr2 c={c} d={d}"), &a, &run.q, &run.r);
         assert_same_factorization(&format!("ca c={c} d={d} vs seq"), &run.q, &run.r, &qs, &rs);
     }
 
-    // ScaLAPACK-like baseline.
-    let grid = baseline::BlockCyclic { pr: 4, pc: 2, nb: 8 };
-    let run = baseline::run_pgeqrf_global(&a, grid, Machine::zero());
-    assert_valid_qr("pgeqrf", &a, &run.q, &run.r);
-    assert_same_factorization("pgeqrf vs householder", &run.q, &run.r, &qh, &rh);
-
     // Panel-blocked CQR2 (the §V extension).
-    let (qp, rp) = cacqr::panel::panel_cqr2(&a, 4, true).unwrap();
+    let (qp, rp) = cacqr::panel::panel_cqr2(&a, 4, true, BackendKind::default_kind()).unwrap();
     assert_valid_qr("panel-cqr2", &a, &qp, &rp);
     assert_same_factorization("panel vs householder", &qp, &rp, &qh, &rh);
 }
@@ -88,9 +85,17 @@ fn inverse_depth_variants_are_bitwise_equivalent_in_q() {
     let (m, n) = (128usize, 32usize);
     let a = well_conditioned(m, n, 7);
     let shape = GridShape::new(2, 8).unwrap();
-    let r0 = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()).unwrap();
+    let plan = |inv: usize| {
+        QrPlan::new(m, n)
+            .grid(shape)
+            .base_size(4)
+            .inverse_depth(inv)
+            .build()
+            .unwrap()
+    };
+    let r0 = plan(0).factor(&a).unwrap();
     for inv in [1usize, 2, 3] {
-        let ri = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, inv).unwrap(), Machine::zero()).unwrap();
+        let ri = plan(inv).factor(&a).unwrap();
         assert_valid_qr(&format!("inverse_depth={inv}"), &a, &ri.q, &ri.r);
         for (u, v) in ri.q.data().iter().zip(r0.q.data()) {
             assert!((u - v).abs() < 1e-10, "Q should agree across InverseDepth settings");
@@ -105,7 +110,13 @@ fn base_case_size_does_not_change_results() {
     let shape = GridShape::new(2, 4).unwrap();
     let mut reference: Option<Matrix> = None;
     for base in [2usize, 4, 8, 16, 32] {
-        let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, base, 0).unwrap(), Machine::zero()).unwrap();
+        let run = QrPlan::new(m, n)
+            .grid(shape)
+            .base_size(base)
+            .build()
+            .unwrap()
+            .factor(&a)
+            .unwrap();
         assert_valid_qr(&format!("n0={base}"), &a, &run.q, &run.r);
         match &reference {
             None => reference = Some(run.q),
@@ -124,7 +135,13 @@ fn square_matrix_support() {
     let n = 32usize;
     let a = well_conditioned(n, n, 31);
     let shape = GridShape::new(2, 4).unwrap();
-    let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 8, 0).unwrap(), Machine::zero()).unwrap();
+    let run = QrPlan::new(n, n)
+        .grid(shape)
+        .base_size(8)
+        .build()
+        .unwrap()
+        .factor(&a)
+        .unwrap();
     assert_valid_qr("square", &a, &run.q, &run.r);
 }
 
@@ -142,8 +159,7 @@ fn wide_range_of_shapes_and_grids() {
         let a = well_conditioned(m, n, seed);
         // d = 12 is not a power of two: GridShape rejects it — skip validly.
         let Ok(shape) = GridShape::new(c, d) else { continue };
-        let params = CfrParams::default_for(n, c);
-        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).unwrap();
+        let run = QrPlan::new(m, n).grid(shape).build().unwrap().factor(&a).unwrap();
         assert_valid_qr(&format!("m={m} n={n} c={c} d={d}"), &a, &run.q, &run.r);
     }
 }

@@ -1,11 +1,10 @@
 //! Reproduction of the paper's §I numerical-stability claims as assertions.
 
-use cacqr::validate::run_cacqr2_global;
-use cacqr::CfrParams;
+use cacqr::QrPlan;
 use dense::norms::orthogonality_error;
 use dense::random::matrix_with_condition;
+use dense::BackendKind;
 use pargrid::GridShape;
-use simgrid::Machine;
 
 #[test]
 fn cqr_error_grows_as_kappa_squared() {
@@ -16,7 +15,7 @@ fn cqr_error_grows_as_kappa_squared() {
     for exp in [2i32, 3, 4, 5] {
         let kappa = 10f64.powi(exp);
         let a = matrix_with_condition(m, n, kappa, 500 + exp as u64);
-        let (q, _) = cacqr::cqr(&a).expect("κ ≤ 1e5 must factor");
+        let (q, _) = cacqr::cqr(&a, BackendKind::default_kind()).expect("κ ≤ 1e5 must factor");
         lk.push(kappa.ln());
         le.push(orthogonality_error(q.as_ref()).ln());
     }
@@ -40,7 +39,7 @@ fn cqr2_matches_householder_within_its_domain() {
     for exp in [1i32, 3, 5, 6, 7] {
         let kappa = 10f64.powi(exp);
         let a = matrix_with_condition(m, n, kappa, 600 + exp as u64);
-        let (q2, _) = cacqr::cqr2(&a).expect("within the CQR2 domain");
+        let (q2, _) = cacqr::cqr2(&a, BackendKind::default_kind()).expect("within the CQR2 domain");
         let (qh, _) = dense::householder::qr(&a);
         let e2 = orthogonality_error(q2.as_ref());
         let eh = orthogonality_error(qh.as_ref());
@@ -58,8 +57,14 @@ fn distributed_cacqr2_inherits_sequential_stability() {
     let (m, n) = (128usize, 16usize);
     let a = matrix_with_condition(m, n, 1e5, 9);
     let shape = GridShape::new(2, 8).unwrap();
-    let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()).unwrap();
-    assert!(orthogonality_error(run.q.as_ref()) < 5e-14);
+    let run = QrPlan::new(m, n)
+        .grid(shape)
+        .base_size(4)
+        .build()
+        .unwrap()
+        .factor(&a)
+        .unwrap();
+    assert!(run.orthogonality_error < 5e-14);
 }
 
 #[test]
@@ -68,7 +73,8 @@ fn shifted_cqr3_is_unconditional() {
     for exp in [8i32, 10, 12, 14] {
         let kappa = 10f64.powi(exp);
         let a = matrix_with_condition(m, n, kappa, 700 + exp as u64);
-        let (q, _) = cacqr::shifted_cqr3(&a).expect("shifted CQR3 is unconditionally stable");
+        let (q, _) =
+            cacqr::shifted_cqr3(&a, BackendKind::default_kind()).expect("shifted CQR3 is unconditionally stable");
         assert!(
             orthogonality_error(q.as_ref()) < 1e-12,
             "κ=1e{exp}: {:.2e}",
