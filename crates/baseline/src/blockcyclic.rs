@@ -10,7 +10,7 @@
 use dense::Matrix;
 
 /// Descriptor of the baseline's 2D distribution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BlockCyclic {
     /// Process-grid rows.
     pub pr: usize,

@@ -27,9 +27,14 @@
 //!
 //! # Which layer to use when
 //!
+//! * **The service layer** ([`crate::service::QrService`]) — concurrent
+//!   batch serving on top of this facade: a keyed plan cache (repeat shapes
+//!   never rebuild), a bounded-queue worker pool, and thread-budget
+//!   coordination with the kernel layer. Reach for it when many matrices —
+//!   or many callers — need factoring at once.
 //! * **This facade** — anything that factors matrices and wants validated
 //!   configuration, unified reports, or cross-algorithm loops: examples,
-//!   integration tests, applications, batch services.
+//!   integration tests, applications.
 //! * **The expert layer** ([`crate::validate`],
 //!   [`baseline::run_pgeqrf_global`]) — single-algorithm global drivers
 //!   without validation; useful when you need a factorization *without*

@@ -28,6 +28,10 @@
 //! * [`validate`] — the expert layer underneath the facade: single-
 //!   algorithm global drivers without validation, for cost
 //!   cross-validation harnesses.
+//! * [`service`] — the throughput layer above the facade: [`QrService`], a
+//!   thread-safe engine that caches plans per [`service::JobSpec`] and
+//!   factors many matrices concurrently through a bounded-queue worker
+//!   pool, coordinating its thread budget with the kernel layer.
 
 pub mod cacqr;
 pub mod cacqr2;
@@ -40,6 +44,7 @@ pub mod driver;
 pub mod invtree;
 pub mod mm3d;
 pub mod panel;
+pub mod service;
 pub mod validate;
 
 pub use cacqr2::{ca_cqr2, CaCqr2Output};
@@ -51,3 +56,4 @@ pub use cqr1d::{cqr1d, cqr2_1d};
 pub use driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
 pub use invtree::InvTree;
 pub use mm3d::{mm3d, mm3d_scaled, transpose_cube};
+pub use service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError};

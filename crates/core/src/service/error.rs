@@ -1,0 +1,90 @@
+//! The typed error surface of the [`QrService`](super::QrService) engine.
+//!
+//! Service-level failures extend the existing [`PlanError`] hierarchy: every
+//! planning or factorization error surfaces unchanged inside
+//! [`ServiceError::Plan`] (via [`From`], so `?` composes), and the engine
+//! adds only the failure modes the plan layer cannot have — a full
+//! submission queue, a shut-down pool, and a worker that died mid-job.
+
+use crate::driver::PlanError;
+
+/// Why the service could not accept, schedule, or complete a job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Planning or factoring failed; carries the underlying typed
+    /// [`PlanError`] (invalid configuration, shape mismatch, loss of
+    /// positive definiteness, …).
+    Plan(PlanError),
+    /// A non-blocking submission found the bounded queue at capacity.
+    /// Retry later, or use the blocking [`submit`](super::QrService::submit)
+    /// for backpressure instead.
+    QueueFull {
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts jobs.
+    ShuttingDown,
+    /// The worker executing the job panicked. Carries the panic payload's
+    /// message when it was a string. The pool survives: the worker catches
+    /// the unwind and keeps serving subsequent jobs.
+    WorkerPanicked {
+        /// Panic message, or `"<non-string panic payload>"`.
+        message: String,
+    },
+    /// One job of a [`factor_batch`](super::QrService::factor_batch) call
+    /// failed; carries which input and why. Use
+    /// [`try_factor_batch`](super::QrService::try_factor_batch) to keep the
+    /// other jobs' reports instead.
+    BatchJobFailed {
+        /// Index of the failing matrix within the submitted batch.
+        index: usize,
+        /// The job's underlying failure.
+        source: Box<ServiceError>,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Plan(e) => write!(f, "job failed: {e}"),
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "submission queue is full (capacity {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::WorkerPanicked { message } => {
+                write!(f, "worker panicked while factoring: {message}")
+            }
+            ServiceError::BatchJobFailed { index, source } => {
+                write!(f, "batch job {index} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Plan(e) => Some(e),
+            ServiceError::BatchJobFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for ServiceError {
+    fn from(e: PlanError) -> ServiceError {
+        ServiceError::Plan(e)
+    }
+}
+
+impl From<pargrid::GridError> for ServiceError {
+    fn from(e: pargrid::GridError) -> ServiceError {
+        ServiceError::Plan(PlanError::Grid(e))
+    }
+}
+
+impl From<crate::config::ParamError> for ServiceError {
+    fn from(e: crate::config::ParamError) -> ServiceError {
+        ServiceError::Plan(PlanError::Param(e))
+    }
+}

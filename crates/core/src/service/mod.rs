@@ -1,0 +1,625 @@
+//! `QrService`: a thread-safe, plan-caching batch factorization engine.
+//!
+//! The paper's premise is amortization: CholeskyQR2's setup (grid wiring,
+//! parameter validation, schedule resolution) is paid once and reused over
+//! many tall-skinny panels. [`QrPlan`] gives one
+//! matrix that amortization; this module scales it to a *serving workload*
+//! in the TSQR tradition (Demmel et al.), where batched tall-skinny
+//! factorizations arrive concurrently from many callers:
+//!
+//! 1. **Plan cache** — a keyed map `JobSpec → Arc<QrPlan>` behind an
+//!    `RwLock`. Repeat shapes never rebuild or revalidate; concurrent
+//!    lookups of a cached key take only the read lock, and
+//!    [`QrService::plan`] returns pointer-equal `Arc`s for equal keys.
+//! 2. **Worker pool** — a fixed set of `std` threads draining a bounded
+//!    submission queue ([`QrService::submit`] blocks when full, providing
+//!    backpressure; [`QrService::try_submit`] refuses instead). Each job
+//!    resolves to a [`JobHandle`]; [`JobHandle::wait`] delivers the
+//!    [`QrReport`] or a typed [`ServiceError`].
+//! 3. **Thread-budget coordination** — the pool registers its workers with
+//!    [`dense::PoolReservation`], so block-level kernel parallelism shrinks
+//!    to its fair share of `CACQR_THREADS` while the pool is alive. Pool
+//!    width × kernel width never oversubscribes the budget.
+//!
+//! Determinism is preserved end to end: a given `(plan, matrix)` pair
+//! produces bitwise-identical factors whether it runs on the caller's
+//! thread, one worker, or races against a saturated pool — the kernels'
+//! accumulation order is schedule-independent, and
+//! [`factor_batch`](QrService::factor_batch) returns reports in submission
+//! order.
+//!
+//! # Example
+//!
+//! ```
+//! use cacqr::service::{JobSpec, QrService};
+//! use pargrid::GridShape;
+//!
+//! let service = QrService::builder().workers(2).build();
+//! let spec = JobSpec::new(64, 16).grid(GridShape::new(2, 2)?);
+//! let batch: Vec<_> = (0..4)
+//!     .map(|seed| dense::random::well_conditioned(64, 16, seed))
+//!     .collect();
+//! let reports = service.factor_batch(&spec, &batch)?;
+//! assert_eq!(reports.len(), 4);
+//! assert!(reports.iter().all(|r| r.orthogonality_error < 1e-12));
+//! // Repeat shapes hit the cache: the same Arc<QrPlan>, not a rebuild.
+//! assert!(std::sync::Arc::ptr_eq(&service.plan(&spec)?, &service.plan(&spec)?));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+mod queue;
+
+pub use error::ServiceError;
+
+use crate::driver::{Algorithm, PlanError, QrPlan, QrReport};
+use baseline::BlockCyclic;
+use dense::{BackendKind, Matrix, PoolReservation};
+use pargrid::GridShape;
+use queue::{BoundedQueue, PushError};
+use simgrid::Machine;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// A hashable description of *what* to factor: the plan-cache key.
+///
+/// Mirrors the [`QrPlanBuilder`](crate::driver::QrPlanBuilder) knobs that
+/// affect the schedule — shape, [`Algorithm`], grid or block-cyclic layout,
+/// kernel backend, CFR3D base size and inverse depth — but not the machine
+/// model, which is a property of the whole service. Two jobs with equal
+/// specs share one cached [`QrPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[must_use = "a JobSpec does nothing until submitted to a QrService"]
+pub struct JobSpec {
+    m: usize,
+    n: usize,
+    algorithm: Algorithm,
+    grid: Option<GridShape>,
+    block_cyclic: Option<BlockCyclic>,
+    backend: Option<BackendKind>,
+    base_size: Option<usize>,
+    inverse_depth: usize,
+}
+
+impl JobSpec {
+    /// Starts a spec for factoring `m × n` matrices with the defaults of
+    /// [`QrPlan::new`]: algorithm [`Algorithm::CaCqr2`], the service's
+    /// backend, the paper's base size, `inverse_depth = 0`.
+    pub fn new(m: usize, n: usize) -> JobSpec {
+        JobSpec {
+            m,
+            n,
+            algorithm: Algorithm::CaCqr2,
+            grid: None,
+            block_cyclic: None,
+            backend: None,
+            base_size: None,
+            inverse_depth: 0,
+        }
+    }
+
+    /// Chooses the QR variant.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> JobSpec {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the `c × d × c` processor grid (CA family and 1D-CQR2).
+    pub fn grid(mut self, grid: GridShape) -> JobSpec {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Sets the 2D block-cyclic layout ([`Algorithm::Pgeqrf`]).
+    pub fn block_cyclic(mut self, block_cyclic: BlockCyclic) -> JobSpec {
+        self.block_cyclic = Some(block_cyclic);
+        self
+    }
+
+    /// Pins the kernel backend (default: the service's backend).
+    pub fn backend(mut self, backend: BackendKind) -> JobSpec {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Overrides the CFR3D base-case size `n₀` (CA family).
+    pub fn base_size(mut self, base_size: usize) -> JobSpec {
+        self.base_size = Some(base_size);
+        self
+    }
+
+    /// Sets the paper's `InverseDepth` knob (CA family).
+    pub fn inverse_depth(mut self, inverse_depth: usize) -> JobSpec {
+        self.inverse_depth = inverse_depth;
+        self
+    }
+
+    /// Row count of matrices this spec factors.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Column count of matrices this spec factors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Builds the validated plan this spec describes.
+    fn build_plan(&self, machine: Machine, default_backend: BackendKind) -> Result<QrPlan, PlanError> {
+        let mut b = QrPlan::new(self.m, self.n)
+            .algorithm(self.algorithm)
+            .machine(machine)
+            .backend(self.backend.unwrap_or(default_backend))
+            .inverse_depth(self.inverse_depth);
+        if let Some(grid) = self.grid {
+            b = b.grid(grid);
+        }
+        if let Some(bc) = self.block_cyclic {
+            b = b.block_cyclic(bc);
+        }
+        if let Some(base) = self.base_size {
+            b = b.base_size(base);
+        }
+        b.build()
+    }
+}
+
+/// One queued factorization: the resolved plan, the input, and the slot the
+/// worker fulfills.
+struct Job {
+    plan: Arc<QrPlan>,
+    matrix: Matrix,
+    slot: Arc<JobSlot>,
+}
+
+/// Completion slot shared between a worker and a [`JobHandle`].
+struct JobSlot {
+    result: Mutex<Option<Result<QrReport, ServiceError>>>,
+    done: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, outcome: Result<QrReport, ServiceError>) {
+        let mut g = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *g = Some(outcome);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<QrReport, ServiceError> {
+        let mut g = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = g.take() {
+                return outcome;
+            }
+            g = self.done.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.result.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+}
+
+/// Handle to one submitted job; redeem it with [`JobHandle::wait`].
+#[must_use = "a submitted job's outcome is only observable through its handle"]
+pub struct JobHandle {
+    slot: Arc<JobSlot>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job completes, returning its report or error.
+    pub fn wait(self) -> Result<QrReport, ServiceError> {
+        self.slot.wait()
+    }
+
+    /// Whether the job has already completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.slot.is_finished()
+    }
+}
+
+/// State shared between the service front end and its workers.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: RwLock<HashMap<JobSpec, Arc<QrPlan>>>,
+    machine: Machine,
+    default_backend: BackendKind,
+}
+
+/// Builder for [`QrService`]; created by [`QrService::builder`].
+#[derive(Clone, Copy, Debug)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct QrServiceBuilder {
+    workers: Option<usize>,
+    queue_capacity: Option<usize>,
+    machine: Machine,
+    backend: BackendKind,
+}
+
+impl QrServiceBuilder {
+    /// Requests a pool width; clamped to the process thread budget
+    /// ([`dense::thread_budget`]). Default: the whole budget.
+    pub fn workers(mut self, workers: usize) -> QrServiceBuilder {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the bounded submission queue's capacity (default:
+    /// `2 × workers`). [`QrService::submit`] blocks while the queue holds
+    /// this many unstarted jobs.
+    pub fn queue_capacity(mut self, capacity: usize) -> QrServiceBuilder {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Sets the simulated machine model charged by every job (default
+    /// [`Machine::zero`]).
+    pub fn machine(mut self, machine: Machine) -> QrServiceBuilder {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the default kernel backend for specs that don't pin one
+    /// (default: the process-wide default).
+    pub fn backend(mut self, backend: BackendKind) -> QrServiceBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Spawns the worker pool and returns the running service.
+    pub fn build(self) -> QrService {
+        let workers = dense::thread_budget(self.workers.unwrap_or(usize::MAX));
+        let capacity = self.queue_capacity.unwrap_or(2 * workers);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(capacity),
+            cache: RwLock::new(HashMap::new()),
+            machine: self.machine,
+            default_backend: self.backend,
+        });
+        let reservation = PoolReservation::register(workers);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qrservice-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn QrService worker thread")
+            })
+            .collect();
+        QrService {
+            shared,
+            handles,
+            _reservation: reservation,
+            workers,
+        }
+    }
+}
+
+/// Worker body: drain jobs until the queue closes, surviving job panics.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| job.plan.factor(&job.matrix))) {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(ServiceError::Plan(e)),
+            Err(payload) => Err(ServiceError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        };
+        job.slot.fulfill(outcome);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The concurrent plan-caching batch factorization engine. See the
+/// [module docs](self).
+///
+/// Shared by reference: every method takes `&self`, so one service instance
+/// can serve any number of submitting threads. Dropping the service closes
+/// the queue, lets the workers drain already-accepted jobs, and joins them.
+pub struct QrService {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    _reservation: PoolReservation,
+    workers: usize,
+}
+
+impl QrService {
+    /// Starts configuring a service.
+    pub fn builder() -> QrServiceBuilder {
+        QrServiceBuilder {
+            workers: None,
+            queue_capacity: None,
+            machine: Machine::zero(),
+            backend: BackendKind::default_kind(),
+        }
+    }
+
+    /// Number of worker threads in the pool (after budget clamping).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// The machine model every job is charged under.
+    pub fn machine(&self) -> Machine {
+        self.shared.machine
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.shared.cache.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Normalizes a spec into its cache key: unset knobs that the service
+    /// defaults (currently the backend) are resolved so that "default" and
+    /// "explicitly the default" share one cache entry.
+    fn cache_key(&self, spec: &JobSpec) -> JobSpec {
+        let mut key = *spec;
+        key.backend = Some(key.backend.unwrap_or(self.shared.default_backend));
+        key
+    }
+
+    /// Resolves (building and caching on first use) the plan for `spec`.
+    ///
+    /// Equal specs return pointer-equal `Arc<QrPlan>`s for the lifetime of
+    /// the service; repeat shapes never pay validation again.
+    pub fn plan(&self, spec: &JobSpec) -> Result<Arc<QrPlan>, ServiceError> {
+        let key = self.cache_key(spec);
+        if let Some(plan) = self.shared.cache.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let mut cache = self.shared.cache.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = cache.get(&key) {
+            return Ok(Arc::clone(plan)); // lost the build race: reuse the winner
+        }
+        let plan = Arc::new(key.build_plan(self.shared.machine, self.shared.default_backend)?);
+        cache.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Validates `a` against the spec's plan and enqueues the job, blocking
+    /// while the submission queue is full (backpressure).
+    ///
+    /// Planning errors (invalid spec, shape mismatch) surface here, before
+    /// the job is accepted; execution errors surface from
+    /// [`JobHandle::wait`].
+    pub fn submit(&self, spec: &JobSpec, a: Matrix) -> Result<JobHandle, ServiceError> {
+        let job = self.prepare(spec, a)?;
+        let slot = Arc::clone(&job.slot);
+        match self.shared.queue.push(job) {
+            Ok(()) => Ok(JobHandle { slot }),
+            Err(_) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Like [`QrService::submit`] but never blocks: a full queue returns
+    /// [`ServiceError::QueueFull`] and hands no job to the pool.
+    pub fn try_submit(&self, spec: &JobSpec, a: Matrix) -> Result<JobHandle, ServiceError> {
+        let job = self.prepare(spec, a)?;
+        let slot = Arc::clone(&job.slot);
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(JobHandle { slot }),
+            Err(PushError::Full(_)) => Err(ServiceError::QueueFull {
+                capacity: self.shared.queue.capacity(),
+            }),
+            Err(PushError::Closed(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Factors every matrix in `batch` under one spec, returning reports in
+    /// batch order. All-or-nothing: the first per-job failure is returned as
+    /// [`ServiceError::BatchJobFailed`] (carrying the failing index) and the
+    /// other reports are dropped — use [`QrService::try_factor_batch`] to
+    /// keep them.
+    ///
+    /// Submissions interleave with waiting, so a batch larger than the
+    /// queue capacity streams through the pool under backpressure. Results
+    /// are bitwise identical to a sequential `plan.factor` loop over the
+    /// same matrices — parallel execution never perturbs the arithmetic.
+    ///
+    /// Each input is cloned into its job (the caller keeps the originals);
+    /// callers that can hand matrices over should stream them through
+    /// [`QrService::submit`], which takes ownership.
+    pub fn factor_batch(&self, spec: &JobSpec, batch: &[Matrix]) -> Result<Vec<QrReport>, ServiceError> {
+        self.try_factor_batch(spec, batch)?
+            .into_iter()
+            .enumerate()
+            .map(|(index, outcome)| {
+                outcome.map_err(|e| ServiceError::BatchJobFailed {
+                    index,
+                    source: Box::new(e),
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`QrService::factor_batch`], but delivers every job's individual
+    /// outcome: one failed matrix does not discard its siblings' completed
+    /// reports. The outer `Result` fails only when the batch could not be
+    /// submitted at all (invalid spec, shape mismatch, shutdown).
+    pub fn try_factor_batch(
+        &self,
+        spec: &JobSpec,
+        batch: &[Matrix],
+    ) -> Result<Vec<Result<QrReport, ServiceError>>, ServiceError> {
+        let mut handles = Vec::with_capacity(batch.len());
+        for a in batch {
+            handles.push(self.submit(spec, a.clone())?);
+        }
+        Ok(handles.into_iter().map(JobHandle::wait).collect())
+    }
+
+    /// Builds the job, resolving the plan from the cache and rejecting
+    /// shape mismatches up front.
+    fn prepare(&self, spec: &JobSpec, a: Matrix) -> Result<Job, ServiceError> {
+        let plan = self.plan(spec)?;
+        if (a.rows(), a.cols()) != (plan.m(), plan.n()) {
+            return Err(ServiceError::Plan(PlanError::InputShapeMismatch {
+                expected: (plan.m(), plan.n()),
+                got: (a.rows(), a.cols()),
+            }));
+        }
+        Ok(Job {
+            plan,
+            matrix: a,
+            slot: JobSlot::new(),
+        })
+    }
+
+    /// Shuts the service down: stop accepting jobs, drain the queue, join
+    /// the workers. Equivalent to dropping the service, but explicit.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for QrService {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for h in self.handles.drain(..) {
+            // A worker can only panic outside catch_unwind during queue
+            // teardown; propagating would double-panic in Drop, so swallow.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::random::well_conditioned;
+
+    fn spec_64x16() -> JobSpec {
+        JobSpec::new(64, 16).grid(GridShape::new(2, 2).unwrap())
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let service = QrService::builder().workers(2).build();
+        let a = well_conditioned(64, 16, 7);
+        let handle = service.submit(&spec_64x16(), a).unwrap();
+        let report = handle.wait().unwrap();
+        assert!(report.orthogonality_error < 1e-12);
+        assert!(report.residual_error < 1e-12);
+    }
+
+    #[test]
+    fn cache_is_pointer_stable_per_key() {
+        let service = QrService::builder().workers(1).build();
+        let spec = spec_64x16();
+        let p1 = service.plan(&spec).unwrap();
+        let p2 = service.plan(&spec).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(service.cached_plans(), 1);
+        // Explicitly pinning the service default backend is the same key.
+        let p3 = service.plan(&spec.backend(BackendKind::default_kind())).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3));
+        assert_eq!(service.cached_plans(), 1);
+        // A different base size is a different plan.
+        let p4 = service.plan(&spec.base_size(8)).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p4));
+        assert_eq!(service.cached_plans(), 2);
+    }
+
+    #[test]
+    fn invalid_specs_fail_at_submission() {
+        let service = QrService::builder().workers(1).build();
+        let err = service
+            .submit(&JobSpec::new(64, 16), well_conditioned(64, 16, 1))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Plan(PlanError::MissingGrid { .. })));
+        let err = service.submit(&spec_64x16(), well_conditioned(32, 16, 1)).unwrap_err();
+        assert!(matches!(err, ServiceError::Plan(PlanError::InputShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn batch_failures_carry_index_and_spare_siblings() {
+        let service = QrService::builder().workers(2).build();
+        let spec = spec_64x16();
+        let mut bad = well_conditioned(64, 16, 5);
+        for i in 0..64 {
+            bad.set(i, 3, 0.0); // zero column: Gram matrix loses positive definiteness
+        }
+        let batch = [well_conditioned(64, 16, 1), bad, well_conditioned(64, 16, 2)];
+        match service.factor_batch(&spec, &batch).unwrap_err() {
+            ServiceError::BatchJobFailed { index, source } => {
+                assert_eq!(index, 1, "the error must name the failing input");
+                assert!(matches!(*source, ServiceError::Plan(PlanError::NotPositiveDefinite(_))));
+            }
+            other => panic!("expected BatchJobFailed, got {other}"),
+        }
+        let outcomes = service.try_factor_batch(&spec, &batch).unwrap();
+        assert!(outcomes[0].is_ok(), "siblings of a failed job keep their reports");
+        assert!(outcomes[1].is_err());
+        assert!(outcomes[2].is_ok());
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full() {
+        // Single worker, capacity-1 queue: park the worker on a real job,
+        // fill the queue, then observe QueueFull without blocking.
+        let service = QrService::builder().workers(1).queue_capacity(1).build();
+        let spec = spec_64x16();
+        let mut handles = Vec::new();
+        let mut saw_full = false;
+        for seed in 0..64 {
+            match service.try_submit(&spec, well_conditioned(64, 16, seed)) {
+                Ok(h) => handles.push(h),
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_full, "64 instant submissions must outrun a capacity-1 queue");
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_drains_accepted_jobs() {
+        let service = QrService::builder().workers(2).build();
+        let spec = spec_64x16();
+        let handles: Vec<_> = (0..8)
+            .map(|s| service.submit(&spec, well_conditioned(64, 16, s)).unwrap())
+            .collect();
+        service.shutdown();
+        for h in handles {
+            assert!(h.is_finished(), "accepted jobs must complete before shutdown returns");
+            h.wait().unwrap();
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! A bounded multi-producer multi-consumer job queue on `std` primitives.
+//!
+//! The workspace builds offline (no `crossbeam`), so the submission queue is
+//! a `Mutex<VecDeque>` with two condvars: producers block on `not_full`
+//! (backpressure — the memory held by in-flight matrices is bounded by
+//! `capacity`), consumers block on `not_empty`. Closing the queue wakes
+//! everyone: producers fail fast, consumers drain what was already accepted
+//! and then observe end-of-stream.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with blocking and non-blocking producers.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was refused.
+pub(crate) enum PushError<T> {
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+    /// Non-blocking push only: the queue is at capacity.
+    Full(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Fails only when
+    /// the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !g.closed && g.items.len() >= self.capacity {
+            g = self.not_full.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        g.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* fully drained — the consumer's
+    /// end-of-stream signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail,
+    /// and all blocked producers/consumers wake.
+    pub fn close(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert!(q.try_push(i).is_ok());
+        }
+        assert!(matches!(q.try_push(9), Err(PushError::Full(9))));
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.try_push(9).is_ok());
+        for expect in [1, 2, 3, 9] {
+            assert_eq!(q.pop(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.push(1).ok().unwrap();
+        q.push(2).ok().unwrap();
+        q.close();
+        assert!(matches!(q.push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "end-of-stream is sticky");
+    }
+
+    #[test]
+    fn blocking_push_applies_backpressure() {
+        let q = BoundedQueue::new(1);
+        q.push(0usize).ok().unwrap();
+        let popped = AtomicUsize::new(usize::MAX);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Blocks until the consumer below makes room.
+                q.push(1).ok().unwrap();
+            });
+            s.spawn(|| {
+                popped.store(q.pop().unwrap(), Ordering::SeqCst);
+            });
+        });
+        assert_eq!(popped.load(Ordering::SeqCst), 0);
+        assert_eq!(q.pop(), Some(1));
+    }
+}

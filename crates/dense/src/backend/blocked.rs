@@ -31,7 +31,7 @@
 //! updates go through the blocked `gemm`, which is where nearly all the
 //! arithmetic lives.
 
-use super::parallel::{max_threads, par_blocks};
+use super::parallel::{kernel_threads, par_blocks};
 use super::Backend;
 use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef, Matrix};
@@ -299,7 +299,7 @@ impl Backend for Blocked {
             return;
         }
 
-        let threads = max_threads();
+        let threads = kernel_threads();
         let raw = RawC {
             ptr: c.as_mut_ptr(),
             stride: c.stride(),

@@ -38,7 +38,7 @@ pub mod blocked;
 mod parallel;
 
 pub use blocked::Blocked;
-pub use parallel::max_threads;
+pub use parallel::{kernel_threads, max_threads, thread_budget, PoolReservation};
 
 use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef, Matrix};

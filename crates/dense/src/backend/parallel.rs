@@ -1,4 +1,5 @@
-//! Minimal block-parallel helper for the blocked backend.
+//! Minimal block-parallel helper for the blocked backend, plus the
+//! process-wide thread budget shared with pool-level schedulers.
 //!
 //! The workspace builds offline (no `rayon`), so parallelism is implemented
 //! with `std::thread::scope`: a shared atomic counter hands out block
@@ -6,13 +7,34 @@
 //! (nondeterministic), but every block writes a disjoint region and each
 //! block's arithmetic is self-contained, so results are bitwise independent
 //! of the schedule.
+//!
+//! # The two layers of parallelism
+//!
+//! Two independent schedulers compete for the same cores:
+//!
+//! 1. **Block-level** — [`par_blocks`] inside one kernel call (one gemm
+//!    splitting its row blocks across threads).
+//! 2. **Pool-level** — a batch engine (e.g. `cacqr`'s `QrService`) running
+//!    many whole factorizations concurrently, one per worker thread.
+//!
+//! If each kernel claimed the whole [`max_threads`] budget while a pool ran
+//! `W` factorizations at once, the process would oversubscribe to
+//! `W × max_threads` runnable threads. Pool schedulers therefore *register*
+//! their workers with [`PoolReservation::register`]; while any reservation
+//! is live, [`kernel_threads`] hands each kernel call its fair share
+//! `max_threads / pool_workers` (at least 1) instead of the full budget.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+/// Worker threads currently reserved by pool-level schedulers.
+static POOL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
 /// Maximum worker threads for block-parallel kernels: the `CACQR_THREADS`
 /// environment variable if set, else `std::thread::available_parallelism()`.
-/// Read once and cached.
+///
+/// Resolved **once** per process via `OnceLock` — kernels on the hot path
+/// never touch the environment — so the budget cannot change mid-run.
 pub fn max_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
@@ -23,6 +45,62 @@ pub fn max_threads() -> usize {
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     })
+}
+
+/// Clamps a requested pool-level worker count to the process thread budget:
+/// `thread_budget(0) == 1`, `thread_budget(usize::MAX) == max_threads()`.
+///
+/// Pool schedulers size their pools with this so that pool width alone never
+/// exceeds the budget; the per-kernel share is then governed by the pool's
+/// [`PoolReservation`].
+pub fn thread_budget(requested: usize) -> usize {
+    requested.clamp(1, max_threads())
+}
+
+/// Effective thread count for one block-parallel kernel call: the full
+/// [`max_threads`] budget when no pool scheduler is active, otherwise the
+/// fair share `max_threads / pool_workers`, never below 1.
+pub fn kernel_threads() -> usize {
+    let pool = POOL_WORKERS.load(Ordering::Relaxed);
+    let total = max_threads();
+    if pool <= 1 {
+        total
+    } else {
+        (total / pool).max(1)
+    }
+}
+
+/// RAII registration of a pool-level scheduler's workers against the shared
+/// thread budget.
+///
+/// While alive, every kernel call in the process sees a reduced
+/// [`kernel_threads`] so that `pool workers × kernel threads ≤ max_threads`
+/// (up to rounding, and never starving a kernel below one thread). Dropping
+/// the reservation restores the previous budget. Reservations stack: two
+/// pools of 2 workers each count as 4.
+#[derive(Debug)]
+pub struct PoolReservation {
+    workers: usize,
+}
+
+impl PoolReservation {
+    /// Registers `workers` pool-level worker threads. Pass the *actual* pool
+    /// width (typically already clamped via [`thread_budget`]).
+    pub fn register(workers: usize) -> PoolReservation {
+        POOL_WORKERS.fetch_add(workers, Ordering::Relaxed);
+        PoolReservation { workers }
+    }
+
+    /// Number of workers this reservation holds.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for PoolReservation {
+    fn drop(&mut self) {
+        POOL_WORKERS.fetch_sub(self.workers, Ordering::Relaxed);
+    }
 }
 
 /// Runs `f(0..nblocks)` across up to `threads` scoped workers.
@@ -76,5 +154,27 @@ mod tests {
             hits[i].fetch_add(1, Ordering::SeqCst);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn budget_clamps_to_process_maximum() {
+        assert_eq!(thread_budget(0), 1);
+        assert_eq!(thread_budget(1), 1);
+        assert_eq!(thread_budget(usize::MAX), max_threads());
+        assert!(thread_budget(2) <= max_threads());
+    }
+
+    #[test]
+    fn reservations_split_the_kernel_share_and_restore_on_drop() {
+        // Serialized against other reservation tests by the global counter
+        // being additive: we only assert relative behavior under our own
+        // reservation, with a large worker count that forces the share to 1.
+        let before = kernel_threads();
+        {
+            let r = PoolReservation::register(max_threads().max(1) * 8);
+            assert_eq!(r.workers(), max_threads().max(1) * 8);
+            assert_eq!(kernel_threads(), 1, "oversubscribed pool must pin kernels to 1 thread");
+        }
+        assert_eq!(kernel_threads(), before, "dropping the reservation restores the budget");
     }
 }

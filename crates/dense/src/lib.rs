@@ -54,7 +54,7 @@ pub mod svd;
 pub mod syrk;
 pub mod trsm;
 
-pub use backend::{Backend, BackendKind};
+pub use backend::{kernel_threads, max_threads, thread_budget, Backend, BackendKind, PoolReservation};
 pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, trtri_lower, trtri_lower_with, CholeskyError};
 pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};

@@ -46,7 +46,7 @@ impl std::error::Error for GridError {}
 /// are powers of two and `d ≥ c`, so the `y` dimension divides evenly into
 /// `d/c` contiguous groups of size `c`, each of which forms a `c × c × c`
 /// subcube with the `x` and `z` dimensions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GridShape {
     /// Size of the `x` (column-partitioning) and `z` (replication) dimensions.
     pub c: usize,

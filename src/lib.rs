@@ -32,6 +32,16 @@
 //! See [`cacqr::driver`] for the full plan/execute story and the layering
 //! guide (facade vs expert vs SPMD layer).
 //!
+//! ## Batch serving: [`QrService`]
+//!
+//! For throughput workloads — many matrices, many submitting threads — the
+//! [`QrService`] engine sits on top of the facade: it caches plans per
+//! [`JobSpec`] (repeat shapes never revalidate), factors jobs concurrently
+//! on a bounded-queue worker pool, and splits the `CACQR_THREADS` budget
+//! with the block-level kernels so the two layers of parallelism never
+//! oversubscribe the cores. See [`cacqr::service`] and
+//! `examples/batch_service.rs`.
+//!
 //! ## The workspace crates
 //!
 //! * [`dense`] — sequential dense linear algebra kernels (the BLAS/LAPACK
@@ -55,3 +65,4 @@ pub use pargrid;
 pub use simgrid;
 
 pub use cacqr::driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
+pub use cacqr::service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError};

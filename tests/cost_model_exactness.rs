@@ -2,10 +2,12 @@
 //! every figure) must equal the simulator's measured virtual time exactly,
 //! across a sweep of algorithms, grids, and parameters.
 
-use cacqr::CfrParams;
+use cacqr::service::{JobSpec, QrService};
+use cacqr::{CfrParams, QrPlan};
 use dense::random::well_conditioned;
 use pargrid::{DistMatrix, GridShape, TunableComms};
 use simgrid::{run_spmd, Machine, SimConfig};
+use std::sync::Arc;
 
 fn measure_cacqr2(shape: GridShape, m: usize, n: usize, base: usize, inv: usize, machine: Machine) -> f64 {
     let (c, d) = (shape.c, shape.d);
@@ -105,6 +107,63 @@ fn asynchronous_mode_is_never_slower() {
         assert!(async_t <= sync + 1e-12, "async {async_t} must not exceed sync {sync}");
         assert!(async_t > 0.0);
     }
+}
+
+#[test]
+fn cached_plan_reuse_preserves_cost_ledgers_exactly() {
+    // Golden contract: routing a factorization through the service's plan
+    // cache must not perturb the simulated cost model by a single word,
+    // message, flop, or tick — a cached Arc<QrPlan> is the same schedule,
+    // not a re-derived one.
+    let machine = Machine {
+        alpha: 1e-3,
+        beta: 1e-6,
+        gamma: 1e-9,
+    };
+    let shape = GridShape::new(2, 4).unwrap();
+    let (m, n) = (64usize, 16usize);
+    let a = well_conditioned(m, n, 42);
+
+    let fresh = QrPlan::new(m, n)
+        .grid(shape)
+        .machine(machine)
+        .build()
+        .unwrap()
+        .factor(&a)
+        .unwrap();
+
+    let service = QrService::builder().workers(2).machine(machine).build();
+    let spec = JobSpec::new(m, n).grid(shape);
+    let cold = service.plan(&spec).unwrap(); // first build populates the cache
+    let batch = service.factor_batch(&spec, &[a.clone(), a.clone()]).unwrap();
+    let warm = service.plan(&spec).unwrap();
+    assert!(Arc::ptr_eq(&cold, &warm), "reuse must hit the cache, not rebuild");
+
+    for (label, report) in [("cold", &batch[0]), ("warm", &batch[1])] {
+        assert_eq!(
+            report.ledgers, fresh.ledgers,
+            "{label} cached-plan ledgers must equal a fresh plan's exactly"
+        );
+        assert_eq!(
+            report.elapsed, fresh.elapsed,
+            "{label} simulated time must be identical"
+        );
+        assert_eq!(report.q, fresh.q);
+        assert_eq!(report.r, fresh.r);
+    }
+
+    // And the cached ledgers still satisfy the closed-form model: words on
+    // the β-clock critical path match costmodel::ca_cqr2 under β-only
+    // accounting, so the cache cannot mask a model drift either.
+    let beta_service = QrService::builder().workers(1).machine(Machine::beta_only()).build();
+    let beta_reports = beta_service.factor_batch(&spec, &[a]).unwrap();
+    let beta_report = &beta_reports[0];
+    let params = CfrParams::default_for(n, shape.c);
+    let model = costmodel::ca_cqr2(m, n, shape.c, shape.d, params.base_size, params.inverse_depth);
+    assert_eq!(
+        beta_report.elapsed, model.beta,
+        "cached plan must stay on the closed-form β cost"
+    );
 }
 
 #[test]

@@ -1,8 +1,10 @@
 //! Property-based tests (proptest) on the core invariants: collective
 //! semantics, distribution round-trips, QR invariants over random shapes and
-//! grids, and the partial-inverse solver.
+//! grids, the partial-inverse solver, and the batch-service equivalence
+//! (`factor_batch` is bit-identical to a sequential `plan.factor` loop).
 
-use cacqr::{CfrParams, QrPlan};
+use cacqr::service::{JobSpec, QrService};
+use cacqr::{Algorithm, CfrParams, QrPlan};
 use dense::norms::{lower_residual, orthogonality_error, residual_error};
 use dense::random::well_conditioned;
 use dense::{BackendKind, Matrix};
@@ -16,7 +18,7 @@ fn pow2_in(lo: u32, hi: u32) -> impl Strategy<Value = usize> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn allreduce_equals_sequential_sum(
@@ -158,6 +160,70 @@ proptest! {
         let (q, r) = cacqr::panel::panel_cqr2(&a, b, true, BackendKind::default_kind()).unwrap();
         prop_assert!(orthogonality_error(q.as_ref()) < 1e-11);
         prop_assert!(residual_error(a.as_ref(), q.as_ref(), r.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn factor_batch_is_bit_identical_to_sequential_loop(
+        batch_size in 1usize..9,
+        n in pow2_in(2, 4),
+        d_exp in 0u32..3,
+        workers in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        // A random batch size through a random-width pool must reproduce,
+        // bit for bit, what a sequential plan.factor loop computes.
+        let d = 1usize << d_exp;
+        let m = (4 * n.max(d)).next_multiple_of(d);
+        let spec = JobSpec::new(m, n).grid(GridShape::new(1, d).unwrap());
+        let batch: Vec<Matrix> = (0..batch_size)
+            .map(|i| well_conditioned(m, n, seed * 31 + i as u64))
+            .collect();
+        let service = QrService::builder().workers(workers).queue_capacity(4).build();
+        let reports = service.factor_batch(&spec, &batch).unwrap();
+        let plan = service.plan(&spec).unwrap();
+        prop_assert_eq!(reports.len(), batch.len());
+        for (a, report) in batch.iter().zip(&reports) {
+            let expect = plan.factor(a).unwrap();
+            prop_assert_eq!(&report.q, &expect.q);
+            prop_assert_eq!(&report.r, &expect.r);
+            prop_assert_eq!(report.elapsed, expect.elapsed);
+            prop_assert_eq!(&report.ledgers, &expect.ledgers);
+        }
+    }
+
+    #[test]
+    fn ragged_shape_mix_matches_sequential_factors(
+        n1 in pow2_in(2, 4),
+        n2 in pow2_in(2, 4),
+        jobs in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        // Two shapes interleaved through one service via submit(): each
+        // report must match its own plan's sequential factorization, and the
+        // cache must hold exactly one plan per distinct spec.
+        let specs = [
+            JobSpec::new(8 * n1, n1).grid(GridShape::new(2, 2).unwrap()),
+            JobSpec::new(16 * n2, n2).algorithm(Algorithm::Cqr2_1d).grid(GridShape::one_d(4).unwrap()),
+        ];
+        let service = QrService::builder().workers(3).queue_capacity(4).build();
+        let inputs: Vec<(usize, Matrix)> = (0..jobs)
+            .map(|i| {
+                let which = i % specs.len();
+                let s = &specs[which];
+                (which, well_conditioned(s.m(), s.n(), seed * 17 + i as u64))
+            })
+            .collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|(which, a)| service.submit(&specs[*which], a.clone()).unwrap())
+            .collect();
+        for ((which, a), handle) in inputs.iter().zip(handles) {
+            let report = handle.wait().unwrap();
+            let expect = service.plan(&specs[*which]).unwrap().factor(a).unwrap();
+            prop_assert_eq!(&report.q, &expect.q);
+            prop_assert_eq!(&report.r, &expect.r);
+        }
+        prop_assert_eq!(service.cached_plans(), specs.len().min(jobs));
     }
 
     #[test]

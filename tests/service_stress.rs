@@ -1,0 +1,197 @@
+//! Stress tests for the `QrService` engine: many threads hammering one
+//! service with mixed shapes and algorithms must hold every numerical
+//! invariant, stay deterministic per `(seed, shape)`, and share cached
+//! plans pointer-for-pointer.
+//!
+//! Designed to be meaningful under any `CACQR_THREADS` setting; the CI
+//! matrix runs the suite at `CACQR_THREADS=1` (pool degenerates to one
+//! worker — pure queueing semantics) and `=4` (oversubscribed on small
+//! runners — real contention).
+
+use cacqr::service::{JobSpec, QrService, ServiceError};
+use cacqr::{Algorithm, PlanError};
+use dense::random::well_conditioned;
+use dense::Matrix;
+use pargrid::GridShape;
+use std::sync::Arc;
+
+/// The mixed workload: every algorithm family, several shapes and grids.
+fn mixed_specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(64, 16).grid(GridShape::new(2, 4).unwrap()),
+        JobSpec::new(64, 8)
+            .algorithm(Algorithm::Cqr2_1d)
+            .grid(GridShape::one_d(4).unwrap()),
+        JobSpec::new(32, 8)
+            .algorithm(Algorithm::CaCqr3)
+            .grid(GridShape::new(2, 2).unwrap()),
+        JobSpec::new(64, 8)
+            .algorithm(Algorithm::Pgeqrf)
+            .block_cyclic(baseline::BlockCyclic { pr: 2, pc: 2, nb: 4 }),
+        JobSpec::new(128, 16).grid(GridShape::new(1, 8).unwrap()),
+        JobSpec::new(64, 16).grid(GridShape::new(2, 4).unwrap()).base_size(8),
+    ]
+}
+
+fn input_for(spec: &JobSpec, seed: u64) -> Matrix {
+    well_conditioned(spec.m(), spec.n(), seed)
+}
+
+#[test]
+fn concurrent_mixed_load_holds_numerical_invariants() {
+    let service = QrService::builder().workers(4).queue_capacity(8).build();
+    let specs = mixed_specs();
+    let submitters = 6usize;
+    let jobs_per_thread = 8usize;
+    std::thread::scope(|scope| {
+        for t in 0..submitters {
+            let service = &service;
+            let specs = &specs;
+            scope.spawn(move || {
+                for i in 0..jobs_per_thread {
+                    let spec = &specs[(t + i) % specs.len()];
+                    let seed = (t * 1000 + i) as u64;
+                    let report = service
+                        .submit(spec, input_for(spec, seed))
+                        .expect("submission of a valid spec must be accepted")
+                        .wait()
+                        .expect("well-conditioned input must factor");
+                    assert!(
+                        report.orthogonality_error < 1e-11,
+                        "orthogonality bound violated under load: {:.3e} (spec {spec:?}, seed {seed})",
+                        report.orthogonality_error
+                    );
+                    assert!(
+                        report.residual_error < 1e-11,
+                        "residual bound violated under load: {:.3e} (spec {spec:?}, seed {seed})",
+                        report.residual_error
+                    );
+                    assert_eq!(report.q.rows(), spec.m());
+                    assert_eq!(report.r.rows(), spec.n());
+                }
+            });
+        }
+    });
+    // One cached plan per distinct spec, regardless of contention.
+    assert_eq!(service.cached_plans(), specs.len());
+}
+
+#[test]
+fn reports_are_deterministic_per_seed_and_shape() {
+    // The same (seed, shape) job must produce bitwise-identical factors no
+    // matter which worker runs it, how saturated the pool is, or whether it
+    // runs through the service at all.
+    let service = QrService::builder().workers(4).queue_capacity(4).build();
+    let specs = mixed_specs();
+    for spec in &specs {
+        let seed = 77u64;
+        let a = input_for(spec, seed);
+        let baseline_report = service.plan(spec).unwrap().factor(&a).unwrap();
+        // Resubmit the identical job many times interleaved with noise jobs
+        // from other shapes, so it lands on different workers amid load.
+        let noise: Vec<_> = (0..8)
+            .map(|i| {
+                let other = &specs[i % specs.len()];
+                service.submit(other, input_for(other, 5000 + i as u64)).unwrap()
+            })
+            .collect();
+        let repeats: Vec<_> = (0..4).map(|_| service.submit(spec, a.clone()).unwrap()).collect();
+        for handle in repeats {
+            let report = handle.wait().unwrap();
+            assert_eq!(report.q, baseline_report.q, "Q must be bitwise reproducible");
+            assert_eq!(report.r, baseline_report.r, "R must be bitwise reproducible");
+            assert_eq!(report.elapsed, baseline_report.elapsed);
+            assert_eq!(report.ledgers, baseline_report.ledgers);
+        }
+        for handle in noise {
+            handle.wait().unwrap();
+        }
+    }
+}
+
+#[test]
+fn cache_returns_pointer_equal_plans_under_contention() {
+    let service = QrService::builder().workers(2).build();
+    let spec = JobSpec::new(64, 16).grid(GridShape::new(2, 4).unwrap());
+    // Race 8 threads on a cold cache: everyone must end up with the same
+    // Arc allocation (the build-race loser discards its work).
+    let plans: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| service.plan(&spec).unwrap())).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for p in &plans[1..] {
+        assert!(
+            Arc::ptr_eq(&plans[0], p),
+            "every thread must receive the same cached Arc<QrPlan>"
+        );
+    }
+    assert_eq!(service.cached_plans(), 1);
+    // And the key distinguishes every knob that changes the schedule. The
+    // backend variant must differ from the process default — pinning the
+    // default explicitly is, by design, the *same* cache key.
+    let other_backend = match dense::BackendKind::default_kind() {
+        dense::BackendKind::Naive => dense::BackendKind::Blocked,
+        _ => dense::BackendKind::Naive,
+    };
+    let variants = [
+        spec.base_size(8),
+        spec.inverse_depth(1),
+        spec.algorithm(Algorithm::CaCqr3),
+        spec.backend(other_backend),
+        JobSpec::new(64, 16).grid(GridShape::new(1, 4).unwrap()),
+    ];
+    for v in &variants {
+        let p = service.plan(v).unwrap();
+        assert!(
+            !Arc::ptr_eq(&plans[0], &p),
+            "distinct spec {v:?} must build a distinct plan"
+        );
+    }
+    assert_eq!(service.cached_plans(), 1 + variants.len());
+}
+
+#[test]
+fn typed_errors_flow_through_the_pool() {
+    let service = QrService::builder().workers(2).build();
+    // Exactly-zero column: the Gram matrix loses positive definiteness and
+    // the worker must deliver the typed PlanError through the handle.
+    let spec = JobSpec::new(32, 8).grid(GridShape::new(2, 4).unwrap());
+    let mut a = well_conditioned(32, 8, 3);
+    for i in 0..32 {
+        a.set(i, 5, 0.0);
+    }
+    let err = service.submit(&spec, a).unwrap().wait().unwrap_err();
+    match err {
+        ServiceError::Plan(PlanError::NotPositiveDefinite(e)) => {
+            assert_eq!(e.index, 5, "the zero column's pivot index must survive the pool");
+        }
+        other => panic!("expected NotPositiveDefinite, got {other}"),
+    }
+    // The pool survives the failure and keeps serving.
+    let ok = service
+        .submit(&spec, well_conditioned(32, 8, 9))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(ok.orthogonality_error < 1e-12);
+}
+
+#[test]
+fn batch_order_is_submission_order_under_load() {
+    let service = QrService::builder().workers(4).queue_capacity(2).build();
+    let spec = JobSpec::new(64, 8)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap());
+    let batch: Vec<_> = (0..16).map(|s| input_for(&spec, s)).collect();
+    let reports = service.factor_batch(&spec, &batch).unwrap();
+    assert_eq!(reports.len(), batch.len());
+    let plan = service.plan(&spec).unwrap();
+    for (a, report) in batch.iter().zip(&reports) {
+        let expect = plan.factor(a).unwrap();
+        assert_eq!(
+            report.q, expect.q,
+            "batch reports must align with their inputs, in order"
+        );
+        assert_eq!(report.r, expect.r);
+    }
+}
