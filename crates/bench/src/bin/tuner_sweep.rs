@@ -1,0 +1,252 @@
+//! Tuner sweep: the CI perf gate and the autotuner's end-to-end evidence.
+//!
+//! For a ladder of benchmark shapes (tall-skinny through near-square) this
+//! binary runs the autotuner with live calibration, factors the winning
+//! configuration for real, and emits a JSON artifact (`BENCH_PR4.json`)
+//! recording, per shape: the chosen algorithm/configuration, the predicted
+//! α-β-γ cost, the measured wall seconds, and a machine-speed-*normalized*
+//! time (wall seconds divided by the same run's microkernel probe time) so
+//! the numbers are comparable across machines of different speeds.
+//!
+//! Modes:
+//!
+//! * `--smoke` — small shapes, fast: what CI's `perf-gate` job runs on
+//!   every push.
+//! * `--exhaustive` — additionally measures *every* candidate per shape and
+//!   reports how close the tuner's pick came to the measured optimum (the
+//!   "within 15%" acceptance evidence; slow, run locally).
+//! * `--gate <baseline.json>` — compares the normalized times against a
+//!   checked-in baseline of the same format and exits non-zero when any
+//!   tracked shape regresses by more than 25%.
+//! * `--out <path>` — artifact path (default `BENCH_PR4.json`). Regenerate
+//!   the baseline by pointing `--out` at `bench/baseline.json`.
+//! * `--profile <path>` — additionally save the calibrated winners as a
+//!   [`TuningProfile`]; installing it (`cacqr::tuner::install_profile`)
+//!   makes `QrPlan::auto` pick these measured choices.
+//!
+//! Run: `cargo run --release -p bench --bin tuner_sweep -- --smoke`
+
+use cacqr::tuner::json::{self, JsonValue};
+use cacqr::tuner::{Tuner, TuningProfile};
+use dense::random::well_conditioned;
+use simgrid::Machine;
+use std::time::Instant;
+
+/// Normalized times may regress by at most this factor before the gate
+/// fails the build.
+const GATE_TOLERANCE: f64 = 1.25;
+
+struct ShapeResult {
+    name: String,
+    entry: JsonValue,
+    normalized: f64,
+    threads: usize,
+}
+
+fn measure_plan(plan: &cacqr::QrPlan, a: &dense::Matrix, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        plan.factor(a).expect("benchmark inputs are well conditioned");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let exhaustive = args.iter().any(|a| a == "--exhaustive");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let gate_path = flag_value("--gate");
+    let profile_path = flag_value("--profile");
+
+    // The shape ladder: m/n from extremely tall-skinny down to square.
+    let shapes: Vec<(usize, usize)> = if smoke {
+        vec![(4096, 16), (2048, 32), (1024, 64), (512, 128), (512, 256), (256, 256)]
+    } else {
+        vec![
+            (1 << 16, 32),
+            (1 << 14, 64),
+            (1 << 13, 128),
+            (1 << 12, 256),
+            (2048, 512),
+            (1024, 1024),
+        ]
+    };
+    let reps = 3;
+
+    // One probe normalizes every wall time in this run: a checked-in
+    // baseline from one machine stays meaningful on another.
+    let probe = dense::default_probe(dense::BackendKind::default_kind());
+    println!(
+        "# tuner_sweep ({}) — probe: {} {}³ gemm at {:.2} Gflop/s",
+        if smoke { "smoke" } else { "full" },
+        probe.backend,
+        probe.dim,
+        probe.gflops()
+    );
+    println!("shape          chosen configuration                predicted_s  wall_s     normalized");
+
+    let mut results: Vec<ShapeResult> = Vec::new();
+    let mut profile = TuningProfile::new();
+    for &(m, n) in &shapes {
+        let report = Tuner::new(m, n)
+            .calibrate(true)
+            .top_k(if smoke { 6 } else { 8 })
+            .calibration_reps(3)
+            .calibration_rows(if smoke { 512 } else { 1024 })
+            .report()
+            .expect("benchmark shapes always have candidates");
+        profile.insert(report.profile_entry());
+        let best = *report.best();
+        let plan = report.best_plan(Machine::zero()).expect("winner must build");
+        let a = well_conditioned(m, n, 42);
+        let wall = measure_plan(&plan, &a, reps);
+        let normalized = wall / probe.seconds;
+
+        // Exhaustive evidence: measure every candidate at full size and see
+        // how close the tuner's pick came to the measured optimum.
+        let mut within_best: Option<f64> = None;
+        if exhaustive {
+            let mut best_measured = f64::INFINITY;
+            for cand in &report.candidates {
+                if let Ok(p) = cand.spec.build_plan(Machine::zero(), cand.backend) {
+                    best_measured = best_measured.min(measure_plan(&p, &a, reps));
+                }
+            }
+            within_best = Some(wall / best_measured);
+        }
+
+        let name = format!("{m}x{n}");
+        println!(
+            "{name:<14} {:<35} {:<12.4e} {wall:<10.4e} {normalized:.3}{}",
+            best.config.to_string(),
+            best.predicted_seconds,
+            within_best
+                .map(|r| format!("  (within {:.1}% of best)", (r - 1.0) * 100.0))
+                .unwrap_or_default(),
+        );
+
+        let entry = JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::String(name.clone())),
+            ("m".to_string(), JsonValue::Number(m as f64)),
+            ("n".to_string(), JsonValue::Number(n as f64)),
+            ("processors".to_string(), JsonValue::Number(report.processors as f64)),
+            ("threads".to_string(), JsonValue::Number(report.threads as f64)),
+            (
+                "algorithm".to_string(),
+                JsonValue::String(best.algorithm().name().to_string()),
+            ),
+            ("config".to_string(), JsonValue::String(best.config.to_string())),
+            ("backend".to_string(), JsonValue::String(best.backend.to_string())),
+            (
+                "predicted_cost".to_string(),
+                JsonValue::Object(vec![
+                    ("alpha".to_string(), JsonValue::Number(best.predicted.alpha)),
+                    ("beta".to_string(), JsonValue::Number(best.predicted.beta)),
+                    ("gamma".to_string(), JsonValue::Number(best.predicted.gamma)),
+                ]),
+            ),
+            (
+                "predicted_seconds".to_string(),
+                JsonValue::Number(best.predicted_seconds),
+            ),
+            ("wall_seconds".to_string(), JsonValue::Number(wall)),
+            ("normalized".to_string(), JsonValue::Number(normalized)),
+            (
+                "within_best_ratio".to_string(),
+                within_best.map(JsonValue::Number).unwrap_or(JsonValue::Null),
+            ),
+        ]);
+        results.push(ShapeResult {
+            name,
+            entry,
+            normalized,
+            threads: report.threads,
+        });
+    }
+
+    let artifact = JsonValue::Object(vec![
+        ("version".to_string(), JsonValue::Number(1.0)),
+        (
+            "mode".to_string(),
+            JsonValue::String(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("probe_gflops".to_string(), JsonValue::Number(probe.gflops())),
+        ("probe_seconds".to_string(), JsonValue::Number(probe.seconds)),
+        (
+            "shapes".to_string(),
+            JsonValue::Array(results.iter().map(|r| r.entry.clone()).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, artifact.to_pretty()).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+    if let Some(path) = profile_path {
+        std::fs::write(&path, profile.to_json()).unwrap_or_else(|e| panic!("cannot write profile {path}: {e}"));
+        println!("# wrote tuning profile {path} ({} entries)", profile.len());
+    }
+
+    if let Some(path) = gate_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = json::parse(&text).unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+        let tracked = baseline
+            .get("shapes")
+            .and_then(JsonValue::as_array)
+            .unwrap_or_else(|| panic!("baseline {path} has no \"shapes\" array"));
+        let mut regressions = Vec::new();
+        let mut skipped = 0usize;
+        for entry in tracked {
+            let name = entry.get("name").and_then(JsonValue::as_str).unwrap_or("<unnamed>");
+            let base = entry.get("normalized").and_then(JsonValue::as_f64);
+            let base_threads = entry.get("threads").and_then(JsonValue::as_usize);
+            let current = results.iter().find(|r| r.name == name);
+            match (base, current) {
+                (Some(base), Some(current)) => {
+                    // Normalization cancels machine speed, not parallelism:
+                    // a baseline recorded under a different thread budget is
+                    // not comparable, so say so instead of mis-gating.
+                    if base_threads.is_some_and(|t| t != current.threads) {
+                        println!(
+                            "# perf gate: skipping {name} (baseline threads={}, this run threads={})",
+                            base_threads.unwrap(),
+                            current.threads
+                        );
+                        skipped += 1;
+                    } else if current.normalized > base * GATE_TOLERANCE {
+                        regressions.push(format!(
+                            "{name}: normalized {:.3} vs baseline {base:.3} (> {GATE_TOLERANCE}x)",
+                            current.normalized
+                        ));
+                    }
+                }
+                (Some(_), None) => regressions.push(format!("{name}: tracked kernel missing from this run")),
+                (None, _) => regressions.push(format!("{name}: baseline entry has no \"normalized\" field")),
+            }
+        }
+        if skipped == tracked.len() && !tracked.is_empty() {
+            regressions.push(format!(
+                "all {skipped} tracked kernels skipped (thread-budget mismatch): \
+                 re-record the baseline under this budget or set CACQR_THREADS to match"
+            ));
+        }
+        if regressions.is_empty() {
+            println!(
+                "# perf gate: OK ({} tracked kernels within {GATE_TOLERANCE}x)",
+                tracked.len()
+            );
+        } else {
+            eprintln!("# perf gate: FAILED");
+            for r in &regressions {
+                eprintln!("#   {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 use super::Algorithm;
 use crate::config::ParamError;
+use crate::tuner::TunerError;
 use dense::cholesky::CholeskyError;
 use pargrid::GridError;
 
@@ -82,6 +83,10 @@ pub enum PlanError {
     /// offending pivot; consider [`Algorithm::CaCqr3`], which is
     /// unconditionally stable for numerically full-rank input.
     NotPositiveDefinite(CholeskyError),
+    /// Automatic planning ([`QrPlan::auto`](super::QrPlan::auto)) failed:
+    /// the tuner found no runnable configuration, or a tuning profile was
+    /// invalid.
+    Tuning(TunerError),
 }
 
 impl std::fmt::Display for PlanError {
@@ -121,6 +126,7 @@ impl std::fmt::Display for PlanError {
                 )
             }
             PlanError::NotPositiveDefinite(e) => write!(f, "factorization failed: {e}"),
+            PlanError::Tuning(e) => write!(f, "automatic planning failed: {e}"),
         }
     }
 }
@@ -131,6 +137,7 @@ impl std::error::Error for PlanError {
             PlanError::Param(e) => Some(e),
             PlanError::Grid(e) => Some(e),
             PlanError::NotPositiveDefinite(e) => Some(e),
+            PlanError::Tuning(e) => Some(e),
             _ => None,
         }
     }
@@ -151,5 +158,11 @@ impl From<GridError> for PlanError {
 impl From<CholeskyError> for PlanError {
     fn from(e: CholeskyError) -> PlanError {
         PlanError::NotPositiveDefinite(e)
+    }
+}
+
+impl From<TunerError> for PlanError {
+    fn from(e: TunerError) -> PlanError {
+        PlanError::Tuning(e)
     }
 }

@@ -125,6 +125,19 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses the stable short names emitted by [`Algorithm::name`] (the
+    /// tuning-profile and CLI spelling).
+    fn from_str(s: &str) -> Result<Algorithm, String> {
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| format!("unknown algorithm {s:?} (expected one of: 1d-cqr2, ca-cqr2, ca-cqr3, pgeqrf)"))
+    }
+}
+
 /// The global driver a CA-family plan executes: [`run_cacqr2_global`] or
 /// [`run_cacqr3_global`], resolved once at build time.
 type CaDriver = fn(&Matrix, GridShape, CfrParams, Machine) -> Result<QrRun, dense::cholesky::CholeskyError>;
@@ -196,6 +209,33 @@ impl QrPlan {
             base_size: None,
             inverse_depth: 0,
         }
+    }
+
+    /// Plans a factorization of `m × n` matrices *automatically*: the
+    /// [`Tuner`](crate::tuner::Tuner) enumerates every runnable
+    /// configuration (algorithm × grid × block size × backend), scores them
+    /// with the closed-form cost models on the host profile, and the
+    /// winner is built into a validated plan — no hand-picked knobs.
+    ///
+    /// When a [`TuningProfile`](crate::tuner::TuningProfile) has been
+    /// installed process-wide
+    /// ([`tuner::install_profile`](crate::tuner::install_profile)) and
+    /// covers `(m, n)`, its recorded winner — typically from a *calibrated*
+    /// sweep with live measured runs — is used instead; without one, `auto`
+    /// falls back to this cost-model-only choice. Either way the result is
+    /// deterministic for a given `(m, n)`, thread budget, and installed
+    /// profile. To calibrate inline rather than via a profile, drive the
+    /// [`Tuner`](crate::tuner::Tuner) directly with
+    /// [`calibrate`](crate::tuner::Tuner::calibrate) and build the winner
+    /// via [`TunerReport::best_plan`](crate::tuner::TunerReport::best_plan).
+    ///
+    /// Errors with [`PlanError::Tuning`] when no runnable configuration
+    /// exists (e.g. `m < n`).
+    pub fn auto(m: usize, n: usize) -> Result<QrPlan, PlanError> {
+        if let Some(entry) = crate::tuner::installed_entry(m, n) {
+            return entry.spec()?.build_plan(Machine::zero(), entry.backend);
+        }
+        crate::tuner::Tuner::new(m, n).report()?.best_plan(Machine::zero())
     }
 
     /// Global row count the plan factors.

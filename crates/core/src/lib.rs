@@ -32,6 +32,11 @@
 //!   thread-safe engine that caches plans per [`service::JobSpec`] and
 //!   factors many matrices concurrently through a bounded-queue worker
 //!   pool, coordinating its thread budget with the kernel layer.
+//! * [`tuner`] — the self-configuration layer: [`Tuner`] enumerates every
+//!   runnable configuration for a shape, scores them with the `costmodel`
+//!   crate, optionally refines the leaders with live measured runs, and
+//!   persists winners as a versioned JSON [`TuningProfile`].
+//!   [`QrPlan::auto`] is the one-line front door.
 
 pub mod cacqr;
 pub mod cacqr2;
@@ -45,6 +50,7 @@ pub mod invtree;
 pub mod mm3d;
 pub mod panel;
 pub mod service;
+pub mod tuner;
 pub mod validate;
 
 pub use cacqr2::{ca_cqr2, CaCqr2Output};
@@ -57,3 +63,4 @@ pub use driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
 pub use invtree::InvTree;
 pub use mm3d::{mm3d, mm3d_scaled, transpose_cube};
 pub use service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError};
+pub use tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};

@@ -88,3 +88,9 @@ impl From<crate::config::ParamError> for ServiceError {
         ServiceError::Plan(PlanError::Param(e))
     }
 }
+
+impl From<crate::tuner::TunerError> for ServiceError {
+    fn from(e: crate::tuner::TunerError) -> ServiceError {
+        ServiceError::Plan(PlanError::Tuning(e))
+    }
+}

@@ -146,8 +146,12 @@ impl JobSpec {
         self.n
     }
 
-    /// Builds the validated plan this spec describes.
-    fn build_plan(&self, machine: Machine, default_backend: BackendKind) -> Result<QrPlan, PlanError> {
+    /// Builds the validated plan this spec describes, under the given
+    /// simulated machine model; an unset backend resolves to
+    /// `default_backend`. Services do this internally (and cache the
+    /// result); tuner callers use it to build plans straight from
+    /// [`TunerCandidate`](crate::tuner::TunerCandidate) specs.
+    pub fn build_plan(&self, machine: Machine, default_backend: BackendKind) -> Result<QrPlan, PlanError> {
         let mut b = QrPlan::new(self.m, self.n)
             .algorithm(self.algorithm)
             .machine(machine)
@@ -239,6 +243,11 @@ impl JobHandle {
 struct Shared {
     queue: BoundedQueue<Job>,
     cache: RwLock<HashMap<JobSpec, Arc<QrPlan>>>,
+    /// Memoized cost-model tuning results for [`QrService::plan_auto`]:
+    /// shape → winning spec, so repeat shapes skip re-enumeration (the
+    /// installed-profile check stays per-call — it is cheap and the
+    /// profile can change).
+    auto_specs: RwLock<HashMap<(usize, usize), JobSpec>>,
     machine: Machine,
     default_backend: BackendKind,
 }
@@ -290,6 +299,7 @@ impl QrServiceBuilder {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(capacity),
             cache: RwLock::new(HashMap::new()),
+            auto_specs: RwLock::new(HashMap::new()),
             machine: self.machine,
             default_backend: self.backend,
         });
@@ -376,8 +386,79 @@ impl QrService {
     }
 
     /// Number of distinct plans currently cached.
-    pub fn cached_plans(&self) -> usize {
+    pub fn plan_cache_len(&self) -> usize {
         self.shared.cache.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Number of distinct plans currently cached (alias of
+    /// [`QrService::plan_cache_len`], kept for existing callers).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache_len()
+    }
+
+    /// Evicts the cached plan for `spec`, returning whether one was
+    /// cached. Jobs already holding the `Arc<QrPlan>` keep running — the
+    /// plan is dropped when the last holder finishes — so eviction bounds
+    /// the cache without invalidating in-flight work.
+    pub fn evict(&self, spec: &JobSpec) -> bool {
+        let key = self.cache_key(spec);
+        self.shared
+            .cache
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key)
+            .is_some()
+    }
+
+    /// Resolves the plan for `(m, n)` by autotuning: the
+    /// [`Tuner`](crate::tuner::Tuner) picks the configuration
+    /// (cost-model-only, so this is cheap and deterministic), and the
+    /// winning spec becomes the cache key — repeat shapes reuse the tuned
+    /// plan without re-tuning validation.
+    pub fn plan_auto(&self, m: usize, n: usize) -> Result<Arc<QrPlan>, ServiceError> {
+        // Honor the process-wide installed profile exactly like
+        // `QrPlan::auto` does: the two auto front doors must agree.
+        if let Some(entry) = crate::tuner::installed_entry(m, n) {
+            return self.plan(&entry.spec()?);
+        }
+        // Cost-model tuning is deterministic per shape, so memoize the
+        // winning spec: repeat shapes skip re-enumeration entirely.
+        if let Some(spec) = self
+            .shared
+            .auto_specs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(m, n))
+        {
+            return self.plan(spec);
+        }
+        let report = crate::tuner::Tuner::new(m, n)
+            .backends(&[self.shared.default_backend])
+            .report()
+            .map_err(PlanError::from)?;
+        let spec = report.best_spec();
+        self.shared
+            .auto_specs
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((m, n), spec);
+        self.plan(&spec)
+    }
+
+    /// Preloads every entry of a [`TuningProfile`](crate::tuner::TuningProfile)
+    /// into the plan cache, so the first request of each profiled shape
+    /// never pays planning. Returns how many plans were newly built;
+    /// entries already cached (or normalizing to an already-cached key)
+    /// are skipped for free. Any invalid entry aborts with its typed
+    /// error. Observe and bound the result via
+    /// [`QrService::plan_cache_len`] / [`QrService::evict`].
+    pub fn preload_profile(&self, profile: &crate::tuner::TuningProfile) -> Result<usize, ServiceError> {
+        let mut built = 0;
+        for entry in profile.entries() {
+            let (_, inserted) = self.plan_tracking_insert(&entry.spec()?)?;
+            built += usize::from(inserted);
+        }
+        Ok(built)
     }
 
     /// Normalizes a spec into its cache key: unset knobs that the service
@@ -394,17 +475,23 @@ impl QrService {
     /// Equal specs return pointer-equal `Arc<QrPlan>`s for the lifetime of
     /// the service; repeat shapes never pay validation again.
     pub fn plan(&self, spec: &JobSpec) -> Result<Arc<QrPlan>, ServiceError> {
+        Ok(self.plan_tracking_insert(spec)?.0)
+    }
+
+    /// [`QrService::plan`] plus whether this call inserted a new cache
+    /// entry (exact even under concurrent cache churn).
+    fn plan_tracking_insert(&self, spec: &JobSpec) -> Result<(Arc<QrPlan>, bool), ServiceError> {
         let key = self.cache_key(spec);
         if let Some(plan) = self.shared.cache.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            return Ok(Arc::clone(plan));
+            return Ok((Arc::clone(plan), false));
         }
         let mut cache = self.shared.cache.write().unwrap_or_else(|e| e.into_inner());
         if let Some(plan) = cache.get(&key) {
-            return Ok(Arc::clone(plan)); // lost the build race: reuse the winner
+            return Ok((Arc::clone(plan), false)); // lost the build race: reuse the winner
         }
         let plan = Arc::new(key.build_plan(self.shared.machine, self.shared.default_backend)?);
         cache.insert(key, Arc::clone(&plan));
-        Ok(plan)
+        Ok((plan, true))
     }
 
     /// Validates `a` against the spec's plan and enqueues the job, blocking

@@ -1,0 +1,76 @@
+//! The typed error surface of the autotuner.
+//!
+//! Tuner failures fold into the existing [`PlanError`](crate::driver::PlanError)
+//! / [`ServiceError`](crate::service::ServiceError) hierarchy via [`From`],
+//! so `?` composes from a tuning call all the way out through the service
+//! layer — and an empty candidate set is a value, never a panic.
+
+use super::json::JsonError;
+
+/// Why the tuner could not produce a ranked report or load a profile.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TunerError {
+    /// No runnable configuration exists for the requested shape, rank
+    /// count, and algorithm filter. Carries the search that came up empty.
+    NoCandidates {
+        /// Global row count.
+        m: usize,
+        /// Global column count.
+        n: usize,
+        /// Simulated rank count searched.
+        processors: usize,
+    },
+    /// A tuning profile failed to parse as JSON.
+    ProfileParse(JsonError),
+    /// A tuning profile parsed as JSON but is not a valid profile document
+    /// (missing or mistyped field). Carries a description of the defect.
+    ProfileSchema {
+        /// What was wrong.
+        message: String,
+    },
+    /// The profile's `version` field does not match this build's format.
+    ProfileVersionMismatch {
+        /// Version found in the document.
+        found: u64,
+        /// Version this build writes and reads.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::NoCandidates { m, n, processors } => {
+                write!(
+                    f,
+                    "no runnable configuration for a {m}x{n} factorization on {processors} ranks"
+                )
+            }
+            TunerError::ProfileParse(e) => write!(f, "tuning profile is not valid JSON: {e}"),
+            TunerError::ProfileSchema { message } => {
+                write!(f, "tuning profile is malformed: {message}")
+            }
+            TunerError::ProfileVersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "tuning profile version {found} is not the supported version {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TunerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TunerError::ProfileParse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for TunerError {
+    fn from(e: JsonError) -> TunerError {
+        TunerError::ProfileParse(e)
+    }
+}

@@ -1,0 +1,640 @@
+//! The cost-model-guided autotuner: from shape to configuration, no hands.
+//!
+//! The paper's thesis is that the best QR configuration is a *function of
+//! the problem shape and the machine*: the tunable `c × d × c` grid trades
+//! bandwidth for latency, algorithm choice itself flips with aspect ratio
+//! (CAQR-family results; Demmel et al.), and block sizes move with cache
+//! geometry. Until now every [`QrPlan`] caller re-derived that function by
+//! hand. This module closes the loop:
+//!
+//! 1. **Enumerate** — [`Tuner::report`] lists every runnable configuration
+//!    for `(m, n, P)` via [`costmodel::candidates`]: all four
+//!    [`Algorithm`]s, every valid grid split, a base-size/panel-width
+//!    sweep, each kernel backend.
+//! 2. **Score** — each candidate is priced with the exact closed-form cost
+//!    models on a [`MachineCal`] profile. The default profile models *this
+//!    process*: nominal per-backend flop rates, per-message software
+//!    overhead for the simulated collectives, and an oversubscription
+//!    factor for running `P` simulated ranks on `threads` cores. With
+//!    [`Tuner::calibrate`] the flop rate is measured live
+//!    ([`dense::probe`]) instead of assumed.
+//! 3. **Refine** — under calibration, the top-K candidates by predicted
+//!    time — plus the best-predicted candidate of every algorithm family,
+//!    so no family is eliminated by model bias alone — are run for real
+//!    (short, scaled-down rows, seeded input) and re-ranked by measured
+//!    wall time.
+//!
+//! The result is a [`TunerReport`]: every candidate, ranked, with predicted
+//! α-β-γ cost and (optionally) measured seconds. [`QrPlan::auto`] is the
+//! one-line front door; [`TuningProfile`] persists winners across
+//! processes; [`QrService::preload_profile`](crate::service::QrService::preload_profile)
+//! warms a serving cache from a profile.
+//!
+//! Determinism: with calibration off (the default), tuning is a pure
+//! function of `(m, n, P, threads, profile)` — same inputs, same chosen
+//! configuration, every time. Calibration adds wall-clock measurement and
+//! therefore machine-dependent (but still seed-stable in *inputs*)
+//! refinement.
+//!
+//! # Example
+//!
+//! ```
+//! use cacqr::driver::QrPlan;
+//!
+//! // One line: enumerate, score, pick, validate.
+//! let plan = QrPlan::auto(256, 32)?;
+//! let report = plan.factor(&dense::random::well_conditioned(256, 32, 1))?;
+//! assert!(report.orthogonality_error < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+pub mod json;
+mod profile;
+
+pub use error::TunerError;
+pub use profile::{ProfileEntry, TuningProfile, PROFILE_VERSION};
+
+use crate::driver::{Algorithm, PlanError, QrPlan};
+use crate::service::JobSpec;
+use baseline::BlockCyclic;
+use costmodel::{CandidateConfig, Cost, MachineCal};
+use dense::random::well_conditioned;
+use dense::BackendKind;
+use pargrid::GridShape;
+use simgrid::Machine;
+use std::time::Instant;
+
+/// The process-global installed tuning profile consulted by
+/// [`QrPlan::auto`]. Empty until [`install_profile`] runs.
+static INSTALLED_PROFILE: std::sync::LazyLock<std::sync::RwLock<Option<TuningProfile>>> =
+    std::sync::LazyLock::new(|| std::sync::RwLock::new(None));
+
+/// Installs a profile process-wide: from now on [`QrPlan::auto`] (and
+/// anything else calling [`installed_entry`]) prefers the profile's
+/// recorded winners over fresh cost-model-only tuning — this is how a
+/// *calibrated* sweep's measured choices reach the one-line API. Returns
+/// the previously installed profile, if any.
+pub fn install_profile(profile: TuningProfile) -> Option<TuningProfile> {
+    INSTALLED_PROFILE
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .replace(profile)
+}
+
+/// Removes the process-global profile, returning it.
+pub fn clear_profile() -> Option<TuningProfile> {
+    INSTALLED_PROFILE.write().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+/// The installed profile's entry for shape `(m, n)`, if a profile is
+/// installed and covers it.
+pub fn installed_entry(m: usize, n: usize) -> Option<ProfileEntry> {
+    INSTALLED_PROFILE
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .and_then(|p| p.lookup(m, n))
+        .copied()
+}
+
+/// Nominal effective flop rate (seconds per flop) assumed for a backend
+/// when no live probe has run: the `Blocked` kernels sustain roughly 4× the
+/// naive loop nests (PR 1 measured ≈ 4.2× at 512³). Absolute values only
+/// scale the predicted seconds; the *ratios* steer uncalibrated ranking.
+fn nominal_seconds_per_flop(backend: BackendKind) -> f64 {
+    match backend {
+        BackendKind::Naive => 1.0e-9,
+        BackendKind::Blocked => 2.5e-10,
+    }
+}
+
+/// The scoring profile for running simulated ranks inside this process:
+/// per-message software overhead α (thread-pool synchronization, not wire
+/// latency), per-word β at memcpy speed, and the given measured or nominal
+/// compute rate.
+pub fn host_profile(seconds_per_flop: f64) -> MachineCal {
+    MachineCal::calibrated(
+        "host",
+        Machine {
+            alpha: 1.0e-6,
+            beta: 1.5e-9,
+            gamma: 0.0,
+        },
+        seconds_per_flop,
+    )
+}
+
+/// One scored (and possibly measured) configuration in a [`TunerReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct TunerCandidate {
+    /// The configuration, as the cost model describes it.
+    pub config: CandidateConfig,
+    /// The kernel backend the candidate runs on.
+    pub backend: BackendKind,
+    /// The ready-to-submit job spec ([`QrService`](crate::service::QrService)
+    /// cache key) this candidate corresponds to.
+    pub spec: JobSpec,
+    /// Closed-form predicted α-β-γ cost.
+    pub predicted: Cost,
+    /// Predicted wall seconds on the scoring profile (including the
+    /// simulated-ranks-on-real-cores oversubscription factor).
+    pub predicted_seconds: f64,
+    /// Measured wall seconds of the short calibration run, when one ran.
+    pub measured_seconds: Option<f64>,
+}
+
+impl TunerCandidate {
+    /// The candidate's algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        algorithm_of(&self.config)
+    }
+
+    /// The seconds this candidate is ranked by: measured when available,
+    /// predicted otherwise.
+    pub fn score_seconds(&self) -> f64 {
+        self.measured_seconds.unwrap_or(self.predicted_seconds)
+    }
+}
+
+/// A completed tuning run: every candidate, ranked best-first.
+#[derive(Clone, Debug)]
+pub struct TunerReport {
+    /// Global row count tuned for.
+    pub m: usize,
+    /// Global column count tuned for.
+    pub n: usize,
+    /// Simulated rank count searched.
+    pub processors: usize,
+    /// Process thread budget the scoring assumed (`dense::max_threads`).
+    pub threads: usize,
+    /// Whether live calibration (probe + measured top-K) ran.
+    pub calibrated: bool,
+    /// The microkernel probes backing the calibrated flop rates, one per
+    /// swept backend (empty without calibration or with an explicit
+    /// scoring profile).
+    pub probes: Vec<dense::ProbeReport>,
+    /// All scored candidates, best first.
+    pub candidates: Vec<TunerCandidate>,
+}
+
+impl TunerReport {
+    /// The winning candidate (reports are never empty).
+    pub fn best(&self) -> &TunerCandidate {
+        &self.candidates[0]
+    }
+
+    /// The calibration probe that backed a backend's flop rate, if one ran.
+    pub fn probe_for(&self, backend: BackendKind) -> Option<&dense::ProbeReport> {
+        self.probes.iter().find(|p| p.backend == backend)
+    }
+
+    /// The winning spec, ready for a service cache.
+    pub fn best_spec(&self) -> JobSpec {
+        self.best().spec
+    }
+
+    /// Builds the winning plan under the given simulated machine model.
+    pub fn best_plan(&self, machine: Machine) -> Result<QrPlan, PlanError> {
+        self.best().spec.build_plan(machine, self.best().backend)
+    }
+
+    /// The winner as a persistable [`ProfileEntry`].
+    pub fn profile_entry(&self) -> ProfileEntry {
+        let best = self.best();
+        let (grid, block_cyclic, base_size, inverse_depth) = match best.config {
+            CandidateConfig::Cqr1d { p } => (Some((1, p)), None, None, 0),
+            CandidateConfig::CaCqr2 {
+                c,
+                d,
+                base_size,
+                inverse_depth,
+            }
+            | CandidateConfig::CaCqr3 {
+                c,
+                d,
+                base_size,
+                inverse_depth,
+            } => (Some((c, d)), None, Some(base_size), inverse_depth),
+            CandidateConfig::Pgeqrf { pr, pc, nb } => (None, Some((pr, pc, nb)), None, 0),
+        };
+        ProfileEntry {
+            m: self.m,
+            n: self.n,
+            processors: self.processors,
+            threads: self.threads,
+            algorithm: best.algorithm(),
+            backend: best.backend,
+            grid,
+            block_cyclic,
+            base_size,
+            inverse_depth,
+            predicted_seconds: best.predicted_seconds,
+            // A failed calibration run "measures" +∞, which is not a
+            // number the canonical JSON round trip can carry — record the
+            // winner as unmeasured instead.
+            measured_seconds: best.measured_seconds.filter(|v| v.is_finite()),
+        }
+    }
+}
+
+/// The autotuner. Configure with the builder-style methods, then call
+/// [`Tuner::report`]. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Tuner {
+    m: usize,
+    n: usize,
+    processors: Option<usize>,
+    profile: Option<MachineCal>,
+    algorithms: Vec<Algorithm>,
+    backends: Vec<BackendKind>,
+    calibrate: bool,
+    top_k: usize,
+    calibration_rows: usize,
+    calibration_reps: usize,
+    seed: u64,
+}
+
+impl Tuner {
+    /// Starts tuning factorizations of `m × n` matrices with the defaults:
+    /// auto-chosen rank count, all algorithms, the process-default backend,
+    /// the nominal host scoring profile, calibration off.
+    pub fn new(m: usize, n: usize) -> Tuner {
+        Tuner {
+            m,
+            n,
+            processors: None,
+            profile: None,
+            algorithms: Algorithm::ALL.to_vec(),
+            backends: vec![BackendKind::default_kind()],
+            calibrate: false,
+            top_k: 3,
+            calibration_rows: 512,
+            calibration_reps: 2,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Pins the simulated rank count `P` (default: the first of
+    /// {16, 8, 4, 32, 64, 2, 1} with a runnable candidate).
+    pub fn processors(mut self, p: usize) -> Tuner {
+        self.processors = Some(p);
+        self
+    }
+
+    /// Scores candidates on an explicit machine profile (e.g.
+    /// [`MachineCal::stampede2`] to plan for the paper's machine) instead
+    /// of the host profile.
+    pub fn profile(mut self, profile: MachineCal) -> Tuner {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Restricts the search to the given algorithms (default: all four).
+    pub fn algorithms(mut self, algorithms: &[Algorithm]) -> Tuner {
+        self.algorithms = algorithms.to_vec();
+        self
+    }
+
+    /// Sweeps the given kernel backends (default: just the process
+    /// default).
+    pub fn backends(mut self, backends: &[BackendKind]) -> Tuner {
+        self.backends = backends.to_vec();
+        self
+    }
+
+    /// Enables live calibration: a microkernel probe replaces the nominal
+    /// flop rate, and the top-K candidates by predicted time (plus the
+    /// best-predicted candidate of each algorithm family) are re-ranked by
+    /// short measured runs.
+    pub fn calibrate(mut self, calibrate: bool) -> Tuner {
+        self.calibrate = calibrate;
+        self
+    }
+
+    /// How many leading candidates the calibration pass measures
+    /// (default 3).
+    pub fn top_k(mut self, top_k: usize) -> Tuner {
+        self.top_k = top_k.max(1);
+        self
+    }
+
+    /// Target row count for the scaled-down calibration runs (default 512;
+    /// rounded to each candidate's row-divisibility constraint and capped
+    /// at `m`).
+    pub fn calibration_rows(mut self, rows: usize) -> Tuner {
+        self.calibration_rows = rows.max(1);
+        self
+    }
+
+    /// Repetitions per measured calibration run; the minimum is kept
+    /// (default 2).
+    pub fn calibration_reps(mut self, reps: usize) -> Tuner {
+        self.calibration_reps = reps.max(1);
+        self
+    }
+
+    /// Seed for the calibration input matrices (default `0x5eed`).
+    pub fn seed(mut self, seed: u64) -> Tuner {
+        self.seed = seed;
+        self
+    }
+
+    /// Enumerates, scores, optionally calibrates, and ranks. Errors with
+    /// [`TunerError::NoCandidates`] when nothing runnable exists — never
+    /// panics on an empty search space.
+    pub fn report(&self) -> Result<TunerReport, TunerError> {
+        let threads = dense::max_threads();
+        let processors = match self.processors {
+            Some(p) => p,
+            None => self.pick_processors(),
+        };
+        let configs: Vec<CandidateConfig> = costmodel::enumerate(self.m, self.n, processors)
+            .into_iter()
+            .filter(|c| self.algorithms.contains(&algorithm_of(c)))
+            .collect();
+        // Running P simulated ranks on `threads` real cores serializes the
+        // surplus: all candidates share the factor, so it scales the
+        // predicted seconds into wall-clock territory without moving ranks.
+        let oversubscription = (processors as f64 / threads as f64).max(1.0);
+
+        let mut probes = Vec::new();
+        let mut candidates = Vec::new();
+        for &backend in &self.backends {
+            let cal = match self.profile {
+                Some(cal) => cal,
+                None => {
+                    if self.calibrate {
+                        let p = dense::default_probe(backend);
+                        probes.push(p);
+                        host_profile(p.seconds_per_flop)
+                    } else {
+                        host_profile(nominal_seconds_per_flop(backend))
+                    }
+                }
+            };
+            for config in &configs {
+                if !cal.candidate_fits(self.m, self.n, config) {
+                    continue;
+                }
+                let Ok(spec) = spec_for(self.m, self.n, config, backend) else {
+                    continue; // unreachable for enumerated configs, but never panic
+                };
+                candidates.push(TunerCandidate {
+                    config: *config,
+                    backend,
+                    spec,
+                    predicted: costmodel::predicted_cost(self.m, self.n, config),
+                    predicted_seconds: cal.time_candidate(self.m, self.n, config) * oversubscription,
+                    measured_seconds: None,
+                });
+            }
+        }
+        if candidates.is_empty() {
+            return Err(TunerError::NoCandidates {
+                m: self.m,
+                n: self.n,
+                processors,
+            });
+        }
+        candidates.sort_by(|a, b| a.predicted_seconds.total_cmp(&b.predicted_seconds));
+
+        if self.calibrate {
+            // Measure the global top-K by predicted time, plus the best
+            // candidate of every algorithm family present: the families'
+            // effective flop rates differ (BLAS-1/2-bound panels vs large
+            // gemms), so a single-rate model can systematically misrank one
+            // family — the stopwatch gets a vote from each.
+            let mut measure_set: Vec<usize> = (0..self.top_k.min(candidates.len())).collect();
+            for algorithm in &self.algorithms {
+                if let Some(i) = candidates.iter().position(|c| c.algorithm() == *algorithm) {
+                    if !measure_set.contains(&i) {
+                        measure_set.push(i);
+                    }
+                }
+            }
+            for i in measure_set {
+                let measured = self.measure(&candidates[i]);
+                candidates[i].measured_seconds = Some(measured);
+            }
+            // Finite measured candidates outrank unmeasured ones (a
+            // model-only score never overrules a stopwatch), and a
+            // candidate whose calibration run *failed* (non-finite
+            // "measurement") ranks behind everything — it must never win.
+            let class = |c: &TunerCandidate| match c.measured_seconds {
+                Some(v) if v.is_finite() => 0u8,
+                None => 1,
+                Some(_) => 2,
+            };
+            candidates.sort_by(|a, b| {
+                class(a)
+                    .cmp(&class(b))
+                    .then(a.score_seconds().total_cmp(&b.score_seconds()))
+            });
+        }
+
+        Ok(TunerReport {
+            m: self.m,
+            n: self.n,
+            processors,
+            threads,
+            calibrated: self.calibrate,
+            probes,
+            candidates,
+        })
+    }
+
+    /// The default rank count: the first of a fixed preference order that
+    /// yields at least one runnable candidate under the same filters
+    /// `report` applies (algorithm set *and* the scoring profile's memory
+    /// feasibility — a P that enumerates candidates which all exceed node
+    /// memory would otherwise error spuriously). Deterministic by
+    /// construction.
+    fn pick_processors(&self) -> usize {
+        // Memory feasibility does not depend on the backend, so any
+        // representative profile works for the filter.
+        let cal = self
+            .profile
+            .unwrap_or_else(|| host_profile(nominal_seconds_per_flop(BackendKind::default_kind())));
+        for p in [16usize, 8, 4, 32, 64, 2, 1] {
+            if costmodel::enumerate(self.m, self.n, p)
+                .iter()
+                .any(|c| self.algorithms.contains(&algorithm_of(c)) && cal.candidate_fits(self.m, self.n, c))
+            {
+                return p;
+            }
+        }
+        1
+    }
+
+    /// Short measured run of one candidate on scaled-down rows; returns the
+    /// best wall time over the configured repetitions, or `+∞` when the
+    /// run fails (an unmeasurable candidate loses the ranking, it does not
+    /// abort the tuning).
+    fn measure(&self, cand: &TunerCandidate) -> f64 {
+        let divisor = match cand.config {
+            CandidateConfig::Cqr1d { p } => p,
+            CandidateConfig::CaCqr2 { d, .. } | CandidateConfig::CaCqr3 { d, .. } => d,
+            CandidateConfig::Pgeqrf { .. } => 1,
+        };
+        let mut rows = (self.calibration_rows / divisor).max(1) * divisor;
+        while rows < self.n {
+            rows += divisor;
+        }
+        if rows > self.m {
+            rows = self.m; // enumeration guarantees divisor | m
+        }
+        let Ok(spec) = spec_for(rows, self.n, &cand.config, cand.backend) else {
+            return f64::INFINITY;
+        };
+        let Ok(plan) = spec.build_plan(Machine::zero(), cand.backend) else {
+            return f64::INFINITY;
+        };
+        let a = well_conditioned(rows, self.n, self.seed);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.calibration_reps {
+            let t = Instant::now();
+            if plan.factor(&a).is_err() {
+                return f64::INFINITY;
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    }
+}
+
+/// The [`Algorithm`] a cost-model candidate belongs to.
+fn algorithm_of(config: &CandidateConfig) -> Algorithm {
+    match config {
+        CandidateConfig::Cqr1d { .. } => Algorithm::Cqr2_1d,
+        CandidateConfig::CaCqr2 { .. } => Algorithm::CaCqr2,
+        CandidateConfig::CaCqr3 { .. } => Algorithm::CaCqr3,
+        CandidateConfig::Pgeqrf { .. } => Algorithm::Pgeqrf,
+    }
+}
+
+/// Translates a cost-model candidate into a service-layer [`JobSpec`].
+fn spec_for(m: usize, n: usize, config: &CandidateConfig, backend: BackendKind) -> Result<JobSpec, PlanError> {
+    let spec = JobSpec::new(m, n).backend(backend);
+    Ok(match *config {
+        CandidateConfig::Cqr1d { p } => spec.algorithm(Algorithm::Cqr2_1d).grid(GridShape::one_d(p)?),
+        CandidateConfig::CaCqr2 {
+            c,
+            d,
+            base_size,
+            inverse_depth,
+        } => spec
+            .algorithm(Algorithm::CaCqr2)
+            .grid(GridShape::new(c, d)?)
+            .base_size(base_size)
+            .inverse_depth(inverse_depth),
+        CandidateConfig::CaCqr3 {
+            c,
+            d,
+            base_size,
+            inverse_depth,
+        } => spec
+            .algorithm(Algorithm::CaCqr3)
+            .grid(GridShape::new(c, d)?)
+            .base_size(base_size)
+            .inverse_depth(inverse_depth),
+        CandidateConfig::Pgeqrf { pr, pc, nb } => {
+            spec.algorithm(Algorithm::Pgeqrf)
+                .block_cyclic(BlockCyclic { pr, pc, nb })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ranks_ascending_by_prediction() {
+        let report = Tuner::new(256, 32).report().unwrap();
+        assert!(!report.candidates.is_empty());
+        assert!(!report.calibrated);
+        for pair in report.candidates.windows(2) {
+            assert!(pair[0].predicted_seconds <= pair[1].predicted_seconds);
+        }
+        // The winner builds and factors.
+        let plan = report.best_plan(Machine::zero()).unwrap();
+        let out = plan.factor(&well_conditioned(256, 32, 3)).unwrap();
+        assert!(out.orthogonality_error < 1e-12);
+    }
+
+    #[test]
+    fn empty_search_space_is_a_typed_error() {
+        // A prime column count kills every CA grid with c > 1; filtering to
+        // the CA family with a c=1-hostile row count leaves nothing.
+        let err = Tuner::new(100, 7)
+            .processors(64)
+            .algorithms(&[Algorithm::CaCqr2])
+            .report()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TunerError::NoCandidates {
+                m: 100,
+                n: 7,
+                processors: 64
+            }
+        );
+    }
+
+    #[test]
+    fn tuning_is_deterministic_without_calibration() {
+        let a = Tuner::new(1 << 12, 1 << 6).report().unwrap();
+        let b = Tuner::new(1 << 12, 1 << 6).report().unwrap();
+        assert_eq!(a.best().spec, b.best().spec);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (x, y) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.predicted_seconds.to_bits(), y.predicted_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn calibration_measures_the_leaders() {
+        let report = Tuner::new(128, 16)
+            .processors(4)
+            .calibrate(true)
+            .top_k(2)
+            .calibration_rows(64)
+            .calibration_reps(1)
+            .report()
+            .unwrap();
+        assert!(report.calibrated);
+        assert!(report.probe_for(BackendKind::default_kind()).is_some());
+        let measured = report
+            .candidates
+            .iter()
+            .filter(|c| c.measured_seconds.is_some())
+            .count();
+        assert!(measured >= 2, "at least the top-K get stopwatches, got {measured}");
+        // Every algorithm family present was measured at least once.
+        for algorithm in Algorithm::ALL {
+            let family: Vec<_> = report
+                .candidates
+                .iter()
+                .filter(|c| c.algorithm() == algorithm)
+                .collect();
+            if !family.is_empty() {
+                assert!(
+                    family.iter().any(|c| c.measured_seconds.is_some()),
+                    "{algorithm} family must get a measured vote"
+                );
+            }
+        }
+        // Measured candidates lead the ranking.
+        assert!(report.candidates[0].measured_seconds.is_some());
+        assert!(report.best().measured_seconds.unwrap().is_finite());
+    }
+
+    #[test]
+    fn profile_entry_round_trips_to_an_equal_spec() {
+        let report = Tuner::new(256, 32).report().unwrap();
+        let entry = report.profile_entry();
+        assert_eq!(entry.spec().unwrap(), report.best_spec());
+    }
+}

@@ -1,0 +1,427 @@
+//! Persistent tuning profiles: versioned JSON that round-trips bit for bit.
+//!
+//! A [`TuningProfile`] is the autotuner's durable memory: one
+//! [`ProfileEntry`] per tuned `(m, n, P, threads)` key, recording the
+//! winning configuration and its predicted/measured seconds. Profiles are
+//! written with the deterministic serializer in [`super::json`] — entries
+//! kept sorted, fields in a fixed order, floats in shortest-round-trip
+//! form — so saving a profile twice produces byte-identical files and
+//! `from_json(to_json(p)) == p` exactly. A `version` field gates the
+//! format: readers reject documents written by an incompatible build
+//! instead of misinterpreting them.
+//!
+//! Profiles preload into a [`QrService`](crate::service::QrService) via
+//! [`preload_profile`](crate::service::QrService::preload_profile), which
+//! builds and caches the recorded plans up front so the first request of a
+//! known shape never pays planning or tuning.
+
+use super::error::TunerError;
+use super::json::{self, JsonValue};
+use crate::driver::{Algorithm, PlanError};
+use crate::service::JobSpec;
+use baseline::BlockCyclic;
+use dense::BackendKind;
+use pargrid::GridShape;
+
+/// The profile format version this build writes and reads.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// One tuned configuration: the key it was tuned for and the winning knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// Global row count of the tuned shape.
+    pub m: usize,
+    /// Global column count of the tuned shape.
+    pub n: usize,
+    /// Simulated rank count the tuning searched.
+    pub processors: usize,
+    /// Process thread budget the tuning ran under (`dense::max_threads`).
+    pub threads: usize,
+    /// The winning algorithm.
+    pub algorithm: Algorithm,
+    /// The winning kernel backend.
+    pub backend: BackendKind,
+    /// The winning `c × d × c` grid (CA family and 1D-CQR2).
+    pub grid: Option<(usize, usize)>,
+    /// The winning `(pr, pc, nb)` block-cyclic layout (`pgeqrf`).
+    pub block_cyclic: Option<(usize, usize, usize)>,
+    /// The winning CFR3D base-case size (CA family).
+    pub base_size: Option<usize>,
+    /// The winning `InverseDepth` (CA family).
+    pub inverse_depth: usize,
+    /// Cost-model-predicted seconds for the winner.
+    pub predicted_seconds: f64,
+    /// Measured calibration seconds for the winner, when the tuning ran
+    /// live calibration.
+    pub measured_seconds: Option<f64>,
+}
+
+impl ProfileEntry {
+    /// The cache key this entry was tuned for.
+    pub fn key(&self) -> (usize, usize, usize, usize) {
+        (self.m, self.n, self.processors, self.threads)
+    }
+
+    /// Reconstructs the [`JobSpec`] this entry records, revalidating the
+    /// grid shape (a hand-edited profile can name an invalid grid; that
+    /// surfaces as a typed [`PlanError`], never a panic).
+    pub fn spec(&self) -> Result<JobSpec, PlanError> {
+        let mut spec = JobSpec::new(self.m, self.n)
+            .algorithm(self.algorithm)
+            .backend(self.backend)
+            .inverse_depth(self.inverse_depth);
+        if let Some((c, d)) = self.grid {
+            spec = spec.grid(GridShape::new(c, d)?);
+        }
+        if let Some((pr, pc, nb)) = self.block_cyclic {
+            spec = spec.block_cyclic(BlockCyclic { pr, pc, nb });
+        }
+        if let Some(base_size) = self.base_size {
+            spec = spec.base_size(base_size);
+        }
+        Ok(spec)
+    }
+
+    fn to_json(self) -> JsonValue {
+        let opt_usize = |v: Option<usize>| match v {
+            Some(x) => JsonValue::Number(x as f64),
+            None => JsonValue::Null,
+        };
+        JsonValue::Object(vec![
+            ("m".to_string(), JsonValue::Number(self.m as f64)),
+            ("n".to_string(), JsonValue::Number(self.n as f64)),
+            ("processors".to_string(), JsonValue::Number(self.processors as f64)),
+            ("threads".to_string(), JsonValue::Number(self.threads as f64)),
+            (
+                "algorithm".to_string(),
+                JsonValue::String(self.algorithm.name().to_string()),
+            ),
+            ("backend".to_string(), JsonValue::String(self.backend.to_string())),
+            (
+                "grid".to_string(),
+                match self.grid {
+                    Some((c, d)) => JsonValue::Object(vec![
+                        ("c".to_string(), JsonValue::Number(c as f64)),
+                        ("d".to_string(), JsonValue::Number(d as f64)),
+                    ]),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "block_cyclic".to_string(),
+                match self.block_cyclic {
+                    Some((pr, pc, nb)) => JsonValue::Object(vec![
+                        ("pr".to_string(), JsonValue::Number(pr as f64)),
+                        ("pc".to_string(), JsonValue::Number(pc as f64)),
+                        ("nb".to_string(), JsonValue::Number(nb as f64)),
+                    ]),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("base_size".to_string(), opt_usize(self.base_size)),
+            (
+                "inverse_depth".to_string(),
+                JsonValue::Number(self.inverse_depth as f64),
+            ),
+            (
+                "predicted_seconds".to_string(),
+                JsonValue::Number(self.predicted_seconds),
+            ),
+            (
+                "measured_seconds".to_string(),
+                match self.measured_seconds {
+                    Some(s) => JsonValue::Number(s),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(value: &JsonValue) -> Result<ProfileEntry, TunerError> {
+        let field = |key: &str| {
+            value.get(key).ok_or_else(|| TunerError::ProfileSchema {
+                message: format!("entry is missing {key:?}"),
+            })
+        };
+        let num = |key: &str| {
+            field(key)?.as_usize().ok_or_else(|| TunerError::ProfileSchema {
+                message: format!("entry field {key:?} must be a non-negative integer"),
+            })
+        };
+        let opt_pair = |key: &str, a: &str, b: &str| -> Result<Option<(usize, usize)>, TunerError> {
+            match field(key)? {
+                JsonValue::Null => Ok(None),
+                v => {
+                    let get = |k: &str| {
+                        v.get(k)
+                            .and_then(JsonValue::as_usize)
+                            .ok_or_else(|| TunerError::ProfileSchema {
+                                message: format!("entry field {key:?} must carry integer {k:?}"),
+                            })
+                    };
+                    Ok(Some((get(a)?, get(b)?)))
+                }
+            }
+        };
+        let algorithm_name = field("algorithm")?.as_str().ok_or_else(|| TunerError::ProfileSchema {
+            message: "entry field \"algorithm\" must be a string".to_string(),
+        })?;
+        let algorithm = algorithm_name
+            .parse::<Algorithm>()
+            .map_err(|e| TunerError::ProfileSchema { message: e })?;
+        let backend_name = field("backend")?.as_str().ok_or_else(|| TunerError::ProfileSchema {
+            message: "entry field \"backend\" must be a string".to_string(),
+        })?;
+        let backend = backend_name
+            .parse::<BackendKind>()
+            .map_err(|e| TunerError::ProfileSchema { message: e })?;
+        let block_cyclic = match field("block_cyclic")? {
+            JsonValue::Null => None,
+            v => {
+                let get = |k: &str| {
+                    v.get(k)
+                        .and_then(JsonValue::as_usize)
+                        .ok_or_else(|| TunerError::ProfileSchema {
+                            message: format!("entry field \"block_cyclic\" must carry integer {k:?}"),
+                        })
+                };
+                Some((get("pr")?, get("pc")?, get("nb")?))
+            }
+        };
+        let base_size = match field("base_size")? {
+            JsonValue::Null => None,
+            v => Some(v.as_usize().ok_or_else(|| TunerError::ProfileSchema {
+                message: "entry field \"base_size\" must be an integer or null".to_string(),
+            })?),
+        };
+        let predicted_seconds = field("predicted_seconds")?
+            .as_f64()
+            .ok_or_else(|| TunerError::ProfileSchema {
+                message: "entry field \"predicted_seconds\" must be a number".to_string(),
+            })?;
+        let measured_seconds = match field("measured_seconds")? {
+            JsonValue::Null => None,
+            v => Some(v.as_f64().ok_or_else(|| TunerError::ProfileSchema {
+                message: "entry field \"measured_seconds\" must be a number or null".to_string(),
+            })?),
+        };
+        Ok(ProfileEntry {
+            m: num("m")?,
+            n: num("n")?,
+            processors: num("processors")?,
+            threads: num("threads")?,
+            algorithm,
+            backend,
+            grid: opt_pair("grid", "c", "d")?,
+            block_cyclic,
+            base_size,
+            inverse_depth: num("inverse_depth")?,
+            predicted_seconds,
+            measured_seconds,
+        })
+    }
+}
+
+/// A persistent set of tuned configurations: versioned, canonical JSON
+/// that round-trips bit for bit (see the `tuner` module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TuningProfile {
+    entries: Vec<ProfileEntry>,
+}
+
+impl TuningProfile {
+    /// An empty profile.
+    pub fn new() -> TuningProfile {
+        TuningProfile::default()
+    }
+
+    /// Number of tuned entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the profile holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, sorted by `(m, n, processors, threads)`.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Inserts an entry, replacing any existing entry with the same
+    /// `(m, n, processors, threads)` key; keeps the sort order that makes
+    /// serialization deterministic.
+    pub fn insert(&mut self, entry: ProfileEntry) {
+        match self.entries.binary_search_by_key(&entry.key(), ProfileEntry::key) {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
+    }
+
+    /// The entry tuned for exactly `(m, n, processors, threads)`.
+    pub fn lookup_exact(&self, m: usize, n: usize, processors: usize, threads: usize) -> Option<&ProfileEntry> {
+        self.entries
+            .binary_search_by_key(&(m, n, processors, threads), ProfileEntry::key)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The first entry for shape `(m, n)` under any rank count or thread
+    /// budget (entries are sorted, so this is the smallest such key).
+    pub fn lookup(&self, m: usize, n: usize) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.m == m && e.n == n)
+    }
+
+    /// Serializes to the versioned JSON format (pretty-printed, canonical:
+    /// equal profiles serialize to identical bytes).
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("version".to_string(), JsonValue::Number(PROFILE_VERSION as f64)),
+            (
+                "entries".to_string(),
+                JsonValue::Array(self.entries.iter().copied().map(ProfileEntry::to_json).collect()),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a profile, rejecting unknown versions and malformed entries
+    /// with a typed [`TunerError`].
+    pub fn from_json(text: &str) -> Result<TuningProfile, TunerError> {
+        let doc = json::parse(text)?;
+        let version = doc
+            .get("version")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| TunerError::ProfileSchema {
+                message: "document must carry an integer \"version\"".to_string(),
+            })? as u64;
+        if version != PROFILE_VERSION {
+            return Err(TunerError::ProfileVersionMismatch {
+                found: version,
+                expected: PROFILE_VERSION,
+            });
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| TunerError::ProfileSchema {
+                message: "document must carry an \"entries\" array".to_string(),
+            })?;
+        let mut profile = TuningProfile::new();
+        for entry in entries {
+            profile.insert(ProfileEntry::from_json(entry)?);
+        }
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> ProfileEntry {
+        ProfileEntry {
+            m: 4096,
+            n: 64,
+            processors: 16,
+            threads: 4,
+            algorithm: Algorithm::CaCqr2,
+            backend: BackendKind::Blocked,
+            grid: Some((2, 4)),
+            block_cyclic: None,
+            base_size: Some(16),
+            inverse_depth: 0,
+            predicted_seconds: 1.0 / 3.0,
+            measured_seconds: Some(2.5e-4),
+        }
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // the awkward float is the point
+    fn json_round_trip_is_bit_identical() {
+        let mut profile = TuningProfile::new();
+        profile.insert(sample_entry());
+        profile.insert(ProfileEntry {
+            m: 512,
+            n: 512,
+            algorithm: Algorithm::Pgeqrf,
+            grid: None,
+            block_cyclic: Some((8, 2, 32)),
+            base_size: None,
+            measured_seconds: None,
+            predicted_seconds: 7.000000000000001e-2,
+            ..sample_entry()
+        });
+        let text = profile.to_json();
+        let back = TuningProfile::from_json(&text).unwrap();
+        assert_eq!(back, profile);
+        assert_eq!(back.to_json(), text, "serialization must be canonical");
+    }
+
+    #[test]
+    fn insert_replaces_same_key_and_sorts() {
+        let mut profile = TuningProfile::new();
+        profile.insert(sample_entry());
+        profile.insert(ProfileEntry {
+            m: 64,
+            ..sample_entry()
+        });
+        profile.insert(ProfileEntry {
+            inverse_depth: 1,
+            ..sample_entry()
+        });
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile.entries()[0].m, 64, "entries stay sorted");
+        assert_eq!(
+            profile.lookup_exact(4096, 64, 16, 4).unwrap().inverse_depth,
+            1,
+            "same key replaces"
+        );
+        assert!(profile.lookup(4096, 64).is_some());
+        assert!(profile.lookup(1, 1).is_none());
+    }
+
+    #[test]
+    fn version_gate_rejects_future_formats() {
+        let err = TuningProfile::from_json("{\"version\": 999, \"entries\": []}").unwrap_err();
+        assert_eq!(
+            err,
+            TunerError::ProfileVersionMismatch {
+                found: 999,
+                expected: PROFILE_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_typed() {
+        assert!(matches!(
+            TuningProfile::from_json("{\"entries\": []}"),
+            Err(TunerError::ProfileSchema { .. })
+        ));
+        assert!(matches!(
+            TuningProfile::from_json("not json"),
+            Err(TunerError::ProfileParse(_))
+        ));
+        let missing_field = "{\"version\":1,\"entries\":[{\"m\":4}]}";
+        assert!(matches!(
+            TuningProfile::from_json(missing_field),
+            Err(TunerError::ProfileSchema { .. })
+        ));
+    }
+
+    #[test]
+    fn entries_rebuild_their_specs() {
+        let spec = sample_entry().spec().unwrap();
+        assert_eq!(spec.m(), 4096);
+        assert_eq!(spec.n(), 64);
+        // An invalid hand-edited grid surfaces as a typed error.
+        let bad = ProfileEntry {
+            grid: Some((3, 4)),
+            ..sample_entry()
+        };
+        assert!(matches!(bad.spec(), Err(PlanError::Grid(_))));
+    }
+}

@@ -1,0 +1,264 @@
+//! Candidate-configuration enumeration for the autotuner.
+//!
+//! The paper's central claim is that the right algorithm *and* the right
+//! grid flip with the matrix shape: tall-skinny wants 1D-ish grids (small
+//! `c`), squarer shapes want replication (large `c`), and past a latency
+//! threshold the Householder baseline wins outright. This module turns that
+//! search space into data: [`enumerate`] lists every configuration the
+//! workspace can actually run for a given `(m, n, P)` — all four algorithms,
+//! every valid `c × d × c` split, a block-size sweep — and
+//! [`predicted_cost`] prices each one with the crate's exact closed-form
+//! models, so a tuner can rank them on any machine profile without touching
+//! the simulator.
+//!
+//! Validity rules mirror the `QrPlan` builder exactly (divisibility,
+//! power-of-two constraints, `d ≥ c`, `inverse_depth ≤ φ`): every candidate
+//! returned here builds into a runnable plan.
+
+use crate::cost::Cost;
+
+/// One runnable configuration, as the cost model sees it: algorithm plus
+/// every knob that changes the schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CandidateConfig {
+    /// 1D-CholeskyQR2 over a flat row partition of `p` ranks.
+    Cqr1d {
+        /// Rank count (the 1D grid is `1 × p × 1`).
+        p: usize,
+    },
+    /// CA-CQR2 on the tunable `c × d × c` grid.
+    CaCqr2 {
+        /// Replication-dimension size.
+        c: usize,
+        /// Row-dimension size (`P = c²d`).
+        d: usize,
+        /// CFR3D base-case size `n₀`.
+        base_size: usize,
+        /// The paper's `InverseDepth` knob.
+        inverse_depth: usize,
+    },
+    /// Shifted CA-CQR3 on the tunable grid.
+    CaCqr3 {
+        /// Replication-dimension size.
+        c: usize,
+        /// Row-dimension size (`P = c²d`).
+        d: usize,
+        /// CFR3D base-case size `n₀`.
+        base_size: usize,
+        /// The paper's `InverseDepth` knob.
+        inverse_depth: usize,
+    },
+    /// The ScaLAPACK-like 2D block-cyclic Householder baseline.
+    Pgeqrf {
+        /// Process-grid rows.
+        pr: usize,
+        /// Process-grid columns.
+        pc: usize,
+        /// Column block width.
+        nb: usize,
+    },
+}
+
+impl CandidateConfig {
+    /// Total simulated ranks the configuration occupies.
+    pub fn processors(&self) -> usize {
+        match *self {
+            CandidateConfig::Cqr1d { p } => p,
+            CandidateConfig::CaCqr2 { c, d, .. } | CandidateConfig::CaCqr3 { c, d, .. } => c * c * d,
+            CandidateConfig::Pgeqrf { pr, pc, .. } => pr * pc,
+        }
+    }
+
+    /// Short display name of the algorithm family.
+    pub fn algorithm_name(&self) -> &'static str {
+        match self {
+            CandidateConfig::Cqr1d { .. } => "1d-cqr2",
+            CandidateConfig::CaCqr2 { .. } => "ca-cqr2",
+            CandidateConfig::CaCqr3 { .. } => "ca-cqr3",
+            CandidateConfig::Pgeqrf { .. } => "pgeqrf",
+        }
+    }
+}
+
+impl std::fmt::Display for CandidateConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CandidateConfig::Cqr1d { p } => write!(f, "1d-cqr2 p={p}"),
+            CandidateConfig::CaCqr2 {
+                c,
+                d,
+                base_size,
+                inverse_depth,
+            } => write!(f, "ca-cqr2 c={c} d={d} n0={base_size} id={inverse_depth}"),
+            CandidateConfig::CaCqr3 {
+                c,
+                d,
+                base_size,
+                inverse_depth,
+            } => write!(f, "ca-cqr3 c={c} d={d} n0={base_size} id={inverse_depth}"),
+            CandidateConfig::Pgeqrf { pr, pc, nb } => write!(f, "pgeqrf pr={pr} pc={pc} nb={nb}"),
+        }
+    }
+}
+
+/// Predicted α-β-γ cost of one candidate for an `m × n` factorization, from
+/// the crate's closed-form models.
+pub fn predicted_cost(m: usize, n: usize, config: &CandidateConfig) -> Cost {
+    match *config {
+        CandidateConfig::Cqr1d { p } => crate::cqr1d::cqr2_1d(m, n, p),
+        CandidateConfig::CaCqr2 {
+            c,
+            d,
+            base_size,
+            inverse_depth,
+        } => crate::cacqr2::ca_cqr2(m, n, c, d, base_size, inverse_depth),
+        CandidateConfig::CaCqr3 {
+            c,
+            d,
+            base_size,
+            inverse_depth,
+        } => crate::cacqr3::ca_cqr3(m, n, c, d, base_size, inverse_depth),
+        CandidateConfig::Pgeqrf { pr, pc, nb } => crate::pgeqrf::pgeqrf(m, n, pr, pc, nb),
+    }
+}
+
+/// Valid CFR3D base-case sizes to sweep for a CA-family grid: the paper's
+/// bandwidth-minimizing default `n/c²` (clamped to `[c, n]`) plus one step
+/// down and one step up, deduplicated, all powers of two.
+fn base_sizes(n: usize, c: usize) -> Vec<usize> {
+    let default = (n / (c * c)).max(c).min(n);
+    let mut out = Vec::with_capacity(3);
+    for cand in [default / 2, default, default * 2] {
+        if cand.is_power_of_two() && cand >= c && cand <= n && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Column block widths to sweep for the Householder baseline: the usual
+/// ScaLAPACK panel widths that divide `n`, falling back to `n` itself (which
+/// always divides) when none do.
+fn panel_widths(n: usize) -> Vec<usize> {
+    let mut out: Vec<usize> = [4usize, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&nb| nb <= n && n.is_multiple_of(nb))
+        .collect();
+    if out.is_empty() {
+        out.push(n);
+    }
+    out
+}
+
+/// Enumerates every runnable configuration for factoring an `m × n` matrix
+/// (`m ≥ n`) on `p` simulated ranks, in a deterministic order: 1D-CQR2
+/// first, then the CA family over growing `c`, then the baseline over
+/// shrinking `pr`. Returns an empty vector when nothing fits (e.g. `m < n`);
+/// the caller decides whether that is an error.
+pub fn enumerate(m: usize, n: usize, p: usize) -> Vec<CandidateConfig> {
+    let mut out = Vec::new();
+    if m < n || p == 0 {
+        return out;
+    }
+
+    // 1D-CQR2: the flat row partition needs p | m, and the `1 × p × 1` grid
+    // it runs on needs p to be a power of two.
+    if p.is_power_of_two() && m.is_multiple_of(p) {
+        out.push(CandidateConfig::Cqr1d { p });
+    }
+
+    // CA family: c, d powers of two, d ≥ c, P = c²d, d | m, c | n, and the
+    // CFR3D recursion needs n itself to be a power of two.
+    if n.is_power_of_two() {
+        let mut c = 1usize;
+        while c * c * c <= p {
+            if p.is_multiple_of(c * c) {
+                let d = p / (c * c);
+                if d.is_power_of_two() && d >= c && m.is_multiple_of(d) && n.is_multiple_of(c) {
+                    for base_size in base_sizes(n, c) {
+                        let levels = (n / base_size).trailing_zeros() as usize;
+                        for inverse_depth in [0usize, 1] {
+                            if inverse_depth > levels {
+                                continue;
+                            }
+                            out.push(CandidateConfig::CaCqr2 {
+                                c,
+                                d,
+                                base_size,
+                                inverse_depth,
+                            });
+                            out.push(CandidateConfig::CaCqr3 {
+                                c,
+                                d,
+                                base_size,
+                                inverse_depth,
+                            });
+                        }
+                    }
+                }
+            }
+            c *= 2;
+        }
+    }
+
+    // Baseline: pr × pc = p with pr ≥ pc (tall matrices want tall grids),
+    // sweeping the panel width.
+    let mut pc = 1usize;
+    while pc * pc <= p {
+        if p.is_multiple_of(pc) {
+            let pr = p / pc;
+            for nb in panel_widths(n) {
+                out.push(CandidateConfig::Pgeqrf { pr, pc, nb });
+            }
+        }
+        pc *= 2;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_families_for_nice_shapes() {
+        let cands = enumerate(1 << 12, 1 << 6, 64);
+        assert!(cands.iter().any(|c| matches!(c, CandidateConfig::Cqr1d { .. })));
+        assert!(cands.iter().any(|c| matches!(c, CandidateConfig::CaCqr2 { c: 2, .. })));
+        assert!(cands.iter().any(|c| matches!(c, CandidateConfig::CaCqr3 { .. })));
+        assert!(cands.iter().any(|c| matches!(c, CandidateConfig::Pgeqrf { .. })));
+        // Every candidate occupies exactly the requested rank count.
+        assert!(cands.iter().all(|c| c.processors() == 64));
+    }
+
+    #[test]
+    fn enumeration_respects_divisibility() {
+        // m = 100 excludes d = 64 CA grids and p = 64 1D; a prime n excludes
+        // every CA grid with c > 1 and clamps the baseline to nb = n.
+        let cands = enumerate(100, 7, 64);
+        assert!(!cands.iter().any(|c| matches!(c, CandidateConfig::Cqr1d { .. })));
+        assert!(!cands.iter().any(|c| matches!(c, CandidateConfig::CaCqr2 { .. })));
+        assert!(cands.iter().all(|c| matches!(c, CandidateConfig::Pgeqrf { nb: 7, .. })));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn wide_matrices_enumerate_nothing() {
+        assert!(enumerate(8, 16, 4).is_empty());
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        assert_eq!(enumerate(1 << 10, 1 << 5, 16), enumerate(1 << 10, 1 << 5, 16));
+    }
+
+    #[test]
+    fn costs_are_positive_and_finite() {
+        for cand in enumerate(1 << 10, 1 << 5, 16) {
+            let cost = predicted_cost(1 << 10, 1 << 5, &cand);
+            assert!(cost.gamma > 0.0 && cost.gamma.is_finite(), "{cand}: {cost:?}");
+            assert!(cost.alpha >= 0.0 && cost.beta >= 0.0);
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! fit a laptop); `EXPERIMENTS.md` documents the calibration.
 
 pub mod cacqr2;
+pub mod cacqr3;
+pub mod candidates;
 pub mod cfr3d;
 pub mod collectives;
 pub mod cost;
@@ -29,6 +31,8 @@ pub mod pgeqrf;
 pub mod table1;
 
 pub use cacqr2::{ca_cqr, ca_cqr2};
+pub use cacqr3::ca_cqr3;
+pub use candidates::{enumerate, predicted_cost, CandidateConfig};
 pub use cfr3d::{apply_rinv, cfr3d};
 pub use cost::Cost;
 pub use cqr1d::{cqr1d, cqr2_1d};

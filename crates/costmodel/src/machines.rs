@@ -25,6 +25,7 @@
 //! small-node-count, compute-bound data points — everything else is
 //! prediction).
 
+use crate::candidates::CandidateConfig;
 use crate::cost::Cost;
 use simgrid::Machine;
 
@@ -97,6 +98,63 @@ impl MachineCal {
             gamma_pgeqrf: 16.0 / 68.0e9,
             hbm_bytes: None,
             node_mem_bytes: 64.0e9,
+        }
+    }
+
+    /// A machine calibrated from live measurements instead of published
+    /// specs: network parameters from `net`, a single measured effective
+    /// flop rate (e.g. from `dense::probe`) for both algorithm families, no
+    /// fast-memory tier, and an effectively unbounded node memory. This is
+    /// the autotuner's hook for scoring candidates against the machine the
+    /// process actually runs on.
+    pub fn calibrated(name: &'static str, net: Machine, seconds_per_flop: f64) -> MachineCal {
+        MachineCal {
+            name,
+            net,
+            ppn: 1,
+            gamma_cqr2: seconds_per_flop,
+            gamma_pgeqrf: seconds_per_flop,
+            hbm_bytes: None,
+            ddr_penalty: 1.0,
+            node_mem_bytes: f64::INFINITY,
+        }
+    }
+
+    /// Same machine with a re-measured CQR2-family flop rate (s/flop).
+    pub fn with_gamma_cqr2(mut self, seconds_per_flop: f64) -> MachineCal {
+        self.gamma_cqr2 = seconds_per_flop;
+        self
+    }
+
+    /// Same machine with a re-measured Householder-baseline flop rate
+    /// (s/flop).
+    pub fn with_gamma_pgeqrf(mut self, seconds_per_flop: f64) -> MachineCal {
+        self.gamma_pgeqrf = seconds_per_flop;
+        self
+    }
+
+    /// Predicted time of one tuner candidate on this machine: routes the
+    /// candidate's closed-form cost through the per-family effective flop
+    /// rate, charging the CQR2 family's fast-memory residency penalty from
+    /// its actual working set.
+    pub fn time_candidate(&self, m: usize, n: usize, config: &CandidateConfig) -> f64 {
+        let cost = crate::candidates::predicted_cost(m, n, config);
+        match *config {
+            CandidateConfig::Pgeqrf { .. } => self.time_pgeqrf(cost),
+            CandidateConfig::Cqr1d { p } => self.time_cqr2(cost, self.cqr2_workingset(m, n, 1, p)),
+            CandidateConfig::CaCqr2 { c, d, .. } | CandidateConfig::CaCqr3 { c, d, .. } => {
+                self.time_cqr2(cost, self.cqr2_workingset(m, n, c, d))
+            }
+        }
+    }
+
+    /// Whether a candidate's replication fits this machine's node memory
+    /// (the baseline never replicates, so it always fits).
+    pub fn candidate_fits(&self, m: usize, n: usize, config: &CandidateConfig) -> bool {
+        match *config {
+            CandidateConfig::Pgeqrf { .. } => true,
+            CandidateConfig::Cqr1d { p } => self.cqr2_fits(m, n, 1, p),
+            CandidateConfig::CaCqr2 { c, d, .. } | CandidateConfig::CaCqr3 { c, d, .. } => self.cqr2_fits(m, n, c, d),
         }
     }
 

@@ -27,6 +27,8 @@
 //!   (Pure BLAS-1 column rotations — there is no BLAS-3 call to route
 //!   through a backend.)
 //! * [`norms`] — error metrics (orthogonality, residual, triangularity).
+//! * [`probe`] — timed microkernel probes measuring the live machine's
+//!   effective flop rate per backend (the autotuner's calibration input).
 //! * [`random`] — seeded Gaussian matrices and prescribed-κ test matrices.
 //! * [`flops`] — the floating-point-operation conventions charged to the
 //!   α-β-γ cost ledger (chosen to match the paper's accounting). Charges
@@ -49,6 +51,7 @@ pub mod gemm;
 pub mod householder;
 pub mod matrix;
 pub mod norms;
+pub mod probe;
 pub mod random;
 pub mod svd;
 pub mod syrk;
@@ -60,5 +63,6 @@ pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use norms::{frobenius, max_abs, orthogonality_error, residual_error};
+pub use probe::{default_probe, probe_gemm, ProbeReport};
 pub use syrk::syrk;
 pub use trsm::{trmm_upper_upper, trsm_right_lower_trans, trsm_right_upper};

@@ -1,0 +1,115 @@
+//! Timed microkernel probes: measure the *live* machine instead of trusting
+//! published specs.
+//!
+//! The closed-form cost models predict flop counts exactly, but turning
+//! flops into seconds needs an effective flop rate — and that rate depends
+//! on the backend, the CPU, the thread budget, and whatever else shares the
+//! machine. [`probe_gemm`] runs a short, seeded, square `gemm` on the chosen
+//! backend with a wall clock around it and reports the measured seconds per
+//! flop; the autotuner feeds that into the machine profile it scores
+//! candidates with (`costmodel::MachineCal::calibrated`), and the bench
+//! harness divides measured kernel times by it so checked-in baselines are
+//! comparable across machines of different speeds.
+//!
+//! Probes are deliberately cheap (a few milliseconds) and deterministic in
+//! *work* (seeded operands, fixed dimension, fixed repetition count) —
+//! only the measured wall time varies run to run, and the minimum over
+//! `reps` repetitions is reported to shed scheduler noise.
+
+use crate::backend::BackendKind;
+use crate::gemm::Trans;
+use crate::matrix::Matrix;
+use crate::random::gaussian_matrix;
+use std::time::Instant;
+
+/// Result of one timed microkernel probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeReport {
+    /// The backend that was measured.
+    pub backend: BackendKind,
+    /// Probe dimension: the gemm multiplied two `dim × dim` operands.
+    pub dim: usize,
+    /// Repetitions timed (the minimum is kept).
+    pub reps: usize,
+    /// Best measured wall time of one gemm, in seconds.
+    pub seconds: f64,
+    /// Measured effective compute rate in seconds per flop (the γ a
+    /// calibrated machine profile should charge).
+    pub seconds_per_flop: f64,
+}
+
+impl ProbeReport {
+    /// Measured effective rate in Gflop/s (convenience for reports).
+    pub fn gflops(&self) -> f64 {
+        1.0 / (self.seconds_per_flop * 1e9)
+    }
+}
+
+/// Times a square `dim × dim × dim` gemm on `backend`, returning the best
+/// of `reps` runs. `dim` is clamped to at least 8 and `reps` to at least 1.
+///
+/// The flop convention matches the cost ledger's ([`crate::flops::gemm`]),
+/// so the returned `seconds_per_flop` plugs directly into a machine
+/// model's γ (seconds per flop) against model-predicted flop counts.
+pub fn probe_gemm(backend: BackendKind, dim: usize, reps: usize) -> ProbeReport {
+    let dim = dim.max(8);
+    let reps = reps.max(1);
+    let a = gaussian_matrix(dim, dim, 0x9e3779b97f4a7c15);
+    let b = gaussian_matrix(dim, dim, 0x6a09e667f3bcc909);
+    let mut c = Matrix::zeros(dim, dim);
+    let kernel = backend.get();
+    // One untimed warm-up pass: page in the operands and settle dispatch.
+    kernel.gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        kernel.gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut());
+        let dt = t.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    // Guard against a clock too coarse to see the kernel at all.
+    let seconds = best.max(1e-9);
+    ProbeReport {
+        backend,
+        dim,
+        reps,
+        seconds,
+        seconds_per_flop: seconds / crate::flops::gemm(dim, dim, dim),
+    }
+}
+
+/// The default probe the autotuner uses: a 256³ gemm, best of 3.
+pub fn default_probe(backend: BackendKind) -> ProbeReport {
+    probe_gemm(backend, 256, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_reports_sane_rates() {
+        for kind in BackendKind::ALL {
+            let report = probe_gemm(kind, 64, 2);
+            assert_eq!(report.backend, kind);
+            assert!(report.seconds > 0.0);
+            assert!(report.seconds_per_flop > 0.0 && report.seconds_per_flop.is_finite());
+            // Anything between 1 Mflop/s and 10 Tflop/s is believable; the
+            // point is catching unit errors (flops vs Gflops), not speed.
+            assert!(
+                (1e-13..1e-6).contains(&report.seconds_per_flop),
+                "{kind}: {} s/flop",
+                report.seconds_per_flop
+            );
+        }
+    }
+
+    #[test]
+    fn probe_clamps_degenerate_requests() {
+        let report = probe_gemm(BackendKind::Naive, 0, 0);
+        assert_eq!(report.dim, 8);
+        assert_eq!(report.reps, 1);
+    }
+}

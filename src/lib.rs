@@ -66,3 +66,4 @@ pub use simgrid;
 
 pub use cacqr::driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
 pub use cacqr::service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError};
+pub use cacqr::tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};
