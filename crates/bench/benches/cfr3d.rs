@@ -35,10 +35,17 @@ fn bench_cfr3d(crit: &mut Criterion) {
                     let (x, yh, _) = comms.subcube.coords;
                     let al = DistMatrix::from_global(&spd(n), c, c, yh, x);
                     let params = CfrParams::validated(n, c, base, inv).unwrap();
-                    cacqr::cfr3d(rank, &comms.subcube, &al.local, n, &params)
-                        .unwrap()
-                        .0
-                        .get(0, 0)
+                    cacqr::cfr3d(
+                        rank,
+                        &comms.subcube,
+                        &al.local,
+                        n,
+                        &params,
+                        &mut dense::Workspace::new(),
+                    )
+                    .unwrap()
+                    .0
+                    .get(0, 0)
                 })
             });
         });

@@ -85,5 +85,34 @@ fn bench_trsm_backends(crit: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm_backends, bench_syrk_backends, bench_trsm_backends);
+/// The symmetry-aware blocked SYRK against the gemm-based Gram path it
+/// replaced (PR 5 acceptance: ≥1.5× at both shapes). Both sides run the
+/// same backend and thread budget; the only difference is the skipped
+/// upper-triangle micro-tiles and the single packing pass.
+fn bench_syrk_vs_gemm(crit: &mut Criterion) {
+    let mut g = crit.benchmark_group("syrk");
+    g.sample_size(10);
+    for &(m, n) in &[(4096usize, 64usize), (8192, 128)] {
+        let a = dense::random::well_conditioned(m, n, 1);
+        let backend = BackendKind::Blocked.get();
+        g.throughput(Throughput::Elements((m * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("blocked_syrk", format!("{m}x{n}")), &m, |bench, _| {
+            let mut c = Matrix::zeros(n, n);
+            bench.iter(|| backend.syrk_into(a.as_ref(), c.as_mut()));
+        });
+        g.bench_with_input(BenchmarkId::new("gemm_path", format!("{m}x{n}")), &m, |bench, _| {
+            let mut c = Matrix::zeros(n, n);
+            bench.iter(|| dense::syrk_via_gemm(backend, a.as_ref(), c.as_mut()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_backends,
+    bench_syrk_backends,
+    bench_syrk_vs_gemm,
+    bench_trsm_backends
+);
 criterion_main!(benches);

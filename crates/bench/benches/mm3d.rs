@@ -20,7 +20,15 @@ fn bench_mm3d(crit: &mut Criterion) {
                     let b = Matrix::from_fn(n, n, |i, j| (i * 2 + j) as f64 * 0.02);
                     let al = DistMatrix::from_global(&a, c, c, yh, x);
                     let bl = DistMatrix::from_global(&b, c, c, yh, x);
-                    cacqr::mm3d(rank, cube, &al.local, &bl.local, dense::BackendKind::default_kind()).get(0, 0)
+                    cacqr::mm3d(
+                        rank,
+                        cube,
+                        &al.local,
+                        &bl.local,
+                        dense::BackendKind::default_kind(),
+                        &mut dense::Workspace::new(),
+                    )
+                    .get(0, 0)
                 })
             });
         });

@@ -95,5 +95,42 @@ fn plan_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, service_throughput, plan_cache);
+fn factor_steady_state(c: &mut Criterion) {
+    // Warm-plan factor latency: after the first calls populate the plan's
+    // workspace pool, every later factor is allocation-free at the arena
+    // layer — this group is the wall-clock face of that contract (and the
+    // `steady-*` entries in the perf gate track the same quantity).
+    let mut group = c.benchmark_group("factor_steady_state");
+    group.sample_size(10);
+    let (m, n) = (2048usize, 64usize);
+    let a = well_conditioned(m, n, 3);
+    let plans = [
+        (
+            "1d-cqr2-p16",
+            QrPlan::new(m, n)
+                .algorithm(Algorithm::Cqr2_1d)
+                .grid(GridShape::one_d(16).unwrap())
+                .build()
+                .unwrap(),
+        ),
+        (
+            "ca-cqr2-2x4",
+            QrPlan::new(m, n)
+                .algorithm(Algorithm::CaCqr2)
+                .grid(GridShape::new(2, 4).unwrap())
+                .build()
+                .unwrap(),
+        ),
+    ];
+    for (name, plan) in plans {
+        // Converge the arena inventory before timing.
+        plan.warm_up(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new(name, format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| black_box(plan.factor(a).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, service_throughput, plan_cache, factor_steady_state);
 criterion_main!(benches);

@@ -61,7 +61,15 @@ fn main() {
             let (x, yh, _) = comms.subcube.coords;
             let al = DistMatrix::from_global(&spd(n), c, c, yh, x);
             let params = CfrParams::validated(n, c, base, inv).unwrap();
-            cacqr::cfr3d(rank, &comms.subcube, &al.local, n, &params).unwrap();
+            cacqr::cfr3d(
+                rank,
+                &comms.subcube,
+                &al.local,
+                n,
+                &params,
+                &mut dense::Workspace::new(),
+            )
+            .unwrap();
         });
         row(
             &format!("CFR3D c={c} n={n} n0={base} invdepth={inv}"),
@@ -76,7 +84,14 @@ fn main() {
         let meas = measure3(p, move |rank| {
             let world = rank.world();
             let al = DistMatrix::from_global(&well_conditioned(m, n, 5), p, 1, rank.id(), 0);
-            cacqr::cqr2_1d(rank, &world, &al.local, dense::BackendKind::default_kind()).unwrap();
+            cacqr::cqr2_1d(
+                rank,
+                &world,
+                &al.local,
+                dense::BackendKind::default_kind(),
+                &mut dense::Workspace::new(),
+            )
+            .unwrap();
         });
         row(&format!("1D-CQR2 P={p} m={m} n={n}"), meas, costmodel::cqr2_1d(m, n, p));
     }
@@ -96,7 +111,7 @@ fn main() {
             let (x, y, _) = comms.coords;
             let al = DistMatrix::from_global(&well_conditioned(m, n, 9), d, c, y, x);
             let params = CfrParams::validated(n, c, base, inv).unwrap();
-            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
+            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params, &mut dense::Workspace::new()).unwrap();
         });
         row(
             &format!("CA-CQR2 c={c} d={d} m={m} n={n} n0={base} id={inv}"),

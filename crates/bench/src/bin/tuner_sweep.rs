@@ -43,6 +43,115 @@ struct ShapeResult {
     threads: usize,
 }
 
+/// Appends the kernel-level gate entries: `syrk-<m>x<n>` (the
+/// symmetry-aware blocked SYRK, with its speedup over the gemm-based Gram
+/// path recorded) and `steady-{1d,ca}-<m>x<n>` (warm-plan factor latency).
+///
+/// The syrk entries are normalized by the *syrk probe* — the syrk-to-gemm
+/// rate ratio is itself machine-dependent (ISA mix, cache geometry), so
+/// dividing a Gram kernel's wall time by a gemm probe would not cancel
+/// machine speed across baseline and CI hosts. The steady entries are whole
+/// factorizations (mixed kernels) and keep the gemm-probe basis the shape
+/// ladder uses.
+fn kernel_entries(
+    probe: &dense::ProbeReport,
+    syrk_probe: &dense::ProbeReport,
+    reps: usize,
+    results: &mut Vec<ShapeResult>,
+) {
+    use cacqr::{Algorithm, QrPlan};
+    use pargrid::GridShape;
+
+    let threads = dense::max_threads();
+    let be = dense::BackendKind::Blocked.get();
+    let mut push = |name: String, wall: f64, basis_seconds: f64, extra: Vec<(String, JsonValue)>| {
+        let normalized = wall / basis_seconds;
+        let mut fields = vec![
+            ("name".to_string(), JsonValue::String(name.clone())),
+            ("threads".to_string(), JsonValue::Number(threads as f64)),
+            ("wall_seconds".to_string(), JsonValue::Number(wall)),
+            ("normalized".to_string(), JsonValue::Number(normalized)),
+        ];
+        fields.extend(extra);
+        results.push(ShapeResult {
+            name,
+            entry: JsonValue::Object(fields),
+            normalized,
+            threads,
+        });
+    };
+
+    for (m, n) in [(4096usize, 64usize), (8192, 128)] {
+        let a = dense::random::well_conditioned(m, n, 7);
+        let mut c = dense::Matrix::zeros(n, n);
+        let mut best_syrk = f64::INFINITY;
+        let mut best_gemm = f64::INFINITY;
+        be.syrk_into(a.as_ref(), c.as_mut()); // warm packs + dispatch
+        for _ in 0..reps.max(3) {
+            let t = Instant::now();
+            be.syrk_into(a.as_ref(), c.as_mut());
+            best_syrk = best_syrk.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            dense::syrk_via_gemm(be, a.as_ref(), c.as_mut());
+            best_gemm = best_gemm.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "syrk-{m}x{n}     blocked syrk {best_syrk:.4e}s vs gemm path {best_gemm:.4e}s  ({:.2}x)",
+            best_gemm / best_syrk
+        );
+        push(
+            format!("syrk-{m}x{n}"),
+            best_syrk,
+            syrk_probe.seconds,
+            vec![
+                ("gemm_path_seconds".to_string(), JsonValue::Number(best_gemm)),
+                (
+                    "speedup_vs_gemm_path".to_string(),
+                    JsonValue::Number(best_gemm / best_syrk),
+                ),
+            ],
+        );
+    }
+
+    let (m, n) = (2048usize, 64usize);
+    let a = dense::random::well_conditioned(m, n, 9);
+    let steady = [
+        (
+            format!("steady-1d-{m}x{n}"),
+            QrPlan::new(m, n)
+                .algorithm(Algorithm::Cqr2_1d)
+                .grid(GridShape::one_d(16).unwrap())
+                .build()
+                .expect("1d steady plan builds"),
+        ),
+        (
+            format!("steady-ca-{m}x{n}"),
+            QrPlan::new(m, n)
+                .algorithm(Algorithm::CaCqr2)
+                .grid(GridShape::new(2, 4).unwrap())
+                .build()
+                .expect("ca steady plan builds"),
+        ),
+    ];
+    for (name, plan) in steady {
+        // Warm until the plan's arena pool settles, then time steady calls.
+        plan.warm_up(&a).expect("well-conditioned steady input");
+        let allocs_before = plan.workspace().heap_allocations();
+        let wall = measure_plan(&plan, &a, reps.max(3));
+        let steady_allocs = plan.workspace().heap_allocations() - allocs_before;
+        println!("{name}  {wall:.4e}s  (arena allocations during timing: {steady_allocs})");
+        push(
+            name,
+            wall,
+            probe.seconds,
+            vec![(
+                "steady_state_arena_allocations".to_string(),
+                JsonValue::Number(steady_allocs as f64),
+            )],
+        );
+    }
+}
+
 fn measure_plan(plan: &cacqr::QrPlan, a: &dense::Matrix, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -83,14 +192,20 @@ fn main() {
     let reps = 3;
 
     // One probe normalizes every wall time in this run: a checked-in
-    // baseline from one machine stays meaningful on another.
+    // baseline from one machine stays meaningful on another. The Gram-kernel
+    // (syrk) probe rides along so the profile records the real Gram rate —
+    // the symmetry-aware kernel beats the gemm ledger rate by ~2×.
     let probe = dense::default_probe(dense::BackendKind::default_kind());
+    let syrk_probe = dense::default_syrk_probe(dense::BackendKind::default_kind());
     println!(
-        "# tuner_sweep ({}) — probe: {} {}³ gemm at {:.2} Gflop/s",
+        "# tuner_sweep ({}) — probe: {} {}³ gemm at {:.2} Gflop/s, {}x{} syrk at {:.2} ledger-Gflop/s",
         if smoke { "smoke" } else { "full" },
         probe.backend,
         probe.dim,
-        probe.gflops()
+        probe.gflops(),
+        syrk_probe.rows,
+        syrk_probe.dim,
+        syrk_probe.gflops()
     );
     println!("shape          chosen configuration                predicted_s  wall_s     normalized");
 
@@ -173,14 +288,23 @@ fn main() {
         });
     }
 
+    // Kernel-level trajectory entries, gated like the shapes: the
+    // symmetry-aware blocked SYRK against the gemm-based Gram path it
+    // replaced, and the steady-state (warm-plan) factor latency for the 1D
+    // and CA paths, which the plan-owned workspace pool keeps allocation
+    // free.
+    kernel_entries(&probe, &syrk_probe, reps, &mut results);
+
     let artifact = JsonValue::Object(vec![
-        ("version".to_string(), JsonValue::Number(1.0)),
+        ("version".to_string(), JsonValue::Number(2.0)),
         (
             "mode".to_string(),
             JsonValue::String(if smoke { "smoke" } else { "full" }.to_string()),
         ),
         ("probe_gflops".to_string(), JsonValue::Number(probe.gflops())),
         ("probe_seconds".to_string(), JsonValue::Number(probe.seconds)),
+        ("syrk_gflops".to_string(), JsonValue::Number(syrk_probe.gflops())),
+        ("syrk_probe_seconds".to_string(), JsonValue::Number(syrk_probe.seconds)),
         (
             "shapes".to_string(),
             JsonValue::Array(results.iter().map(|r| r.entry.clone()).collect()),
@@ -189,6 +313,8 @@ fn main() {
     std::fs::write(&out_path, artifact.to_pretty()).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("# wrote {out_path}");
     if let Some(path) = profile_path {
+        profile.probe_gemm_seconds_per_flop = Some(probe.seconds_per_flop);
+        profile.probe_syrk_seconds_per_flop = Some(syrk_probe.seconds_per_flop);
         std::fs::write(&path, profile.to_json()).unwrap_or_else(|e| panic!("cannot write profile {path}: {e}"));
         println!("# wrote tuning profile {path} ({} entries)", profile.len());
     }

@@ -27,11 +27,13 @@ use crate::config::CfrParams;
 use crate::invtree::InvTree;
 use dense::cholesky::CholeskyError;
 use dense::gemm::Trans;
-use dense::Matrix;
+use dense::{Matrix, Workspace};
 use pargrid::TunableComms;
 use simgrid::Rank;
 
-/// Result of one CA-CQR pass.
+/// Result of one CA-CQR pass. Every matrix is **workspace-backed**: when a
+/// field dies, recycle it (the tree via [`InvTree::recycle_into`]) so
+/// repeated passes reuse the same storage.
 pub struct CaCqrOutput {
     /// This rank's piece of `Q` (rows `≡ y (mod d)`, cols `≡ x (mod c)`).
     pub q_local: Matrix,
@@ -52,8 +54,9 @@ pub fn ca_cqr(
     a_local: &Matrix,
     n: usize,
     params: &CfrParams,
+    ws: &mut Workspace,
 ) -> Result<CaCqrOutput, CholeskyError> {
-    ca_cqr_shifted(rank, comms, a_local, n, params, 0.0)
+    ca_cqr_shifted(rank, comms, a_local, n, params, 0.0, ws)
 }
 
 /// CholeskyQR pass factoring the *shifted* Gram matrix `AᵀA + σI` — the
@@ -66,6 +69,7 @@ pub fn ca_cqr_shifted(
     n: usize,
     params: &CfrParams,
     sigma: f64,
+    ws: &mut Workspace,
 ) -> Result<CaCqrOutput, CholeskyError> {
     let c = comms.shape.c;
     let (x, y, z) = comms.coords;
@@ -74,12 +78,13 @@ pub fn ca_cqr_shifted(
     assert_eq!(lc, n / c, "local width must be n/c");
 
     // Line 1: row broadcast of A pieces from the member with x == z.
-    let mut wbuf = a_local.data().to_vec();
+    let mut wbuf = ws.take_vec(lr * lc);
+    wbuf.copy_from_slice(a_local.data());
     comms.row.bcast(rank, z, &mut wbuf);
     let w = Matrix::from_vec(lr, lc, wbuf);
 
     // Line 2: local Gram contribution X = Wᵀ·A ((n/c) × (n/c)).
-    let mut xm = Matrix::zeros(lc, lc);
+    let mut xm = ws.take_matrix_stale(lc, lc);
     params.backend.get().gemm(
         1.0,
         w.as_ref(),
@@ -90,6 +95,7 @@ pub fn ca_cqr_shifted(
         xm.as_mut(),
     );
     rank.charge_flops(dense::flops::gemm(lc, lr, lc));
+    ws.recycle(w);
 
     // Line 3: reduce within the contiguous y-group onto the root ŷ == z.
     let mut xbuf = xm.into_vec();
@@ -117,10 +123,12 @@ pub fn ca_cqr_shifted(
     }
 
     // Lines 6–7: subcube Cholesky factorization + inverse.
-    let (l_local, inv) = cfr3d(rank, &comms.subcube, &z_local, n, params)?;
+    let result = cfr3d(rank, &comms.subcube, &z_local, n, params, ws);
+    ws.recycle(z_local);
+    let (l_local, inv) = result?;
 
     // Line 8: Q = A·R⁻¹ over the subcube.
-    let q_local = inv.apply_rinv(rank, &comms.subcube, a_local, params.backend);
+    let q_local = inv.apply_rinv(rank, &comms.subcube, a_local, params.backend, ws);
 
     Ok(CaCqrOutput { q_local, l_local, inv })
 }
@@ -140,8 +148,9 @@ mod tests {
         let report = run_spmd(shape.p(), SimConfig::default(), move |rank| {
             let comms = TunableComms::build(rank, shape);
             let (x, y, z) = comms.coords;
+            let mut ws = dense::Workspace::new();
             let al = DistMatrix::from_global(&a2, d, c, y, x);
-            let out = ca_cqr(rank, &comms, &al.local, n, &params).expect("well-conditioned");
+            let out = ca_cqr(rank, &comms, &al.local, n, &params, &mut ws).expect("well-conditioned");
             (x, y, z, out.q_local, out.l_local)
         });
         // Assemble Q from the z = 0 slice; check replication across z.
@@ -181,7 +190,9 @@ mod tests {
         let report = run_spmd(p, SimConfig::default(), move |rank| {
             let world = rank.world();
             let al = DistMatrix::from_global(&a2, p, 1, rank.id(), 0);
-            let (q, r) = crate::cqr1d::cqr1d(rank, &world, &al.local, dense::BackendKind::default_kind()).unwrap();
+            let mut ws = dense::Workspace::new();
+            let (q, r) =
+                crate::cqr1d::cqr1d(rank, &world, &al.local, dense::BackendKind::default_kind(), &mut ws).unwrap();
             (rank.id(), q, r)
         });
         let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();

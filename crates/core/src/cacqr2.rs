@@ -9,11 +9,13 @@ use crate::cacqr::{ca_cqr, CaCqrOutput};
 use crate::config::CfrParams;
 use crate::mm3d::{mm3d, transpose_cube};
 use dense::cholesky::CholeskyError;
-use dense::Matrix;
+use dense::{Matrix, Workspace};
 use pargrid::TunableComms;
 use simgrid::Rank;
 
-/// Result of CA-CQR2 on one rank.
+/// Result of CA-CQR2 on one rank. Both matrices are **workspace-backed**;
+/// the global drivers recycle them after reassembly so repeated
+/// factorizations through one plan are allocation-free at the arena layer.
 pub struct CaCqr2Output {
     /// This rank's piece of `Q` (rows `≡ y (mod d)`, cols `≡ x (mod c)`,
     /// replicated across depth).
@@ -27,30 +29,49 @@ pub struct CaCqr2Output {
 /// CholeskyQR2 over the tunable `c × d × c` grid (see module docs).
 ///
 /// `a_local` is this rank's cyclic piece of the global `m × n` input
-/// (shape `(m/d) × (n/c)`), replicated across depth.
+/// (shape `(m/d) × (n/c)`), replicated across depth. The Gram matrix, the
+/// first-pass `Q₁`, and every reduction/broadcast scratch buffer come from
+/// `ws` and are reused across the two passes (and across calls when the
+/// caller keeps the workspace warm).
 pub fn ca_cqr2(
     rank: &mut Rank,
     comms: &TunableComms,
     a_local: &Matrix,
     n: usize,
     params: &CfrParams,
+    ws: &mut Workspace,
 ) -> Result<CaCqr2Output, CholeskyError> {
     // Line 1: first pass on A.
     let CaCqrOutput {
         q_local: q1,
         l_local: l1,
-        ..
-    } = ca_cqr(rank, comms, a_local, n, params)?;
-    // Line 2: second pass on Q₁.
+        inv: inv1,
+    } = ca_cqr(rank, comms, a_local, n, params, ws)?;
+    inv1.recycle_into(ws);
+    // Line 2: second pass on Q₁ (recycling the pass-1 outputs even when the
+    // second Cholesky fails — failure is how ill-conditioning reports).
+    let second = ca_cqr(rank, comms, &q1, n, params, ws);
+    ws.recycle(q1);
     let CaCqrOutput {
         q_local: q,
         l_local: l2,
-        ..
-    } = ca_cqr(rank, comms, &q1, n, params)?;
+        inv: inv2,
+    } = match second {
+        Ok(out) => out,
+        Err(e) => {
+            ws.recycle(l1);
+            return Err(e);
+        }
+    };
+    inv2.recycle_into(ws);
     // Line 4: R = R₂·R₁ over the subcube (R_i = L_iᵀ).
-    let r2 = transpose_cube(rank, &comms.subcube, &l2);
-    let r1 = transpose_cube(rank, &comms.subcube, &l1);
-    let r_local = mm3d(rank, &comms.subcube, &r2, &r1, params.backend);
+    let r2 = transpose_cube(rank, &comms.subcube, &l2, ws);
+    let r1 = transpose_cube(rank, &comms.subcube, &l1, ws);
+    ws.recycle(l1);
+    ws.recycle(l2);
+    let r_local = mm3d(rank, &comms.subcube, &r2, &r1, params.backend, ws);
+    ws.recycle(r1);
+    ws.recycle(r2);
     Ok(CaCqr2Output { q_local: q, r_local })
 }
 
@@ -65,7 +86,8 @@ mod tests {
 
     fn check(shape: GridShape, m: usize, n: usize, seed: u64, params: CfrParams) {
         let a = well_conditioned(m, n, seed);
-        let run = run_cacqr2_global(&a, shape, params, Machine::zero()).expect("well-conditioned input");
+        let run = run_cacqr2_global(&a, shape, params, Machine::zero(), &dense::WorkspacePool::new())
+            .expect("well-conditioned input");
         assert!(
             orthogonality_error(run.q.as_ref()) < 1e-12,
             "orthogonality {:.2e} on grid c={} d={}",
@@ -131,7 +153,14 @@ mod tests {
         let (m, n) = (48, 8);
         let a = well_conditioned(m, n, 6);
         let shape = GridShape::new(2, 4).unwrap();
-        let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()).unwrap();
+        let run = run_cacqr2_global(
+            &a,
+            shape,
+            CfrParams::validated(n, 2, 4, 0).unwrap(),
+            Machine::zero(),
+            &dense::WorkspacePool::new(),
+        )
+        .unwrap();
         let (mut qh, mut rh) = dense::householder::qr(&a);
         let (mut qc, mut rc) = (run.q, run.r);
         normalize_qr_signs(&mut qh, &mut rh);
@@ -150,7 +179,14 @@ mod tests {
         let (m, n) = (64, 8);
         let a = matrix_with_condition(m, n, 1e4, 7);
         let shape = GridShape::new(2, 4).unwrap();
-        let run = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero()).unwrap();
+        let run = run_cacqr2_global(
+            &a,
+            shape,
+            CfrParams::validated(n, 2, 4, 0).unwrap(),
+            Machine::zero(),
+            &dense::WorkspacePool::new(),
+        )
+        .unwrap();
         assert!(orthogonality_error(run.q.as_ref()) < 1e-13);
         assert!(residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
     }
@@ -160,7 +196,13 @@ mod tests {
         let (m, n) = (64, 8);
         let a = matrix_with_condition(m, n, 1e12, 8);
         let shape = GridShape::new(2, 4).unwrap();
-        let res = run_cacqr2_global(&a, shape, CfrParams::validated(n, 2, 4, 0).unwrap(), Machine::zero());
+        let res = run_cacqr2_global(
+            &a,
+            shape,
+            CfrParams::validated(n, 2, 4, 0).unwrap(),
+            Machine::zero(),
+            &dense::WorkspacePool::new(),
+        );
         assert!(
             res.is_err(),
             "κ=1e12 must fail the Cholesky (and be reported, not panic)"

@@ -16,13 +16,13 @@ use crate::cacqr2::{ca_cqr2, CaCqr2Output};
 use crate::config::CfrParams;
 use crate::mm3d::{mm3d, transpose_cube};
 use dense::cholesky::CholeskyError;
-use dense::Matrix;
+use dense::{Matrix, Workspace};
 use pargrid::TunableComms;
 use simgrid::Rank;
 
 /// Shifted CholeskyQR3 on the tunable grid: unconditionally stable for
-/// numerically full-rank input. Returns the same distribution as
-/// [`crate::ca_cqr2`].
+/// numerically full-rank input. Returns the same distribution (and the
+/// same workspace-backed output contract) as [`crate::ca_cqr2`].
 pub fn ca_cqr3(
     rank: &mut Rank,
     comms: &TunableComms,
@@ -30,6 +30,7 @@ pub fn ca_cqr3(
     m: usize,
     n: usize,
     params: &CfrParams,
+    ws: &mut Workspace,
 ) -> Result<CaCqr2Output, CholeskyError> {
     // ‖A‖_F²: local partial over this rank's piece, summed across the y and
     // x partitions (the depth dimension replicates, so sum over one slice:
@@ -50,7 +51,7 @@ pub fn ca_cqr3(
     let mut first: Option<CaCqrOutput> = None;
     let mut last_err = CholeskyError { index: 0, pivot: 0.0 };
     for _ in 0..4 {
-        match ca_cqr_shifted(rank, comms, a_local, n, params, sigma) {
+        match ca_cqr_shifted(rank, comms, a_local, n, params, sigma, ws) {
             Ok(out) => {
                 first = Some(out);
                 break;
@@ -64,18 +65,31 @@ pub fn ca_cqr3(
     let Some(CaCqrOutput {
         q_local: q1,
         l_local: l1,
-        ..
+        inv: inv1,
     }) = first
     else {
         return Err(last_err);
     };
+    inv1.recycle_into(ws);
 
-    // Passes 2–3: plain CA-CQR2 on the now well-conditioned Q₁.
-    let CaCqr2Output { q_local, r_local: r23 } = ca_cqr2(rank, comms, &q1, n, params)?;
+    // Passes 2–3: plain CA-CQR2 on the now well-conditioned Q₁ (recycling
+    // the pass-1 outputs even on failure, to keep the arena balanced).
+    let passes = ca_cqr2(rank, comms, &q1, n, params, ws);
+    ws.recycle(q1);
+    let CaCqr2Output { q_local, r_local: r23 } = match passes {
+        Ok(out) => out,
+        Err(e) => {
+            ws.recycle(l1);
+            return Err(e);
+        }
+    };
 
     // R = R₂₃ · R₁ over the subcube (R₁ = L₁ᵀ).
-    let r1 = transpose_cube(rank, &comms.subcube, &l1);
-    let r_local = mm3d(rank, &comms.subcube, &r23, &r1, params.backend);
+    let r1 = transpose_cube(rank, &comms.subcube, &l1, ws);
+    ws.recycle(l1);
+    let r_local = mm3d(rank, &comms.subcube, &r23, &r1, params.backend, ws);
+    ws.recycle(r1);
+    ws.recycle(r23);
     Ok(CaCqr2Output { q_local, r_local })
 }
 
@@ -96,7 +110,9 @@ mod tests {
             let (x, y, z) = comms.coords;
             let al = DistMatrix::from_global(&a2, d, c, y, x);
             let params = CfrParams::default_for(n, c);
-            let out = ca_cqr3(rank, &comms, &al.local, m, n, &params).expect("ca_cqr3 is unconditionally stable");
+            let mut ws = dense::Workspace::new();
+            let out =
+                ca_cqr3(rank, &comms, &al.local, m, n, &params, &mut ws).expect("ca_cqr3 is unconditionally stable");
             (x, y, z, out.q_local, out.r_local)
         });
         let mut qp: Vec<Vec<Matrix>> = (0..d).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();

@@ -26,19 +26,21 @@ use crate::config::CfrParams;
 use crate::invtree::InvTree;
 use crate::mm3d::{mm3d, mm3d_scaled, transpose_cube};
 use dense::cholesky::CholeskyError;
-use dense::Matrix;
+use dense::{Matrix, Workspace};
 use pargrid::CubeComms;
 use simgrid::Rank;
 
 /// Factors the SPD matrix whose local cyclic piece is `a_local` (an
 /// `(n/c) × (n/c)` block). Returns this rank's piece of `L` and the inverse
-/// tree. Collective over the cube.
+/// tree — both **workspace-backed**: recycle `L` (and the tree, via
+/// [`InvTree::recycle_into`]) when they die. Collective over the cube.
 pub fn cfr3d(
     rank: &mut Rank,
     cube: &CubeComms,
     a_local: &Matrix,
     n: usize,
     params: &CfrParams,
+    ws: &mut Workspace,
 ) -> Result<(Matrix, InvTree), CholeskyError> {
     let c = cube.c;
     assert!(n.is_power_of_two(), "CFR3D requires a power-of-two dimension (got {n})");
@@ -48,9 +50,10 @@ pub fn cfr3d(
         params.base_size >= c,
         "base case must give every processor at least one entry"
     );
-    recurse(rank, cube, a_local, n, 0, 0, params)
+    recurse(rank, cube, a_local, n, 0, 0, params, ws)
 }
 
+#[allow(clippy::too_many_arguments)] // internal recursion carries its full context
 fn recurse(
     rank: &mut Rank,
     cube: &CubeComms,
@@ -59,42 +62,69 @@ fn recurse(
     depth: usize,
     offset: usize,
     params: &CfrParams,
+    ws: &mut Workspace,
 ) -> Result<(Matrix, InvTree), CholeskyError> {
     let c = cube.c;
     if n <= params.base_size {
-        return base_case(rank, cube, a_local, n, offset, params.backend);
+        return base_case(rank, cube, a_local, n, offset, params.backend, ws);
     }
     let h = n / 2;
     let hl = h / c;
 
-    let a11 = a_local.view(0, 0, hl, hl).to_owned();
-    let a21 = a_local.view(hl, 0, hl, hl).to_owned();
-    let a22 = a_local.view(hl, hl, hl, hl).to_owned();
+    let a11 = ws.take_copy(a_local.view(0, 0, hl, hl));
+    let a21 = ws.take_copy(a_local.view(hl, 0, hl, hl));
 
-    // L11, Y11 <- CFR3D(A11)
-    let (l11, inv11) = recurse(rank, cube, &a11, h, depth + 1, offset, params)?;
+    // L11, Y11 <- CFR3D(A11). Error paths recycle their outstanding takes
+    // before propagating: a Cholesky failure is a *normal* outcome here
+    // (ill-conditioned Gram matrices, the shifted-CQR3 retry loop), and the
+    // zero-steady-state-allocation contract must survive it — every rank
+    // fails the same collective, so the recycling is replicated too.
+    let first = recurse(rank, cube, &a11, h, depth + 1, offset, params, ws);
+    ws.recycle(a11);
+    let (l11, inv11) = match first {
+        Ok(v) => v,
+        Err(e) => {
+            ws.recycle(a21);
+            return Err(e);
+        }
+    };
 
     // L21 <- A21 · Y11^T  (Transpose + MM3D for a Full inverse; recursive
     // block solve when the child is partially inverted).
-    let l21 = inv11.apply_rinv(rank, cube, &a21, params.backend);
+    let l21 = inv11.apply_rinv(rank, cube, &a21, params.backend, ws);
+    ws.recycle(a21);
 
     // Z <- A22 - L21·L21^T
-    let l21t = transpose_cube(rank, cube, &l21);
-    let u = mm3d(rank, cube, &l21, &l21t, params.backend);
-    let mut z = a22;
+    let l21t = transpose_cube(rank, cube, &l21, ws);
+    let u = mm3d(rank, cube, &l21, &l21t, params.backend, ws);
+    ws.recycle(l21t);
+    let mut z = ws.take_copy(a_local.view(hl, hl, hl, hl));
     for (x, y) in z.data_mut().iter_mut().zip(u.data()) {
         *x -= y;
     }
+    ws.recycle(u);
     rank.charge_flops(dense::flops::axpy(hl, hl));
 
     // L22, Y22 <- CFR3D(Z)
-    let (l22, inv22) = recurse(rank, cube, &z, h, depth + 1, offset + h, params)?;
+    let second = recurse(rank, cube, &z, h, depth + 1, offset + h, params, ws);
+    ws.recycle(z);
+    let (l22, inv22) = match second {
+        Ok(v) => v,
+        Err(e) => {
+            ws.recycle(l11);
+            ws.recycle(l21);
+            inv11.recycle_into(ws);
+            return Err(e);
+        }
+    };
 
     // Assemble L locally: [[L11, 0], [L21, L22]].
-    let mut l_local = Matrix::zeros(2 * hl, 2 * hl);
+    let mut l_local = ws.take_matrix(2 * hl, 2 * hl);
     l_local.view_mut(0, 0, hl, hl).copy_from(l11.as_ref());
     l_local.view_mut(hl, 0, hl, hl).copy_from(l21.as_ref());
     l_local.view_mut(hl, hl, hl, hl).copy_from(l22.as_ref());
+    ws.recycle(l11);
+    ws.recycle(l22);
 
     // Inverse: form Y21 only below the InverseDepth horizon.
     let inv = if depth < params.inverse_depth {
@@ -105,21 +135,28 @@ fn recurse(
             l21,
         }
     } else {
-        let y11 = inv11
-            .full_y()
-            .expect("children below InverseDepth are fully inverted")
-            .clone();
-        let y22 = inv22
-            .full_y()
-            .expect("children below InverseDepth are fully inverted")
-            .clone();
+        // Take the children's inverses by value — the trees are dead after
+        // this merge, so their storage moves instead of being cloned.
+        let y11 = match inv11 {
+            InvTree::Full { y, .. } => y,
+            InvTree::Split { .. } => unreachable!("children below InverseDepth are fully inverted"),
+        };
+        let y22 = match inv22 {
+            InvTree::Full { y, .. } => y,
+            InvTree::Split { .. } => unreachable!("children below InverseDepth are fully inverted"),
+        };
         // Y21 = -Y22·(L21·Y11)
-        let t = mm3d(rank, cube, &l21, &y11, params.backend);
-        let y21 = mm3d_scaled(rank, cube, -1.0, &y22, &t, params.backend);
-        let mut y_local = Matrix::zeros(2 * hl, 2 * hl);
+        let t = mm3d(rank, cube, &l21, &y11, params.backend, ws);
+        let y21 = mm3d_scaled(rank, cube, -1.0, &y22, &t, params.backend, ws);
+        ws.recycle(t);
+        let mut y_local = ws.take_matrix(2 * hl, 2 * hl);
         y_local.view_mut(0, 0, hl, hl).copy_from(y11.as_ref());
         y_local.view_mut(hl, 0, hl, hl).copy_from(y21.as_ref());
         y_local.view_mut(hl, hl, hl, hl).copy_from(y22.as_ref());
+        ws.recycle(y11);
+        ws.recycle(y21);
+        ws.recycle(y22);
+        ws.recycle(l21);
         InvTree::Full { dim: n, y: y_local }
     };
 
@@ -135,24 +172,33 @@ fn base_case(
     n: usize,
     offset: usize,
     backend: dense::BackendKind,
+    ws: &mut Workspace,
 ) -> Result<(Matrix, InvTree), CholeskyError> {
     let c = cube.c;
     let lb = n / c;
     let gathered = cube.slice.allgather(rank, a_local.data());
     // Reassemble: slice member (ŷ'·c + x') contributed the piece with rows
     // ≡ ŷ' and columns ≡ x' (mod c).
-    let full = Matrix::from_fn(n, n, |i, j| {
-        let idx = (i % c) * c + (j % c);
-        gathered[idx * lb * lb + (i / c) * lb + (j / c)]
-    });
-    let (l, y) = dense::cholesky::cholinv_with(full.as_ref(), backend.get()).map_err(|e| CholeskyError {
+    let mut full = ws.take_matrix_stale(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let idx = (i % c) * c + (j % c);
+            full.set(i, j, gathered[idx * lb * lb + (i / c) * lb + (j / c)]);
+        }
+    }
+    // CholInv's factors are transient here (only the cyclic pieces survive),
+    // but they come from the library as plain allocations; they are dropped,
+    // not recycled, to keep the arena's inventory bounded.
+    let result = dense::cholesky::cholinv_with(full.as_ref(), backend.get()).map_err(|e| CholeskyError {
         index: offset + e.index,
         pivot: e.pivot,
-    })?;
+    });
+    ws.recycle(full);
+    let (l, y) = result?;
     rank.charge_flops(dense::flops::cholinv(n));
     let (x, yh, _z) = cube.coords;
-    let l_local = pargrid::DistMatrix::from_global(&l, c, c, yh, x).local;
-    let y_local = pargrid::DistMatrix::from_global(&y, c, c, yh, x).local;
+    let l_local = pargrid::DistMatrix::local_from_global(&l, c, c, yh, x, ws);
+    let y_local = pargrid::DistMatrix::local_from_global(&y, c, c, yh, x, ws);
     Ok((l_local, InvTree::Full { dim: n, y: y_local }))
 }
 
@@ -184,9 +230,11 @@ mod tests {
             let comms = TunableComms::build(rank, shape);
             let cube = &comms.subcube;
             let (x, yh, z) = cube.coords;
+            let mut ws = dense::Workspace::new();
             let al = DistMatrix::from_global(&a2, c, c, yh, x);
-            let (l, inv) = cfr3d(rank, cube, &al.local, n, &params).expect("SPD input must factor");
-            let y = inv.densify(rank, cube, dense::BackendKind::default_kind());
+            let (l, inv) = cfr3d(rank, cube, &al.local, n, &params, &mut ws).expect("SPD input must factor");
+            let y = inv.densify(rank, cube, dense::BackendKind::default_kind(), &mut ws);
+            inv.recycle_into(&mut ws);
             (x, yh, z, l, y)
         });
         let mut lp: Vec<Vec<Matrix>> = (0..c).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();
@@ -306,7 +354,8 @@ mod tests {
             bad.set(11, 11, -3.0); // indefinite pivot deep in the matrix
             let al = DistMatrix::from_global(&bad, c, c, yh, x);
             let params = CfrParams::validated(n, c, 4, 0).unwrap();
-            cfr3d(rank, cube, &al.local, n, &params).err().map(|e| e.index)
+            let mut ws = dense::Workspace::new();
+            cfr3d(rank, cube, &al.local, n, &params, &mut ws).err().map(|e| e.index)
         });
         for r in report.results {
             assert_eq!(r, Some(11), "every rank must report the global pivot index");

@@ -15,16 +15,23 @@
 use dense::cholesky::{cholinv_with, CholeskyError};
 use dense::gemm::Trans;
 use dense::trsm::trmm_upper_upper;
+use dense::workspace;
 use dense::{BackendKind, Matrix};
 
 /// One CholeskyQR pass (Algorithm 4): `A = QR` with `Q` having *nearly*
 /// orthonormal columns (error `O(ε·κ²)`) and `R` upper triangular. Local
 /// arithmetic goes through the given kernel backend (pass
-/// [`BackendKind::default_kind`] for the process default).
+/// [`BackendKind::default_kind`] for the process default). The Gram matrix
+/// is scratch from the thread-local workspace arena — repeated calls on a
+/// warm thread do not re-allocate it.
 pub fn cqr(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
     let be = backend.get();
-    let w = be.syrk(a.as_ref());
-    let (l, y) = cholinv_with(w.as_ref(), be)?; // W = LLᵀ; R = Lᵀ, R⁻¹ = Yᵀ
+    let n = a.cols();
+    let mut w = workspace::with_thread_local(|ws| ws.take_matrix_stale(n, n));
+    be.syrk_into(a.as_ref(), w.as_mut());
+    let result = cholinv_with(w.as_ref(), be); // W = LLᵀ; R = Lᵀ, R⁻¹ = Yᵀ
+    workspace::recycle_local_vec(w.into_vec());
+    let (l, y) = result?;
     let q = be.matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
     Ok((q, l.transposed()))
 }
@@ -57,12 +64,15 @@ pub fn shifted_cqr3(a: &Matrix, backend: BackendKind) -> Result<(Matrix, Matrix)
     let mut sigma = 11.0 * ((m * n) as f64 + (n * (n + 1)) as f64) * eps * norm2_bound;
     let mut last_err = CholeskyError { index: 0, pivot: 0.0 };
     for _ in 0..4 {
-        let mut w = be.syrk(a.as_ref());
+        let mut w = workspace::with_thread_local(|ws| ws.take_matrix_stale(n, n));
+        be.syrk_into(a.as_ref(), w.as_mut());
         for i in 0..n {
             let v = w.get(i, i);
             w.set(i, i, v + sigma);
         }
-        match cholinv_with(w.as_ref(), be) {
+        let factored = cholinv_with(w.as_ref(), be);
+        workspace::recycle_local_vec(w.into_vec());
+        match factored {
             Ok((l, y)) => {
                 let q1 = be.matmul(a.as_ref(), Trans::No, y.as_ref(), Trans::Yes);
                 let r1 = l.transposed();

@@ -15,38 +15,47 @@
 use dense::cholesky::{cholinv_with, CholeskyError};
 use dense::gemm::Trans;
 use dense::trsm::trmm_upper_upper;
-use dense::{BackendKind, Matrix};
+use dense::{BackendKind, Matrix, Workspace};
 use simgrid::{Comm, Rank};
 
 /// One 1D-CholeskyQR pass (Algorithm 6). `a_local` holds this rank's cyclic
 /// rows; returns `(Q_local, R)` with `R` replicated on every rank. The local
 /// syrk, CholInv, and `Q = A·R⁻¹` products go through the given kernel
 /// backend (pass [`BackendKind::default_kind`] for the process default).
+///
+/// The Gram matrix (which doubles as the allreduce buffer) and the returned
+/// `Q` are **workspace-backed**; `R` is a plain allocation. Callers that
+/// loop (CQR2's two passes, repeated `plan.factor()` calls) recycle `Q`
+/// when it dies and reach zero steady-state arena allocations.
 pub fn cqr1d(
     rank: &mut Rank,
     comm: &Comm,
     a_local: &Matrix,
     backend: BackendKind,
+    ws: &mut Workspace,
 ) -> Result<(Matrix, Matrix), CholeskyError> {
     let be = backend.get();
     let n = a_local.cols();
     let lr = a_local.rows();
 
-    // Line 1: local Gram matrix.
-    let x = be.syrk(a_local.as_ref());
+    // Line 1: local Gram matrix (into the arena — the paper's hot kernel).
+    let mut x = ws.take_matrix_stale(n, n);
+    be.syrk_into(a_local.as_ref(), x.as_mut());
     rank.charge_flops(dense::flops::syrk(lr, n));
 
-    // Line 2: allreduce over the 1D grid.
+    // Line 2: allreduce over the 1D grid, reusing the Gram storage.
     let mut z = x.into_vec();
     comm.allreduce(rank, &mut z);
     let z = Matrix::from_vec(n, n, z);
 
     // Line 3: redundant CholInv.
-    let (l, y) = cholinv_with(z.as_ref(), be)?;
+    let result = cholinv_with(z.as_ref(), be);
+    ws.recycle(z);
+    let (l, y) = result?;
     rank.charge_flops(dense::flops::cholinv(n));
 
-    // Line 4: local Q rows.
-    let mut q = Matrix::zeros(lr, n);
+    // Line 4: local Q rows (β = 0 overwrites the arena buffer's contents).
+    let mut q = ws.take_matrix_stale(lr, n);
     be.gemm(
         1.0,
         a_local.as_ref(),
@@ -62,16 +71,23 @@ pub fn cqr1d(
 }
 
 /// 1D-CholeskyQR2 (Algorithm 7): two 1D-CQR passes plus the local triangular
-/// update `R = R₂·R₁`.
+/// update `R = R₂·R₁`. The first-pass `Q₁` and both passes' Gram/reduction
+/// scratch come from `ws` (reused across the passes); the returned `Q` is
+/// workspace-backed, `R` a plain allocation.
 pub fn cqr2_1d(
     rank: &mut Rank,
     comm: &Comm,
     a_local: &Matrix,
     backend: BackendKind,
+    ws: &mut Workspace,
 ) -> Result<(Matrix, Matrix), CholeskyError> {
     let n = a_local.cols();
-    let (q1, r1) = cqr1d(rank, comm, a_local, backend)?;
-    let (q, r2) = cqr1d(rank, comm, &q1, backend)?;
+    let (q1, r1) = cqr1d(rank, comm, a_local, backend, ws)?;
+    // Recycle Q₁ even when the second Cholesky fails (the normal way
+    // ill-conditioning reports) so failed factors stay arena-balanced.
+    let second = cqr1d(rank, comm, &q1, backend, ws);
+    ws.recycle(q1);
+    let (q, r2) = second?;
     let r = trmm_upper_upper(r2.as_ref(), r1.as_ref());
     rank.charge_flops(dense::flops::triu_mul(n));
     Ok((q, r))
@@ -90,8 +106,10 @@ mod tests {
         let a2 = a.clone();
         let report = run_spmd(p, SimConfig::with_machine(Machine::alpha_only()), move |rank| {
             let world = rank.world();
+            let mut ws = dense::Workspace::new();
             let al = DistMatrix::from_global(&a2, p, 1, rank.id(), 0);
-            let (q, r) = cqr2_1d(rank, &world, &al.local, BackendKind::default_kind()).expect("well-conditioned input");
+            let (q, r) =
+                cqr2_1d(rank, &world, &al.local, BackendKind::default_kind(), &mut ws).expect("well-conditioned input");
             (rank.id(), q, r)
         });
         let mut pieces: Vec<Vec<Matrix>> = (0..p).map(|_| vec![Matrix::zeros(0, 0)]).collect();
@@ -139,8 +157,9 @@ mod tests {
         let a = well_conditioned(m, n, 3);
         let report = run_spmd(p, SimConfig::default(), move |rank| {
             let world = rank.world();
+            let mut ws = dense::Workspace::new();
             let al = DistMatrix::from_global(&a, p, 1, rank.id(), 0);
-            cqr2_1d(rank, &world, &al.local, BackendKind::default_kind()).unwrap();
+            cqr2_1d(rank, &world, &al.local, BackendKind::default_kind(), &mut ws).unwrap();
             rank.ledger().flops
         });
         let lr = m / p;

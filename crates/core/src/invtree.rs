@@ -18,9 +18,17 @@
 //! alternative strategy of "computing triangular inverted blocks of dimension
 //! n₀ and solving for Q with multiple instances of MM3D" (§III-A). It also
 //! serves CFR3D's own recursion: `L₂₁ ← A₂₁·Y₁₁ᵀ` is the same operation.
+//!
+//! # Workspace contract
+//!
+//! Every matrix inside an `InvTree` built by [`crate::cfr3d()`] is
+//! workspace-backed, as is every matrix [`InvTree::apply_rinv`] returns.
+//! When a tree dies, hand it to [`InvTree::recycle_into`] so its storage
+//! returns to the arena instead of the allocator — that is what keeps
+//! repeated CA-CQR2 factorizations allocation-free at the workspace layer.
 
 use crate::mm3d::{mm3d, mm3d_scaled, transpose_cube};
-use dense::{BackendKind, Matrix};
+use dense::{BackendKind, Matrix, Workspace};
 use pargrid::CubeComms;
 use simgrid::Rank;
 
@@ -76,36 +84,66 @@ impl InvTree {
         }
     }
 
+    /// Consumes the tree, parking every matrix it owns back into the
+    /// workspace. Call this when a factorization pass is done with its
+    /// inverse — the storage funds the next pass's temporaries.
+    pub fn recycle_into(self, ws: &mut Workspace) {
+        match self {
+            InvTree::Full { y, .. } => ws.recycle(y),
+            InvTree::Split { y11, y22, l21, .. } => {
+                y11.recycle_into(ws);
+                y22.recycle_into(ws);
+                ws.recycle(l21);
+            }
+        }
+    }
+
     /// Computes `X = B·R⁻¹ = B·Yᵀ` (with `R = Lᵀ` upper triangular), where
     /// `b` is this rank's local piece of a matrix whose columns are cyclic
     /// over the cube. Collective over the cube; the MM3D local products go
-    /// through the given kernel backend.
-    pub fn apply_rinv(&self, rank: &mut Rank, cube: &CubeComms, b: &Matrix, backend: BackendKind) -> Matrix {
+    /// through the given kernel backend. The returned matrix is
+    /// workspace-backed.
+    pub fn apply_rinv(
+        &self,
+        rank: &mut Rank,
+        cube: &CubeComms,
+        b: &Matrix,
+        backend: BackendKind,
+        ws: &mut Workspace,
+    ) -> Matrix {
         match self {
             InvTree::Full { y, .. } => {
-                let yt = transpose_cube(rank, cube, y);
-                mm3d(rank, cube, b, &yt, backend)
+                let yt = transpose_cube(rank, cube, y, ws);
+                let out = mm3d(rank, cube, b, &yt, backend, ws);
+                ws.recycle(yt);
+                out
             }
             InvTree::Split { y11, y22, l21, .. } => {
                 let (lr, lc) = (b.rows(), b.cols());
                 let hl = lc / 2; // local width of each half (columns cyclic over c)
-                let b1 = b.view(0, 0, lr, hl).to_owned();
-                let b2 = b.view(0, hl, lr, lc - hl).to_owned();
+                let b1 = ws.take_copy(b.as_ref().sub(0, 0, lr, hl));
+                let b2 = ws.take_copy(b.as_ref().sub(0, hl, lr, lc - hl));
                 // X₁ = B₁·Y₁₁ᵀ
-                let x1 = y11.apply_rinv(rank, cube, &b1, backend);
+                let x1 = y11.apply_rinv(rank, cube, &b1, backend, ws);
+                ws.recycle(b1);
                 // X₂ = (B₂ − X₁·L₂₁ᵀ)·Y₂₂ᵀ
-                let l21t = transpose_cube(rank, cube, l21);
-                let t = mm3d(rank, cube, &x1, &l21t, backend);
+                let l21t = transpose_cube(rank, cube, l21, ws);
+                let t = mm3d(rank, cube, &x1, &l21t, backend, ws);
+                ws.recycle(l21t);
                 let mut b2c = b2;
                 for (x, y) in b2c.data_mut().iter_mut().zip(t.data()) {
                     *x -= y;
                 }
+                ws.recycle(t);
                 rank.charge_flops(dense::flops::axpy(lr, lc - hl));
-                let x2 = y22.apply_rinv(rank, cube, &b2c, backend);
+                let x2 = y22.apply_rinv(rank, cube, &b2c, backend, ws);
+                ws.recycle(b2c);
                 // Concatenate local column halves.
-                let mut out = Matrix::zeros(lr, lc);
+                let mut out = ws.take_matrix_stale(lr, lc);
                 out.view_mut(0, 0, lr, hl).copy_from(x1.as_ref());
                 out.view_mut(0, hl, lr, lc - hl).copy_from(x2.as_ref());
+                ws.recycle(x1);
+                ws.recycle(x2);
                 out
             }
         }
@@ -113,20 +151,23 @@ impl InvTree {
 
     /// Materializes the full explicit inverse `Y` (local piece), forming the
     /// missing `Y₂₁ = −Y₂₂·L₂₁·Y₁₁` blocks with MM3D. Collective over the
-    /// cube. Used by tests and by callers that need `R⁻¹` itself.
-    pub fn densify(&self, rank: &mut Rank, cube: &CubeComms, backend: BackendKind) -> Matrix {
+    /// cube. Used by tests and by callers that need `R⁻¹` itself; the
+    /// returned matrix is a plain allocation (it outlives any arena).
+    pub fn densify(&self, rank: &mut Rank, cube: &CubeComms, backend: BackendKind, ws: &mut Workspace) -> Matrix {
         match self {
             InvTree::Full { y, .. } => y.clone(),
             InvTree::Split { y11, y22, l21, .. } => {
-                let y11d = y11.densify(rank, cube, backend);
-                let y22d = y22.densify(rank, cube, backend);
-                let t = mm3d(rank, cube, l21, &y11d, backend);
-                let y21 = mm3d_scaled(rank, cube, -1.0, &y22d, &t, backend);
+                let y11d = y11.densify(rank, cube, backend, ws);
+                let y22d = y22.densify(rank, cube, backend, ws);
+                let t = mm3d(rank, cube, l21, &y11d, backend, ws);
+                let y21 = mm3d_scaled(rank, cube, -1.0, &y22d, &t, backend, ws);
+                ws.recycle(t);
                 let hl = y11d.rows();
                 let mut out = Matrix::zeros(2 * hl, 2 * y11d.cols());
                 out.view_mut(0, 0, hl, y11d.cols()).copy_from(y11d.as_ref());
                 out.view_mut(hl, 0, hl, y21.cols()).copy_from(y21.as_ref());
                 out.view_mut(hl, y11d.cols(), hl, y22d.cols()).copy_from(y22d.as_ref());
+                ws.recycle(y21);
                 out
             }
         }

@@ -25,17 +25,33 @@
 //! bcast, `2·log₂c·α + 2(l_r·l_c)(1−1/c)β + (l_r·l_c)(1−1/c)γ` (depth
 //! allreduce), and `2·l_r·l_k·l_c·γ` local compute — Table I's
 //! `(mn + nk + mk)/P^{2/3}·β + (mnk/P)·γ` with `log P · α`.
+//!
+//! # Workspace contract
+//!
+//! Every function here takes `ws: &mut Workspace` and draws its broadcast
+//! buffers and the partial-product block from it; the **returned matrix is
+//! workspace-backed** — the caller must either recycle it into the same
+//! pool when it dies or knowingly let it escape (the global drivers recycle
+//! rank outputs after assembly). After one warm call per shape, these
+//! functions perform zero arena allocations.
 
-use dense::{BackendKind, Matrix};
+use dense::{BackendKind, Matrix, Workspace};
 use pargrid::CubeComms;
 use simgrid::Rank;
 
 /// `C = A·B` over the cube (see module docs). `a` and `b` are this rank's
-/// local pieces; the returned matrix is this rank's piece of `C`. Local
-/// arithmetic goes through the given kernel backend (pass
-/// [`BackendKind::default_kind`] for the process default).
-pub fn mm3d(rank: &mut Rank, cube: &CubeComms, a: &Matrix, b: &Matrix, backend: BackendKind) -> Matrix {
-    mm3d_scaled(rank, cube, 1.0, a, b, backend)
+/// local pieces; the returned matrix is this rank's piece of `C`,
+/// workspace-backed. Local arithmetic goes through the given kernel backend
+/// (pass [`BackendKind::default_kind`] for the process default).
+pub fn mm3d(
+    rank: &mut Rank,
+    cube: &CubeComms,
+    a: &Matrix,
+    b: &Matrix,
+    backend: BackendKind,
+    ws: &mut Workspace,
+) -> Matrix {
+    mm3d_scaled(rank, cube, 1.0, a, b, backend, ws)
 }
 
 /// `C = alpha·A·B` over the cube. The backend changes only local
@@ -48,6 +64,7 @@ pub fn mm3d_scaled(
     a: &Matrix,
     b: &Matrix,
     backend: BackendKind,
+    ws: &mut Workspace,
 ) -> Matrix {
     let (_x, _yh, z) = cube.coords;
     let (lr, lk) = (a.rows(), a.cols());
@@ -55,22 +72,26 @@ pub fn mm3d_scaled(
     assert_eq!(lk, lkb, "mm3d: local contraction dimensions must agree (cyclic over c)");
 
     // Step 1: broadcast A pieces along rows from the member with x == z.
-    let mut xbuf = a.data().to_vec();
+    let mut xbuf = ws.take_vec(lr * lk);
+    xbuf.copy_from_slice(a.data());
     cube.row.bcast(rank, z, &mut xbuf);
     // Step 2: broadcast B pieces along columns from the member with ŷ == z.
-    let mut ybuf = b.data().to_vec();
+    let mut ybuf = ws.take_vec(lk * lc);
+    ybuf.copy_from_slice(b.data());
     cube.col.bcast(rank, z, &mut ybuf);
 
     let xm = Matrix::from_vec(lr, lk, xbuf);
     let ym = Matrix::from_vec(lk, lc, ybuf);
 
-    // Step 3: local partial product.
-    let mut zm = Matrix::zeros(lr, lc);
+    // Step 3: local partial product (β = 0 overwrites the stale contents).
+    let mut zm = ws.take_matrix_stale(lr, lc);
     use dense::gemm::Trans;
     backend
         .get()
         .gemm(alpha, xm.as_ref(), Trans::No, ym.as_ref(), Trans::No, 0.0, zm.as_mut());
     rank.charge_flops(dense::flops::gemm(lr, lk, lc));
+    ws.recycle(xm);
+    ws.recycle(ym);
 
     // Step 4: sum partial products along the depth fiber.
     let mut cbuf = zm.into_vec();
@@ -81,8 +102,9 @@ pub fn mm3d_scaled(
 /// Global transpose of a square cyclically distributed matrix: processor
 /// `(x, ŷ, z)` swaps its local block with `(ŷ, x, z)` (paper's `Transpose`
 /// primitive, §II-B) and transposes it locally. Cost: `α + l_r·l_c·β` for
-/// off-diagonal ranks, free on the diagonal.
-pub fn transpose_cube(rank: &mut Rank, cube: &CubeComms, m: &Matrix) -> Matrix {
+/// off-diagonal ranks, free on the diagonal. The returned matrix is
+/// workspace-backed.
+pub fn transpose_cube(rank: &mut Rank, cube: &CubeComms, m: &Matrix, ws: &mut Workspace) -> Matrix {
     assert_eq!(
         m.rows(),
         m.cols(),
@@ -91,7 +113,14 @@ pub fn transpose_cube(rank: &mut Rank, cube: &CubeComms, m: &Matrix) -> Matrix {
     let (x, yh, _z) = cube.coords;
     let partner = cube.slice_index(yh, x); // slice index of (x', ŷ') = (ŷ, x)
     let swapped = cube.slice.sendrecv(rank, partner, m.data());
-    Matrix::from_vec(m.rows(), m.cols(), swapped).transposed()
+    let n = m.rows();
+    let mut out = ws.take_matrix_stale(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(j, i, swapped[i * n + j]);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -115,9 +144,10 @@ mod tests {
             let comms = pargrid::TunableComms::build(rank, shape);
             let cube = &comms.subcube;
             let (x, yh, _z) = cube.coords;
+            let mut ws = Workspace::new();
             let al = DistMatrix::from_global(&a, c, c, yh, x);
             let bl = DistMatrix::from_global(&b, c, c, yh, x);
-            let cl = mm3d(rank, cube, &al.local, &bl.local, BackendKind::default_kind());
+            let cl = mm3d(rank, cube, &al.local, &bl.local, BackendKind::default_kind(), &mut ws);
             (x, yh, cube.coords.2, cl)
         });
         let mut pieces: Vec<Vec<Matrix>> = (0..c).map(|_| (0..c).map(|_| Matrix::zeros(0, 0)).collect()).collect();
@@ -178,9 +208,18 @@ mod tests {
             let comms = pargrid::TunableComms::build(rank, shape);
             let cube = &comms.subcube;
             let (x, yh, _) = cube.coords;
+            let mut ws = Workspace::new();
             let al = DistMatrix::from_global(&a, 2, 2, yh, x);
             let bl = DistMatrix::from_global(&b, 2, 2, yh, x);
-            mm3d_scaled(rank, cube, -1.0, &al.local, &bl.local, BackendKind::default_kind())
+            mm3d_scaled(
+                rank,
+                cube,
+                -1.0,
+                &al.local,
+                &bl.local,
+                BackendKind::default_kind(),
+                &mut ws,
+            )
         });
         // piece (0,0) of -(I·B) = -B: entries (0,0), (0,2), (2,0), (2,2).
         let p00 = &report.results[0];
@@ -197,9 +236,10 @@ mod tests {
             let comms = pargrid::TunableComms::build(rank, shape);
             let cube = &comms.subcube;
             let (x, yh, _) = cube.coords;
+            let mut ws = Workspace::new();
             let local = DistMatrix::from_global(&g, 2, 2, yh, x);
-            let t = transpose_cube(rank, cube, &local.local);
-            let tt = transpose_cube(rank, cube, &t);
+            let t = transpose_cube(rank, cube, &local.local, &mut ws);
+            let tt = transpose_cube(rank, cube, &t, &mut ws);
             (x, yh, t, tt, local.local)
         });
         for (x, yh, t, tt, orig) in &report.results {
@@ -207,6 +247,32 @@ mod tests {
             let expect = DistMatrix::from_global(&g2.transposed(), 2, 2, *yh, *x);
             assert_eq!(*t, expect.local);
             assert_eq!(*tt, *orig, "double transpose is identity");
+        }
+    }
+
+    #[test]
+    fn mm3d_reaches_zero_arena_growth_when_warm() {
+        let a = Matrix::from_fn(8, 8, |i, j| ((i * 8 + j) as f64 * 0.3).sin());
+        let b = Matrix::from_fn(8, 8, |i, j| ((i + 2 * j) as f64 * 0.1).cos());
+        let report = run_spmd(8, SimConfig::default(), move |rank| {
+            let shape = pargrid::GridShape::cubic(2).unwrap();
+            let comms = pargrid::TunableComms::build(rank, shape);
+            let cube = &comms.subcube;
+            let (x, yh, _) = cube.coords;
+            let mut ws = Workspace::new();
+            let al = DistMatrix::from_global(&a, 2, 2, yh, x);
+            let bl = DistMatrix::from_global(&b, 2, 2, yh, x);
+            let warm = mm3d(rank, cube, &al.local, &bl.local, BackendKind::default_kind(), &mut ws);
+            ws.recycle(warm);
+            let after_warm = ws.heap_allocations();
+            for _ in 0..3 {
+                let c = mm3d(rank, cube, &al.local, &bl.local, BackendKind::default_kind(), &mut ws);
+                ws.recycle(c);
+            }
+            (after_warm, ws.heap_allocations())
+        });
+        for (warm, steady) in &report.results {
+            assert_eq!(warm, steady, "warm mm3d must not grow its arena");
         }
     }
 }

@@ -22,18 +22,23 @@
 
 use dense::cholesky::CholeskyError;
 use dense::gemm::Trans;
+use dense::workspace;
 use dense::{Backend, BackendKind, Matrix};
 
 /// Panel-blocked CQR2 (see module docs). Requires `b ≥ 1`; `b ≥ n` collapses
 /// to plain CQR2. `reorth` enables a second projection pass per panel. The
 /// panel CQR2s and block Gram–Schmidt updates go through the given kernel
 /// backend (pass [`BackendKind::default_kind`] for the process default).
+/// Panel copies and projection blocks are scratch from the thread-local
+/// workspace arena, so the `n/b` panel sweep re-allocates nothing.
 pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool, backend: BackendKind) -> Result<(Matrix, Matrix), CholeskyError> {
     let be: &dyn Backend = backend.get();
     let (m, n) = (a.rows(), a.cols());
     assert!(b >= 1, "panel width must be positive");
     assert!(m >= n, "reduced QR requires m >= n");
-    let mut work = a.clone();
+    let take_copy = |v: dense::MatRef<'_>| workspace::with_thread_local(|ws| ws.take_copy(v));
+    let give = |m: Matrix| workspace::recycle_local_vec(m.into_vec());
+    let mut work = take_copy(a.as_ref());
     let mut q = Matrix::zeros(m, n);
     let mut r = Matrix::zeros(n, n);
 
@@ -41,16 +46,20 @@ pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool, backend: BackendKind) -> R
     while k < n {
         let w = b.min(n - k);
         // Panel CQR2.
-        let panel = work.view(0, k, m, w).to_owned();
-        let (qk, rkk) = crate::cqr::cqr2(&panel, backend)?;
+        let panel = take_copy(work.view(0, k, m, w));
+        let factored = crate::cqr::cqr2(&panel, backend);
+        give(panel);
+        let (qk, rkk) = factored?;
         q.view_mut(0, k, m, w).copy_from(qk.as_ref());
         r.view_mut(k, k, w, w).copy_from(rkk.as_ref());
 
         let rest = n - k - w;
         if rest > 0 {
             // Projection: R_{k, k+w:} = Q_kᵀ · A_{:, k+w:}.
-            let trailing = work.view(0, k + w, m, rest).to_owned();
-            let proj = be.matmul(qk.as_ref(), Trans::Yes, trailing.as_ref(), Trans::No);
+            let trailing = take_copy(work.view(0, k + w, m, rest));
+            let mut proj = workspace::with_thread_local(|ws| ws.take_matrix_stale(w, rest));
+            be.matmul_into(qk.as_ref(), Trans::Yes, trailing.as_ref(), Trans::No, proj.as_mut());
+            give(trailing);
             // Update: A_{:, k+w:} −= Q_k · proj.
             be.gemm(
                 -1.0,
@@ -63,8 +72,10 @@ pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool, backend: BackendKind) -> R
             );
             let mut total_proj = proj;
             if reorth {
-                let trailing2 = work.view(0, k + w, m, rest).to_owned();
-                let proj2 = be.matmul(qk.as_ref(), Trans::Yes, trailing2.as_ref(), Trans::No);
+                let trailing2 = take_copy(work.view(0, k + w, m, rest));
+                let mut proj2 = workspace::with_thread_local(|ws| ws.take_matrix_stale(w, rest));
+                be.matmul_into(qk.as_ref(), Trans::Yes, trailing2.as_ref(), Trans::No, proj2.as_mut());
+                give(trailing2);
                 be.gemm(
                     -1.0,
                     qk.as_ref(),
@@ -77,11 +88,14 @@ pub fn panel_cqr2(a: &Matrix, b: usize, reorth: bool, backend: BackendKind) -> R
                 for (x, y) in total_proj.data_mut().iter_mut().zip(proj2.data()) {
                     *x += y;
                 }
+                give(proj2);
             }
             r.view_mut(k, k + w, w, rest).copy_from(total_proj.as_ref());
+            give(total_proj);
         }
         k += w;
     }
+    give(work);
     Ok((q, r))
 }
 

@@ -170,9 +170,11 @@ pub struct TunerReport {
     pub threads: usize,
     /// Whether live calibration (probe + measured top-K) ran.
     pub calibrated: bool,
-    /// The microkernel probes backing the calibrated flop rates, one per
-    /// swept backend (empty without calibration or with an explicit
-    /// scoring profile).
+    /// The microkernel probes backing the calibrated flop rates — one
+    /// gemm probe *and one Gram-kernel (syrk) probe* per swept backend
+    /// (empty without calibration or with an explicit scoring profile).
+    /// The symmetry-aware blocked SYRK runs at a different effective rate
+    /// than square gemm, so Gram-dominated rankings carry both.
     pub probes: Vec<dense::ProbeReport>,
     /// All scored candidates, best first.
     pub candidates: Vec<TunerCandidate>,
@@ -184,9 +186,19 @@ impl TunerReport {
         &self.candidates[0]
     }
 
-    /// The calibration probe that backed a backend's flop rate, if one ran.
+    /// The calibration gemm probe that backed a backend's flop rate, if
+    /// one ran.
     pub fn probe_for(&self, backend: BackendKind) -> Option<&dense::ProbeReport> {
-        self.probes.iter().find(|p| p.backend == backend)
+        self.probes
+            .iter()
+            .find(|p| p.backend == backend && p.kernel == dense::ProbeKernel::Gemm)
+    }
+
+    /// The calibration Gram-kernel (syrk) probe for a backend, if one ran.
+    pub fn syrk_probe_for(&self, backend: BackendKind) -> Option<&dense::ProbeReport> {
+        self.probes
+            .iter()
+            .find(|p| p.backend == backend && p.kernel == dense::ProbeKernel::Syrk)
     }
 
     /// The winning spec, ready for a service cache.
@@ -366,8 +378,21 @@ impl Tuner {
                 None => {
                     if self.calibrate {
                         let p = dense::default_probe(backend);
+                        let ps = dense::default_syrk_probe(backend);
                         probes.push(p);
+                        probes.push(ps);
+                        // Price the CQR2 family's γ with the measured Gram
+                        // rate blended in: CholeskyQR's local flops split
+                        // roughly evenly between the Gram kernel (syrk, ~2×
+                        // the gemm ledger rate under the symmetry-aware
+                        // kernel) and gemm-shaped work (Q = A·R⁻¹), so a
+                        // gemm-only rate systematically over-prices the
+                        // Gram-heavy candidates. PGEQRF stays at the pure
+                        // gemm rate (Householder has no Gram kernel). The
+                        // top-K re-rank below still measures whole
+                        // factorizations live.
                         host_profile(p.seconds_per_flop)
+                            .with_gamma_cqr2(0.5 * (p.seconds_per_flop + ps.seconds_per_flop))
                     } else {
                         host_profile(nominal_seconds_per_flop(backend))
                     }

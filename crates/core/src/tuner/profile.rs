@@ -24,7 +24,17 @@ use dense::BackendKind;
 use pargrid::GridShape;
 
 /// The profile format version this build writes and reads.
-pub const PROFILE_VERSION: u64 = 1;
+///
+/// Version history: 1 — entries only; 2 — adds the top-level `probes`
+/// object carrying the calibration gemm and Gram-kernel (syrk) rates.
+///
+/// v1 documents are deliberately rejected rather than upgraded in place:
+/// their `measured_seconds` were recorded against the pre-symmetry-aware
+/// Gram kernel (≈1.7× slower on the CholeskyQR hot path), so carrying the
+/// old winners forward would pin stale rankings exactly where the kernel
+/// change moved the optimum. A version mismatch is a one-line re-tune
+/// (`tuner_sweep --profile`).
+pub const PROFILE_VERSION: u64 = 2;
 
 /// One tuned configuration: the key it was tuned for and the winning knobs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -227,6 +237,13 @@ impl ProfileEntry {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TuningProfile {
     entries: Vec<ProfileEntry>,
+    /// Measured calibration gemm rate (seconds per ledger flop) on the
+    /// machine this profile was recorded on, when calibration ran.
+    pub probe_gemm_seconds_per_flop: Option<f64>,
+    /// Measured calibration Gram-kernel (syrk) rate — seconds per *ledger*
+    /// flop (`m·n²`), so the symmetry-aware kernel's ≈2× advantage over the
+    /// naive sweep shows up as a faster rate, not a different count.
+    pub probe_syrk_seconds_per_flop: Option<f64>,
 }
 
 impl TuningProfile {
@@ -277,8 +294,25 @@ impl TuningProfile {
     /// Serializes to the versioned JSON format (pretty-printed, canonical:
     /// equal profiles serialize to identical bytes).
     pub fn to_json(&self) -> String {
+        let opt_num = |v: Option<f64>| match v {
+            Some(x) => JsonValue::Number(x),
+            None => JsonValue::Null,
+        };
         JsonValue::Object(vec![
             ("version".to_string(), JsonValue::Number(PROFILE_VERSION as f64)),
+            (
+                "probes".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "gemm_seconds_per_flop".to_string(),
+                        opt_num(self.probe_gemm_seconds_per_flop),
+                    ),
+                    (
+                        "syrk_seconds_per_flop".to_string(),
+                        opt_num(self.probe_syrk_seconds_per_flop),
+                    ),
+                ]),
+            ),
             (
                 "entries".to_string(),
                 JsonValue::Array(self.entries.iter().copied().map(ProfileEntry::to_json).collect()),
@@ -309,7 +343,23 @@ impl TuningProfile {
             .ok_or_else(|| TunerError::ProfileSchema {
                 message: "document must carry an \"entries\" array".to_string(),
             })?;
+        let probes = doc.get("probes").ok_or_else(|| TunerError::ProfileSchema {
+            message: "document must carry a \"probes\" object".to_string(),
+        })?;
+        let opt_rate = |key: &str| -> Result<Option<f64>, TunerError> {
+            match probes.get(key) {
+                Some(JsonValue::Null) => Ok(None),
+                Some(v) => Ok(Some(v.as_f64().ok_or_else(|| TunerError::ProfileSchema {
+                    message: format!("probe field {key:?} must be a number or null"),
+                })?)),
+                None => Err(TunerError::ProfileSchema {
+                    message: format!("\"probes\" object is missing {key:?}"),
+                }),
+            }
+        };
         let mut profile = TuningProfile::new();
+        profile.probe_gemm_seconds_per_flop = opt_rate("gemm_seconds_per_flop")?;
+        profile.probe_syrk_seconds_per_flop = opt_rate("syrk_seconds_per_flop")?;
         for entry in entries {
             profile.insert(ProfileEntry::from_json(entry)?);
         }
@@ -342,6 +392,8 @@ mod tests {
     #[allow(clippy::excessive_precision)] // the awkward float is the point
     fn json_round_trip_is_bit_identical() {
         let mut profile = TuningProfile::new();
+        profile.probe_gemm_seconds_per_flop = Some(2.9387358770557188e-11);
+        profile.probe_syrk_seconds_per_flop = Some(1.4693679385278594e-11);
         profile.insert(sample_entry());
         profile.insert(ProfileEntry {
             m: 512,
@@ -396,6 +448,29 @@ mod tests {
     }
 
     #[test]
+    fn version_gate_rejects_v1_documents() {
+        // v1 predates the probes object; readers must refuse rather than
+        // silently invent rates.
+        let err = TuningProfile::from_json("{\"version\": 1, \"entries\": []}").unwrap_err();
+        assert_eq!(
+            err,
+            TunerError::ProfileVersionMismatch {
+                found: 1,
+                expected: PROFILE_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn empty_profile_round_trips_with_null_probes() {
+        let profile = TuningProfile::new();
+        let text = profile.to_json();
+        assert!(text.contains("\"gemm_seconds_per_flop\": null"));
+        assert!(text.contains("\"syrk_seconds_per_flop\": null"));
+        assert_eq!(TuningProfile::from_json(&text).unwrap(), profile);
+    }
+
+    #[test]
     fn schema_violations_are_typed() {
         assert!(matches!(
             TuningProfile::from_json("{\"entries\": []}"),
@@ -405,7 +480,13 @@ mod tests {
             TuningProfile::from_json("not json"),
             Err(TunerError::ProfileParse(_))
         ));
-        let missing_field = "{\"version\":1,\"entries\":[{\"m\":4}]}";
+        let missing_probes = "{\"version\":2,\"entries\":[]}";
+        assert!(matches!(
+            TuningProfile::from_json(missing_probes),
+            Err(TunerError::ProfileSchema { .. })
+        ));
+        let missing_field =
+            "{\"version\":2,\"probes\":{\"gemm_seconds_per_flop\":null,\"syrk_seconds_per_flop\":null},\"entries\":[{\"m\":4}]}";
         assert!(matches!(
             TuningProfile::from_json(missing_field),
             Err(TunerError::ProfileSchema { .. })

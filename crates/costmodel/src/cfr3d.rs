@@ -82,7 +82,7 @@ mod tests {
             let (x, yh, _) = cube.coords;
             let al = DistMatrix::from_global(&spd(n), c, c, yh, x);
             let params = cacqr::CfrParams::validated(n, c, base, inv_depth).unwrap();
-            cacqr::cfr3d(rank, cube, &al.local, n, &params).unwrap();
+            cacqr::cfr3d(rank, cube, &al.local, n, &params, &mut dense::Workspace::new()).unwrap();
         })
         .elapsed
     }

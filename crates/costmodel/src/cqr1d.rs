@@ -44,7 +44,14 @@ mod tests {
             let world = rank.world();
             let a = well_conditioned(m, n, 5);
             let al = DistMatrix::from_global(&a, p, 1, rank.id(), 0);
-            cacqr::cqr2_1d(rank, &world, &al.local, dense::BackendKind::default_kind()).unwrap();
+            cacqr::cqr2_1d(
+                rank,
+                &world,
+                &al.local,
+                dense::BackendKind::default_kind(),
+                &mut dense::Workspace::new(),
+            )
+            .unwrap();
         })
         .elapsed
     }

@@ -42,7 +42,14 @@ mod tests {
             let b = Matrix::from_fn(n, k, |i, j| (i * 2 + j) as f64);
             let al = DistMatrix::from_global(&a, c, c, yh, x);
             let bl = DistMatrix::from_global(&b, c, c, yh, x);
-            cacqr::mm3d(rank, cube, &al.local, &bl.local, dense::BackendKind::default_kind());
+            cacqr::mm3d(
+                rank,
+                cube,
+                &al.local,
+                &bl.local,
+                dense::BackendKind::default_kind(),
+                &mut dense::Workspace::new(),
+            );
         })
         .elapsed
     }
@@ -82,7 +89,7 @@ mod tests {
                     let comms = TunableComms::build(rank, shape);
                     let (x, yh, _) = comms.subcube.coords;
                     let local = DistMatrix::from_global(&g, c, c, yh, x);
-                    cacqr::transpose_cube(rank, &comms.subcube, &local.local);
+                    cacqr::transpose_cube(rank, &comms.subcube, &local.local, &mut dense::Workspace::new());
                 })
                 .elapsed;
                 assert_eq!(got, want, "{label} c={c}");

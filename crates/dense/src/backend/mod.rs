@@ -14,7 +14,12 @@
 //!   operands are packed into cache-sized panels (packing absorbs operand
 //!   transposes — no up-front full-matrix transpose copy), a register-tiled
 //!   `MR × NR` microkernel does the arithmetic, and independent row blocks
-//!   of `C` can be processed by a small thread pool.
+//!   of `C` can be processed by a small thread pool. Its `syrk` is
+//!   *symmetry-aware*: upper-triangle micro-tiles are skipped (mirrored
+//!   afterwards) and the `A`-side micro-panels are derived from the packed
+//!   `B` buffer, while staying bitwise identical to the full
+//!   `gemm(1, Aᵀ, A)`. Pack buffers come from the thread-local
+//!   [`crate::workspace`] arena, so warm threads allocate nothing.
 //!
 //! Selection is threaded through the layers above by value as a
 //! [`BackendKind`] (a `Copy` enum, so it can live inside `Copy` parameter
@@ -58,13 +63,32 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     #[allow(clippy::too_many_arguments)] // the BLAS dgemm signature
     fn gemm(&self, alpha: f64, a: MatRef<'_>, ta: Trans, b: MatRef<'_>, tb: Trans, beta: f64, c: MatMut<'_>);
 
-    /// Returns the full symmetric Gram matrix `AᵀA`.
+    /// Writes the full symmetric Gram matrix `AᵀA` into the caller-owned
+    /// `n × n` buffer `c`, overwriting any previous contents.
     ///
+    /// This is the allocation-free primitive the hot paths use (the buffer
+    /// typically comes from a [`crate::workspace::Workspace`]).
     /// Implementations must produce bits identical to their own
     /// `gemm(1, Aᵀ, A)` — the 1D and CA CholeskyQR paths compute the Gram
     /// matrix through `syrk` and `gemm` respectively and the test suite
     /// asserts bitwise agreement between them.
-    fn syrk(&self, a: MatRef<'_>) -> Matrix;
+    fn syrk_into(&self, a: MatRef<'_>, c: MatMut<'_>);
+
+    /// Returns the full symmetric Gram matrix `AᵀA` as a fresh allocation
+    /// (convenience wrapper over [`Backend::syrk_into`]).
+    fn syrk(&self, a: MatRef<'_>) -> Matrix {
+        let n = a.cols();
+        let mut c = Matrix::zeros(n, n);
+        self.syrk_into(a, c.as_mut());
+        c
+    }
+
+    /// `C ← op(A)·op(B)` into a caller-owned buffer (the allocation-free
+    /// sibling of [`Backend::matmul`]; bitwise identical to
+    /// `gemm(1, A, B, 0, C)`).
+    fn matmul_into(&self, a: MatRef<'_>, ta: Trans, b: MatRef<'_>, tb: Trans, c: MatMut<'_>) {
+        self.gemm(1.0, a, ta, b, tb, 0.0, c);
+    }
 
     /// Solves `X·Lᵀ = B` in place (`L` lower triangular).
     fn trsm_right_lower_trans(&self, l: MatRef<'_>, b: MatMut<'_>);
@@ -107,8 +131,8 @@ impl Backend for Naive {
         crate::gemm::gemm(alpha, a, ta, b, tb, beta, c);
     }
 
-    fn syrk(&self, a: MatRef<'_>) -> Matrix {
-        crate::syrk::syrk(a)
+    fn syrk_into(&self, a: MatRef<'_>, c: MatMut<'_>) {
+        crate::syrk::syrk_into(a, c);
     }
 
     fn trsm_right_lower_trans(&self, l: MatRef<'_>, b: MatMut<'_>) {

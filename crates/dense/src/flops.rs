@@ -32,6 +32,13 @@ pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
 }
 
 /// γ cost of `AᵀA` for an `m × n` panel (symmetric half).
+///
+/// This is the paper's accounting convention and is charged regardless of
+/// how the kernel computes: the symmetry-aware blocked SYRK really does
+/// skip the upper-triangle tiles, which shows up as a faster *effective
+/// rate* against this fixed count (see [`crate::probe::probe_syrk`]), never
+/// as a different ledger charge — cost-model exactness stays
+/// kernel-invariant.
 pub fn syrk(m: usize, n: usize) -> f64 {
     m as f64 * n as f64 * n as f64
 }

@@ -30,6 +30,9 @@
 //! * [`probe`] — timed microkernel probes measuring the live machine's
 //!   effective flop rate per backend (the autotuner's calibration input).
 //! * [`random`] — seeded Gaussian matrices and prescribed-κ test matrices.
+//! * [`workspace`] — grow-only scratch arenas ([`Workspace`]) and the
+//!   thread-safe [`WorkspacePool`]: the hot factor paths draw every
+//!   temporary from these and re-allocate nothing once warm.
 //! * [`flops`] — the floating-point-operation conventions charged to the
 //!   α-β-γ cost ledger (chosen to match the paper's accounting). Charges
 //!   depend only on operand shapes, never on the backend, so cost-model
@@ -56,6 +59,7 @@ pub mod random;
 pub mod svd;
 pub mod syrk;
 pub mod trsm;
+pub mod workspace;
 
 pub use backend::{kernel_threads, max_threads, thread_budget, Backend, BackendKind, PoolReservation};
 pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, trtri_lower, trtri_lower_with, CholeskyError};
@@ -63,6 +67,7 @@ pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use norms::{frobenius, max_abs, orthogonality_error, residual_error};
-pub use probe::{default_probe, probe_gemm, ProbeReport};
-pub use syrk::syrk;
+pub use probe::{default_probe, default_syrk_probe, probe_gemm, probe_syrk, ProbeKernel, ProbeReport};
+pub use syrk::{syrk, syrk_into, syrk_via_gemm};
 pub use trsm::{trmm_upper_upper, trsm_right_lower_trans, trsm_right_upper};
+pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

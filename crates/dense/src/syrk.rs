@@ -5,38 +5,76 @@
 //! Algorithm 8 line 2). Only the lower triangle is computed; the result is
 //! mirrored so callers get a full symmetric matrix (the distributed reduction
 //! then operates on plain dense buffers).
+//!
+//! These loop nests are the **bitwise oracle** for the blocked backend's
+//! symmetry-aware SYRK ([`crate::backend::Blocked`]): simple enough to audit
+//! by eye, with a straight-line inner loop (no data-dependent branches) so
+//! the accumulation order — ascending `k`, then ascending `j` within a row —
+//! is a pure function of the operand shape.
 
-use crate::matrix::{MatRef, Matrix};
+use crate::matrix::{MatMut, MatRef, Matrix};
 
-/// Returns the full symmetric matrix `AᵀA` (`n × n` for `A` of shape `m × n`).
+/// Writes the full symmetric matrix `AᵀA` into `c` (`n × n` for `A` of
+/// shape `m × n`), overwriting any previous contents.
 ///
 /// Computes the lower triangle with a cache-friendly outer-product sweep over
 /// the rows of `A`, then mirrors it. The flop convention charged for this
-/// kernel is `m·n²` (see [`crate::flops::syrk`]).
-pub fn syrk(a: MatRef<'_>) -> Matrix {
+/// kernel is `m·n²` (see [`crate::flops::syrk`]) even though the dense sweep
+/// performs `~m·n²` multiply-adds on the symmetric half.
+pub fn syrk_into(a: MatRef<'_>, mut c: MatMut<'_>) {
     let (m, n) = (a.rows(), a.cols());
-    let mut data = vec![0.0f64; n * n];
+    assert_eq!((c.rows(), c.cols()), (n, n), "syrk output must be n x n");
+    c.fill(0.0);
     // Accumulate lower triangle: C[i][j] += A[k][i] * A[k][j], j <= i.
+    // Deliberately branch-free: a zero-operand fast path only helps
+    // pathological sparse inputs and defeats pipelining on dense panels.
     for k in 0..m {
         let row = a.row(k);
         for i in 0..n {
             let aki = row[i];
-            if aki == 0.0 {
-                continue;
-            }
-            let dst = &mut data[i * n..i * n + i + 1];
-            for (j, d) in dst.iter_mut().enumerate() {
-                *d += aki * row[j];
+            let dst = &mut c.row_mut(i)[..i + 1];
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d += aki * v;
             }
         }
     }
     // Mirror to upper triangle.
     for i in 0..n {
         for j in 0..i {
-            data[j * n + i] = data[i * n + j];
+            let v = c.at(i, j);
+            c.set(j, i, v);
         }
     }
-    Matrix::from_vec(n, n, data)
+}
+
+/// Returns the full symmetric matrix `AᵀA` as a fresh allocation
+/// (convenience wrapper over [`syrk_into`]).
+pub fn syrk(a: MatRef<'_>) -> Matrix {
+    let n = a.cols();
+    let mut c = Matrix::zeros(n, n);
+    syrk_into(a, c.as_mut());
+    c
+}
+
+/// The gemm-based Gram path the symmetry-aware blocked SYRK replaced:
+/// `C ← gemm(1, Aᵀ, A)` followed by the lower→upper mirror.
+///
+/// Kept as the **shared comparison baseline** for the `syrk` criterion
+/// bench and the perf gate's `syrk-*` entries — both gates must time the
+/// identical reference or the recorded ≥1.5× acceptance bar drifts. By the
+/// ascending-`k` accumulation argument this produces bits identical to the
+/// backend's own `syrk`, just without the tile skipping.
+pub fn syrk_via_gemm(backend: &dyn crate::Backend, a: MatRef<'_>, mut c: MatMut<'_>) {
+    use crate::gemm::Trans;
+    let n = a.cols();
+    assert_eq!((c.rows(), c.cols()), (n, n), "syrk output must be n x n");
+    backend.gemm(1.0, a, Trans::Yes, a, Trans::No, 0.0, c.rb_mut());
+    for i in 0..n {
+        for j in 0..i {
+            let v = c.at(i, j);
+            c.set(j, i, v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +118,13 @@ mod tests {
     fn empty_rows() {
         let a = Matrix::zeros(0, 4);
         assert_eq!(syrk(a.as_ref()), Matrix::zeros(4, 4));
+    }
+
+    #[test]
+    fn into_variant_overwrites_stale_output() {
+        let a = Matrix::from_fn(7, 4, |i, j| ((i + 3 * j) as f64 * 0.31).sin());
+        let mut stale = Matrix::from_fn(4, 4, |_, _| f64::NAN);
+        syrk_into(a.as_ref(), stale.as_mut());
+        assert_eq!(stale, syrk(a.as_ref()), "syrk_into must ignore prior contents");
     }
 }

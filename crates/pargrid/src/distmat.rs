@@ -70,6 +70,30 @@ impl DistMatrix {
         }
     }
 
+    /// Extracts this processor's cyclic piece of a global matrix into
+    /// **workspace-backed** storage (just the local block — the descriptor
+    /// fields are implied by the arguments). The hot factor paths extract
+    /// every rank's piece on every call; routing the block through the
+    /// caller's [`dense::Workspace`] makes that allocation-free once warm.
+    /// Recycle the returned matrix into the same pool when done.
+    pub fn local_from_global(
+        global: &Matrix,
+        rp: usize,
+        cp: usize,
+        my_r: usize,
+        my_c: usize,
+        ws: &mut dense::Workspace,
+    ) -> Matrix {
+        let (lr, lc) = Self::local_dims(global.rows(), global.cols(), rp, cp, my_r, my_c);
+        let mut local = Matrix::from_vec(lr, lc, ws.take_vec(lr * lc));
+        for li in 0..lr {
+            for lj in 0..lc {
+                local.set(li, lj, global.get(li * rp + my_r, lj * cp + my_c));
+            }
+        }
+        local
+    }
+
     /// Builds a distributed piece directly from an index function over
     /// *global* indices — lets every rank materialize its share of a seeded
     /// random matrix without communication.
@@ -158,6 +182,18 @@ mod tests {
                 assert_eq!(d.local.get(li, lj), g.get(gi, gj));
             }
         }
+    }
+
+    #[test]
+    fn local_from_global_matches_from_global_and_recycles() {
+        let g = test_matrix(9, 6);
+        let mut ws = dense::Workspace::new();
+        for _ in 0..3 {
+            let local = DistMatrix::local_from_global(&g, 3, 2, 2, 1, &mut ws);
+            assert_eq!(local, DistMatrix::from_global(&g, 3, 2, 2, 1).local);
+            ws.recycle(local);
+        }
+        assert_eq!(ws.heap_allocations(), 1, "warm extraction must not allocate");
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn mm3d_validates_identically_under_both_backends() {
                 let (x, yh, _z) = cube.coords;
                 let al = DistMatrix::from_global(&a, c, c, yh, x);
                 let bl = DistMatrix::from_global(&b, c, c, yh, x);
-                let cl = cacqr::mm3d::mm3d(rank, cube, &al.local, &bl.local, kind);
+                let cl = cacqr::mm3d::mm3d(rank, cube, &al.local, &bl.local, kind, &mut dense::Workspace::new());
                 (x, yh, cl, rank.ledger())
             },
         );

@@ -142,7 +142,7 @@ proptest! {
             let (x, y, _) = comms.coords;
             let al = DistMatrix::from_global(&well_conditioned(m, n, seed), d, c, y, x);
             let params = CfrParams::validated(n, c, base, inv).unwrap();
-            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params).unwrap();
+            cacqr::ca_cqr2(rank, &comms, &al.local, n, &params, &mut dense::Workspace::new()).unwrap();
         })
         .elapsed;
         prop_assert_eq!(elapsed, model.beta);
@@ -245,5 +245,48 @@ proptest! {
         for (u, v) in qc.data().iter().zip(qh.data()) {
             prop_assert!((u - v).abs() < 1e-8);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The symmetry-aware blocked SYRK against the branch-free naive
+    /// oracle, over ragged shapes straddling every blocking boundary
+    /// (micro-tile, row-block, KC): 1e-13-relative agreement with the
+    /// oracle, *bitwise* agreement with the backend's own gemm(Aᵀ, A)
+    /// (the 1D-vs-CA Gram invariant), and bitwise symmetry. The per-ISA
+    /// (scalar / AVX2 / AVX-512) sweep of the same contract lives in
+    /// `dense::backend::blocked`'s unit tests.
+    #[test]
+    fn blocked_syrk_matches_naive_oracle_on_ragged_shapes(
+        m in 1usize..300,
+        n in 1usize..140,
+        seed in 0u64..1000,
+    ) {
+        let a = dense::random::gaussian_matrix(m, n, seed);
+        let naive = BackendKind::Naive.get();
+        let blocked = BackendKind::Blocked.get();
+        let want = naive.syrk(a.as_ref());
+        let got = blocked.syrk(a.as_ref());
+        let tol = 1e-13 * (m as f64).max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                let (g, w) = (got.get(i, j), want.get(i, j));
+                prop_assert!(
+                    (g - w).abs() <= tol * (1.0 + w.abs()),
+                    "{}x{} ({},{}): blocked {} vs naive {}", m, n, i, j, g, w
+                );
+                prop_assert_eq!(got.get(i, j), got.get(j, i), "bitwise symmetry");
+            }
+        }
+        let via_gemm = blocked.matmul(a.as_ref(), dense::Trans::Yes, a.as_ref(), dense::Trans::No);
+        for (s, g) in got.data().iter().zip(via_gemm.data()) {
+            prop_assert_eq!(s, g, "syrk must be bitwise its own gemm(At, A)");
+        }
+        // The _into variant is the same kernel writing a caller buffer.
+        let mut into = dense::Matrix::from_fn(n, n, |_, _| f64::NAN);
+        blocked.syrk_into(a.as_ref(), into.as_mut());
+        prop_assert_eq!(&into, &got);
     }
 }

@@ -77,6 +77,20 @@ fn tuning_profile_round_trips_bit_identically() {
     }
     assert_eq!(profile.len(), 3);
     assert!(profile.entries().iter().any(|e| e.measured_seconds.is_some()));
+    // v2: the calibration rates ride along — record real measured floats so
+    // the round trip exercises shortest-form float serialization on them.
+    let report = Tuner::new(1024, 64)
+        .calibrate(true)
+        .top_k(1)
+        .calibration_rows(64)
+        .calibration_reps(1)
+        .report()
+        .unwrap();
+    let backend = report.best().backend;
+    profile.probe_gemm_seconds_per_flop = report.probe_for(backend).map(|p| p.seconds_per_flop);
+    profile.probe_syrk_seconds_per_flop = report.syrk_probe_for(backend).map(|p| p.seconds_per_flop);
+    assert!(profile.probe_gemm_seconds_per_flop.is_some());
+    assert!(profile.probe_syrk_seconds_per_flop.is_some());
     let text = profile.to_json();
     let back = TuningProfile::from_json(&text).unwrap();
     assert_eq!(back, profile, "round trip must preserve every field exactly");
