@@ -349,6 +349,8 @@ pub struct PgeqrfRun {
     pub r: Matrix,
     /// Simulated elapsed time.
     pub elapsed: f64,
+    /// Measured wall-clock seconds of the SPMD region.
+    pub wall_seconds: f64,
     /// Per-rank cost ledgers.
     pub ledgers: Vec<simgrid::CostLedger>,
 }
@@ -359,12 +361,12 @@ pub struct PgeqrfRun {
 /// `QrPlan` with `Algorithm::Pgeqrf` (see the `cacqr` crate's `driver`
 /// module), which validates the configuration and returns the unified
 /// report type.
-pub fn run_pgeqrf_global(a: &Matrix, config: PgeqrfConfig, machine: simgrid::Machine) -> PgeqrfRun {
+pub fn run_pgeqrf_global(a: &Matrix, config: PgeqrfConfig, cfg: simgrid::SimConfig) -> PgeqrfRun {
     let grid = config.grid;
     let (m, n) = (a.rows(), a.cols());
     let p = grid.pr * grid.pc;
     let a = a.clone();
-    let report = simgrid::run_spmd(p, simgrid::SimConfig::with_machine(machine), move |rank| {
+    let report = simgrid::run_spmd(p, cfg, move |rank| {
         let comms = PgeqrfComms::build(rank, grid);
         let mut local = grid.scatter(&a, comms.prow, comms.pcol);
         let panels = pgeqrf(rank, &comms, config, &mut local, m, n);
@@ -392,6 +394,7 @@ pub fn run_pgeqrf_global(a: &Matrix, config: PgeqrfConfig, machine: simgrid::Mac
         q,
         r,
         elapsed: report.elapsed,
+        wall_seconds: report.wall_seconds,
         ledgers: report.ledgers,
     }
 }
@@ -401,12 +404,12 @@ mod tests {
     use super::*;
     use dense::norms::{normalize_qr_signs, orthogonality_error, residual_error};
     use dense::random::well_conditioned;
-    use simgrid::Machine;
+    use simgrid::{Machine, SimConfig};
 
     fn check(m: usize, n: usize, pr: usize, pc: usize, nb: usize, seed: u64) -> PgeqrfRun {
         let a = well_conditioned(m, n, seed);
         let grid = BlockCyclic { pr, pc, nb };
-        let run = run_pgeqrf_global(&a, PgeqrfConfig::new(grid), Machine::zero());
+        let run = run_pgeqrf_global(&a, PgeqrfConfig::new(grid), SimConfig::default());
         assert!(
             orthogonality_error(run.q.as_ref()) < 1e-12,
             "orthogonality {:.2e} for grid {pr}x{pc} nb={nb}",
@@ -466,8 +469,16 @@ mod tests {
         let grid = BlockCyclic { pr: 4, pc: 1, nb: 4 };
         let a1 = well_conditioned(128, 16, 7);
         let a2 = well_conditioned(128, 32, 7);
-        let r1 = run_pgeqrf_global(&a1, PgeqrfConfig::new(grid), Machine::alpha_only());
-        let r2 = run_pgeqrf_global(&a2, PgeqrfConfig::new(grid), Machine::alpha_only());
+        let r1 = run_pgeqrf_global(
+            &a1,
+            PgeqrfConfig::new(grid),
+            SimConfig::with_machine(Machine::alpha_only()),
+        );
+        let r2 = run_pgeqrf_global(
+            &a2,
+            PgeqrfConfig::new(grid),
+            SimConfig::with_machine(Machine::alpha_only()),
+        );
         let ratio = r2.elapsed / r1.elapsed;
         assert!(
             (1.6..=2.4).contains(&ratio),

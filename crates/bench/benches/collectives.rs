@@ -1,8 +1,18 @@
-//! Wall-clock throughput of the simulator's collectives (the runtime
-//! substrate): how fast the threaded simulation itself executes.
+//! Wall-clock throughput of the collectives on both execution backends.
+//!
+//! The `sim_*` groups measure the simulated mailbox runtime (how fast the
+//! threaded simulation itself executes); the `shm_*` groups measure the
+//! shared-memory runtime's in-place butterfly collectives over pooled
+//! arenas — the zero-copy path whose wall clock is the thing PR 6 makes
+//! meaningful.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use simgrid::{run_spmd, SimConfig};
+use dense::WorkspacePool;
+use simgrid::{run_spmd, run_spmd_pooled, RuntimeKind, SimConfig};
+
+fn shm_cfg() -> SimConfig {
+    SimConfig::default().on_runtime(RuntimeKind::SharedMem)
+}
 
 fn bench_allreduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_allreduce");
@@ -61,5 +71,88 @@ fn bench_allgather(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_allreduce, bench_bcast, bench_allgather);
+fn bench_shm_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm_allreduce");
+    g.sample_size(10);
+    for &p in &[2usize, 8] {
+        for &n in &[1024usize, 16384] {
+            // One pool per configuration: the warm arenas persist across
+            // iterations, so the measured loop runs the allocation-free
+            // steady state rather than first-touch growth.
+            let pool = WorkspacePool::new();
+            g.bench_with_input(BenchmarkId::new(format!("p{p}"), n), &n, |bench, &n| {
+                bench.iter(|| {
+                    run_spmd_pooled(p, shm_cfg(), &pool, move |rank| {
+                        let world = rank.world();
+                        let mut buf = rank.comm_take(n);
+                        buf.fill(1.0);
+                        world.allreduce(rank, &mut buf);
+                        let first = buf[0];
+                        rank.recycle_comm(buf);
+                        first
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_shm_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm_bcast");
+    g.sample_size(10);
+    for &p in &[2usize, 8] {
+        for &n in &[1024usize, 16384] {
+            let pool = WorkspacePool::new();
+            g.bench_with_input(BenchmarkId::new(format!("p{p}"), n), &n, |bench, &n| {
+                bench.iter(|| {
+                    run_spmd_pooled(p, shm_cfg(), &pool, move |rank| {
+                        let world = rank.world();
+                        let mut buf = rank.comm_take(n);
+                        buf.fill(rank.id() as f64);
+                        world.bcast(rank, 0, &mut buf);
+                        let first = buf[0];
+                        rank.recycle_comm(buf);
+                        first
+                    })
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_shm_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shm_allgather");
+    g.sample_size(10);
+    let p = 8usize;
+    for &b in &[256usize, 4096] {
+        let pool = WorkspacePool::new();
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| {
+                run_spmd_pooled(p, shm_cfg(), &pool, move |rank| {
+                    let world = rank.world();
+                    let mut local = rank.comm_take(b);
+                    local.fill(rank.id() as f64);
+                    let gathered = world.allgather(rank, &local);
+                    let len = gathered.len();
+                    rank.recycle_comm(gathered);
+                    rank.recycle_comm(local);
+                    len
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_bcast,
+    bench_allgather,
+    bench_shm_allreduce,
+    bench_shm_bcast,
+    bench_shm_allgather
+);
 criterion_main!(benches);

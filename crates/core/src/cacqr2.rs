@@ -82,11 +82,11 @@ mod tests {
     use dense::norms::{lower_residual, normalize_qr_signs, orthogonality_error, residual_error};
     use dense::random::{matrix_with_condition, well_conditioned};
     use pargrid::GridShape;
-    use simgrid::Machine;
+    use simgrid::SimConfig;
 
     fn check(shape: GridShape, m: usize, n: usize, seed: u64, params: CfrParams) {
         let a = well_conditioned(m, n, seed);
-        let run = run_cacqr2_global(&a, shape, params, Machine::zero(), &dense::WorkspacePool::new())
+        let run = run_cacqr2_global(&a, shape, params, SimConfig::default(), &dense::WorkspacePool::new())
             .expect("well-conditioned input");
         assert!(
             orthogonality_error(run.q.as_ref()) < 1e-12,
@@ -157,7 +157,7 @@ mod tests {
             &a,
             shape,
             CfrParams::validated(n, 2, 4, 0).unwrap(),
-            Machine::zero(),
+            SimConfig::default(),
             &dense::WorkspacePool::new(),
         )
         .unwrap();
@@ -183,7 +183,7 @@ mod tests {
             &a,
             shape,
             CfrParams::validated(n, 2, 4, 0).unwrap(),
-            Machine::zero(),
+            SimConfig::default(),
             &dense::WorkspacePool::new(),
         )
         .unwrap();
@@ -200,7 +200,7 @@ mod tests {
             &a,
             shape,
             CfrParams::validated(n, 2, 4, 0).unwrap(),
-            Machine::zero(),
+            SimConfig::default(),
             &dense::WorkspacePool::new(),
         );
         assert!(

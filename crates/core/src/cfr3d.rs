@@ -186,6 +186,7 @@ fn base_case(
             full.set(i, j, gathered[idx * lb * lb + (i / c) * lb + (j / c)]);
         }
     }
+    rank.recycle_comm(gathered);
     // CholInv's factors are transient here (only the cyclic pieces survive),
     // but they come from the library as plain allocations; they are dropped,
     // not recycled, to keep the arena's inventory bounded.

@@ -56,6 +56,19 @@ pub enum PlanError {
         /// Required divisor (`c`).
         divisor: usize,
     },
+    /// A communicator the plan would create is not a power of two in size.
+    /// The butterfly collective schedules (recursive doubling/halving,
+    /// binomial trees) on both execution backends require power-of-two
+    /// groups; catching this at build time replaces a runtime panic in the
+    /// collectives layer.
+    CommNotPowerOfTwo {
+        /// Which grid dimension forms the offending communicator
+        /// (`"pr"` / `"pc"` for the block-cyclic baseline's column and row
+        /// groups).
+        what: &'static str,
+        /// The non-power-of-two group size.
+        size: usize,
+    },
     /// `Algorithm::Pgeqrf` requires the panel width `nb` to divide `n`.
     BlockSizeMismatch {
         /// Global column count.
@@ -111,6 +124,12 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::ColsNotDivisible { n, divisor } => {
                 write!(f, "the CA family requires c | n (n={n}, c={divisor})")
+            }
+            PlanError::CommNotPowerOfTwo { what, size } => {
+                write!(
+                    f,
+                    "the collective schedules require power-of-two communicators: {what}={size}"
+                )
             }
             PlanError::BlockSizeMismatch { n, nb } => {
                 write!(f, "pgeqrf requires nb | n (n={n}, nb={nb})")

@@ -76,7 +76,7 @@ use baseline::{run_pgeqrf_global, BlockCyclic, PgeqrfConfig};
 use dense::norms;
 use dense::{BackendKind, Matrix, WorkspacePool};
 use pargrid::GridShape;
-use simgrid::{CostLedger, Machine};
+use simgrid::{CostLedger, Machine, RuntimeKind, SimConfig};
 use std::sync::Arc;
 
 /// The QR variants the workspace implements, as data.
@@ -142,7 +142,7 @@ impl std::str::FromStr for Algorithm {
 /// The global driver a CA-family plan executes: [`run_cacqr2_global`] or
 /// [`run_cacqr3_global`], resolved once at build time.
 type CaDriver =
-    fn(&Matrix, GridShape, CfrParams, Machine, &WorkspacePool) -> Result<QrRun, dense::cholesky::CholeskyError>;
+    fn(&Matrix, GridShape, CfrParams, SimConfig, &WorkspacePool) -> Result<QrRun, dense::cholesky::CholeskyError>;
 
 /// The resolved per-algorithm execution recipe of a built plan.
 #[derive(Clone, Copy, Debug)]
@@ -178,6 +178,7 @@ pub struct QrPlan {
     n: usize,
     algorithm: Algorithm,
     machine: Machine,
+    runtime: RuntimeKind,
     backend: BackendKind,
     exec: Exec,
     pool: Arc<WorkspacePool>,
@@ -200,6 +201,7 @@ pub struct QrPlanBuilder {
     grid: Option<GridShape>,
     block_cyclic: Option<BlockCyclic>,
     machine: Machine,
+    runtime: RuntimeKind,
     backend: BackendKind,
     base_size: Option<usize>,
     inverse_depth: usize,
@@ -216,6 +218,7 @@ impl QrPlan {
             grid: None,
             block_cyclic: None,
             machine: Machine::zero(),
+            runtime: RuntimeKind::from_env(),
             backend: BackendKind::default_kind(),
             base_size: None,
             inverse_depth: 0,
@@ -267,6 +270,12 @@ impl QrPlan {
     /// The simulated machine model charged during [`QrPlan::factor`].
     pub fn machine(&self) -> Machine {
         self.machine
+    }
+
+    /// The execution backend [`QrPlan::factor`] runs on: the deterministic
+    /// mailbox simulator or the measured shared-memory runtime.
+    pub fn runtime(&self) -> RuntimeKind {
+        self.runtime
     }
 
     /// The node-local kernel backend every local gemm/syrk/trsm uses.
@@ -346,15 +355,17 @@ impl QrPlan {
                 got: (a.rows(), a.cols()),
             });
         }
+        let cfg = SimConfig::with_machine(self.machine).on_runtime(self.runtime);
         let run = match self.exec {
-            Exec::Cqr1d { p } => run_cqr2_1d_global(a, p, self.backend, self.machine, &self.pool)?,
-            Exec::Ca { shape, params, run } => run(a, shape, params, self.machine, &self.pool)?,
+            Exec::Cqr1d { p } => run_cqr2_1d_global(a, p, self.backend, cfg, &self.pool)?,
+            Exec::Ca { shape, params, run } => run(a, shape, params, cfg, &self.pool)?,
             Exec::Pgeqrf { config } => {
-                let run = run_pgeqrf_global(a, config, self.machine);
+                let run = run_pgeqrf_global(a, config, cfg);
                 QrRun {
                     q: run.q,
                     r: run.r,
                     elapsed: run.elapsed,
+                    wall_seconds: run.wall_seconds,
                     ledgers: run.ledgers,
                 }
             }
@@ -387,6 +398,16 @@ impl QrPlanBuilder {
     /// Sets the simulated machine model (default [`Machine::zero`]).
     pub fn machine(mut self, machine: Machine) -> QrPlanBuilder {
         self.machine = machine;
+        self
+    }
+
+    /// Chooses the execution backend (default: the process-wide choice from
+    /// the `CACQR_RUNTIME` environment variable, which itself defaults to
+    /// the simulated backend). [`RuntimeKind::SharedMem`] runs the same
+    /// per-rank bodies as pinned OS threads over zero-copy shared-memory
+    /// collectives, making [`QrReport::wall_seconds`] a real measurement.
+    pub fn runtime(mut self, runtime: RuntimeKind) -> QrPlanBuilder {
+        self.runtime = runtime;
         self
     }
 
@@ -476,6 +497,16 @@ impl QrPlanBuilder {
                 if n % grid.nb != 0 {
                     return Err(PlanError::BlockSizeMismatch { n, nb: grid.nb });
                 }
+                // The butterfly collectives (both backends) only handle
+                // power-of-two communicators; the panel allreduce runs over
+                // a grid column (pr ranks) and the trailing-matrix broadcast
+                // over a grid row (pc ranks). Reject here instead of letting
+                // the runtime assert mid-factorization.
+                for (what, size) in [("pr", grid.pr), ("pc", grid.pc)] {
+                    if !size.is_power_of_two() {
+                        return Err(PlanError::CommNotPowerOfTwo { what, size });
+                    }
+                }
                 Exec::Pgeqrf {
                     config: PgeqrfConfig {
                         grid,
@@ -489,6 +520,7 @@ impl QrPlanBuilder {
             n,
             algorithm: self.algorithm,
             machine: self.machine,
+            runtime: self.runtime,
             backend: self.backend,
             exec,
             pool: Arc::new(WorkspacePool::new()),
@@ -508,6 +540,10 @@ pub struct QrReport {
     pub r: Matrix,
     /// Simulated elapsed time under the plan's machine model.
     pub elapsed: f64,
+    /// Measured wall-clock seconds of the SPMD region — the real quantity
+    /// on the shared-memory runtime (one process-wide measurement, not a
+    /// model output).
+    pub wall_seconds: f64,
     /// Per-rank α-β-γ cost ledgers.
     pub ledgers: Vec<CostLedger>,
     /// `‖QᵀQ − I‖_F` — deviation from orthogonality.
@@ -525,6 +561,7 @@ impl QrReport {
             q: run.q,
             r: run.r,
             elapsed: run.elapsed,
+            wall_seconds: run.wall_seconds,
             ledgers: run.ledgers,
             orthogonality_error,
             residual_error,

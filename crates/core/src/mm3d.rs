@@ -120,6 +120,7 @@ pub fn transpose_cube(rank: &mut Rank, cube: &CubeComms, m: &Matrix, ws: &mut Wo
             out.set(j, i, swapped[i * n + j]);
         }
     }
+    rank.recycle_comm(swapped);
     out
 }
 

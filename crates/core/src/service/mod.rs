@@ -57,7 +57,7 @@ use baseline::BlockCyclic;
 use dense::{BackendKind, Matrix, PoolReservation};
 use pargrid::GridShape;
 use queue::{BoundedQueue, PushError};
-use simgrid::Machine;
+use simgrid::{Machine, RuntimeKind};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -152,9 +152,22 @@ impl JobSpec {
     /// result); tuner callers use it to build plans straight from
     /// [`TunerCandidate`](crate::tuner::TunerCandidate) specs.
     pub fn build_plan(&self, machine: Machine, default_backend: BackendKind) -> Result<QrPlan, PlanError> {
+        self.build_plan_on(machine, default_backend, RuntimeKind::from_env())
+    }
+
+    /// [`JobSpec::build_plan`] with an explicit execution backend instead of
+    /// the process-wide default — how a service (or tuner) pins all its
+    /// plans to one runtime.
+    pub fn build_plan_on(
+        &self,
+        machine: Machine,
+        default_backend: BackendKind,
+        runtime: RuntimeKind,
+    ) -> Result<QrPlan, PlanError> {
         let mut b = QrPlan::new(self.m, self.n)
             .algorithm(self.algorithm)
             .machine(machine)
+            .runtime(runtime)
             .backend(self.backend.unwrap_or(default_backend))
             .inverse_depth(self.inverse_depth);
         if let Some(grid) = self.grid {
@@ -249,6 +262,7 @@ struct Shared {
     /// profile can change).
     auto_specs: RwLock<HashMap<(usize, usize), JobSpec>>,
     machine: Machine,
+    runtime: RuntimeKind,
     default_backend: BackendKind,
 }
 
@@ -259,6 +273,7 @@ pub struct QrServiceBuilder {
     workers: Option<usize>,
     queue_capacity: Option<usize>,
     machine: Machine,
+    runtime: RuntimeKind,
     backend: BackendKind,
 }
 
@@ -285,6 +300,15 @@ impl QrServiceBuilder {
         self
     }
 
+    /// Sets the execution backend every job runs on (default: the
+    /// process-wide choice from `CACQR_RUNTIME`). Like the machine model,
+    /// the runtime is a property of the whole service, not of individual
+    /// specs — equal specs share one cached plan either way.
+    pub fn runtime(mut self, runtime: RuntimeKind) -> QrServiceBuilder {
+        self.runtime = runtime;
+        self
+    }
+
     /// Sets the default kernel backend for specs that don't pin one
     /// (default: the process-wide default).
     pub fn backend(mut self, backend: BackendKind) -> QrServiceBuilder {
@@ -301,6 +325,7 @@ impl QrServiceBuilder {
             cache: RwLock::new(HashMap::new()),
             auto_specs: RwLock::new(HashMap::new()),
             machine: self.machine,
+            runtime: self.runtime,
             default_backend: self.backend,
         });
         let reservation = PoolReservation::register(workers);
@@ -366,6 +391,7 @@ impl QrService {
             workers: None,
             queue_capacity: None,
             machine: Machine::zero(),
+            runtime: RuntimeKind::from_env(),
             backend: BackendKind::default_kind(),
         }
     }
@@ -383,6 +409,11 @@ impl QrService {
     /// The machine model every job is charged under.
     pub fn machine(&self) -> Machine {
         self.shared.machine
+    }
+
+    /// The execution backend every job runs on.
+    pub fn runtime(&self) -> RuntimeKind {
+        self.shared.runtime
     }
 
     /// Number of distinct plans currently cached.
@@ -489,7 +520,8 @@ impl QrService {
         if let Some(plan) = cache.get(&key) {
             return Ok((Arc::clone(plan), false)); // lost the build race: reuse the winner
         }
-        let plan = Arc::new(key.build_plan(self.shared.machine, self.shared.default_backend)?);
+        let plan =
+            Arc::new(key.build_plan_on(self.shared.machine, self.shared.default_backend, self.shared.runtime)?);
         cache.insert(key, Arc::clone(&plan));
         Ok((plan, true))
     }

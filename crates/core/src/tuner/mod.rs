@@ -62,7 +62,7 @@ use costmodel::{CandidateConfig, Cost, MachineCal};
 use dense::random::well_conditioned;
 use dense::BackendKind;
 use pargrid::GridShape;
-use simgrid::Machine;
+use simgrid::{Machine, RuntimeKind};
 use std::time::Instant;
 
 /// The process-global installed tuning profile consulted by
@@ -114,15 +114,23 @@ fn nominal_seconds_per_flop(backend: BackendKind) -> f64 {
 /// latency), per-word β at memcpy speed, and the given measured or nominal
 /// compute rate.
 pub fn host_profile(seconds_per_flop: f64) -> MachineCal {
-    MachineCal::calibrated(
-        "host",
-        Machine {
-            alpha: 1.0e-6,
-            beta: 1.5e-9,
-            gamma: 0.0,
-        },
-        seconds_per_flop,
-    )
+    MachineCal::calibrated("host", nominal_host_net(), seconds_per_flop)
+}
+
+/// The nominal α-β network assumed for in-process execution when no live
+/// transport probe has run.
+fn nominal_host_net() -> Machine {
+    Machine {
+        alpha: 1.0e-6,
+        beta: 1.5e-9,
+        gamma: 0.0,
+    }
+}
+
+/// A scoring profile with a *measured* α-β network (e.g. from
+/// [`simgrid::probe_shm_alpha_beta`]) in place of the nominal host numbers.
+pub fn measured_profile(net: Machine, seconds_per_flop: f64) -> MachineCal {
+    MachineCal::calibrated("host-measured", net, seconds_per_flop)
 }
 
 /// One scored (and possibly measured) configuration in a [`TunerReport`].
@@ -170,6 +178,11 @@ pub struct TunerReport {
     pub threads: usize,
     /// Whether live calibration (probe + measured top-K) ran.
     pub calibrated: bool,
+    /// The execution backend the tuning targeted: measured calibration runs
+    /// execute on it, and under [`RuntimeKind::SharedMem`] with calibration
+    /// the α-β network is measured by transport microprobes instead of
+    /// assumed.
+    pub runtime: RuntimeKind,
     /// The microkernel probes backing the calibrated flop rates — one
     /// gemm probe *and one Gram-kernel (syrk) probe* per swept backend
     /// (empty without calibration or with an explicit scoring profile).
@@ -206,9 +219,12 @@ impl TunerReport {
         self.best().spec
     }
 
-    /// Builds the winning plan under the given simulated machine model.
+    /// Builds the winning plan under the given simulated machine model, on
+    /// the runtime the tuning targeted.
     pub fn best_plan(&self, machine: Machine) -> Result<QrPlan, PlanError> {
-        self.best().spec.build_plan(machine, self.best().backend)
+        self.best()
+            .spec
+            .build_plan_on(machine, self.best().backend, self.runtime)
     }
 
     /// The winner as a persistable [`ProfileEntry`].
@@ -257,6 +273,7 @@ pub struct Tuner {
     m: usize,
     n: usize,
     processors: Option<usize>,
+    runtime: RuntimeKind,
     profile: Option<MachineCal>,
     algorithms: Vec<Algorithm>,
     backends: Vec<BackendKind>,
@@ -276,6 +293,7 @@ impl Tuner {
             m,
             n,
             processors: None,
+            runtime: RuntimeKind::from_env(),
             profile: None,
             algorithms: Algorithm::ALL.to_vec(),
             backends: vec![BackendKind::default_kind()],
@@ -291,6 +309,15 @@ impl Tuner {
     /// {16, 8, 4, 32, 64, 2, 1} with a runnable candidate).
     pub fn processors(mut self, p: usize) -> Tuner {
         self.processors = Some(p);
+        self
+    }
+
+    /// Targets an execution backend (default: the process-wide choice from
+    /// `CACQR_RUNTIME`). Calibration runs execute on it; under
+    /// [`RuntimeKind::SharedMem`] the scoring profile's α-β network is
+    /// *measured* with transport microprobes rather than assumed.
+    pub fn runtime(mut self, runtime: RuntimeKind) -> Tuner {
+        self.runtime = runtime;
         self
     }
 
@@ -370,6 +397,15 @@ impl Tuner {
         // predicted seconds into wall-clock territory without moving ranks.
         let oversubscription = (processors as f64 / threads as f64).max(1.0);
 
+        // Under shared-memory calibration, measure the transport's α-β once
+        // (ping-pong latency + streaming bandwidth microprobes) so every
+        // backend's scoring profile prices communication as the machine
+        // actually delivers it.
+        let measured_net = if self.calibrate && self.profile.is_none() && self.runtime == RuntimeKind::SharedMem {
+            Some(simgrid::probe_shm_alpha_beta().as_machine())
+        } else {
+            None
+        };
         let mut probes = Vec::new();
         let mut candidates = Vec::new();
         for &backend in &self.backends {
@@ -391,7 +427,7 @@ impl Tuner {
                         // gemm rate (Householder has no Gram kernel). The
                         // top-K re-rank below still measures whole
                         // factorizations live.
-                        host_profile(p.seconds_per_flop)
+                        measured_profile(measured_net.unwrap_or_else(nominal_host_net), p.seconds_per_flop)
                             .with_gamma_cqr2(0.5 * (p.seconds_per_flop + ps.seconds_per_flop))
                     } else {
                         host_profile(nominal_seconds_per_flop(backend))
@@ -464,6 +500,7 @@ impl Tuner {
             processors,
             threads,
             calibrated: self.calibrate,
+            runtime: self.runtime,
             probes,
             candidates,
         })
@@ -512,7 +549,7 @@ impl Tuner {
         let Ok(spec) = spec_for(rows, self.n, &cand.config, cand.backend) else {
             return f64::INFINITY;
         };
-        let Ok(plan) = spec.build_plan(Machine::zero(), cand.backend) else {
+        let Ok(plan) = spec.build_plan_on(Machine::zero(), cand.backend, self.runtime) else {
             return f64::INFINITY;
         };
         let a = well_conditioned(rows, self.n, self.seed);

@@ -29,7 +29,7 @@ use crate::config::CfrParams;
 use dense::cholesky::CholeskyError;
 use dense::{BackendKind, Matrix, Workspace, WorkspacePool};
 use pargrid::{DistMatrix, GridShape, TunableComms};
-use simgrid::{run_spmd, CostLedger, Machine, Rank, SimConfig};
+use simgrid::{run_spmd_pooled, CostLedger, Rank, SimConfig};
 
 /// Per-rank body of one CA-family algorithm, as consumed by
 /// [`run_ca_family`]: `(rank, comms, a_local, m, n, params, ws) → output`.
@@ -51,6 +51,10 @@ pub struct QrRun {
     pub r: Matrix,
     /// Simulated elapsed time under the machine model used for the run.
     pub elapsed: f64,
+    /// Measured wall-clock seconds of the SPMD region. Meaningful for the
+    /// shared-memory runtime; on the simulated backend it mostly measures
+    /// mailbox traffic and is not a model quantity.
+    pub wall_seconds: f64,
     /// Per-rank cost ledgers.
     pub ledgers: Vec<CostLedger>,
 }
@@ -62,18 +66,22 @@ pub struct QrRun {
 /// [`WorkspacePool::new()`] for one-off runs or a long-lived pool to make
 /// repeated runs allocation-free.
 ///
+/// The `cfg` chooses both the machine model *and* the execution backend
+/// ([`SimConfig::on_runtime`]): the same per-rank bodies run over simulated
+/// mailboxes or over pinned shared-memory threads.
+///
 /// # Examples
 ///
 /// ```
 /// use cacqr::{validate::run_cacqr2_global, CfrParams};
 /// use dense::WorkspacePool;
 /// use pargrid::GridShape;
-/// use simgrid::Machine;
+/// use simgrid::SimConfig;
 ///
 /// let a = dense::random::well_conditioned(64, 8, 1);
 /// let shape = GridShape::new(2, 4).unwrap(); // c=2, d=4: P = 16 ranks
 /// let pool = WorkspacePool::new();
-/// let run = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 2), Machine::zero(), &pool).unwrap();
+/// let run = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 2), SimConfig::default(), &pool).unwrap();
 /// assert!(dense::norms::orthogonality_error(run.q.as_ref()) < 1e-12);
 /// assert!(dense::norms::residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
 /// ```
@@ -81,14 +89,14 @@ pub fn run_cacqr2_global(
     a: &Matrix,
     shape: GridShape,
     params: CfrParams,
-    machine: Machine,
+    cfg: SimConfig,
     pool: &WorkspacePool,
 ) -> Result<QrRun, CholeskyError> {
     run_ca_family(
         a,
         shape,
         params,
-        machine,
+        cfg,
         pool,
         |rank, comms, a_local, _m, n, params, ws| ca_cqr2(rank, comms, a_local, n, params, ws),
     )
@@ -101,10 +109,10 @@ pub fn run_cacqr3_global(
     a: &Matrix,
     shape: GridShape,
     params: CfrParams,
-    machine: Machine,
+    cfg: SimConfig,
     pool: &WorkspacePool,
 ) -> Result<QrRun, CholeskyError> {
-    run_ca_family(a, shape, params, machine, pool, ca_cqr3)
+    run_ca_family(a, shape, params, cfg, pool, ca_cqr3)
 }
 
 /// Shared driver for the CA family (Algorithms 8–9 and the shifted-CQR3
@@ -115,7 +123,7 @@ fn run_ca_family(
     a: &Matrix,
     shape: GridShape,
     params: CfrParams,
-    machine: Machine,
+    cfg: SimConfig,
     pool: &WorkspacePool,
     alg: CaAlgorithm,
 ) -> Result<QrRun, CholeskyError> {
@@ -123,7 +131,7 @@ fn run_ca_family(
     let (c, d) = (shape.c, shape.d);
     assert_eq!(m % d, 0, "the CA family requires d | m (m={m}, d={d})");
     assert_eq!(n % c, 0, "the CA family requires c | n (n={n}, c={c})");
-    let report = run_spmd(shape.p(), SimConfig::with_machine(machine), |rank| {
+    let report = run_spmd_pooled(shape.p(), cfg, pool, |rank| {
         let comms = TunableComms::build(rank, shape);
         let (x, y, z) = comms.coords;
         let id = rank.id();
@@ -192,6 +200,7 @@ fn run_ca_family(
         q,
         r,
         elapsed: report.elapsed,
+        wall_seconds: report.wall_seconds,
         ledgers: report.ledgers,
     })
 }
@@ -203,12 +212,12 @@ pub fn run_cqr2_1d_global(
     a: &Matrix,
     p: usize,
     backend: BackendKind,
-    machine: Machine,
+    cfg: SimConfig,
     pool: &WorkspacePool,
 ) -> Result<QrRun, CholeskyError> {
     let (m, n) = (a.rows(), a.cols());
     assert_eq!(m % p, 0, "1D-CQR2 requires p | m");
-    let report = run_spmd(p, SimConfig::with_machine(machine), |rank| {
+    let report = run_spmd_pooled(p, cfg, pool, |rank| {
         let world = rank.world();
         let mut ws = pool.checkout_at(rank.id());
         let al = DistMatrix::local_from_global(a, p, 1, rank.id(), 0, &mut ws);
@@ -239,6 +248,7 @@ pub fn run_cqr2_1d_global(
         q,
         r: r0.unwrap(),
         elapsed: report.elapsed,
+        wall_seconds: report.wall_seconds,
         ledgers: report.ledgers,
     })
 }
@@ -248,13 +258,21 @@ mod tests {
     use super::*;
     use dense::norms::{orthogonality_error, residual_error};
     use dense::random::{matrix_with_condition, well_conditioned};
+    use simgrid::Machine;
 
     #[test]
     fn driver_runs_and_reports_costs() {
         let a = well_conditioned(32, 8, 17);
         let shape = GridShape::new(2, 4).unwrap();
         let params = CfrParams::validated(8, 2, 4, 0).unwrap();
-        let run = run_cacqr2_global(&a, shape, params, Machine::stampede2(64), &WorkspacePool::new()).unwrap();
+        let run = run_cacqr2_global(
+            &a,
+            shape,
+            params,
+            SimConfig::with_machine(Machine::stampede2(64)),
+            &WorkspacePool::new(),
+        )
+        .unwrap();
         assert!(orthogonality_error(run.q.as_ref()) < 1e-12);
         assert!(residual_error(a.as_ref(), run.q.as_ref(), run.r.as_ref()) < 1e-12);
         assert!(run.elapsed > 0.0, "a real machine model must yield positive time");
@@ -266,9 +284,9 @@ mod tests {
     fn one_d_driver_matches_ca_driver_with_c1() {
         let a = well_conditioned(24, 8, 19);
         let pool = WorkspacePool::new();
-        let run1 = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), Machine::zero(), &pool).unwrap();
+        let run1 = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), SimConfig::default(), &pool).unwrap();
         let shape = GridShape::one_d(4).unwrap();
-        let run2 = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 1), Machine::zero(), &pool).unwrap();
+        let run2 = run_cacqr2_global(&a, shape, CfrParams::default_for(8, 1), SimConfig::default(), &pool).unwrap();
         assert_eq!(
             run1.q, run2.q,
             "bitwise agreement between Algorithm 7 and Algorithm 9 with c=1"
@@ -284,7 +302,7 @@ mod tests {
             &a,
             shape,
             CfrParams::default_for(8, 2),
-            Machine::zero(),
+            SimConfig::default(),
             &WorkspacePool::new(),
         )
         .unwrap();
@@ -305,7 +323,7 @@ mod tests {
         let mut baseline = 0;
         for round in 0..10 {
             assert!(
-                run_cacqr2_global(&a, shape, params, Machine::zero(), &pool).is_err(),
+                run_cacqr2_global(&a, shape, params, SimConfig::default(), &pool).is_err(),
                 "κ=1e12 must fail"
             );
             let now = pool.heap_allocations();
@@ -316,7 +334,7 @@ mod tests {
             baseline = now;
         }
         for _ in 0..3 {
-            let _ = run_cacqr2_global(&a, shape, params, Machine::zero(), &pool);
+            let _ = run_cacqr2_global(&a, shape, params, SimConfig::default(), &pool);
         }
         assert_eq!(
             pool.heap_allocations(),
@@ -334,11 +352,11 @@ mod tests {
         // Warm until the arena inventory settles: best-fit reuse can convert
         // a bounded number of buffers to larger size classes before every
         // take is served warm.
-        let warm = run_cacqr2_global(&a, shape, params, Machine::zero(), &pool).unwrap();
+        let warm = run_cacqr2_global(&a, shape, params, SimConfig::default(), &pool).unwrap();
         let mut baseline = pool.heap_allocations();
         for round in 0..10 {
-            let _ = run_cacqr2_global(&a, shape, params, Machine::zero(), &pool).unwrap();
-            let _ = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), Machine::zero(), &pool).unwrap();
+            let _ = run_cacqr2_global(&a, shape, params, SimConfig::default(), &pool).unwrap();
+            let _ = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), SimConfig::default(), &pool).unwrap();
             let now = pool.heap_allocations();
             if round > 0 && now == baseline {
                 break;
@@ -348,9 +366,9 @@ mod tests {
         }
         let arenas = pool.arenas();
         for _ in 0..3 {
-            let run = run_cacqr2_global(&a, shape, params, Machine::zero(), &pool).unwrap();
+            let run = run_cacqr2_global(&a, shape, params, SimConfig::default(), &pool).unwrap();
             assert_eq!(run.q, warm.q, "pooling must not change results");
-            let _ = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), Machine::zero(), &pool).unwrap();
+            let _ = run_cqr2_1d_global(&a, 4, BackendKind::default_kind(), SimConfig::default(), &pool).unwrap();
         }
         assert_eq!(
             pool.heap_allocations(),

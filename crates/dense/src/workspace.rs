@@ -243,6 +243,32 @@ impl WorkspacePool {
         }
     }
 
+    /// Takes the arena pinned to slot `index` *by value* (falling back to an
+    /// anonymous arena, then a fresh one). Unlike
+    /// [`checkout_at`](WorkspacePool::checkout_at) the caller owns the arena
+    /// outright — no pool lifetime — which is what lets a spawned rank
+    /// thread carry its communication arena across an SPMD region. Pair
+    /// with [`put_at`](WorkspacePool::put_at) to return it.
+    pub fn take_at(&self, index: usize) -> Workspace {
+        let from_slot = {
+            let mut indexed = self.indexed.lock().unwrap_or_else(|e| e.into_inner());
+            if indexed.len() <= index {
+                indexed.resize_with(index + 1, || None);
+            }
+            indexed[index].take()
+        };
+        from_slot
+            .or_else(|| self.anon.lock().unwrap_or_else(|e| e.into_inner()).pop())
+            .unwrap_or_else(|| self.make_arena())
+    }
+
+    /// Parks an arena obtained with [`take_at`](WorkspacePool::take_at) back
+    /// into slot `index` (overflow from a slot race joins the anonymous
+    /// list, same as guard drop).
+    pub fn put_at(&self, index: usize, ws: Workspace) {
+        self.park(ws, Some(index));
+    }
+
     /// Checks out an anonymous arena (no slot affinity).
     pub fn checkout(&self) -> PooledWorkspace<'_> {
         let ws = self

@@ -56,14 +56,26 @@ impl Comm {
     /// Pairwise exchange with the member at index `partner`: sends `data`,
     /// returns the partner's message. Exchanging with oneself is a free copy
     /// (used by diagonal ranks in the matrix transpose).
+    ///
+    /// The returned buffer is served from the rank's communication arena —
+    /// hand it back with [`Rank::recycle_comm`] when done to keep the
+    /// steady-state communication path allocation-free.
     pub fn sendrecv(&self, rank: &mut Rank, partner: usize, data: &[f64]) -> Vec<f64> {
         let tag = self.next_tag();
         if partner == self.my_index() {
-            return data.to_vec();
+            let mut out = rank.comm_take(data.len());
+            out.copy_from_slice(data);
+            return out;
         }
         let dst = self.member(partner);
+        if rank.is_shm() {
+            return self.sendrecv_shm(rank, dst, data);
+        }
         rank.send(dst, tag, data);
-        rank.recv(dst, tag)
+        let data = rank.recv(dst, tag);
+        let mut out = rank.comm_take(data.len());
+        out.copy_from_slice(&data);
+        out
     }
 
     /// Broadcast from `root` (member index). Large messages (`n ≥ p`) use
@@ -83,19 +95,29 @@ impl Comm {
         let n = buf.len();
         if n < p {
             self.enter_phase(rank);
-            self.bcast_binomial(rank, root, buf);
+            if rank.is_shm() {
+                self.bcast_binomial_shm(rank, root, buf);
+            } else {
+                self.bcast_binomial(rank, root, buf);
+            }
             return;
         }
         if !n.is_multiple_of(p) {
             // Pad to the next multiple of p so the block schedule applies;
             // the cost model mirrors this padding (n̄ = p·⌈n/p⌉).
-            let mut padded = vec![0.0f64; n.div_ceil(p) * p];
+            let mut padded = rank.comm_take(n.div_ceil(p) * p);
             padded[..n].copy_from_slice(buf);
+            padded[n..].fill(0.0);
             self.bcast(rank, root, &mut padded);
             buf.copy_from_slice(&padded[..n]);
+            rank.recycle_comm(padded);
             return;
         }
         self.enter_phase(rank);
+        if rank.is_shm() {
+            self.bcast_large_shm(rank, root, buf);
+            return;
+        }
         let b = n / p;
         let vr = (self.my_index() + p - root) % p;
 
@@ -191,16 +213,26 @@ impl Comm {
     /// Allgather: each member contributes `local` (equal length on all
     /// members); returns the concatenation in member-index order.
     /// `log₂p·α + n(1−1/p)·β` for total gathered size `n = p·|local|`.
+    ///
+    /// The returned buffer is served from the rank's communication arena —
+    /// hand it back with [`Rank::recycle_comm`] when done to keep the
+    /// steady-state communication path allocation-free.
     pub fn allgather(&self, rank: &mut Rank, local: &[f64]) -> Vec<f64> {
         let p = self.size();
         assert!(is_pow2(p), "communicator size must be a power of two (got {p})");
         let b = local.len();
-        let mut buf = vec![0.0f64; b * p];
+        // Stale contents are fine: every block is written below (the local
+        // copy plus one doubling round per remote block).
+        let mut buf = rank.comm_take(b * p);
         let me = self.my_index();
         buf[me * b..(me + 1) * b].copy_from_slice(local);
         if p > 1 {
             self.enter_phase(rank);
-            self.allgather_blocks(rank, &mut buf, b, me, 0);
+            if rank.is_shm() {
+                self.allgather_blocks_shm(rank, &mut buf, b, me, 0);
+            } else {
+                self.allgather_blocks(rank, &mut buf, b, me, 0);
+            }
         }
         buf
     }
@@ -284,17 +316,28 @@ impl Comm {
         let n = buf.len();
         if n < p {
             self.enter_phase(rank);
-            self.allreduce_doubling(rank, buf);
+            if rank.is_shm() {
+                self.allreduce_doubling_shm(rank, buf);
+            } else {
+                self.allreduce_doubling(rank, buf);
+            }
             return;
         }
         if !n.is_multiple_of(p) {
-            let mut padded = vec![0.0f64; n.div_ceil(p) * p];
+            let mut padded = rank.comm_take(n.div_ceil(p) * p);
             padded[..n].copy_from_slice(buf);
+            padded[n..].fill(0.0);
             self.allreduce(rank, &mut padded);
             buf.copy_from_slice(&padded[..n]);
+            rank.recycle_comm(padded);
             return;
         }
         self.enter_phase(rank);
+        if rank.is_shm() {
+            let b = self.reduce_scatter_blocks_shm(rank, buf);
+            self.allgather_blocks_shm(rank, buf, b, self.my_index(), 0);
+            return;
+        }
         let b = self.reduce_scatter_blocks(rank, buf);
         self.allgather_blocks(rank, buf, b, self.my_index(), 0);
     }
@@ -313,17 +356,28 @@ impl Comm {
         let n = buf.len();
         if n < p {
             self.enter_phase(rank);
-            self.reduce_binomial(rank, root, buf);
+            if rank.is_shm() {
+                self.reduce_binomial_shm(rank, root, buf);
+            } else {
+                self.reduce_binomial(rank, root, buf);
+            }
             return;
         }
         if !n.is_multiple_of(p) {
-            let mut padded = vec![0.0f64; n.div_ceil(p) * p];
+            let mut padded = rank.comm_take(n.div_ceil(p) * p);
             padded[..n].copy_from_slice(buf);
+            padded[n..].fill(0.0);
             self.reduce(rank, root, &mut padded);
             buf.copy_from_slice(&padded[..n]);
+            rank.recycle_comm(padded);
             return;
         }
         self.enter_phase(rank);
+        if rank.is_shm() {
+            let b = self.reduce_scatter_blocks_shm(rank, buf);
+            self.gather_binomial_shm(rank, root, buf, b);
+            return;
+        }
         let b = self.reduce_scatter_blocks(rank, buf);
         // Binomial gather to root in virtual space. Virtual rank v holds the
         // reduced block with *index* i(v) = (v + root) % p; after k rounds it
@@ -331,7 +385,6 @@ impl Comm {
         let me = self.my_index();
         let vr = (me + p - root) % p;
         let tag = self.next_tag();
-        let mut scratch = Vec::new();
         let mut d = 1;
         let mut have = 1usize;
         while d < p {
@@ -346,13 +399,14 @@ impl Comm {
                 have = 2 * d;
             } else if vr % (2 * d) == d {
                 // Serialize my virtual range [vr, vr + have) in virtual order.
-                scratch.clear();
-                for w in vr..vr + have {
+                let mut scratch = rank.comm_take(have * b);
+                for (off, w) in (vr..vr + have).enumerate() {
                     let idx = (w + root) % p;
-                    scratch.extend_from_slice(&buf[idx * b..(idx + 1) * b]);
+                    scratch[off * b..(off + 1) * b].copy_from_slice(&buf[idx * b..(idx + 1) * b]);
                 }
                 let dst = self.global_of_virtual(vr - d, root);
                 rank.send(dst, tag, &scratch);
+                rank.recycle_comm(scratch);
                 break;
             }
             d *= 2;
@@ -366,8 +420,282 @@ impl Comm {
         if p == 1 {
             return;
         }
-        let mut token = vec![0.0f64; p];
+        let mut token = rank.comm_take_zeroed(p);
         self.allreduce(rank, &mut token);
+        rank.recycle_comm(token);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-memory schedules.
+    //
+    // Each is the exact mirror of its simulated twin above: same virtual
+    // ranks, same block orders, same reduction orders, same α-β-γ charges —
+    // so numerical results, ledgers, and virtual clocks are bitwise
+    // identical across backends. What changes is the transport: a round
+    // publishes the outgoing slice (plus the sender's post-charge clock) in
+    // the rank's shared window, crosses the group barrier, reads partners'
+    // windows in place, and crosses the barrier again before any window is
+    // republished or any read region mutated. Every member executes every
+    // round's two crossings, even rounds where it moves no data — that is
+    // what lets schedules with early exits in the simulated form (binomial
+    // trees) share one group barrier safely.
+    // ------------------------------------------------------------------
+
+    /// Shared-memory [`Comm::sendrecv`]: pair-epoch handshake instead of a
+    /// group barrier (self-paired members never enter this path, so a
+    /// comm-wide barrier could deadlock). `peer` is the global rank id.
+    fn sendrecv_shm(&self, rank: &mut Rank, peer: usize, data: &[f64]) -> Vec<f64> {
+        let n = data.len();
+        let me = rank.id();
+        let shm = rank.shm_arc();
+        let mut out = rank.comm_take(n);
+        rank.charge_send(n);
+        shm.publish(me, data, rank.clock());
+        let s = shm.pair_advance(me, peer);
+        shm.pair_wait(peer, me, s);
+        // SAFETY: the peer published before advancing its epoch; it cannot
+        // republish or mutate until the second handshake below completes.
+        let (pdata, depart) = unsafe { shm.peer_slice(peer) };
+        debug_assert_eq!(pdata.len(), n);
+        rank.charge_recv(n, depart);
+        out.copy_from_slice(pdata);
+        let s = shm.pair_advance(me, peer);
+        shm.pair_wait(peer, me, s);
+        out
+    }
+
+    /// Shared-memory large-message broadcast: binomial scatter +
+    /// recursive-doubling allgather over published windows.
+    fn bcast_large_shm(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        let b = buf.len() / p;
+        let vr = (self.my_index() + p - root) % p;
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag(); // keep the tag stream aligned with the simulated twin
+        let mut have = if vr == 0 { p } else { 0 };
+        let mut d = p / 2;
+        while d >= 1 {
+            if have == 2 * d {
+                rank.charge_send(d * b);
+                shm.publish(rank.id(), &buf[(vr + d) * b..(vr + 2 * d) * b], rank.clock());
+                have = d;
+            }
+            self.shm_barrier();
+            if have == 0 && vr.is_multiple_of(d) && (vr / d) % 2 == 1 {
+                let src = self.global_of_virtual(vr - d, root);
+                // SAFETY: two-barrier bracket; the source's published slice
+                // is disjoint from every region written this round.
+                let (data, depart) = unsafe { shm.peer_slice(src) };
+                debug_assert_eq!(data.len(), d * b);
+                rank.charge_recv(d * b, depart);
+                buf[vr * b..(vr + d) * b].copy_from_slice(data);
+                have = d;
+            }
+            self.shm_barrier();
+            d /= 2;
+        }
+        self.allgather_blocks_shm(rank, buf, b, vr, root);
+    }
+
+    /// Shared-memory small-message binomial broadcast.
+    fn bcast_binomial_shm(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        let vr = (self.my_index() + p - root) % p;
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag();
+        let mut k = 1;
+        while k < p {
+            if vr < k {
+                rank.charge_send(buf.len());
+                shm.publish(rank.id(), buf, rank.clock());
+            }
+            self.shm_barrier();
+            if vr >= k && vr < 2 * k {
+                let src = self.global_of_virtual(vr - k, root);
+                // SAFETY: two-barrier bracket; senders do not touch their
+                // buffers between the crossings.
+                let (data, depart) = unsafe { shm.peer_slice(src) };
+                rank.charge_recv(buf.len(), depart);
+                buf.copy_from_slice(data);
+            }
+            self.shm_barrier();
+            k *= 2;
+        }
+    }
+
+    /// Shared-memory small-message recursive-doubling allreduce. The one
+    /// staging copy per round (partner's pre-add values) is algorithmically
+    /// required: both partners update their buffers in place.
+    fn allreduce_doubling_shm(&self, rank: &mut Rank, buf: &mut [f64]) {
+        let p = self.size();
+        let me = self.my_index();
+        let n = buf.len();
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag();
+        let mut scratch = rank.comm_take(n);
+        let mut d = 1;
+        while d < p {
+            let peer = self.member(me ^ d);
+            rank.charge_send(n);
+            shm.publish(rank.id(), buf, rank.clock());
+            self.shm_barrier();
+            // SAFETY: two-barrier bracket; adds are deferred until every
+            // member has staged its partner's pre-add values.
+            let (data, depart) = unsafe { shm.peer_slice(peer) };
+            debug_assert_eq!(data.len(), n);
+            rank.charge_recv(n, depart);
+            scratch.copy_from_slice(data);
+            self.shm_barrier();
+            for (x, y) in buf.iter_mut().zip(&scratch) {
+                *x += y;
+            }
+            rank.charge_flops(n as f64);
+            d *= 2;
+        }
+        rank.recycle_comm(scratch);
+    }
+
+    /// Shared-memory small-message binomial reduce onto virtual root 0.
+    fn reduce_binomial_shm(&self, rank: &mut Rank, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        let vr = (self.my_index() + p - root) % p;
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag();
+        let mut sent = false;
+        let mut d = 1;
+        while d < p {
+            if !sent && vr % (2 * d) == d {
+                rank.charge_send(buf.len());
+                shm.publish(rank.id(), buf, rank.clock());
+                sent = true;
+            }
+            self.shm_barrier();
+            if vr.is_multiple_of(2 * d) && vr + d < p {
+                let src = self.global_of_virtual(vr + d, root);
+                // SAFETY: two-barrier bracket; the sender's buffer is frozen
+                // from its publish to the end of the collective.
+                let (data, depart) = unsafe { shm.peer_slice(src) };
+                rank.charge_recv(buf.len(), depart);
+                for (x, y) in buf.iter_mut().zip(data) {
+                    *x += y;
+                }
+                rank.charge_flops(buf.len() as f64);
+            }
+            self.shm_barrier();
+            d *= 2;
+        }
+    }
+
+    /// Shared-memory recursive-doubling allgather over `buf` blocks
+    /// (mirrors [`Comm::allgather_blocks`]).
+    fn allgather_blocks_shm(&self, rank: &mut Rank, buf: &mut [f64], b: usize, vr: usize, root: usize) {
+        let p = self.size();
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag();
+        let mut d = 1;
+        while d < p {
+            let partner_vr = vr ^ d;
+            let my_start = vr & !(d - 1);
+            let partner_start = partner_vr & !(d - 1);
+            let peer = self.global_of_virtual(partner_vr, root);
+            rank.charge_send(d * b);
+            shm.publish(rank.id(), &buf[my_start * b..(my_start + d) * b], rank.clock());
+            self.shm_barrier();
+            // SAFETY: two-barrier bracket; my published block range and the
+            // sibling range I write below are disjoint, on every member.
+            let (data, depart) = unsafe { shm.peer_slice(peer) };
+            debug_assert_eq!(data.len(), d * b);
+            rank.charge_recv(d * b, depart);
+            buf[partner_start * b..(partner_start + d) * b].copy_from_slice(data);
+            self.shm_barrier();
+            d *= 2;
+        }
+    }
+
+    /// Shared-memory recursive-halving reduce-scatter (mirrors
+    /// [`Comm::reduce_scatter_blocks`]).
+    fn reduce_scatter_blocks_shm(&self, rank: &mut Rank, buf: &mut [f64]) -> usize {
+        let p = self.size();
+        let n = buf.len();
+        assert_eq!(
+            n % p,
+            0,
+            "reduce buffer length {n} not divisible by communicator size {p}"
+        );
+        let b = n / p;
+        let me = self.my_index();
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag();
+        let (mut lo, mut hi) = (0usize, p);
+        let mut d = p / 2;
+        while d >= 1 {
+            let partner = me ^ d;
+            let mid = lo + d;
+            let peer = self.member(partner);
+            let (send_lo, send_hi, keep_lo, keep_hi) = if me < partner {
+                (mid, hi, lo, mid)
+            } else {
+                (lo, mid, mid, hi)
+            };
+            rank.charge_send((send_hi - send_lo) * b);
+            shm.publish(rank.id(), &buf[send_lo * b..send_hi * b], rank.clock());
+            self.shm_barrier();
+            // SAFETY: two-barrier bracket; each member publishes one half of
+            // its active range and adds into the disjoint other half.
+            let (data, depart) = unsafe { shm.peer_slice(peer) };
+            debug_assert_eq!(data.len(), (keep_hi - keep_lo) * b);
+            rank.charge_recv(data.len(), depart);
+            for (x, y) in buf[keep_lo * b..keep_hi * b].iter_mut().zip(data) {
+                *x += y;
+            }
+            rank.charge_flops(((keep_hi - keep_lo) * b) as f64);
+            self.shm_barrier();
+            if me < partner {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            d /= 2;
+        }
+        debug_assert_eq!((lo, hi), (me, me + 1));
+        b
+    }
+
+    /// Shared-memory binomial gather for [`Comm::reduce`]. Unlike the
+    /// simulated twin there is no serialization copy: the sender publishes
+    /// its whole buffer and the receiver reads the scattered reduced blocks
+    /// in place — they live at the same indices on both sides.
+    fn gather_binomial_shm(&self, rank: &mut Rank, root: usize, buf: &mut [f64], b: usize) {
+        let p = self.size();
+        let me = self.my_index();
+        let vr = (me + p - root) % p;
+        let shm = rank.shm_arc();
+        let _tag = self.next_tag();
+        let mut d = 1;
+        let mut have = 1usize;
+        let mut sent = false;
+        while d < p {
+            if !sent && vr % (2 * d) == d {
+                rank.charge_send(have * b);
+                shm.publish(rank.id(), buf, rank.clock());
+                sent = true;
+            }
+            self.shm_barrier();
+            if !sent && vr.is_multiple_of(2 * d) {
+                let src = self.global_of_virtual(vr + d, root);
+                // SAFETY: two-barrier bracket; the sender's buffer is frozen
+                // from its publish to the end of the collective.
+                let (data, depart) = unsafe { shm.peer_slice(src) };
+                rank.charge_recv(d * b, depart);
+                for w in vr + d..vr + 2 * d {
+                    let idx = (w + root) % p;
+                    buf[idx * b..(idx + 1) * b].copy_from_slice(&data[idx * b..(idx + 1) * b]);
+                }
+                have = 2 * d;
+            }
+            self.shm_barrier();
+            d *= 2;
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 //! and disjoint groups never exchange messages on the same communicator.
 
 use crate::runtime::Rank;
+use crate::shm::ShmGroup;
 use std::cell::Cell;
 
 /// An ordered group of ranks with a private tag space.
@@ -25,6 +26,11 @@ pub struct Comm {
     my_index: usize,
     comm_id: u32,
     next_seq: Cell<u32>,
+    /// Shared-memory barrier handle: `Some` iff the owning rank runs on the
+    /// shm backend and the group has more than one member. Created at
+    /// communicator creation (the only place the barrier registry's mutex
+    /// is touched), never on the collective hot path.
+    shm_group: Option<ShmGroup>,
 }
 
 impl Comm {
@@ -41,11 +47,24 @@ impl Comm {
             .position(|&m| m == rank.id())
             .expect("calling rank must be a member of its communicator");
         let comm_id = rank.alloc_comm_id();
+        let shm_group = if rank.is_shm() && members.len() > 1 {
+            // Keyed by (comm_id, lowest member): comm ids agree across ranks
+            // by SPMD discipline, and disjoint groups created at the same
+            // program point differ in their minimum member.
+            Some(ShmGroup::new(rank.shm().barrier_for(
+                comm_id,
+                members[0],
+                members.len(),
+            )))
+        } else {
+            None
+        };
         Comm {
             members,
             my_index,
             comm_id,
             next_seq: Cell::new(0),
+            shm_group,
         }
     }
 
@@ -86,6 +105,16 @@ impl Comm {
         let seq = self.next_seq.get();
         self.next_seq.set(seq + 1);
         ((self.comm_id as u64) << 32) | seq as u64
+    }
+
+    /// One crossing of this group's shared-memory barrier. Collective rounds
+    /// are bracketed by two crossings: publish → wait → read/copy → wait, so
+    /// windows are never republished while a peer may still read them.
+    pub(crate) fn shm_barrier(&self) {
+        self.shm_group
+            .as_ref()
+            .expect("shm barrier requires the shm backend and size > 1")
+            .wait();
     }
 }
 

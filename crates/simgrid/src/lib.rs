@@ -1,11 +1,31 @@
-//! A deterministic SPMD message-passing runtime with α-β-γ cost accounting.
+//! A deterministic SPMD runtime with α-β-γ cost accounting — and two
+//! interchangeable execution backends.
 //!
 //! The paper evaluates CA-CQR2 with MPI on Stampede2 and Blue Waters. This
-//! crate substitutes a *simulated* distributed machine:
+//! crate substitutes a distributed machine that can run in two modes,
+//! selected per run via [`SimConfig::on_runtime`] (or process-wide with
+//! `CACQR_RUNTIME=sim|shm`):
+//!
+//! * **Simulated** ([`RuntimeKind::Simulated`], the default): ranks
+//!   exchange heap-copied messages through tagged mailboxes and the point
+//!   of a run is its *virtual* clock — predict scaling on any machine you
+//!   can parameterize.
+//! * **Shared-memory** ([`RuntimeKind::SharedMem`]): the same ranks,
+//!   pinned to cores, communicate through preallocated shared windows;
+//!   the collectives run *in place* over shared slices between
+//!   sense-reversing barriers, drawing scratch from pooled arenas
+//!   ([`run_spmd_pooled`]) so the warm path performs zero heap
+//!   allocations. [`SimReport::wall_seconds`] is then a real measurement,
+//!   and [`probe_shm_alpha_beta`] calibrates the machine model's α and β
+//!   from live transport microprobes. Both backends execute the *same*
+//!   schedules — results, ledgers, and virtual clocks are bitwise
+//!   identical across them.
+//!
+//! In either mode:
 //!
 //! * [`run_spmd`] launches `P` ranks as OS threads. Each rank owns only its
-//!   local data and communicates through tagged mailboxes — the algorithms
-//!   built on top are genuinely distributed (no shared matrices).
+//!   local data — the algorithms built on top are genuinely distributed
+//!   (no shared matrices).
 //! * Every send charges `α + n·β` to the sender's **virtual clock** and the
 //!   receive synchronizes the receiver's clock to the message's arrival time
 //!   (LogP-style timestamp piggybacking). Local compute charges `n_flops·γ`.
@@ -30,9 +50,12 @@ pub mod comm;
 pub mod cost;
 pub mod machine;
 pub mod mailbox;
+pub mod probe;
 pub mod runtime;
+mod shm;
 
 pub use comm::Comm;
 pub use cost::CostLedger;
 pub use machine::Machine;
-pub use runtime::{run_spmd, Rank, SimConfig, SimReport};
+pub use probe::{probe_shm_alpha_beta, probe_shm_alpha_beta_with, ShmProbe};
+pub use runtime::{run_spmd, run_spmd_pooled, Rank, RuntimeKind, SimConfig, SimReport};

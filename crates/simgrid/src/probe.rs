@@ -1,0 +1,114 @@
+//! Measured α-β calibration microprobes for the shared-memory backend.
+//!
+//! The `dense::probe` module measures γ (seconds per flop) by timing real
+//! kernels; this module completes the α-β-γ triple for the shared-memory
+//! runtime by timing real exchanges:
+//!
+//! * **α (latency)**: many rounds of a one-word [`Comm::sendrecv`] between
+//!   two pinned ranks — each round is one message per rank, so the per-round
+//!   time is the per-message overhead of the transport (barrier/handshake
+//!   crossing, window publish, scheduler hop on oversubscribed hosts).
+//! * **β (inverse bandwidth)**: a few rounds of a large streaming exchange;
+//!   the per-word cost is the per-round time minus the already-measured α,
+//!   divided by the word count.
+//!
+//! Both probes take the best (minimum) of several trials, like
+//! `dense::probe::time_best` — the minimum is the least-interfered
+//! measurement of a deterministic cost. The result feeds
+//! `costmodel::MachineCal::calibrated` so the tuner can score candidates
+//! against the machine it is actually running on instead of a nominal
+//! profile.
+//!
+//! [`Comm::sendrecv`]: crate::Comm::sendrecv
+
+use crate::machine::Machine;
+use crate::runtime::{run_spmd, RuntimeKind, SimConfig};
+
+/// Measured shared-memory transport parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShmProbe {
+    /// Seconds per message (latency).
+    pub alpha: f64,
+    /// Seconds per 8-byte word (inverse bandwidth).
+    pub beta: f64,
+    /// Words per round of the bandwidth probe.
+    pub words: usize,
+    /// Ping-pong rounds per latency trial.
+    pub latency_rounds: usize,
+}
+
+impl ShmProbe {
+    /// The probe as an α-β machine (γ = 0; combine with a `dense::probe`
+    /// γ measurement for the full triple).
+    pub fn as_machine(&self) -> Machine {
+        Machine {
+            alpha: self.alpha,
+            beta: self.beta,
+            gamma: 0.0,
+        }
+    }
+}
+
+/// Seconds for one SPMD region of `rounds` exchanges of `words` words
+/// between two shared-memory ranks (rank 0's measurement).
+fn time_exchange(rounds: usize, words: usize) -> f64 {
+    let cfg = SimConfig::default().on_runtime(RuntimeKind::SharedMem);
+    let report = run_spmd(2, cfg, move |rank| {
+        let world = rank.world();
+        let data = vec![1.0f64; words];
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            let got = world.sendrecv(rank, world.my_index() ^ 1, &data);
+            rank.recycle_comm(got);
+        }
+        start.elapsed().as_secs_f64()
+    });
+    report.results[0]
+}
+
+/// Best-of-`trials` measurement; a warm-up trial is discarded so thread
+/// spawn and arena growth never pollute the numbers.
+fn best_of(trials: usize, rounds: usize, words: usize) -> f64 {
+    let _warm = time_exchange(rounds, words);
+    (0..trials)
+        .map(|_| time_exchange(rounds, words))
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-12)
+}
+
+/// Runs the latency and bandwidth microprobes with default sizes.
+pub fn probe_shm_alpha_beta() -> ShmProbe {
+    probe_shm_alpha_beta_with(512, 1 << 17, 3)
+}
+
+/// Runs the microprobes with explicit sizes: `latency_rounds` one-word
+/// exchanges for α, a few rounds of `words`-word exchanges for β, best of
+/// `trials` each.
+pub fn probe_shm_alpha_beta_with(latency_rounds: usize, words: usize, trials: usize) -> ShmProbe {
+    assert!(latency_rounds > 0 && words > 0 && trials > 0);
+    let alpha = best_of(trials, latency_rounds, 1) / latency_rounds as f64;
+    let stream_rounds = 4;
+    let stream = best_of(trials, stream_rounds, words) / stream_rounds as f64;
+    let beta = ((stream - alpha) / words as f64).max(0.0);
+    ShmProbe {
+        alpha,
+        beta,
+        words,
+        latency_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_yields_positive_finite_parameters() {
+        let probe = probe_shm_alpha_beta_with(64, 1 << 12, 2);
+        assert!(probe.alpha.is_finite() && probe.alpha > 0.0);
+        assert!(probe.beta.is_finite() && probe.beta >= 0.0);
+        let m = probe.as_machine();
+        assert_eq!(m.gamma, 0.0);
+        assert_eq!(m.alpha, probe.alpha);
+    }
+}

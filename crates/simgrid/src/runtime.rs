@@ -3,9 +3,76 @@
 use crate::cost::CostLedger;
 use crate::machine::Machine;
 use crate::mailbox::{Envelope, Mailbox};
+use crate::shm::ShmShared;
+use dense::{Workspace, WorkspacePool};
 use std::sync::Arc;
 
-/// Configuration of a simulated run.
+/// Which execution backend [`run_spmd`] uses.
+///
+/// Both backends run ranks as scoped OS threads executing the same SPMD
+/// closure with the same collective schedules, so numerical results,
+/// ledgers, and virtual clocks are bitwise identical across them; what
+/// differs is the transport underneath and what *wall-clock* time means:
+///
+/// * [`Simulated`](RuntimeKind::Simulated) moves messages through tagged
+///   mailboxes (a heap envelope per send). Wall time is meaningless; the
+///   virtual α-β-γ clock is the measurement.
+/// * [`SharedMem`](RuntimeKind::SharedMem) pins ranks to cores and runs the
+///   collectives in place over published shared slices bracketed by
+///   sense-reversing barriers — zero heap traffic and zero copies beyond
+///   the block moves the butterfly schedules require. Wall time is a real
+///   measurement of the communication-avoidance claim; the virtual clock is
+///   still maintained (same charges), so simulated accounting stays
+///   available for free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// Virtual-time simulation over mailbox message passing.
+    Simulated,
+    /// Measured shared-memory execution over in-place collectives.
+    SharedMem,
+}
+
+impl RuntimeKind {
+    /// The process-wide default backend: `CACQR_RUNTIME=shm` (or `shared`)
+    /// selects the shared-memory runtime, anything else the simulator. Read
+    /// once and cached — the CI matrix uses this to flip an entire test
+    /// suite onto the shm backend without touching call sites.
+    pub fn from_env() -> RuntimeKind {
+        static KIND: std::sync::OnceLock<RuntimeKind> = std::sync::OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("CACQR_RUNTIME").as_deref() {
+            Ok(v) => v.parse().unwrap_or(RuntimeKind::Simulated),
+            Err(_) => RuntimeKind::Simulated,
+        })
+    }
+
+    /// Short stable name (`"sim"` / `"shm"`), e.g. for bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Simulated => "sim",
+            RuntimeKind::SharedMem => "shm",
+        }
+    }
+}
+
+impl std::str::FromStr for RuntimeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RuntimeKind, String> {
+        match s {
+            "sim" | "simulated" => Ok(RuntimeKind::Simulated),
+            "shm" | "shared" | "shared-mem" => Ok(RuntimeKind::SharedMem),
+            other => Err(format!("unknown runtime {other:?} (expected sim|shm)")),
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of an SPMD run.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
     /// The α-β-γ parameters charged to the virtual clocks.
@@ -17,6 +84,8 @@ pub struct SimConfig {
     /// dependencies (the honest asynchronous critical path, which can be
     /// *cheaper* because point-to-point costs hide in collective slack).
     pub sync_collectives: bool,
+    /// The execution backend (defaults to [`RuntimeKind::from_env`]).
+    pub runtime: RuntimeKind,
 }
 
 impl Default for SimConfig {
@@ -24,6 +93,7 @@ impl Default for SimConfig {
         SimConfig {
             machine: Machine::zero(),
             sync_collectives: true,
+            runtime: RuntimeKind::from_env(),
         }
     }
 }
@@ -33,7 +103,7 @@ impl SimConfig {
     pub fn with_machine(machine: Machine) -> SimConfig {
         SimConfig {
             machine,
-            sync_collectives: true,
+            ..SimConfig::default()
         }
     }
 
@@ -42,7 +112,14 @@ impl SimConfig {
         SimConfig {
             machine,
             sync_collectives: false,
+            runtime: RuntimeKind::from_env(),
         }
+    }
+
+    /// Same config on an explicitly chosen backend.
+    pub fn on_runtime(mut self, runtime: RuntimeKind) -> SimConfig {
+        self.runtime = runtime;
+        self
     }
 }
 
@@ -89,8 +166,9 @@ impl BarrierTable {
     }
 }
 
-/// Outcome of a simulated run: one result and one ledger per rank, plus the
-/// simulated elapsed time (maximum virtual clock).
+/// Outcome of an SPMD run: one result and one ledger per rank, plus the
+/// simulated elapsed time (maximum virtual clock) and the measured wall
+/// time of the whole region.
 #[derive(Debug)]
 pub struct SimReport<T> {
     /// Per-rank return values of the SPMD closure, indexed by rank.
@@ -99,6 +177,10 @@ pub struct SimReport<T> {
     pub ledgers: Vec<CostLedger>,
     /// Simulated elapsed time: `max` over ranks of the final virtual clock.
     pub elapsed: f64,
+    /// Measured wall-clock seconds of the SPMD region (spawn to join). Only
+    /// meaningful as a performance number on the shared-memory backend; on
+    /// the simulator it is dominated by mailbox traffic.
+    pub wall_seconds: f64,
 }
 
 impl<T> SimReport<T> {
@@ -128,6 +210,14 @@ pub struct Rank {
     clock: f64,
     ledger: CostLedger,
     next_comm_id: u32,
+    /// Shared-memory transport state; `None` on the simulated backend.
+    shm: Option<Arc<ShmShared>>,
+    /// This rank's communication arena: every collective's scratch (padding
+    /// buffers, staging, allgather/sendrecv outputs) is served from here, so
+    /// the communication layer reaches the same zero-allocation steady
+    /// state as the compute layer. Seeded from the caller's pool by
+    /// [`run_spmd_pooled`] so warmth survives across runs.
+    comm_ws: Workspace,
 }
 
 impl Rank {
@@ -243,6 +333,76 @@ impl Rank {
         }
         self.clock = self.barriers.sync(key, size, self.clock);
     }
+
+    /// Whether this rank runs on the shared-memory backend.
+    #[inline]
+    pub(crate) fn is_shm(&self) -> bool {
+        self.shm.is_some()
+    }
+
+    /// The shared-memory transport state (shm backend only).
+    #[inline]
+    pub(crate) fn shm(&self) -> &ShmShared {
+        self.shm
+            .as_ref()
+            .expect("shared-memory transport state on the shm backend")
+    }
+
+    /// A clone of the transport handle — lets a collective hold the state
+    /// across `&mut self` accounting calls (one refcount bump per
+    /// collective, nothing per round).
+    #[inline]
+    pub(crate) fn shm_arc(&self) -> Arc<ShmShared> {
+        Arc::clone(
+            self.shm
+                .as_ref()
+                .expect("shared-memory transport state on the shm backend"),
+        )
+    }
+
+    /// Accounting twin of [`Rank::send`] for transports that move no
+    /// envelope: charges `α + n·β` and counts the message.
+    pub(crate) fn charge_send(&mut self, n: usize) {
+        self.clock += self.machine.alpha + n as f64 * self.machine.beta;
+        self.ledger.msgs_sent += 1;
+        self.ledger.words_sent += n as u64;
+    }
+
+    /// Accounting twin of [`Rank::recv`]: synchronizes the clock to the
+    /// sender's departure time and counts the message.
+    pub(crate) fn charge_recv(&mut self, n: usize, depart: f64) {
+        self.clock = self.clock.max(depart);
+        self.ledger.msgs_recv += 1;
+        self.ledger.words_recv += n as u64;
+    }
+
+    /// Takes a buffer of exactly `len` words (unspecified contents) from the
+    /// communication arena. Pair with [`recycle_comm`](Rank::recycle_comm)
+    /// to keep caller-side message buffers allocation-free too.
+    pub fn comm_take(&mut self, len: usize) -> Vec<f64> {
+        self.comm_ws.take_vec(len)
+    }
+
+    /// Takes an all-zero buffer of `len` words from the communication arena.
+    pub(crate) fn comm_take_zeroed(&mut self, len: usize) -> Vec<f64> {
+        self.comm_ws.take_zeroed(len)
+    }
+
+    /// Returns a buffer that a collective handed out (an
+    /// [`allgather`](crate::Comm::allgather) or
+    /// [`sendrecv`](crate::Comm::sendrecv) result) to the communication
+    /// arena. Callers that let such buffers drop instead merely lose reuse,
+    /// not correctness — but recycling is what keeps the steady-state
+    /// communication path allocation-free.
+    pub fn recycle_comm(&mut self, buf: Vec<f64>) {
+        self.comm_ws.recycle_vec(buf);
+    }
+
+    /// Fresh heap allocations the communication arena has performed (flat
+    /// across calls ⇔ the communication layer reached steady state).
+    pub fn comm_heap_allocations(&self) -> usize {
+        self.comm_ws.heap_allocations()
+    }
 }
 
 /// Runs `f` as an SPMD program on `p` simulated ranks and collects results.
@@ -273,20 +433,55 @@ where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
+    run_spmd_inner(p, cfg, None, f)
+}
+
+/// Like [`run_spmd`], but each rank's *communication arena* is taken from
+/// (and parked back into) `pool` at slot `p + rank_id` — disjoint from the
+/// `0..p` slots the algorithm arenas conventionally use. Repeated runs
+/// through one pool therefore reuse warm collective scratch: the second and
+/// every later run performs zero heap allocations in the communication
+/// layer.
+pub fn run_spmd_pooled<T, F>(p: usize, cfg: SimConfig, pool: &WorkspacePool, f: F) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    run_spmd_inner(p, cfg, Some(pool), f)
+}
+
+fn run_spmd_inner<T, F>(p: usize, cfg: SimConfig, pool: Option<&WorkspacePool>, f: F) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
     assert!(p > 0, "need at least one rank");
     let boxes: Arc<Vec<Arc<Mailbox>>> = Arc::new((0..p).map(|_| Arc::new(Mailbox::new())).collect());
     let barriers = Arc::new(BarrierTable::default());
+    let shm: Option<Arc<ShmShared>> = match cfg.runtime {
+        RuntimeKind::Simulated => None,
+        RuntimeKind::SharedMem => Some(Arc::new(ShmShared::new(p))),
+    };
     let mut slots: Vec<Option<(T, CostLedger, f64)>> = (0..p).map(|_| None).collect();
 
+    let start = std::time::Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (id, slot) in slots.iter_mut().enumerate() {
             let boxes = Arc::clone(&boxes);
             let barriers = Arc::clone(&barriers);
+            let shm = shm.clone();
             let fref = &f;
             let machine = cfg.machine;
             let sync_collectives = cfg.sync_collectives;
             handles.push(scope.spawn(move || {
+                if shm.is_some() {
+                    crate::shm::pin_to_core(id);
+                }
+                let comm_ws = match pool {
+                    Some(pool) => pool.take_at(p + id),
+                    None => Workspace::new(),
+                };
                 let mut rank = Rank {
                     id,
                     p,
@@ -297,8 +492,13 @@ where
                     clock: 0.0,
                     ledger: CostLedger::default(),
                     next_comm_id: 0,
+                    shm,
+                    comm_ws,
                 };
                 let out = fref(&mut rank);
+                if let Some(pool) = pool {
+                    pool.put_at(p + id, rank.comm_ws);
+                }
                 *slot = Some((out, rank.ledger, rank.clock));
             }));
         }
@@ -308,6 +508,7 @@ where
             }
         }
     });
+    let wall_seconds = start.elapsed().as_secs_f64();
 
     let mut results = Vec::with_capacity(p);
     let mut ledgers = Vec::with_capacity(p);
@@ -322,6 +523,7 @@ where
         results,
         ledgers,
         elapsed,
+        wall_seconds,
     }
 }
 

@@ -1,0 +1,300 @@
+//! Shared-memory transport: the primitives behind the measured SPMD backend.
+//!
+//! The simulated backend moves every message through a mailbox — a heap
+//! `Envelope` per send. This module provides what a *measured* shared-memory
+//! run needs instead:
+//!
+//! * [`GroupBarrier`] — a sense-reversing centralized barrier, one per
+//!   communicator group. Collective rounds are bracketed by barrier waits so
+//!   partners read each other's buffers in place, with no copies beyond the
+//!   block moves the butterfly schedules themselves require.
+//! * [`ShmShared`] — the per-run shared state: one publication [`Window`]
+//!   per rank (a pointer/length pair plus the sender's virtual clock, all
+//!   atomics), a directed pair-epoch matrix for point-to-point exchanges
+//!   ([`Comm::sendrecv`](crate::Comm::sendrecv)), and a lazily built
+//!   registry of group barriers keyed by communicator identity.
+//!
+//! None of the steady-state operations here allocate: windows and epochs are
+//! preallocated at run start, and a group's barrier is created once (behind
+//! a mutex touched only at communicator creation, never in a collective hot
+//! path).
+//!
+//! # Safety model
+//!
+//! A rank publishes a sub-slice of a buffer it owns, then everyone in the
+//! group crosses a barrier, then peers read the published slice while the
+//! owner writes only *disjoint* regions of the same buffer, then everyone
+//! crosses a second barrier before any window is republished or any read
+//! region is mutated. The barrier's acquire/release pairs make each round's
+//! writes visible to the next round's readers; disjointness makes the
+//! concurrent access race-free. Every `unsafe` block below relies on that
+//! two-barrier bracket, which the collective schedules in
+//! `collectives` maintain by construction (every member executes every
+//! round's barriers, even in rounds where it neither sends nor receives).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Spins this many iterations before yielding the core. Small, because the
+/// container running CI may expose a single hardware thread: partners only
+/// make progress when we let the scheduler run them.
+const SPIN_LIMIT: u32 = 128;
+
+#[inline]
+fn backoff(spins: &mut u32) {
+    if *spins < SPIN_LIMIT {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A sense-reversing centralized barrier for one communicator group.
+///
+/// Each member keeps a local sense flag (stored in its `Comm` handle) that
+/// flips per wait; the last arriver resets the count and flips the shared
+/// sense, releasing the waiters. All members of a group must wait the same
+/// number of times — guaranteed by the SPMD discipline the collectives
+/// already rely on for tag matching.
+pub(crate) struct GroupBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    size: usize,
+}
+
+impl GroupBarrier {
+    fn new(size: usize) -> GroupBarrier {
+        GroupBarrier {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            size,
+        }
+    }
+
+    /// Blocks until all `size` members have arrived. `local_sense` is the
+    /// caller's per-member flag and is flipped by this call.
+    pub(crate) fn wait(&self, local_sense: &mut bool) {
+        let s = !*local_sense;
+        *local_sense = s;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
+            // Reset before release so early leavers can re-arrive safely.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(s, Ordering::Release);
+        } else {
+            let mut spins = 0;
+            while self.sense.load(Ordering::Acquire) != s {
+                backoff(&mut spins);
+            }
+        }
+    }
+}
+
+/// One rank's publication slot: a raw view of the slice it is currently
+/// exposing to its group, plus its virtual clock at publication time.
+/// Aligned out to its own cache line pair to keep the publish/poll traffic
+/// of different ranks from false-sharing.
+#[repr(align(128))]
+struct Window {
+    ptr: AtomicUsize,
+    len: AtomicUsize,
+    clock: AtomicU64,
+}
+
+impl Window {
+    fn new() -> Window {
+        Window {
+            ptr: AtomicUsize::new(0),
+            len: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-run shared state of the shared-memory backend. One instance is built
+/// by `run_spmd` per shared-memory run and handed to every rank.
+pub(crate) struct ShmShared {
+    p: usize,
+    windows: Vec<Window>,
+    /// Directed pair epochs: slot `a·p + b` counts handshake steps from `a`
+    /// towards `b`. Only rank `a` writes it. Used by `sendrecv`, whose
+    /// partners cannot use a group barrier (self-paired members skip the
+    /// exchange entirely).
+    pair_seq: Vec<AtomicU64>,
+    /// Group barriers keyed by `(comm_id, lowest member)` — the same
+    /// identity the simulated backend keys its virtual entry barriers on.
+    barriers: Mutex<HashMap<(u32, usize), Arc<GroupBarrier>>>,
+}
+
+impl ShmShared {
+    pub(crate) fn new(p: usize) -> ShmShared {
+        ShmShared {
+            p,
+            windows: (0..p).map(|_| Window::new()).collect(),
+            pair_seq: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
+            barriers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetches (or creates) the barrier for a communicator group. Called
+    /// once per communicator per member, at communicator creation — never on
+    /// the collective hot path.
+    pub(crate) fn barrier_for(&self, comm_id: u32, lowest: usize, size: usize) -> Arc<GroupBarrier> {
+        let mut reg = self.barriers.lock().unwrap_or_else(|e| e.into_inner());
+        let b = reg
+            .entry((comm_id, lowest))
+            .or_insert_with(|| Arc::new(GroupBarrier::new(size)));
+        assert_eq!(b.size, size, "communicator identity collision in barrier registry");
+        Arc::clone(b)
+    }
+
+    /// Publishes `data` (and the owner's current virtual clock) in rank
+    /// `owner`'s window. Relaxed stores: ordering is provided by the barrier
+    /// or pair-epoch handshake that follows.
+    pub(crate) fn publish(&self, owner: usize, data: &[f64], clock: f64) {
+        let w = &self.windows[owner];
+        w.ptr.store(data.as_ptr() as usize, Ordering::Relaxed);
+        w.len.store(data.len(), Ordering::Relaxed);
+        w.clock.store(clock.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Reads rank `owner`'s published slice and clock.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be between the barrier (or epoch) that ordered the
+    /// owner's publish and the one that permits the owner to republish or
+    /// mutate the slice, and must not write any region overlapping it.
+    pub(crate) unsafe fn peer_slice(&self, owner: usize) -> (&[f64], f64) {
+        let w = &self.windows[owner];
+        let ptr = w.ptr.load(Ordering::Relaxed) as *const f64;
+        let len = w.len.load(Ordering::Relaxed);
+        let clock = f64::from_bits(w.clock.load(Ordering::Relaxed));
+        (unsafe { std::slice::from_raw_parts(ptr, len) }, clock)
+    }
+
+    /// Advances this rank's directed epoch towards `peer`, returning the new
+    /// value. Release: makes the preceding publish visible to the peer's
+    /// matching [`pair_wait`](ShmShared::pair_wait).
+    pub(crate) fn pair_advance(&self, me: usize, peer: usize) -> u64 {
+        let c = &self.pair_seq[me * self.p + peer];
+        let v = c.load(Ordering::Relaxed) + 1;
+        c.store(v, Ordering::Release);
+        v
+    }
+
+    /// Waits until `peer`'s directed epoch towards `me` reaches `target`.
+    pub(crate) fn pair_wait(&self, peer: usize, me: usize, target: u64) {
+        let c = &self.pair_seq[peer * self.p + me];
+        let mut spins = 0;
+        while c.load(Ordering::Acquire) < target {
+            backoff(&mut spins);
+        }
+    }
+}
+
+/// A member's handle on its group's barrier: the shared barrier plus this
+/// member's local sense flag.
+pub(crate) struct ShmGroup {
+    barrier: Arc<GroupBarrier>,
+    sense: std::cell::Cell<bool>,
+}
+
+impl ShmGroup {
+    pub(crate) fn new(barrier: Arc<GroupBarrier>) -> ShmGroup {
+        ShmGroup {
+            barrier,
+            sense: std::cell::Cell::new(false),
+        }
+    }
+
+    /// One barrier crossing for this member.
+    pub(crate) fn wait(&self) {
+        let mut s = self.sense.get();
+        self.barrier.wait(&mut s);
+        self.sense.set(s);
+    }
+}
+
+impl std::fmt::Debug for ShmGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmGroup").field("size", &self.barrier.size).finish()
+    }
+}
+
+/// Best-effort pinning of the current thread to `core` (modulo the machine's
+/// core count). Shared-memory ranks are pinned round-robin so butterfly
+/// partners stay cache-resident; failures (restricted cpusets, non-Linux
+/// hosts) are ignored — pinning is a performance hint, not a correctness
+/// requirement.
+#[cfg(target_os = "linux")]
+pub(crate) fn pin_to_core(core: usize) {
+    const SET_WORDS: usize = 16; // 1024-bit cpu_set_t
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let core = core % cores;
+    let mut mask = [0u64; SET_WORDS];
+    mask[(core / 64) % SET_WORDS] |= 1u64 << (core % 64);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // pid 0 = the calling thread.
+    let _ = unsafe { sched_setaffinity(0, SET_WORDS * 8, mask.as_ptr()) };
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn pin_to_core(_core: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_barrier_synchronizes() {
+        let barrier = Arc::new(GroupBarrier::new(4));
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let barrier = Arc::clone(&barrier);
+                let hits = Arc::clone(&hits);
+                scope.spawn(move || {
+                    let mut sense = false;
+                    for round in 1..=50usize {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        // After the wait, all 4 arrivals of this round (and
+                        // every earlier round) must be visible.
+                        assert!(hits.load(Ordering::Relaxed) >= 4 * round);
+                        barrier.wait(&mut sense);
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn pair_epochs_handshake() {
+        let shm = Arc::new(ShmShared::new(2));
+        std::thread::scope(|scope| {
+            for me in 0..2usize {
+                let shm = Arc::clone(&shm);
+                scope.spawn(move || {
+                    let peer = 1 - me;
+                    let data = [me as f64; 8];
+                    for round in 0..100u64 {
+                        shm.publish(me, &data, round as f64);
+                        let s = shm.pair_advance(me, peer);
+                        assert_eq!(s, 2 * round + 1);
+                        shm.pair_wait(peer, me, s);
+                        let (slice, clock) = unsafe { shm.peer_slice(peer) };
+                        assert_eq!(slice[0], peer as f64);
+                        assert_eq!(clock, round as f64);
+                        let s = shm.pair_advance(me, peer);
+                        shm.pair_wait(peer, me, s);
+                    }
+                });
+            }
+        });
+    }
+}

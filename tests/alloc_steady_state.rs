@@ -104,6 +104,88 @@ fn check_plan(name: &str, plan: QrPlan, a: &dense::Matrix) {
     }
 }
 
+/// The shared-memory runtime's in-run collective hot path: once the run's
+/// tables and the pooled communication arenas are warm, a window of
+/// collective rounds performs **zero** heap allocations process-wide — the
+/// zero-copy contract, measured with the counting global allocator.
+#[test]
+fn shm_collectives_hot_path_is_allocation_free() {
+    use simgrid::{run_spmd_pooled, Rank, RuntimeKind, SimConfig};
+
+    fn rounds(rank: &mut Rank, world: &simgrid::Comm, n: usize) {
+        for _ in 0..n {
+            let mut buf = [rank.id() as f64; 24];
+            world.allreduce(rank, &mut buf);
+            world.bcast(rank, 0, &mut buf);
+            let gathered = world.allgather(rank, &buf);
+            rank.recycle_comm(gathered);
+            let partner = world.my_index() ^ 1;
+            let swapped = world.sendrecv(rank, partner, &buf);
+            rank.recycle_comm(swapped);
+        }
+    }
+
+    let pool = dense::WorkspacePool::new();
+    let cfg = SimConfig::default().on_runtime(RuntimeKind::SharedMem);
+    // Warm runs grow the communication arenas and the per-run tables.
+    for _ in 0..2 {
+        run_spmd_pooled(4, cfg, &pool, |rank| {
+            let world = rank.world();
+            rounds(rank, &world, 4);
+        });
+    }
+    let report = run_spmd_pooled(4, cfg, &pool, |rank| {
+        // Warm this run's own state (barrier registry, phase table), then
+        // bracket a measured window with the collectives themselves: after
+        // the opening rounds every rank is inside the window, so the global
+        // counter's delta is attributable to collective internals alone.
+        let world = rank.world();
+        rounds(rank, &world, 4);
+        let before = allocations();
+        rounds(rank, &world, 8);
+        allocations() - before
+    });
+    for (id, delta) in report.results.iter().enumerate() {
+        assert_eq!(
+            *delta, 0,
+            "rank {id}: warm shared-memory collectives must not allocate (saw {delta})"
+        );
+    }
+}
+
+/// Factoring on the shared-memory runtime honors the same steady-state
+/// arena contract as the simulated backend.
+#[test]
+fn shm_factor_is_allocation_free_at_steady_state() {
+    let a = well_conditioned(256, 32, 19);
+    let plan = QrPlan::new(256, 32)
+        .algorithm(Algorithm::CaCqr2)
+        .grid(GridShape::new(2, 4).unwrap())
+        .runtime(simgrid::RuntimeKind::SharedMem)
+        .build()
+        .unwrap();
+    let counts = steady_state_counts(&plan, &a, 4);
+    let arena_before = plan.workspace().heap_allocations();
+    for _ in 0..3 {
+        plan.factor(&a).unwrap();
+    }
+    assert_eq!(
+        plan.workspace().heap_allocations(),
+        arena_before,
+        "shm: steady-state factors must perform zero workspace allocations"
+    );
+    // Process-level flatness as in `check_plan`: the per-call residual is
+    // run setup (thread spawn, shared windows, barrier registry), constant
+    // every call.
+    let min = *counts.iter().min().unwrap();
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            c <= min + min / 100 + 16,
+            "shm: call {i} allocated {c} (cheapest steady call: {min}) — steady state must be flat"
+        );
+    }
+}
+
 #[test]
 fn cqr2_1d_factor_is_allocation_free_at_steady_state() {
     let a = well_conditioned(256, 32, 11);
@@ -137,7 +219,11 @@ fn workspace_footprint_is_observable_and_bounded() {
         plan.factor(&a).unwrap();
     }
     let pool = plan.workspace();
-    assert_eq!(pool.arenas(), plan.processors(), "one arena per simulated rank");
+    assert_eq!(
+        pool.arenas(),
+        2 * plan.processors(),
+        "one algorithm arena plus one communication arena per simulated rank"
+    );
     let capacity_bytes = pool.parked_capacity() * std::mem::size_of::<f64>();
     // Generous sanity bound: the whole scratch footprint stays within a
     // small multiple of the input size times the rank count.

@@ -142,6 +142,25 @@ fn pgeqrf_rejects_empty_layout() {
 }
 
 #[test]
+fn pgeqrf_rejects_non_power_of_two_communicators() {
+    // The butterfly collectives only handle power-of-two groups; before
+    // PR 6 this tripped an `assert!` deep in the runtime mid-factorization.
+    // Now it is a typed error at build time.
+    let err = QrPlan::new(96, 16)
+        .algorithm(Algorithm::Pgeqrf)
+        .block_cyclic(BlockCyclic { pr: 3, pc: 2, nb: 8 })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, PlanError::CommNotPowerOfTwo { what: "pr", size: 3 });
+    let err = QrPlan::new(96, 16)
+        .algorithm(Algorithm::Pgeqrf)
+        .block_cyclic(BlockCyclic { pr: 4, pc: 6, nb: 8 })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, PlanError::CommNotPowerOfTwo { what: "pc", size: 6 });
+}
+
+#[test]
 fn missing_grid_and_missing_block_cyclic() {
     for alg in [Algorithm::Cqr2_1d, Algorithm::CaCqr2, Algorithm::CaCqr3] {
         let err = QrPlan::new(64, 16).algorithm(alg).build().unwrap_err();
