@@ -11,6 +11,7 @@ use super::Algorithm;
 use crate::config::ParamError;
 use crate::tuner::TunerError;
 use dense::cholesky::CholeskyError;
+use dense::update::UpdateError;
 use pargrid::GridError;
 
 /// Why a [`QrPlan`](super::QrPlan) could not be built, or why a built plan
@@ -100,6 +101,25 @@ pub enum PlanError {
     /// the tuner found no runnable configuration, or a tuning profile was
     /// invalid.
     Tuning(TunerError),
+    /// A streaming rank-k factor update failed (shape mismatch, appended
+    /// Gram matrix not positive definite, or an indefinite downdate).
+    Update(UpdateError),
+    /// The requested streaming operation needs the retained row history,
+    /// but the stream was opened with
+    /// [`with_history(false)`](crate::stream::StreamingQr::with_history).
+    StreamHistoryRequired {
+        /// The operation that needed the history.
+        op: &'static str,
+    },
+    /// A downdate block does not match the oldest retained rows. Streams
+    /// with history remove rows strictly oldest-first (a sliding window),
+    /// and the rows handed to
+    /// [`downdate_rows`](crate::stream::StreamingQr::downdate_rows) must be
+    /// bitwise the ones that were appended.
+    StreamHistoryMismatch {
+        /// Index within the downdate block of the first mismatched row.
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -146,6 +166,21 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::NotPositiveDefinite(e) => write!(f, "factorization failed: {e}"),
             PlanError::Tuning(e) => write!(f, "automatic planning failed: {e}"),
+            PlanError::Update(e) => write!(f, "streaming update failed: {e}"),
+            PlanError::StreamHistoryRequired { op } => {
+                write!(
+                    f,
+                    "streaming operation `{op}` needs the retained row history \
+                     (the stream was opened with_history(false))"
+                )
+            }
+            PlanError::StreamHistoryMismatch { row } => {
+                write!(
+                    f,
+                    "downdate row {row} does not match the oldest retained rows \
+                     (downdates remove rows oldest-first)"
+                )
+            }
         }
     }
 }
@@ -157,6 +192,7 @@ impl std::error::Error for PlanError {
             PlanError::Grid(e) => Some(e),
             PlanError::NotPositiveDefinite(e) => Some(e),
             PlanError::Tuning(e) => Some(e),
+            PlanError::Update(e) => Some(e),
             _ => None,
         }
     }
@@ -183,5 +219,11 @@ impl From<CholeskyError> for PlanError {
 impl From<TunerError> for PlanError {
     fn from(e: TunerError) -> PlanError {
         PlanError::Tuning(e)
+    }
+}
+
+impl From<UpdateError> for PlanError {
+    fn from(e: UpdateError) -> PlanError {
+        PlanError::Update(e)
     }
 }

@@ -372,6 +372,21 @@ impl QrPlan {
         };
         Ok(QrReport::from_run(self.algorithm, a, run))
     }
+
+    /// Opens a [`StreamingQr`](crate::stream::StreamingQr) seeded by
+    /// factoring `initial` through this plan: a live `R` factor that then
+    /// absorbs rank-k row appends and downdates in `O(kn² + n³)` instead of
+    /// re-factoring, auto-refreshing through the plan when its drift bound
+    /// or the `costmodel` crossover says a full pass is the better buy.
+    ///
+    /// `initial` must have the plan's exact shape (the stream's width stays
+    /// `n` for life; its row count then floats freely above `n`). Clones the
+    /// plan into the stream — plans are cheap handles sharing the arena pool
+    /// and plan cache, so batch `factor` calls and any number of streams
+    /// reuse one warm footprint.
+    pub fn stream(&self, initial: &Matrix) -> Result<crate::stream::StreamingQr, PlanError> {
+        crate::stream::StreamingQr::open(self.clone(), initial)
+    }
 }
 
 impl QrPlanBuilder {

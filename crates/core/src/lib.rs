@@ -28,6 +28,11 @@
 //! * [`validate`] — the expert layer underneath the facade: single-
 //!   algorithm global drivers without validation, for cost
 //!   cross-validation harnesses.
+//! * [`stream`] — the incremental layer beside the facade: [`StreamingQr`],
+//!   a live per-plan `R` factor that absorbs rank-k row appends and
+//!   hyperbolic-rotation downdates in `O(kn² + n³)`, tracks a drift bound,
+//!   and re-refreshes through the owning plan when the `costmodel`
+//!   crossover or the bound says a full CQR2 pass is the better buy.
 //! * [`service`] — the throughput layer above the facade: [`QrService`], a
 //!   thread-safe engine that caches plans per [`service::JobSpec`] and
 //!   factors many matrices concurrently through a bounded-queue worker
@@ -50,6 +55,7 @@ pub mod invtree;
 pub mod mm3d;
 pub mod panel;
 pub mod service;
+pub mod stream;
 pub mod tuner;
 pub mod validate;
 
@@ -62,5 +68,6 @@ pub use cqr1d::{cqr1d, cqr2_1d};
 pub use driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
 pub use invtree::InvTree;
 pub use mm3d::{mm3d, mm3d_scaled, transpose_cube};
-pub use service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError};
+pub use service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError, StreamHandle, StreamOutcome};
+pub use stream::{StreamSnapshot, StreamStatus, StreamingQr};
 pub use tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};

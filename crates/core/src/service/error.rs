@@ -41,6 +41,18 @@ pub enum ServiceError {
         /// The job's underlying failure.
         source: Box<ServiceError>,
     },
+    /// A streaming job named a key no open stream has (never opened, or
+    /// already closed by [`stream_close`](super::QrService::stream_close)).
+    UnknownStream {
+        /// The unmatched stream key.
+        key: String,
+    },
+    /// [`stream_open`](super::QrService::stream_open) found the key already
+    /// bound to a live stream; close it first or pick another key.
+    StreamExists {
+        /// The conflicting stream key.
+        key: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -56,6 +68,12 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::BatchJobFailed { index, source } => {
                 write!(f, "batch job {index} failed: {source}")
+            }
+            ServiceError::UnknownStream { key } => {
+                write!(f, "no open stream named `{key}`")
+            }
+            ServiceError::StreamExists { key } => {
+                write!(f, "a stream named `{key}` is already open")
             }
         }
     }

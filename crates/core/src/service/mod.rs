@@ -20,13 +20,25 @@
 //!    [`dense::PoolReservation`], so block-level kernel parallelism shrinks
 //!    to its fair share of `CACQR_THREADS` while the pool is alive. Pool
 //!    width × kernel width never oversubscribes the budget.
+//! 4. **Stateful stream jobs** — [`QrService::stream_open`] registers a
+//!    live [`StreamingQr`] under a string key;
+//!    [`QrService::append_rows`] / [`QrService::downdate_rows`] /
+//!    [`QrService::snapshot`] then enqueue incremental operations against
+//!    it through the *same* bounded queue and worker pool as batch jobs.
+//!    Per key, operations execute strictly in submission order (a sequence
+//!    turnstile serializes them across workers); across keys — and against
+//!    batch factorizations — everything runs concurrently, sharing one
+//!    plan cache, thread budget, and warm arena footprint.
 //!
 //! Determinism is preserved end to end: a given `(plan, matrix)` pair
 //! produces bitwise-identical factors whether it runs on the caller's
 //! thread, one worker, or races against a saturated pool — the kernels'
 //! accumulation order is schedule-independent, and
 //! [`factor_batch`](QrService::factor_batch) returns reports in submission
-//! order.
+//! order. The same holds per stream: a given `(initial, update sequence)`
+//! pair produces bitwise-identical factors regardless of pool width or
+//! contention, because the turnstile makes the applied order *be* the
+//! submission order.
 //!
 //! # Example
 //!
@@ -53,6 +65,7 @@ mod queue;
 pub use error::ServiceError;
 
 use crate::driver::{Algorithm, PlanError, QrPlan, QrReport};
+use crate::stream::{StreamSnapshot, StreamStatus, StreamingQr};
 use baseline::BlockCyclic;
 use dense::{BackendKind, Matrix, PoolReservation};
 use pargrid::GridShape;
@@ -188,30 +201,38 @@ impl JobSpec {
 struct Job {
     plan: Arc<QrPlan>,
     matrix: Matrix,
-    slot: Arc<JobSlot>,
+    slot: Arc<Slot<QrReport>>,
 }
 
-/// Completion slot shared between a worker and a [`JobHandle`].
-struct JobSlot {
-    result: Mutex<Option<Result<QrReport, ServiceError>>>,
+/// One unit of queued work: a batch factorization or a stream operation.
+/// Both kinds drain through the same bounded queue and worker pool, so
+/// stream traffic shares the service's backpressure and thread budget.
+enum Work {
+    Factor(Job),
+    Stream(StreamJob),
+}
+
+/// Completion slot shared between a worker and a handle.
+struct Slot<T> {
+    result: Mutex<Option<Result<T, ServiceError>>>,
     done: Condvar,
 }
 
-impl JobSlot {
-    fn new() -> Arc<JobSlot> {
-        Arc::new(JobSlot {
+impl<T> Slot<T> {
+    fn new() -> Arc<Slot<T>> {
+        Arc::new(Slot {
             result: Mutex::new(None),
             done: Condvar::new(),
         })
     }
 
-    fn fulfill(&self, outcome: Result<QrReport, ServiceError>) {
+    fn fulfill(&self, outcome: Result<T, ServiceError>) {
         let mut g = self.result.lock().unwrap_or_else(|e| e.into_inner());
         *g = Some(outcome);
         self.done.notify_all();
     }
 
-    fn wait(&self) -> Result<QrReport, ServiceError> {
+    fn wait(&self) -> Result<T, ServiceError> {
         let mut g = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(outcome) = g.take() {
@@ -229,7 +250,7 @@ impl JobSlot {
 /// Handle to one submitted job; redeem it with [`JobHandle::wait`].
 #[must_use = "a submitted job's outcome is only observable through its handle"]
 pub struct JobHandle {
-    slot: Arc<JobSlot>,
+    slot: Arc<Slot<QrReport>>,
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -252,10 +273,106 @@ impl JobHandle {
     }
 }
 
+/// One queued stream operation; constructed by the
+/// [`QrService::append_rows`] family.
+enum StreamOp {
+    Append(Matrix),
+    Downdate(Matrix),
+    Snapshot,
+}
+
+/// What a completed stream job produced: appends and downdates report the
+/// stream's [`StreamStatus`]; snapshot jobs deliver the full
+/// [`StreamSnapshot`].
+#[derive(Clone, Debug)]
+pub enum StreamOutcome {
+    /// An append or downdate was applied.
+    Update(StreamStatus),
+    /// A snapshot was materialized.
+    Snapshot(StreamSnapshot),
+}
+
+impl StreamOutcome {
+    /// The update status, when this outcome came from an append/downdate.
+    pub fn status(&self) -> Option<StreamStatus> {
+        match self {
+            StreamOutcome::Update(s) => Some(*s),
+            StreamOutcome::Snapshot(_) => None,
+        }
+    }
+
+    /// The snapshot, when this outcome came from a snapshot job.
+    pub fn into_snapshot(self) -> Option<StreamSnapshot> {
+        match self {
+            StreamOutcome::Snapshot(s) => Some(s),
+            StreamOutcome::Update(_) => None,
+        }
+    }
+}
+
+/// The mutable half of a registered stream: the live factor plus the
+/// turnstile counter of operations already applied to it.
+struct StreamState {
+    applied: u64,
+    qr: StreamingQr,
+}
+
+/// A registered live stream. `state`/`turn` form the execution turnstile
+/// (workers apply operations strictly by sequence number); `submit` issues
+/// those sequence numbers, and is held across the queue push so that
+/// per-stream queue order always equals sequence order — the invariant
+/// that keeps a worker holding a later operation from waiting on one still
+/// *behind* it in the FIFO queue (which would deadlock a width-1 pool).
+struct StreamEntry {
+    state: Mutex<StreamState>,
+    turn: Condvar,
+    submit: Mutex<u64>,
+}
+
+/// One queued stream operation with its turnstile ticket.
+struct StreamJob {
+    entry: Arc<StreamEntry>,
+    op: StreamOp,
+    seq: u64,
+    slot: Arc<Slot<StreamOutcome>>,
+}
+
+/// Handle to one submitted stream operation; redeem it with
+/// [`StreamHandle::wait`].
+#[must_use = "a submitted stream operation's outcome is only observable through its handle"]
+pub struct StreamHandle {
+    slot: Arc<Slot<StreamOutcome>>,
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl StreamHandle {
+    /// Blocks until the operation completes, returning its outcome or
+    /// error. Typed stream failures (indefinite downdate, shape mismatch,
+    /// history mismatch, …) surface here as
+    /// [`ServiceError::Plan`]-wrapped [`PlanError`]s.
+    pub fn wait(self) -> Result<StreamOutcome, ServiceError> {
+        self.slot.wait()
+    }
+
+    /// Whether the operation has already completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.slot.is_finished()
+    }
+}
+
 /// State shared between the service front end and its workers.
 struct Shared {
-    queue: BoundedQueue<Job>,
+    queue: BoundedQueue<Work>,
     cache: RwLock<HashMap<JobSpec, Arc<QrPlan>>>,
+    /// Registry of open streams, keyed by caller-chosen name.
+    streams: RwLock<HashMap<String, Arc<StreamEntry>>>,
     /// Memoized cost-model tuning results for [`QrService::plan_auto`]:
     /// shape → winning spec, so repeat shapes skip re-enumeration (the
     /// installed-profile check stays per-call — it is cheap and the
@@ -323,6 +440,7 @@ impl QrServiceBuilder {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(capacity),
             cache: RwLock::new(HashMap::new()),
+            streams: RwLock::new(HashMap::new()),
             auto_specs: RwLock::new(HashMap::new()),
             machine: self.machine,
             runtime: self.runtime,
@@ -349,16 +467,53 @@ impl QrServiceBuilder {
 
 /// Worker body: drain jobs until the queue closes, surviving job panics.
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| job.plan.factor(&job.matrix))) {
-            Ok(Ok(report)) => Ok(report),
-            Ok(Err(e)) => Err(ServiceError::Plan(e)),
-            Err(payload) => Err(ServiceError::WorkerPanicked {
-                message: panic_message(payload.as_ref()),
-            }),
-        };
-        job.slot.fulfill(outcome);
+    while let Some(work) = shared.queue.pop() {
+        match work {
+            Work::Factor(job) => {
+                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| job.plan.factor(&job.matrix))) {
+                    Ok(Ok(report)) => Ok(report),
+                    Ok(Err(e)) => Err(ServiceError::Plan(e)),
+                    Err(payload) => Err(ServiceError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+                job.slot.fulfill(outcome);
+            }
+            Work::Stream(job) => run_stream_job(job),
+        }
     }
+}
+
+/// Applies one stream operation at its turnstile slot.
+///
+/// Waits until every earlier-submitted operation on the same stream has
+/// been applied (the FIFO queue guarantees those are already popped by
+/// some worker, never still queued behind this one), applies this one, and
+/// advances the turnstile — *unconditionally*, even when the operation
+/// failed or panicked, or every later queued operation on the stream would
+/// wait forever.
+fn run_stream_job(job: StreamJob) {
+    let StreamJob { entry, op, seq, slot } = job;
+    let mut st = entry.state.lock().unwrap_or_else(|e| e.into_inner());
+    while st.applied != seq {
+        st = entry.turn.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    let qr = &mut st.qr;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match &op {
+        StreamOp::Append(b) => qr.append_rows(b.as_ref()).map(StreamOutcome::Update),
+        StreamOp::Downdate(b) => qr.downdate_rows(b.as_ref()).map(StreamOutcome::Update),
+        StreamOp::Snapshot => qr.snapshot().map(StreamOutcome::Snapshot),
+    }));
+    st.applied += 1;
+    entry.turn.notify_all();
+    drop(st);
+    slot.fulfill(match outcome {
+        Ok(Ok(o)) => Ok(o),
+        Ok(Err(e)) => Err(ServiceError::Plan(e)),
+        Err(payload) => Err(ServiceError::WorkerPanicked {
+            message: panic_message(payload.as_ref()),
+        }),
+    });
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -535,7 +690,7 @@ impl QrService {
     pub fn submit(&self, spec: &JobSpec, a: Matrix) -> Result<JobHandle, ServiceError> {
         let job = self.prepare(spec, a)?;
         let slot = Arc::clone(&job.slot);
-        match self.shared.queue.push(job) {
+        match self.shared.queue.push(Work::Factor(job)) {
             Ok(()) => Ok(JobHandle { slot }),
             Err(_) => Err(ServiceError::ShuttingDown),
         }
@@ -546,12 +701,108 @@ impl QrService {
     pub fn try_submit(&self, spec: &JobSpec, a: Matrix) -> Result<JobHandle, ServiceError> {
         let job = self.prepare(spec, a)?;
         let slot = Arc::clone(&job.slot);
-        match self.shared.queue.try_push(job) {
+        match self.shared.queue.try_push(Work::Factor(job)) {
             Ok(()) => Ok(JobHandle { slot }),
             Err(PushError::Full(_)) => Err(ServiceError::QueueFull {
                 capacity: self.shared.queue.capacity(),
             }),
             Err(PushError::Closed(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Opens a named stream: factors `initial` through the spec's cached
+    /// plan (synchronously, on the caller's thread — so planning and
+    /// conditioning errors surface here, typed) and registers the live
+    /// factor under `key`. Subsequent [`append_rows`](QrService::append_rows)
+    /// / [`downdate_rows`](QrService::downdate_rows) /
+    /// [`snapshot`](QrService::snapshot) jobs address it by key and run on
+    /// the worker pool, sharing the service's plan cache, thread budget,
+    /// and warm arena pools with batch traffic.
+    pub fn stream_open(&self, key: &str, spec: &JobSpec, initial: &Matrix) -> Result<(), ServiceError> {
+        let plan = self.plan(spec)?;
+        let qr = plan.stream(initial)?;
+        let mut map = self.shared.streams.write().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(key) {
+            return Err(ServiceError::StreamExists { key: key.to_string() });
+        }
+        map.insert(
+            key.to_string(),
+            Arc::new(StreamEntry {
+                state: Mutex::new(StreamState { applied: 0, qr }),
+                turn: Condvar::new(),
+                submit: Mutex::new(0),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Closes the named stream, returning whether one was open. Operations
+    /// already queued hold the stream entry and complete normally (their
+    /// handles stay redeemable); operations submitted after the close fail
+    /// with [`ServiceError::UnknownStream`].
+    pub fn stream_close(&self, key: &str) -> bool {
+        self.shared
+            .streams
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key)
+            .is_some()
+    }
+
+    /// Number of streams currently open.
+    pub fn open_streams(&self) -> usize {
+        self.shared.streams.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Enqueues a rank-k row-append against the named stream. Per key,
+    /// operations apply strictly in submission order; the handle's
+    /// [`StreamOutcome::status`] reports the post-append state (including
+    /// whether a refresh fired).
+    pub fn append_rows(&self, key: &str, rows: Matrix) -> Result<StreamHandle, ServiceError> {
+        self.submit_stream(key, StreamOp::Append(rows))
+    }
+
+    /// Enqueues a downdate of the named stream's `rows.rows()` oldest rows
+    /// (which must match what was appended — see
+    /// [`StreamingQr::downdate_rows`]).
+    pub fn downdate_rows(&self, key: &str, rows: Matrix) -> Result<StreamHandle, ServiceError> {
+        self.submit_stream(key, StreamOp::Downdate(rows))
+    }
+
+    /// Enqueues a snapshot of the named stream: the handle delivers a
+    /// [`StreamSnapshot`] with explicit `Q` and batch-grade diagnostics
+    /// (see [`StreamingQr::snapshot`]), ordered after every operation
+    /// submitted before it.
+    pub fn snapshot(&self, key: &str) -> Result<StreamHandle, ServiceError> {
+        self.submit_stream(key, StreamOp::Snapshot)
+    }
+
+    fn submit_stream(&self, key: &str, op: StreamOp) -> Result<StreamHandle, ServiceError> {
+        let entry = self
+            .shared
+            .streams
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .map(Arc::clone)
+            .ok_or_else(|| ServiceError::UnknownStream { key: key.to_string() })?;
+        let slot = Slot::new();
+        // Hold the sequence lock across the push: per-stream queue order
+        // must equal sequence order (see `StreamEntry`). Only submitters to
+        // the *same* stream serialize here.
+        let mut next = entry.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let job = StreamJob {
+            entry: Arc::clone(&entry),
+            op,
+            seq: *next,
+            slot: Arc::clone(&slot),
+        };
+        match self.shared.queue.push(Work::Stream(job)) {
+            Ok(()) => {
+                *next += 1;
+                Ok(StreamHandle { slot })
+            }
+            Err(_) => Err(ServiceError::ShuttingDown),
         }
     }
 
@@ -611,7 +862,7 @@ impl QrService {
         Ok(Job {
             plan,
             matrix: a,
-            slot: JobSlot::new(),
+            slot: Slot::new(),
         })
     }
 
@@ -636,7 +887,7 @@ impl Drop for QrService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dense::random::well_conditioned;
+    use dense::random::{gaussian_matrix, well_conditioned};
 
     fn spec_64x16() -> JobSpec {
         JobSpec::new(64, 16).grid(GridShape::new(2, 2).unwrap())
@@ -726,6 +977,79 @@ mod tests {
         for h in handles {
             h.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn stream_jobs_apply_in_submission_order_and_match_a_direct_stream() {
+        let service = QrService::builder().workers(4).build();
+        let spec = spec_64x16();
+        let a0 = well_conditioned(64, 16, 21);
+        service.stream_open("live", &spec, &a0).unwrap();
+        assert_eq!(service.open_streams(), 1);
+        assert!(matches!(
+            service.stream_open("live", &spec, &a0).unwrap_err(),
+            ServiceError::StreamExists { .. }
+        ));
+        // Mirror the exact update sequence on a direct (single-threaded)
+        // stream off the same cached plan.
+        let mut direct = service.plan(&spec).unwrap().stream(&a0).unwrap();
+        // Queue a burst of appends while batch jobs contend for the pool.
+        let mut handles = Vec::new();
+        let mut batch = Vec::new();
+        for round in 0..6u64 {
+            handles.push(service.append_rows("live", gaussian_matrix(2, 16, 30 + round)).unwrap());
+            batch.push(service.submit(&spec, well_conditioned(64, 16, 50 + round)).unwrap());
+        }
+        for (round, h) in handles.into_iter().enumerate() {
+            let status = h.wait().unwrap().status().unwrap();
+            assert_eq!(status.rows, 64 + 2 * (round + 1), "appends apply in submission order");
+            direct
+                .append_rows(gaussian_matrix(2, 16, 30 + round as u64).as_ref())
+                .unwrap();
+        }
+        let snap = service
+            .snapshot("live")
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        let direct_snap = direct.snapshot().unwrap();
+        assert_eq!(
+            snap.r.data(),
+            direct_snap.r.data(),
+            "bitwise determinism per (seed, update sequence) under contention"
+        );
+        assert!(snap.orthogonality_error.unwrap() < 1e-12);
+        for h in batch {
+            h.wait().unwrap();
+        }
+        assert!(service.stream_close("live"));
+        assert_eq!(service.open_streams(), 0);
+        assert!(matches!(
+            service.append_rows("live", gaussian_matrix(2, 16, 1)).unwrap_err(),
+            ServiceError::UnknownStream { .. }
+        ));
+        assert!(!service.stream_close("live"));
+    }
+
+    #[test]
+    fn stream_job_failures_are_typed_and_do_not_wedge_the_stream() {
+        let service = QrService::builder().workers(2).build();
+        let spec = spec_64x16();
+        let a0 = well_conditioned(64, 16, 23);
+        service.stream_open("live", &spec, &a0).unwrap();
+        // Wrong width: the kernel's typed shape error comes back through
+        // the handle...
+        let bad = service.append_rows("live", gaussian_matrix(2, 8, 1)).unwrap();
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            ServiceError::Plan(PlanError::Update(dense::update::UpdateError::ShapeMismatch { .. }))
+        ));
+        // ...and the turnstile advanced past the failure: later operations
+        // still run.
+        let ok = service.append_rows("live", gaussian_matrix(2, 16, 2)).unwrap();
+        assert_eq!(ok.wait().unwrap().status().unwrap().rows, 66);
     }
 
     #[test]

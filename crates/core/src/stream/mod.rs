@@ -1,0 +1,620 @@
+//! Streaming QR: an incremental row-append/downdate engine on top of the
+//! [`QrPlan`] facade.
+//!
+//! [`StreamingQr`] keeps a *live* upper-triangular factor `R` for a row set
+//! that changes over time. Where [`QrPlan::factor`] re-derives everything
+//! from scratch, a stream folds each arriving block of rows into the
+//! existing factor with the dense rank-k kernels
+//! ([`dense::update::rank_k_append`] /
+//! [`dense::update::rank_k_downdate`]) at `O(kn² + n³)` cost — independent
+//! of how many rows are already inside — drawing every temporary from the
+//! owning plan's pooled [`Workspace`](dense::Workspace) arenas, so warm
+//! updates perform **zero heap allocations**.
+//!
+//! # Drift and the refresh contract
+//!
+//! Gram-based updates inherit CholeskyQR's conditioning sensitivity: each
+//! update can lose up to `ε·κ(R)²` of factor accuracy (downdates amplify by
+//! a further `1/α²`, the hyperbolic pivot). The stream integrates exactly
+//! that bound into a running [`drift`](StreamingQr::drift) score and, when
+//! it exceeds the configurable [`drift_threshold`](StreamingQr::drift), a
+//! **refresh** fires automatically: a full CholeskyQR2 re-factorization of
+//! the retained rows — through the owning plan's distributed path when the
+//! row count matches the plan shape, through an in-arena sequential CQR2
+//! otherwise — which resets drift to zero. A refresh is also chosen over an
+//! update whenever the `costmodel::streaming` crossover says re-factoring
+//! is cheaper (very wide deltas). [`StreamStatus::refreshed`] reports when
+//! one fired.
+//!
+//! # Snapshots
+//!
+//! [`snapshot`](StreamingQr::snapshot) materializes an explicit `Q` for the
+//! current row set by running the paper's *second CholeskyQR pass* on
+//! `A·R⁻¹` — the same repair step that gives batch CQR2 its ε-level
+//! orthogonality — and returns it with freshly computed
+//! orthogonality/residual diagnostics, updating the internal `R` to the
+//! repaired factor (a snapshot therefore counts as a refresh). Streams
+//! opened with [`with_history(false)`](StreamingQr::with_history) keep no
+//! row copies: appends and downdates still work, but snapshots are R-only
+//! and refreshes are unavailable.
+
+use crate::driver::{PlanError, QrPlan};
+use dense::cholesky::potrf_ws;
+use dense::matrix::MatRef;
+use dense::update::{rank_k_append, rank_k_downdate, UpdateError};
+use dense::{norms, trsm, Matrix};
+
+/// Default drift threshold: refresh once the estimated orthogonality loss
+/// of the implicit `Q = A·R⁻¹` reaches `1e-8` — far below where the CQR2
+/// repair pass could start to struggle, and roughly the square root of the
+/// well-conditioned batch diagnostic bound.
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 1e-8;
+
+/// A live, incrementally maintained QR factorization (see the module docs).
+///
+/// Built by [`QrPlan::stream`]; the stream clones the plan (sharing its
+/// workspace pool, so service-cached plans warm their streams and vice
+/// versa) and seeds `R` from a full [`QrPlan::factor`] of the initial
+/// matrix.
+#[derive(Clone, Debug)]
+pub struct StreamingQr {
+    plan: QrPlan,
+    n: usize,
+    r: Matrix,
+    /// Retained row history, row-major; rows `[start, start + live)` are
+    /// logically present (`start` grows as downdates consume the front).
+    history: Vec<f64>,
+    start: usize,
+    live: usize,
+    retain: bool,
+    drift: f64,
+    drift_threshold: f64,
+    appends: usize,
+    downdates: usize,
+    refreshes: usize,
+    updates_since_refresh: usize,
+}
+
+/// What a single append/downdate did to the stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamStatus {
+    /// Rows currently folded into the factor.
+    pub rows: usize,
+    /// Accumulated drift bound after the operation (zero right after a
+    /// refresh).
+    pub drift: f64,
+    /// Whether this operation triggered a full refresh (drift bound
+    /// exceeded, or the cost model preferred re-factoring the delta).
+    pub refreshed: bool,
+    /// Updates applied since the last refresh.
+    pub updates_since_refresh: usize,
+    /// Diagonal-ratio estimate of `κ(R)` (cheap, no extra factorization).
+    pub condition_estimate: f64,
+}
+
+/// An explicit factorization extracted from a live stream.
+#[derive(Clone, Debug)]
+pub struct StreamSnapshot {
+    /// The orthonormal factor for the current row set. `None` when the
+    /// stream keeps no history (`Q` needs the rows).
+    pub q: Option<Matrix>,
+    /// The upper-triangular factor (post-repair when history is retained).
+    pub r: Matrix,
+    /// Rows folded into the factor.
+    pub rows: usize,
+    /// `‖QᵀQ − I‖` of the returned `Q`; `None` without history.
+    pub orthogonality_error: Option<f64>,
+    /// `‖A − QR‖/‖A‖` over the retained rows; `None` without history.
+    pub residual_error: Option<f64>,
+    /// Appends applied over the stream's lifetime.
+    pub appends: usize,
+    /// Downdates applied over the stream's lifetime.
+    pub downdates: usize,
+    /// Refreshes performed over the stream's lifetime (snapshots with
+    /// history included).
+    pub refreshes: usize,
+}
+
+impl StreamingQr {
+    /// Opens a stream; called through [`QrPlan::stream`].
+    pub(crate) fn open(plan: QrPlan, initial: &Matrix) -> Result<StreamingQr, PlanError> {
+        let report = plan.factor(initial)?;
+        let n = plan.n();
+        let mut history = Vec::new();
+        history.extend_from_slice(initial.data());
+        Ok(StreamingQr {
+            n,
+            r: report.r,
+            history,
+            start: 0,
+            live: initial.rows(),
+            retain: true,
+            drift: 0.0,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            appends: 0,
+            downdates: 0,
+            refreshes: 0,
+            updates_since_refresh: 0,
+            plan,
+        })
+    }
+
+    /// Sets the drift bound above which an update auto-triggers a full
+    /// refresh (default [`DEFAULT_DRIFT_THRESHOLD`]). `f64::INFINITY`
+    /// disables auto-refresh entirely — useful for latency measurements;
+    /// the drift score stays observable either way.
+    pub fn with_drift_threshold(mut self, threshold: f64) -> StreamingQr {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Chooses whether the stream retains a copy of every live row
+    /// (default `true`). Without history the stream costs `O(n²)` memory
+    /// total, but refreshes and `Q` materialization become unavailable, and
+    /// downdates can no longer be verified against what was appended.
+    pub fn with_history(mut self, retain: bool) -> StreamingQr {
+        self.retain = retain;
+        if !retain {
+            self.history = Vec::new();
+            self.start = 0;
+        }
+        self
+    }
+
+    /// Pre-allocates history capacity for `additional` future appended
+    /// rows, so the appends themselves stay allocation-free.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        if self.retain {
+            self.history.reserve(additional * self.n);
+        }
+    }
+
+    /// The plan this stream refreshes through.
+    pub fn plan(&self) -> &QrPlan {
+        &self.plan
+    }
+
+    /// Column count (the factor's order).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rows currently folded into the factor.
+    pub fn rows(&self) -> usize {
+        self.live
+    }
+
+    /// The live upper-triangular factor.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Accumulated drift bound (see the module docs).
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// The configured auto-refresh threshold.
+    pub fn drift_threshold(&self) -> f64 {
+        self.drift_threshold
+    }
+
+    /// Lifetime refresh count.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Diagonal-ratio estimate of `κ(R)`: `max|rᵢᵢ| / min|rᵢᵢ|`. Cheap and
+    /// rough (it lower-bounds the true condition number), but exactly the
+    /// quantity that scales the per-update accuracy loss.
+    pub fn condition_estimate(&self) -> f64 {
+        let mut hi = 0.0_f64;
+        let mut lo = f64::INFINITY;
+        for i in 0..self.n {
+            let d = self.r.get(i, i).abs();
+            hi = hi.max(d);
+            lo = lo.min(d);
+        }
+        if lo == 0.0 {
+            f64::INFINITY
+        } else {
+            hi / lo
+        }
+    }
+
+    fn status(&self, refreshed: bool) -> StreamStatus {
+        StreamStatus {
+            rows: self.live,
+            drift: self.drift,
+            refreshed,
+            updates_since_refresh: self.updates_since_refresh,
+            condition_estimate: self.condition_estimate(),
+        }
+    }
+
+    fn check_cols(&self, b: MatRef<'_>) -> Result<(), PlanError> {
+        if b.cols() != self.n {
+            return Err(PlanError::Update(UpdateError::ShapeMismatch {
+                order: self.n,
+                rows: b.rows(),
+                cols: b.cols(),
+            }));
+        }
+        Ok(())
+    }
+
+    fn push_history(&mut self, b: MatRef<'_>) {
+        for i in 0..b.rows() {
+            self.history.extend_from_slice(b.row(i));
+        }
+    }
+
+    fn bump_drift(&mut self, amplification: f64) {
+        let cond = self.condition_estimate();
+        self.drift += f64::EPSILON * cond * cond * amplification;
+        self.updates_since_refresh += 1;
+    }
+
+    /// Folds `k = b.rows()` new rows into the factor.
+    ///
+    /// Fast path: one rank-k Gram update from pooled arena scratch (zero
+    /// heap allocations when warm and the history capacity was
+    /// [reserved](StreamingQr::reserve_rows)). When the cost model says a
+    /// delta this wide is cheaper to absorb by re-factoring — or when the
+    /// update pushes [`drift`](StreamingQr::drift) past the threshold — a
+    /// full refresh runs instead/afterwards (history-retaining streams
+    /// only) and the returned status says so.
+    pub fn append_rows(&mut self, b: MatRef<'_>) -> Result<StreamStatus, PlanError> {
+        self.check_cols(b)?;
+        let k = b.rows();
+        if k == 0 {
+            return Ok(self.status(false));
+        }
+        if self.retain && !costmodel::streaming::append_beats_refresh(self.live + k, self.n, k) {
+            self.push_history(b);
+            self.live += k;
+            self.appends += 1;
+            self.refresh()?;
+            return Ok(self.status(true));
+        }
+        {
+            let mut ws = self.plan.workspace().checkout();
+            rank_k_append(self.r.as_mut(), b, self.plan.backend().get(), &mut ws)?;
+        }
+        if self.retain {
+            self.push_history(b);
+        }
+        self.live += k;
+        self.appends += 1;
+        self.bump_drift(1.0);
+        if self.retain && self.drift > self.drift_threshold {
+            self.refresh()?;
+            return Ok(self.status(true));
+        }
+        Ok(self.status(false))
+    }
+
+    /// Removes the `k = b.rows()` **oldest** rows from the factor (sliding
+    /// window). With history retained, `b` must be bitwise the oldest rows
+    /// (enforced; [`PlanError::StreamHistoryMismatch`] otherwise); without
+    /// history the caller vouches, and the kernel's indefiniteness check is
+    /// the only guard. Downdating below `n` remaining rows is rejected as
+    /// [`PlanError::NotTall`].
+    pub fn downdate_rows(&mut self, b: MatRef<'_>) -> Result<StreamStatus, PlanError> {
+        self.check_cols(b)?;
+        let k = b.rows();
+        if k == 0 {
+            return Ok(self.status(false));
+        }
+        if self.live < self.n + k {
+            return Err(PlanError::NotTall {
+                m: self.live.saturating_sub(k),
+                n: self.n,
+            });
+        }
+        if self.retain {
+            for i in 0..k {
+                let at = (self.start + i) * self.n;
+                if self.history[at..at + self.n] != *b.row(i) {
+                    return Err(PlanError::StreamHistoryMismatch { row: i });
+                }
+            }
+        }
+        let min_alpha_sq = {
+            let mut ws = self.plan.workspace().checkout();
+            rank_k_downdate(self.r.as_mut(), b, &mut ws)?
+        };
+        if self.retain {
+            self.start += k;
+        }
+        self.live -= k;
+        self.compact();
+        self.downdates += 1;
+        // A downdate's accuracy loss is amplified by 1/α² (hyperbolic
+        // rotations are not norm-preserving).
+        self.bump_drift(1.0 / min_alpha_sq);
+        if self.retain && self.drift > self.drift_threshold {
+            self.refresh()?;
+            return Ok(self.status(true));
+        }
+        Ok(self.status(false))
+    }
+
+    /// Reclaims the consumed front of the history buffer once it dominates
+    /// the live rows (amortized O(1) per downdated row, no allocation).
+    fn compact(&mut self) {
+        if self.start >= self.live && self.start > 0 {
+            self.history.copy_within(self.start * self.n.., 0);
+            self.history.truncate(self.live * self.n);
+            self.start = 0;
+        }
+    }
+
+    /// The retained rows as an owned matrix (refresh/snapshot path only —
+    /// this allocates).
+    fn history_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.live, self.n, self.history[self.start * self.n..].to_vec())
+    }
+
+    /// Re-derives `R` from the retained rows by a full CholeskyQR2,
+    /// resetting drift to zero: through the owning plan's distributed path
+    /// when the live row count equals the plan shape, through an in-arena
+    /// sequential R-only CQR2 otherwise. Requires history.
+    pub fn refresh(&mut self) -> Result<(), PlanError> {
+        if !self.retain {
+            return Err(PlanError::StreamHistoryRequired { op: "refresh" });
+        }
+        if self.live == self.plan.m() {
+            let report = self.plan.factor(&self.history_matrix())?;
+            self.r = report.r;
+        } else {
+            self.refresh_sequential()?;
+        }
+        self.drift = 0.0;
+        self.updates_since_refresh = 0;
+        self.refreshes += 1;
+        Ok(())
+    }
+
+    /// Sequential R-only CholeskyQR2 over the history, from arena scratch:
+    /// `G = AᵀA`, `R₁ = chol(G)ᵀ`, `G₂ = L₁⁻¹·G·L₁⁻ᵀ`, `R₂ = chol(G₂)ᵀ`,
+    /// `R = R₂·R₁` — the `m·n²` Gram work runs on the blocked SYRK, and no
+    /// `Q` is ever materialized.
+    fn refresh_sequential(&mut self) -> Result<(), PlanError> {
+        let n = self.n;
+        let backend = self.plan.backend().get();
+        let mut ws = self.plan.workspace().checkout();
+        let mut a = ws.take_matrix_stale(self.live, n);
+        a.data_mut().copy_from_slice(&self.history[self.start * n..]);
+        let mut g = ws.take_matrix_stale(n, n);
+        backend.syrk_into(a.as_ref(), g.as_mut());
+        let mut l1 = ws.take_copy(g.as_ref());
+        let factored = potrf_ws(l1.as_mut(), backend, &mut ws).and_then(|()| {
+            // G₂ = L₁⁻¹ · G · L₁⁻ᵀ, in place.
+            trsm::trsm_left_lower(l1.as_ref(), g.as_mut());
+            trsm::trsm_right_lower_trans(l1.as_ref(), g.as_mut());
+            potrf_ws(g.as_mut(), backend, &mut ws) // g now holds L₂
+        });
+        if factored.is_ok() {
+            // R = R₂·R₁ = (L₁·L₂)ᵀ: r[i][j] = Σ_{k=i..j} L₂[k][i]·L₁[j][k].
+            let (l1v, l2v) = (l1.as_ref(), g.as_ref());
+            let mut rm = self.r.as_mut();
+            for i in 0..n {
+                let row = rm.row_mut(i);
+                for v in &mut row[..i] {
+                    *v = 0.0;
+                }
+                for (j, v) in row.iter_mut().enumerate().skip(i) {
+                    let mut s = 0.0;
+                    for k in i..=j {
+                        s += l2v.at(k, i) * l1v.at(j, k);
+                    }
+                    *v = s;
+                }
+            }
+        }
+        ws.recycle(l1);
+        ws.recycle(g);
+        ws.recycle(a);
+        factored.map_err(PlanError::NotPositiveDefinite)
+    }
+
+    /// Materializes the factorization for the current row set.
+    ///
+    /// With history: forms `Q₁ = A·R⁻¹` and runs the paper's second
+    /// CholeskyQR pass on it (`R₂ = chol(Q₁ᵀQ₁)ᵀ`, `Q = Q₁·R₂⁻¹`,
+    /// `R ← R₂·R`), returning `Q`, the repaired `R`, and freshly computed
+    /// orthogonality/residual diagnostics — the exact repair that gives
+    /// batch CQR2 its ε-level orthogonality, so snapshot diagnostics meet
+    /// the same bounds. The internal factor adopts the repaired `R` and
+    /// drift resets (a snapshot counts as a refresh). Without history the
+    /// snapshot is R-only (`q` and diagnostics are `None`).
+    pub fn snapshot(&mut self) -> Result<StreamSnapshot, PlanError> {
+        if !self.retain {
+            return Ok(StreamSnapshot {
+                q: None,
+                r: self.r.clone(),
+                rows: self.live,
+                orthogonality_error: None,
+                residual_error: None,
+                appends: self.appends,
+                downdates: self.downdates,
+                refreshes: self.refreshes,
+            });
+        }
+        let a = self.history_matrix();
+        let mut q = a.clone();
+        trsm::trsm_right_upper(self.r.as_ref(), q.as_mut());
+        // Second pass: repair Q₁'s orthogonality and fold R₂ into R.
+        let (r2, repaired) = {
+            let backend = self.plan.backend().get();
+            let mut ws = self.plan.workspace().checkout();
+            let mut g = ws.take_matrix_stale(self.n, self.n);
+            backend.syrk_into(q.as_ref(), g.as_mut());
+            let factored = potrf_ws(g.as_mut(), backend, &mut ws);
+            let out = factored.map(|()| {
+                let r2 = g.transposed();
+                let repaired = trsm::trmm_upper_upper(r2.as_ref(), self.r.as_ref());
+                (r2, repaired)
+            });
+            ws.recycle(g);
+            out.map_err(PlanError::NotPositiveDefinite)?
+        };
+        trsm::trsm_right_upper(r2.as_ref(), q.as_mut());
+        self.r = repaired;
+        self.drift = 0.0;
+        self.updates_since_refresh = 0;
+        self.refreshes += 1;
+        let orthogonality = norms::orthogonality_error(q.as_ref());
+        let residual = norms::residual_error(a.as_ref(), q.as_ref(), self.r.as_ref());
+        Ok(StreamSnapshot {
+            q: Some(q),
+            r: self.r.clone(),
+            rows: self.live,
+            orthogonality_error: Some(orthogonality),
+            residual_error: Some(residual),
+            appends: self.appends,
+            downdates: self.downdates,
+            refreshes: self.refreshes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Algorithm;
+    use dense::random::{gaussian_matrix, well_conditioned};
+    use pargrid::GridShape;
+
+    fn plan(m: usize, n: usize) -> QrPlan {
+        QrPlan::new(m, n)
+            .algorithm(Algorithm::Cqr2_1d)
+            .grid(GridShape::one_d(4).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stream_tracks_appends_and_snapshot_is_orthonormal() {
+        let (m0, n) = (64usize, 12usize);
+        let a0 = well_conditioned(m0, n, 7);
+        let mut s = plan(m0, n).stream(&a0).unwrap();
+        assert_eq!(s.rows(), m0);
+        for round in 0..5 {
+            let b = gaussian_matrix(3, n, 100 + round);
+            let st = s.append_rows(b.as_ref()).unwrap();
+            assert_eq!(st.rows, m0 + 3 * (round as usize + 1));
+        }
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.rows, m0 + 15);
+        assert!(snap.orthogonality_error.unwrap() < 1e-13, "{snap:?}");
+        assert!(snap.residual_error.unwrap() < 1e-13);
+        let q = snap.q.as_ref().unwrap();
+        assert_eq!((q.rows(), q.cols()), (m0 + 15, n));
+    }
+
+    #[test]
+    fn append_then_downdate_restores_the_factor() {
+        let (m0, n) = (64usize, 8usize);
+        let a0 = well_conditioned(m0, n, 3);
+        let mut s = plan(m0, n).stream(&a0).unwrap();
+        // Slide the window: append 4 new rows, drop the 4 oldest (which are
+        // the first rows of a0).
+        let b = gaussian_matrix(4, n, 9);
+        s.append_rows(b.as_ref()).unwrap();
+        let oldest = Matrix::from_view(a0.view(0, 0, 4, n));
+        let st = s.downdate_rows(oldest.as_ref()).unwrap();
+        assert_eq!(st.rows, m0);
+        assert!(st.drift > 0.0);
+        // Compare against a from-scratch factor of the slid window.
+        let mut window = Matrix::zeros(m0, n);
+        window.view_mut(0, 0, m0 - 4, n).copy_from(a0.view(4, 0, m0 - 4, n));
+        window.view_mut(m0 - 4, 0, 4, n).copy_from(b.as_ref());
+        let want = plan(m0, n).factor(&window).unwrap().r;
+        for (u, v) in s.r().data().iter().zip(want.data()) {
+            assert!((u - v).abs() < 1e-8 * (1.0 + v.abs()), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn wide_deltas_refresh_instead_of_updating() {
+        let (m0, n) = (32usize, 8usize);
+        let a0 = well_conditioned(m0, n, 5);
+        let mut s = plan(m0, n).stream(&a0).unwrap();
+        // A delta far wider than the retained rows sits past the crossover
+        // (break-even is k ≈ m) and must re-factor, resetting drift.
+        let k = 3 * m0;
+        assert!(!costmodel::streaming::append_beats_refresh(m0 + k, n, k));
+        let b = gaussian_matrix(k, n, 6);
+        let st = s.append_rows(b.as_ref()).unwrap();
+        assert!(st.refreshed, "k={k} should exceed the crossover");
+        assert_eq!(st.drift, 0.0);
+        assert_eq!(s.refreshes(), 1);
+    }
+
+    #[test]
+    fn drift_threshold_triggers_refresh() {
+        let (m0, n) = (64usize, 8usize);
+        let a0 = well_conditioned(m0, n, 11);
+        let mut s = plan(m0, n).stream(&a0).unwrap().with_drift_threshold(0.0);
+        let b = gaussian_matrix(1, n, 12);
+        let st = s.append_rows(b.as_ref()).unwrap();
+        assert!(st.refreshed, "any positive drift exceeds a zero threshold");
+        assert_eq!(s.drift(), 0.0);
+    }
+
+    #[test]
+    fn historyless_streams_reject_refresh_but_snapshot_r_only() {
+        let (m0, n) = (32usize, 8usize);
+        let a0 = well_conditioned(m0, n, 13);
+        let mut s = plan(m0, n).stream(&a0).unwrap().with_history(false);
+        let b = gaussian_matrix(2, n, 14);
+        s.append_rows(b.as_ref()).unwrap();
+        let err = s.refresh().unwrap_err();
+        assert!(
+            matches!(err, PlanError::StreamHistoryRequired { op: "refresh" }),
+            "{err:?}"
+        );
+        let snap = s.snapshot().unwrap();
+        assert!(snap.q.is_none());
+        assert!(snap.orthogonality_error.is_none());
+        assert_eq!(snap.rows, m0 + 2);
+    }
+
+    #[test]
+    fn sequential_refresh_matches_batch_r() {
+        // After appends the live row count differs from the plan shape, so
+        // refresh takes the sequential CQR2 path; its R must agree with a
+        // batch factor of the same rows.
+        let (m0, n) = (60usize, 16usize);
+        let a0 = well_conditioned(m0, n, 17);
+        let mut s = plan(m0, n).stream(&a0).unwrap();
+        let b = gaussian_matrix(4, n, 18);
+        s.append_rows(b.as_ref()).unwrap();
+        s.refresh().unwrap();
+        assert_eq!(s.drift(), 0.0);
+        let mut full = Matrix::zeros(m0 + 4, n);
+        full.view_mut(0, 0, m0, n).copy_from(a0.as_ref());
+        full.view_mut(m0, 0, 4, n).copy_from(b.as_ref());
+        let want = plan(m0 + 4, n).factor(&full).unwrap().r;
+        for (u, v) in s.r().data().iter().zip(want.data()) {
+            assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn downdating_below_n_rows_is_not_tall() {
+        let n = 8usize;
+        let a0 = well_conditioned(n + 4, n, 19);
+        let p = QrPlan::new(n + 4, n)
+            .algorithm(Algorithm::Cqr2_1d)
+            .grid(GridShape::one_d(1).unwrap())
+            .build()
+            .unwrap();
+        let mut s = p.stream(&a0).unwrap();
+        let oldest = Matrix::from_view(a0.view(0, 0, 8, n));
+        let err = s.downdate_rows(oldest.as_ref()).unwrap_err();
+        assert!(matches!(err, PlanError::NotTall { m: 4, n: 8 }), "{err:?}");
+    }
+}

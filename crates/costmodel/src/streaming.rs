@@ -1,0 +1,136 @@
+//! Streaming-update vs. full-refresh economics (the crossover rule behind
+//! `cacqr::stream::StreamingQr`'s auto-refresh decision).
+//!
+//! A rank-k row-append costs `O(kn² + n³)` — independent of the number of
+//! rows `m` already folded into the factor — while re-running sequential
+//! CholeskyQR2 over the retained history costs `O(mn² + n³)`. For small `k`
+//! the update wins by roughly `m/k`; once a single delta carries a sizable
+//! fraction of the total row count the refresh's drift-reset makes it the
+//! better buy (see [`REFRESH_AMORTIZATION`] for the pricing).
+//! [`crossover_width`] is the break-even `k`, and the streaming engine
+//! consults [`append_beats_refresh`] before every delta.
+
+use crate::cost::Cost;
+use crate::cqr1d;
+
+/// Cost of folding `k` appended rows into an `n × n` factor
+/// (`dense::update::rank_k_append`): the `BᵀB` SYRK delta, the triangular
+/// `RᵀR` accumulation, and the Cholesky re-factorization.
+pub fn rank_k_append(n: usize, k: usize) -> Cost {
+    let nf = n as f64;
+    Cost::flops(dense_flops_syrk(k, n) + nf * nf * nf / 3.0 + nf * nf * nf / 3.0)
+}
+
+/// Cost of removing `k` rows by the hyperbolic-rotation sweep
+/// (`dense::update::rank_k_downdate`): per row, a triangular solve plus a
+/// rotation sweep over the upper triangle.
+pub fn rank_k_downdate(n: usize, k: usize) -> Cost {
+    Cost::flops(3.0 * k as f64 * n as f64 * n as f64)
+}
+
+/// Cost of a full sequential CQR2 refresh over the `m` retained rows — the
+/// 1D model at `p = 1` (no communication terms survive a single rank).
+pub fn refresh(m: usize, n: usize) -> Cost {
+    cqr1d::cqr2_1d(m, n, 1)
+}
+
+/// Amortization credit a refresh is priced with in
+/// [`append_beats_refresh`]. A raw flop comparison would *never* choose the
+/// refresh: re-factoring also processes the k appended rows, so its cost
+/// grows with `k` faster than the update's. But a refresh additionally
+/// resets accumulated drift — value an update does not deliver — so its
+/// cost is credited as amortizing over the drift headroom it restores.
+/// A credit of 12 puts the break-even at `k ≈ m − n`: a delta about as wide
+/// as the rows already retained re-factors, while every realistic streaming
+/// width (`k ≪ m`) stays on the `O(kn² + n³)` update path.
+pub const REFRESH_AMORTIZATION: f64 = 12.0;
+
+/// Whether folding a `k`-row delta into an `n`-column factor is cheaper
+/// than an (amortization-credited, see [`REFRESH_AMORTIZATION`]) full
+/// refresh of the `m` retained rows. `m` counts the rows *after* the
+/// append.
+pub fn append_beats_refresh(m: usize, n: usize, k: usize) -> bool {
+    rank_k_append(n, k).gamma < refresh(m, n).gamma / REFRESH_AMORTIZATION
+}
+
+/// The break-even update width: the smallest `k` for which a rank-k append
+/// is no longer cheaper than a full refresh of `m` rows. Every `k` below
+/// the returned value satisfies [`append_beats_refresh`].
+pub fn crossover_width(m: usize, n: usize) -> usize {
+    let nf = n as f64;
+    let append_fixed = 2.0 * nf * nf * nf / 3.0;
+    let guess = (refresh(m, n).gamma / REFRESH_AMORTIZATION - append_fixed) / (nf * nf);
+    let mut k = if guess <= 1.0 { 1 } else { guess.ceil() as usize };
+    // The closed form and the summed cost terms round differently in f64;
+    // nudge onto the exact predicate boundary.
+    while append_beats_refresh(m, n, k) {
+        k += 1;
+    }
+    while k > 1 && !append_beats_refresh(m, n, k - 1) {
+        k -= 1;
+    }
+    k
+}
+
+// Flop conventions duplicated from `dense::flops` (costmodel does not depend
+// on `dense`; the equality is asserted in the tests below).
+fn dense_flops_syrk(m: usize, n: usize) -> f64 {
+    m as f64 * n as f64 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventions_match_dense() {
+        for &(n, k) in &[(8usize, 1usize), (64, 16), (128, 64), (31, 7)] {
+            assert_eq!(rank_k_append(n, k).gamma, dense::flops::rank_k_append(n, k));
+            assert_eq!(rank_k_downdate(n, k).gamma, dense::flops::rank_k_downdate(n, k));
+        }
+    }
+
+    #[test]
+    fn refresh_at_one_rank_is_communication_free() {
+        let c = refresh(8192, 128);
+        assert_eq!(c.alpha, 0.0);
+        assert_eq!(c.beta, 0.0);
+        assert!(c.gamma > 0.0);
+    }
+
+    #[test]
+    fn small_appends_beat_refresh_at_the_headline_shape() {
+        // The PR's perf-gate claim in cost-model terms: a rank-64 append at
+        // 8192×128 does a small fraction of the refresh work.
+        let (m, n) = (8192usize, 128usize);
+        for k in [1usize, 16, 64] {
+            assert!(append_beats_refresh(m + k, n, k), "k={k}");
+        }
+        let ratio = refresh(m, n).gamma / rank_k_append(n, 64).gamma;
+        assert!(
+            ratio > 5.0,
+            "flop-count headroom for the 5x wall-clock gate: {ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn crossover_is_consistent_with_the_predicate() {
+        for &(m, n) in &[(4096usize, 64usize), (8192, 128), (512, 256)] {
+            let kc = crossover_width(m, n);
+            assert!(kc >= 1);
+            if kc > 1 {
+                assert!(append_beats_refresh(m, n, kc - 1), "below break-even at m={m} n={n}");
+            }
+            assert!(!append_beats_refresh(m, n, kc), "at break-even at m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn wide_factors_lower_the_relative_payoff() {
+        // Appends pay an O(n³) refactorization regardless of k, so the
+        // m/k-style advantage shrinks as n approaches m.
+        let r_tall = refresh(8192, 64).gamma / rank_k_append(64, 16).gamma;
+        let r_fat = refresh(512, 256).gamma / rank_k_append(256, 16).gamma;
+        assert!(r_tall > r_fat);
+    }
+}

@@ -17,6 +17,7 @@
 use crate::backend::{Backend, BackendKind};
 use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef, Matrix};
+use crate::workspace::Workspace;
 
 /// Cholesky failure: the pivot at `index` was non-positive.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -122,6 +123,53 @@ pub fn potrf_with(mut a: MatMut<'_>, backend: &dyn Backend) -> Result<(), Choles
     }
     // The block loop only zeroes the strict upper triangle inside each
     // diagonal block; clear the rest so the result is exactly L.
+    for i in 0..n {
+        let row = a.row_mut(i);
+        for v in &mut row[i + 1..] {
+            *v = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// [`potrf_with`] drawing the panel copy from a [`Workspace`] arena.
+///
+/// The blocked trailing update needs a stable copy of the just-solved `L21`
+/// panel (the gemm reads and writes overlapping storage otherwise);
+/// [`potrf_with`] allocates that copy per call, which is fine for one-shot
+/// factorizations but breaks the streaming path's zero-steady-state-allocation
+/// contract. This variant takes the copy from `ws` and recycles it, so warm
+/// calls perform no heap allocations.
+pub fn potrf_ws(mut a: MatMut<'_>, backend: &dyn Backend, ws: &mut Workspace) -> Result<(), CholeskyError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "Cholesky input must be square");
+    const NB: usize = 64;
+    if n <= NB {
+        return potrf_unblocked(a, 0);
+    }
+    let mut k = 0;
+    while k < n {
+        let nb = NB.min(n - k);
+        potrf_unblocked(a.rb_mut().sub(k, k, nb, nb), k)?;
+        if k + nb < n {
+            let rest = n - k - nb;
+            let (diag_rows, below) = a.rb_mut().sub(k, k, n - k, nb).split_rows(nb);
+            backend.trsm_right_lower_trans(diag_rows.rb(), below);
+            let l21_copy = ws.take_copy(a.rb().sub(k + nb, k, rest, nb));
+            let a22 = a.rb_mut().sub(k + nb, k + nb, rest, rest);
+            backend.gemm(
+                -1.0,
+                l21_copy.as_ref(),
+                Trans::No,
+                l21_copy.as_ref(),
+                Trans::Yes,
+                1.0,
+                a22,
+            );
+            ws.recycle(l21_copy);
+        }
+        k += nb;
+    }
     for i in 0..n {
         let row = a.row_mut(i);
         for v in &mut row[i + 1..] {
@@ -289,6 +337,23 @@ mod tests {
         let mut l = a.clone();
         potrf(l.as_mut()).unwrap();
         assert!(reconstruct_err(&a, &l) < 1e-12);
+    }
+
+    #[test]
+    fn potrf_ws_matches_potrf_bitwise_and_stays_arena_balanced() {
+        let a = spd(193); // blocked path: several 64-blocks plus a ragged tail
+        let mut want = a.clone();
+        potrf(want.as_mut()).unwrap();
+        let backend = BackendKind::default_kind().get();
+        let mut ws = Workspace::new();
+        let mut got = a.clone();
+        potrf_ws(got.as_mut(), backend, &mut ws).unwrap();
+        assert_eq!(want.data(), got.data(), "arena copy must not change the arithmetic");
+        assert_eq!(ws.takes(), ws.recycles(), "every take recycled");
+        let cold = ws.heap_allocations();
+        let mut warm = a.clone();
+        potrf_ws(warm.as_mut(), backend, &mut ws).unwrap();
+        assert_eq!(ws.heap_allocations(), cold, "warm call draws entirely from the arena");
     }
 
     #[test]

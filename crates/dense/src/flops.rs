@@ -74,6 +74,25 @@ pub fn triu_mul(n: usize) -> f64 {
     n * n * n / 3.0
 }
 
+/// γ cost of a rank-k row-append factor update
+/// ([`crate::update::rank_k_append`]): the `BᵀB` Gram delta (`kn²`, SYRK
+/// convention), the triangular `RᵀR` accumulation (`n³/3`: 2 flops per
+/// multiply-add over the `n³/6` lower-triangle terms), and the
+/// re-factorization (`n³/3`, Cholesky alone).
+pub fn rank_k_append(n: usize, k: usize) -> f64 {
+    let nf = n as f64;
+    syrk(k, n) + nf * nf * nf / 3.0 + chol(n)
+}
+
+/// γ cost of a rank-k row-downdate ([`crate::update::rank_k_downdate`]):
+/// per removed row, one triangular solve (`n²`, trmm convention) plus the
+/// hyperbolic-rotation sweep over the upper triangle (`2n²`: 4 flops per
+/// element over `n²/2` entries).
+pub fn rank_k_downdate(n: usize, k: usize) -> f64 {
+    let (nf, kf) = (n as f64, k as f64);
+    kf * 3.0 * nf * nf
+}
+
 /// Householder QR flop count `2mn² − ⅔n³` — the figure-of-merit numerator
 /// used for *both* algorithms' Gigaflops/s/node in every plot (paper §IV-C).
 pub fn householder_qr_flops(m: usize, n: usize) -> f64 {

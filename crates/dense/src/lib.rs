@@ -59,15 +59,20 @@ pub mod random;
 pub mod svd;
 pub mod syrk;
 pub mod trsm;
+pub mod update;
 pub mod workspace;
 
 pub use backend::{kernel_threads, max_threads, thread_budget, Backend, BackendKind, PoolReservation};
-pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, trtri_lower, trtri_lower_with, CholeskyError};
+pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, potrf_ws, trtri_lower, trtri_lower_with, CholeskyError};
 pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use norms::{frobenius, max_abs, orthogonality_error, residual_error};
-pub use probe::{default_probe, default_syrk_probe, probe_gemm, probe_syrk, ProbeKernel, ProbeReport};
+pub use probe::{
+    default_append_probe, default_probe, default_syrk_probe, probe_append, probe_gemm, probe_syrk, ProbeKernel,
+    ProbeReport,
+};
 pub use syrk::{syrk, syrk_into, syrk_via_gemm};
 pub use trsm::{trmm_upper_upper, trsm_right_lower_trans, trsm_right_upper};
+pub use update::{rank_k_append, rank_k_downdate, UpdateError};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

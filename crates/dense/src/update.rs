@@ -1,0 +1,435 @@
+//! Rank-k row-append / row-downdate kernels for an upper-triangular factor.
+//!
+//! These are the dense building blocks of the streaming QR subsystem
+//! (`cacqr::stream`). Both operate on the `R` factor alone, exploiting the
+//! CholeskyQR identity that `R` is determined by the Gram matrix:
+//!
+//! * [`rank_k_append`] — given `R` with `RᵀR = AᵀA` and a block `B` of `k`
+//!   new rows, replaces `R` by `R'` with `R'ᵀR' = RᵀR + BᵀB`. Computed as
+//!   the Cholesky factor of the updated Gram matrix: the `BᵀB` delta comes
+//!   from the symmetry-aware SIMD SYRK, `RᵀR` is accumulated over the upper
+//!   triangle's rows, and the re-factorization runs through the
+//!   workspace-backed blocked [`potrf_ws`]. Cost
+//!   `O(kn² + n³)` — independent of the row count `m` already folded in.
+//! * [`rank_k_downdate`] — removes `k` previously appended rows by the
+//!   LINPACK `dchdd` hyperbolic-rotation sweep. Downdating is only
+//!   well-posed while the shrunk Gram matrix stays positive definite; the
+//!   kernel reports the violation as a typed
+//!   [`UpdateError::DowndateIndefinite`] instead of producing a garbage
+//!   factor.
+//!
+//! Both kernels are **transactional** (on error `r` is left untouched),
+//! **deterministic** (fixed sequential loop orders; the SYRK delta is the
+//! thread-count-invariant blocked kernel), and **allocation-free when warm**
+//! (all scratch drawn from the caller's [`Workspace`] arena).
+
+use crate::backend::Backend;
+use crate::cholesky::{potrf_ws, CholeskyError};
+use crate::matrix::{MatMut, MatRef};
+use crate::workspace::Workspace;
+
+/// Typed failure of a rank-k factor update.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UpdateError {
+    /// The update block's column count does not match the factor's order.
+    ShapeMismatch {
+        /// Order of the square factor `R`.
+        order: usize,
+        /// Rows of the offending update block.
+        rows: usize,
+        /// Columns of the offending update block.
+        cols: usize,
+    },
+    /// The appended Gram matrix lost positive definiteness during
+    /// re-factorization (numerically rank-deficient row set).
+    NotPositiveDefinite(CholeskyError),
+    /// Downdating by row `row` of the block would make the Gram matrix
+    /// indefinite: the rows being removed are not (numerically) contained
+    /// in the factored row set.
+    DowndateIndefinite {
+        /// Index within the update block of the first offending row.
+        row: usize,
+        /// The hyperbolic pivot `α² = 1 − ‖R⁻ᵀx‖²` that should have been
+        /// positive. The more negative, the further the row is from the
+        /// factored set.
+        deficiency: f64,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::ShapeMismatch { order, rows, cols } => write!(
+                f,
+                "update block is {rows}x{cols} but the factor is {order}x{order} \
+                 (column counts must match)"
+            ),
+            UpdateError::NotPositiveDefinite(e) => {
+                write!(f, "appended Gram matrix is not positive definite: {e}")
+            }
+            UpdateError::DowndateIndefinite { row, deficiency } => write!(
+                f,
+                "downdate row {row} leaves the factor indefinite (alpha^2 = {deficiency:.3e}); \
+                 the removed rows are not part of the factored row set"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::NotPositiveDefinite(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CholeskyError> for UpdateError {
+    fn from(e: CholeskyError) -> Self {
+        UpdateError::NotPositiveDefinite(e)
+    }
+}
+
+fn check_block(order: usize, b: MatRef<'_>) -> Result<(), UpdateError> {
+    if b.cols() != order {
+        return Err(UpdateError::ShapeMismatch {
+            order,
+            rows: b.rows(),
+            cols: b.cols(),
+        });
+    }
+    Ok(())
+}
+
+/// Appends `k = b.rows()` rows to the factorization: replaces the upper
+/// triangular `r` by `R'` with `R'ᵀR' = RᵀR + BᵀB`.
+///
+/// The Gram delta `BᵀB` is computed by the backend's blocked SYRK, `RᵀR` is
+/// accumulated into the lower triangle (the only half the blocked Cholesky
+/// reads), and the sum is re-factored with [`potrf_ws`]. On success `r`
+/// holds `R'` (upper triangular, positive diagonal); on error `r` is left
+/// **unchanged**. All scratch comes from `ws` — warm calls perform zero
+/// heap allocations.
+pub fn rank_k_append(
+    mut r: MatMut<'_>,
+    b: MatRef<'_>,
+    backend: &dyn Backend,
+    ws: &mut Workspace,
+) -> Result<(), UpdateError> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "factor must be square");
+    check_block(n, b)?;
+    if b.rows() == 0 {
+        return Ok(());
+    }
+    // G ← BᵀB (full, symmetric), then G_lower += RᵀR. Only the lower
+    // triangle is accumulated: the blocked Cholesky below never reads the
+    // strict upper half (its trailing gemm writes both halves but each
+    // output element depends only on its own input element).
+    let mut g = ws.take_matrix_stale(n, n);
+    backend.syrk_into(b, g.as_mut());
+    {
+        let mut gm = g.as_mut();
+        for l in 0..n {
+            let rl = r.row(l);
+            for i in l..n {
+                let v = rl[i];
+                let grow = gm.row_mut(i);
+                for j in l..=i {
+                    grow[j] += v * rl[j];
+                }
+            }
+        }
+    }
+    match potrf_ws(g.as_mut(), backend, ws) {
+        Ok(()) => {
+            // R' = Lᵀ, written back transactionally only on success.
+            let gl = g.as_ref();
+            for i in 0..n {
+                let row = r.row_mut(i);
+                for v in &mut row[..i] {
+                    *v = 0.0;
+                }
+                for j in i..n {
+                    row[j] = gl.at(j, i);
+                }
+            }
+            ws.recycle(g);
+            Ok(())
+        }
+        Err(e) => {
+            ws.recycle(g);
+            Err(e.into())
+        }
+    }
+}
+
+/// Removes `k = b.rows()` previously appended rows from the factorization:
+/// replaces `r` by `R'` with `R'ᵀR' = RᵀR − BᵀB`, via the LINPACK `dchdd`
+/// hyperbolic-rotation sweep (one sweep per removed row).
+///
+/// Returns the smallest hyperbolic pivot `α² = 1 − ‖R⁻ᵀx‖²` observed across
+/// the block — a direct conditioning signal: `1/α²` bounds the error
+/// amplification of the sweep, and `α² ≤ 0` means the downdated Gram matrix
+/// is no longer positive definite, reported as
+/// [`UpdateError::DowndateIndefinite`]. The sweep runs on an arena copy and
+/// commits only on success, so on error `r` is left **unchanged** even when
+/// an earlier row of the block was already applied.
+pub fn rank_k_downdate(mut r: MatMut<'_>, b: MatRef<'_>, ws: &mut Workspace) -> Result<f64, UpdateError> {
+    let n = r.rows();
+    assert_eq!(r.cols(), n, "factor must be square");
+    check_block(n, b)?;
+    if b.rows() == 0 {
+        return Ok(1.0);
+    }
+    let mut work = ws.take_copy(r.rb());
+    let mut a = ws.take_vec(n);
+    let mut c = ws.take_vec(n);
+    let mut s = ws.take_vec(n);
+    let mut min_alpha_sq = 1.0_f64;
+    let mut failure = None;
+    for row in 0..b.rows() {
+        let x = b.row(row);
+        // Solve Rᵀa = x by forward substitution (Rᵀ is lower triangular).
+        for i in 0..n {
+            let mut t = x[i];
+            for k in 0..i {
+                t -= work.get(k, i) * a[k];
+            }
+            a[i] = t / work.get(i, i);
+        }
+        let norm_sq: f64 = a[..n].iter().map(|v| v * v).sum();
+        let alpha_sq = 1.0 - norm_sq;
+        // Also catches NaN/−∞ from a singular diagonal above.
+        if alpha_sq.is_nan() || alpha_sq <= 0.0 {
+            failure = Some(UpdateError::DowndateIndefinite {
+                row,
+                deficiency: alpha_sq,
+            });
+            break;
+        }
+        min_alpha_sq = min_alpha_sq.min(alpha_sq);
+        // Generate the hyperbolic rotations from the bottom up…
+        let mut alpha = alpha_sq.sqrt();
+        for i in (0..n).rev() {
+            let scale = alpha + a[i].abs();
+            let aa = alpha / scale;
+            let bb = a[i] / scale;
+            let nrm = (aa * aa + bb * bb).sqrt();
+            c[i] = aa / nrm;
+            s[i] = bb / nrm;
+            alpha = scale * nrm;
+        }
+        // …and apply them column by column (LINPACK dchdd order).
+        for j in 0..n {
+            let mut xx = 0.0;
+            for i in (0..=j).rev() {
+                let t = c[i] * xx + s[i] * work.get(i, j);
+                work.set(i, j, c[i] * work.get(i, j) - s[i] * xx);
+                xx = t;
+            }
+        }
+    }
+    let out = match failure {
+        Some(e) => Err(e),
+        None => {
+            // Normalize to a positive diagonal (the CholeskyQR convention;
+            // rotations can flip signs) and commit.
+            for i in 0..n {
+                if work.get(i, i) < 0.0 {
+                    let mut wm = work.as_mut();
+                    let row = wm.row_mut(i);
+                    for v in &mut row[i..] {
+                        *v = -*v;
+                    }
+                }
+            }
+            r.copy_from(work.as_ref());
+            Ok(min_alpha_sq)
+        }
+    };
+    ws.recycle_vec(s);
+    ws.recycle_vec(c);
+    ws.recycle_vec(a);
+    ws.recycle(work);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+    use crate::cholesky::potrf;
+    use crate::matrix::Matrix;
+    use crate::random::{gaussian_matrix, well_conditioned};
+    use crate::syrk::syrk;
+
+    /// Upper factor of AᵀA, the CholeskyQR way: R = chol(AᵀA)ᵀ.
+    fn r_of(a: &Matrix) -> Matrix {
+        let mut g = syrk(a.as_ref());
+        potrf(g.as_mut()).expect("well-conditioned Gram");
+        g.transposed()
+    }
+
+    fn concat(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols());
+        let mut out = Matrix::zeros(a.rows() + b.rows(), a.cols());
+        out.view_mut(0, 0, a.rows(), a.cols()).copy_from(a.as_ref());
+        out.view_mut(a.rows(), 0, b.rows(), b.cols()).copy_from(b.as_ref());
+        out
+    }
+
+    fn assert_close(got: &Matrix, want: &Matrix, tol: f64) {
+        for (u, v) in got.data().iter().zip(want.data()) {
+            assert!((u - v).abs() < tol * (1.0 + v.abs()), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn append_matches_from_scratch_factor() {
+        for &(m, n, k) in &[(96, 24, 8), (40, 40, 1), (200, 31, 64)] {
+            let a = well_conditioned(m, n, 11);
+            let b = gaussian_matrix(k, n, 17);
+            let mut r = r_of(&a);
+            let backend = BackendKind::default_kind().get();
+            let mut ws = Workspace::new();
+            rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap();
+            let want = r_of(&concat(&a, &b));
+            assert_close(&r, &want, 1e-9);
+            assert_eq!(ws.takes(), ws.recycles(), "arena stays balanced");
+        }
+    }
+
+    #[test]
+    fn append_is_warm_allocation_free_across_block_sizes() {
+        // n = 96 exercises the blocked potrf path (panel copies from the
+        // arena), n = 32 the unblocked one.
+        for &n in &[32usize, 96] {
+            let a = well_conditioned(2 * n, n, 5);
+            let b = gaussian_matrix(8, n, 6);
+            let mut r = r_of(&a);
+            let backend = BackendKind::default_kind().get();
+            let mut ws = Workspace::new();
+            rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap();
+            let cold = ws.heap_allocations();
+            for _ in 0..3 {
+                rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap();
+            }
+            assert_eq!(ws.heap_allocations(), cold, "warm appends draw from the arena (n={n})");
+        }
+    }
+
+    #[test]
+    fn downdate_undoes_append() {
+        let (m, n, k) = (128, 24, 8);
+        let a = well_conditioned(m, n, 3);
+        let b = gaussian_matrix(k, n, 4);
+        let r0 = r_of(&a);
+        let mut r = r0.clone();
+        let backend = BackendKind::default_kind().get();
+        let mut ws = Workspace::new();
+        rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap();
+        let alpha_sq = rank_k_downdate(r.as_mut(), b.as_ref(), &mut ws).unwrap();
+        assert!(alpha_sq > 0.0 && alpha_sq <= 1.0, "pivot {alpha_sq}");
+        assert_close(&r, &r0, 1e-8);
+        assert_eq!(ws.takes(), ws.recycles());
+    }
+
+    #[test]
+    fn downdate_of_foreign_rows_is_indefinite_and_transactional() {
+        let n = 16;
+        let a = well_conditioned(64, n, 9);
+        let r0 = r_of(&a);
+        let mut r = r0.clone();
+        // A row far outside the factored set: norm much larger than any
+        // column of A.
+        let huge = Matrix::from_fn(1, n, |_, j| 1e6 * (j + 1) as f64);
+        let mut ws = Workspace::new();
+        let err = rank_k_downdate(r.as_mut(), huge.as_ref(), &mut ws).unwrap_err();
+        match err {
+            UpdateError::DowndateIndefinite { row, deficiency } => {
+                assert_eq!(row, 0);
+                assert!(deficiency <= 0.0);
+            }
+            other => panic!("expected DowndateIndefinite, got {other:?}"),
+        }
+        assert_eq!(r.data(), r0.data(), "failed downdate must not touch R");
+        assert_eq!(ws.takes(), ws.recycles(), "error path recycles its scratch");
+    }
+
+    #[test]
+    fn multi_row_downdate_failure_rolls_back_earlier_rows() {
+        let n = 12;
+        let a = well_conditioned(48, n, 21);
+        let b = gaussian_matrix(2, n, 22);
+        let mut r = r_of(&a);
+        let backend = BackendKind::default_kind().get();
+        let mut ws = Workspace::new();
+        rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap();
+        let before = r.clone();
+        // First row of the block is genuinely removable, second is foreign:
+        // the sweep applies row 0 to its scratch copy, then must roll back.
+        let mut block = Matrix::zeros(2, n);
+        block.view_mut(0, 0, 1, n).copy_from(b.view(0, 0, 1, n));
+        for j in 0..n {
+            block.set(1, j, 1e7);
+        }
+        let err = rank_k_downdate(r.as_mut(), block.as_ref(), &mut ws).unwrap_err();
+        assert!(matches!(err, UpdateError::DowndateIndefinite { row: 1, .. }), "{err:?}");
+        assert_eq!(r.data(), before.data(), "partial sweep must not leak into R");
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let mut r = Matrix::identity(8);
+        let b = Matrix::zeros(3, 5);
+        let backend = BackendKind::default_kind().get();
+        let mut ws = Workspace::new();
+        let err = rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::ShapeMismatch {
+                order: 8,
+                rows: 3,
+                cols: 5
+            }
+        );
+        let err = rank_k_downdate(r.as_mut(), b.as_ref(), &mut ws).unwrap_err();
+        assert!(matches!(err, UpdateError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn append_failure_leaves_factor_untouched() {
+        // A singular "factor" makes the accumulated Gram matrix exactly
+        // rank-deficient, so re-factorization must fail …
+        let n = 8;
+        let mut r = Matrix::zeros(n, n);
+        for i in 1..n {
+            r.set(i, i, 1.0);
+        }
+        r.set(0, 3, 2.5);
+        let before = r.clone();
+        let b = Matrix::zeros(2, n);
+        let backend = BackendKind::default_kind().get();
+        let mut ws = Workspace::new();
+        let err = rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap_err();
+        assert!(matches!(err, UpdateError::NotPositiveDefinite(_)), "{err:?}");
+        // … and the original factor survives bitwise.
+        assert_eq!(r.data(), before.data());
+        assert_eq!(ws.takes(), ws.recycles());
+    }
+
+    #[test]
+    fn empty_blocks_are_no_ops() {
+        let a = well_conditioned(32, 8, 2);
+        let mut r = r_of(&a);
+        let before = r.clone();
+        let b = Matrix::zeros(0, 8);
+        let backend = BackendKind::default_kind().get();
+        let mut ws = Workspace::new();
+        rank_k_append(r.as_mut(), b.as_ref(), backend, &mut ws).unwrap();
+        assert_eq!(rank_k_downdate(r.as_mut(), b.as_ref(), &mut ws).unwrap(), 1.0);
+        assert_eq!(r.data(), before.data());
+    }
+}

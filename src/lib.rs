@@ -42,6 +42,17 @@
 //! oversubscribe the cores. See [`cacqr::service`] and
 //! `examples/batch_service.rs`.
 //!
+//! ## Streaming updates: [`StreamingQr`]
+//!
+//! For row sets that change over time, [`QrPlan::stream`] opens a live
+//! factor that absorbs rank-k row appends and downdates in `O(kn² + n³)` —
+//! independent of how many rows are already folded in — with a tracked
+//! drift bound that auto-triggers a full CholeskyQR2 refresh through the
+//! owning plan. The same engine serves streaming traffic through
+//! [`QrService`] stream jobs (`stream_open` / `append_rows` /
+//! `downdate_rows` / `snapshot`). See [`cacqr::stream`] and
+//! `examples/online_lsq.rs`.
+//!
 //! ## The workspace crates
 //!
 //! * [`dense`] — sequential dense linear algebra kernels (the BLAS/LAPACK
@@ -65,5 +76,6 @@ pub use pargrid;
 pub use simgrid;
 
 pub use cacqr::driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
-pub use cacqr::service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError};
+pub use cacqr::service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError, StreamHandle, StreamOutcome};
+pub use cacqr::stream::{StreamSnapshot, StreamStatus, StreamingQr};
 pub use cacqr::tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};

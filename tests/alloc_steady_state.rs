@@ -21,7 +21,7 @@
 //! per-binary state.
 
 use cacqr::{Algorithm, QrPlan};
-use dense::random::well_conditioned;
+use dense::random::{gaussian_matrix, well_conditioned};
 use pargrid::GridShape;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -206,6 +206,54 @@ fn ca_cqr2_factor_is_allocation_free_at_steady_state() {
         .build()
         .unwrap();
     check_plan("ca-cqr2", plan, &a);
+}
+
+/// The streaming engine's zero-steady-state-allocation guarantee: once the
+/// plan's arena pool is warm and the history capacity is reserved, a
+/// `StreamingQr::append_rows` call performs **zero** process-wide heap
+/// allocations — not "arena-flat", literally zero global allocator traffic.
+/// Measured at two factor orders so both the unblocked (`n ≤ 64`) and
+/// blocked Cholesky regimes (which draws its panel copy from the arena via
+/// `potrf_ws`) are covered.
+#[test]
+fn warm_stream_appends_are_allocation_free() {
+    for &(n, name) in &[(32usize, "unblocked"), (96, "blocked")] {
+        let (m0, k) = (256usize, 8usize);
+        let a0 = well_conditioned(m0, n, 29);
+        let plan = QrPlan::new(m0, n)
+            .algorithm(Algorithm::Cqr2_1d)
+            .grid(GridShape::one_d(4).unwrap())
+            .build()
+            .unwrap();
+        let mut s = plan.stream(&a0).unwrap();
+        // Reserve history for every row this test will append, so the
+        // retained-row buffer never regrows mid-measurement.
+        s.reserve_rows(16 * k);
+        // Warm the checkout arena (Gram scratch + Cholesky panel copy).
+        for _ in 0..6 {
+            s.append_rows(gaussian_matrix(k, n, 31).as_ref()).unwrap();
+        }
+        let b = gaussian_matrix(k, n, 37);
+        let arena_before = plan.workspace().heap_allocations();
+        let before = allocations();
+        for _ in 0..4 {
+            let status = s.append_rows(b.as_ref()).unwrap();
+            assert!(
+                !status.refreshed,
+                "{name}: drift must stay far below the threshold here"
+            );
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{name}: warm append_rows must perform zero process-wide heap allocations"
+        );
+        assert_eq!(
+            plan.workspace().heap_allocations(),
+            arena_before,
+            "{name}: warm appends must stay arena-exact too"
+        );
+    }
 }
 
 /// The arena layer pays for itself: the warm pool's parked capacity is the

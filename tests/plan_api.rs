@@ -187,6 +187,98 @@ fn errors_display_and_source() {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming: the typed error surface of QrPlan::stream.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stream_shape_mismatch_is_a_typed_update_error() {
+    use ca_cqr2::cacqr::stream::StreamingQr;
+    use ca_cqr2::dense::random::gaussian_matrix;
+    use ca_cqr2::dense::update::UpdateError;
+
+    let plan = QrPlan::new(64, 16)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap();
+    let mut s: StreamingQr = plan.stream(&well_conditioned(64, 16, 1)).unwrap();
+    let err = s.append_rows(gaussian_matrix(2, 8, 1).as_ref()).unwrap_err();
+    assert_eq!(
+        err,
+        PlanError::Update(UpdateError::ShapeMismatch {
+            order: 16,
+            rows: 2,
+            cols: 8,
+        })
+    );
+    // The chain is Display + source all the way down to the kernel error.
+    assert!(err.to_string().contains("streaming update failed"), "{err}");
+    let src = std::error::Error::source(&err).expect("kernel error is the source");
+    assert!(src.to_string().contains("16"), "{src}");
+}
+
+#[test]
+fn downdating_rows_never_appended_is_rejected_or_indefinite() {
+    use ca_cqr2::dense::update::UpdateError;
+    use ca_cqr2::dense::Matrix;
+
+    let plan = QrPlan::new(32, 8)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap();
+    let a0 = well_conditioned(32, 8, 3);
+    let foreign = Matrix::from_fn(1, 8, |_, j| 1e6 * (j + 1) as f64);
+
+    // With history: the bitwise audit catches the lie before any math runs.
+    let mut s = plan.stream(&a0).unwrap();
+    let err = s.downdate_rows(foreign.as_ref()).unwrap_err();
+    assert_eq!(err, PlanError::StreamHistoryMismatch { row: 0 });
+    assert!(err.to_string().contains("oldest"), "{err}");
+
+    // Without history the caller vouches, and the kernel's hyperbolic
+    // pivot check is the backstop: removing energy that was never added
+    // drives α² non-positive — typed, and transactional (R unchanged).
+    let mut s = plan.stream(&a0).unwrap().with_history(false);
+    let r_before = s.r().clone();
+    let err = s.downdate_rows(foreign.as_ref()).unwrap_err();
+    assert!(
+        matches!(err, PlanError::Update(UpdateError::DowndateIndefinite { row: 0, .. })),
+        "{err:?}"
+    );
+    assert_eq!(s.r().data(), r_before.data(), "failed downdates must roll back");
+}
+
+#[test]
+fn historyless_streams_report_refresh_as_unavailable() {
+    let plan = QrPlan::new(32, 8)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap();
+    let mut s = plan.stream(&well_conditioned(32, 8, 5)).unwrap().with_history(false);
+    let err = s.refresh().unwrap_err();
+    assert_eq!(err, PlanError::StreamHistoryRequired { op: "refresh" });
+    assert!(err.to_string().contains("with_history(false)"), "{err}");
+}
+
+#[test]
+fn stream_downdate_below_n_rows_is_not_tall() {
+    use ca_cqr2::dense::Matrix;
+
+    let plan = QrPlan::new(12, 8)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap();
+    let a0 = well_conditioned(12, 8, 7);
+    let mut s = plan.stream(&a0).unwrap();
+    let oldest = Matrix::from_view(a0.view(0, 0, 8, 8));
+    let err = s.downdate_rows(oldest.as_ref()).unwrap_err();
+    assert_eq!(err, PlanError::NotTall { m: 4, n: 8 });
+}
+
+// ---------------------------------------------------------------------------
 // Execution: the cross-algorithm loop and plan reuse.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,182 @@
+//! Streaming QR end-to-end invariants.
+//!
+//! * **Property (proptest over ragged shapes/widths):** a stream that
+//!   absorbs N appended blocks and then snapshots is equivalent to a
+//!   from-scratch `QrPlan::factor` of the concatenated matrix — the
+//!   snapshot's diagnostics meet the batch CQR2 bounds, and its `R` agrees
+//!   with the batch `R`.
+//! * **Sliding window:** appends followed by downdates of the oldest rows
+//!   reproduce the factor of the slid window.
+//! * **Service determinism:** the same `(initial, update sequence)` pair
+//!   produces bitwise-identical factors through a 1-worker and a 4-worker
+//!   `QrService`, and through a direct single-threaded stream — pool width
+//!   and contention never perturb the arithmetic.
+
+use cacqr::service::JobSpec;
+use cacqr::{Algorithm, QrPlan, QrService};
+use dense::norms::rel_diff;
+use dense::random::{gaussian_matrix, well_conditioned};
+use dense::Matrix;
+use pargrid::GridShape;
+use proptest::prelude::*;
+
+fn stream_plan(m: usize, n: usize) -> QrPlan {
+    QrPlan::new(m, n)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap()
+}
+
+/// Stack `a0` and the appended blocks into one matrix.
+fn concat(a0: &Matrix, blocks: &[Matrix]) -> Matrix {
+    let n = a0.cols();
+    let total = a0.rows() + blocks.iter().map(|b| b.rows()).sum::<usize>();
+    let mut data = Vec::with_capacity(total * n);
+    data.extend_from_slice(a0.data());
+    for b in blocks {
+        data.extend_from_slice(b.data());
+    }
+    Matrix::from_vec(total, n, data)
+}
+
+/// From-scratch factor of arbitrary-height input (trivial 1-rank grid: no
+/// divisibility constraint).
+fn batch_r(a: &Matrix) -> Matrix {
+    QrPlan::new(a.rows(), a.cols())
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(1).unwrap())
+        .build()
+        .unwrap()
+        .factor(a)
+        .unwrap()
+        .r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn appends_plus_snapshot_match_from_scratch_factor(
+        quarters in 3usize..14,
+        n_raw in 2usize..17,
+        w1 in 0usize..14,
+        w2 in 1usize..14,
+        w3 in 0usize..14,
+        seed in 0u64..500,
+    ) {
+        let m0 = 4 * quarters;
+        let n = n_raw.min(m0);
+        let a0 = well_conditioned(m0, n, seed);
+        let mut s = stream_plan(m0, n).stream(&a0).unwrap();
+        let mut blocks = Vec::new();
+        for (i, &w) in [w1, w2, w3].iter().enumerate() {
+            let b = gaussian_matrix(w, n, seed ^ (0xb10c + i as u64));
+            s.append_rows(b.as_ref()).unwrap();
+            blocks.push(b);
+        }
+        let full = concat(&a0, &blocks);
+        prop_assert_eq!(s.rows(), full.rows());
+        let snap = s.snapshot().unwrap();
+        // The snapshot's diagnostics meet the batch CQR2 bounds...
+        prop_assert!(snap.orthogonality_error.unwrap() < 1e-12, "{:?}", snap.orthogonality_error);
+        prop_assert!(snap.residual_error.unwrap() < 1e-12, "{:?}", snap.residual_error);
+        // ...and its R is the batch R (same Gram Cholesky factor, reached
+        // through updates + repair instead of one pass).
+        let want = batch_r(&full);
+        prop_assert!(
+            rel_diff(snap.r.as_ref(), want.as_ref()) < 1e-10,
+            "rel diff {}",
+            rel_diff(snap.r.as_ref(), want.as_ref())
+        );
+    }
+
+    #[test]
+    fn sliding_window_matches_factor_of_the_window(
+        quarters in 4usize..12,
+        n_raw in 2usize..13,
+        k in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let m0 = 4 * quarters;
+        let n = n_raw.min(m0 - 8);
+        let a0 = well_conditioned(m0, n, seed.wrapping_add(1));
+        let mut s = stream_plan(m0, n).stream(&a0).unwrap();
+        let b = gaussian_matrix(k, n, seed ^ 0x51_1d);
+        s.append_rows(b.as_ref()).unwrap();
+        let oldest = Matrix::from_view(a0.view(0, 0, k, n));
+        let status = s.downdate_rows(oldest.as_ref()).unwrap();
+        prop_assert_eq!(status.rows, m0);
+        // The slid window, factored from scratch.
+        let mut window = Matrix::zeros(m0, n);
+        window.view_mut(0, 0, m0 - k, n).copy_from(a0.view(k, 0, m0 - k, n));
+        window.view_mut(m0 - k, 0, k, n).copy_from(b.as_ref());
+        let want = batch_r(&window);
+        // Downdates amplify roundoff by the hyperbolic pivot, so the bound
+        // is looser than the append-only property.
+        prop_assert!(
+            rel_diff(s.r().as_ref(), want.as_ref()) < 1e-7,
+            "rel diff {}",
+            rel_diff(s.r().as_ref(), want.as_ref())
+        );
+    }
+}
+
+#[test]
+fn service_streams_are_bitwise_deterministic_across_pool_widths() {
+    let (m0, n) = (64usize, 16usize);
+    let spec = JobSpec::new(m0, n).grid(GridShape::new(2, 2).unwrap());
+    let a0 = well_conditioned(m0, n, 41);
+    let updates: Vec<Matrix> = (0..8).map(|i| gaussian_matrix(3, n, 600 + i)).collect();
+
+    let run = |workers: usize| -> (Vec<f64>, Vec<f64>) {
+        let service = QrService::builder().workers(workers).build();
+        service.stream_open("det", &spec, &a0).unwrap();
+        let handles: Vec<_> = updates
+            .iter()
+            .map(|b| service.append_rows("det", b.clone()).unwrap())
+            .collect();
+        // Saturate the pool with unrelated batch jobs while the stream ops
+        // drain, so determinism is measured *under* contention.
+        let noise: Vec<_> = (0..2 * workers as u64)
+            .map(|s| service.submit(&spec, well_conditioned(m0, n, 700 + s)).unwrap())
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = service
+            .snapshot("det")
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        for h in noise {
+            h.wait().unwrap();
+        }
+        (snap.r.data().to_vec(), snap.q.unwrap().data().to_vec())
+    };
+
+    let (r1, q1) = run(1);
+    let (r4, q4) = run(4);
+    assert_eq!(r1, r4, "R must be bitwise identical across pool widths");
+    assert_eq!(q1, q4, "Q must be bitwise identical across pool widths");
+
+    // And identical to a direct, single-threaded stream applying the same
+    // sequence.
+    let plan = QrPlan::new(m0, n)
+        .algorithm(Algorithm::CaCqr2)
+        .grid(GridShape::new(2, 2).unwrap())
+        .build()
+        .unwrap();
+    let mut direct = plan.stream(&a0).unwrap();
+    for b in &updates {
+        direct.append_rows(b.as_ref()).unwrap();
+    }
+    let snap = direct.snapshot().unwrap();
+    assert_eq!(
+        r1,
+        snap.r.data(),
+        "service streams must match the direct engine bitwise"
+    );
+}
