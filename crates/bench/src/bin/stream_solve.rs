@@ -1,0 +1,322 @@
+//! Streaming solve bench: *measured* solve-after-delta economics.
+//!
+//! Opens a `StreamingQr` with a right-hand-side track on the paper's
+//! tall-skinny ladder shapes and times the full streamed reaction to one
+//! rank-64 arrival — `append_rows_with` + `solve_into`, `O(kn² + mn)` with
+//! the refinement sweep — against what a batch-only engine pays for the
+//! same freshness: re-factor the retained rows (`StreamingQr::refresh`,
+//! `O(mn²)`) and then solve. The headline number is the streamed-solve
+//! speedup at 8192×128: it must beat refactor-then-solve by ≥ 5x (the
+//! PR's acceptance floor), and the streamed coefficients must match a
+//! freshly re-factored solve to semi-normal-equation accuracy. Emits
+//! `BENCH_PR8.json`.
+//!
+//! Flags (same conventions as `stream_update`):
+//!
+//! * `--gate <baseline.json>` — compares normalized times and speedups
+//!   against the checked-in baseline's top-level `"stream"` array (only
+//!   the `stream-solve-` / `stream-refactor-solve-` entries; the update
+//!   bench owns the rest) and exits non-zero on regression.
+//! * `--out <path>` — artifact path (default `BENCH_PR8.json`).
+//!
+//! Run: `cargo run --release -p bench --bin stream_solve`
+
+use cacqr::stream::StreamingQr;
+use cacqr::tuner::json::{self, JsonValue};
+use cacqr::{Algorithm, QrPlan};
+use dense::random::{gaussian_matrix, well_conditioned};
+use dense::Matrix;
+use pargrid::GridShape;
+use std::time::Instant;
+
+/// Normalized times may regress by at most this factor — and measured
+/// speedups may shrink by at most this factor — before the gate fails.
+/// Matches `stream_update`: these ops are milliseconds at most, so the
+/// probe-normalized numbers carry more scheduler noise than the
+/// hundreds-of-milliseconds collective benchmarks.
+const GATE_TOLERANCE: f64 = 1.4;
+
+/// The acceptance floor: a streamed append+solve at the headline shape
+/// must beat refactor-then-solve by at least this much.
+const HEADLINE_FLOOR: f64 = 5.0;
+
+/// Rank of the timed arrival. 64 is the widest (most refactor-friendly)
+/// delta the update bench tracks, so the floor is conservative.
+const DELTA_ROWS: usize = 64;
+
+/// Untimed warm-up and timed repetitions for the streamed op (each rep
+/// appends `DELTA_ROWS` rows for real — the reservation below covers
+/// them all, so history pushes stay pure copies in the timed region).
+const SOLVE_WARM: usize = 5;
+const SOLVE_REPS: usize = 15;
+
+/// Independent measurement passes per shape, each on a freshly opened
+/// stream; every wall is the best across passes.
+const PASSES: usize = 3;
+
+struct Entry {
+    name: String,
+    entry: JsonValue,
+    normalized: Option<f64>,
+    speedup: Option<f64>,
+}
+
+/// Best-of-`reps` wall seconds of `op` after `warm` untimed runs.
+fn time_best(warm: usize, reps: usize, mut op: impl FnMut()) -> f64 {
+    for _ in 0..warm {
+        op();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        op();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best.max(1e-9)
+}
+
+fn stream_entry(name: &str, threads: usize, wall: f64, normalized: f64, speedup: Option<f64>) -> JsonValue {
+    let mut fields = vec![
+        ("name".to_string(), JsonValue::String(name.to_string())),
+        ("threads".to_string(), JsonValue::Number(threads as f64)),
+        ("wall_seconds".to_string(), JsonValue::Number(wall)),
+        ("normalized".to_string(), JsonValue::Number(normalized)),
+    ];
+    if let Some(s) = speedup {
+        fields.push(("speedup".to_string(), JsonValue::Number(s)));
+    }
+    JsonValue::Object(fields)
+}
+
+/// Max relative coefficient difference between two solution matrices.
+fn rel_diff(x: &Matrix, y: &Matrix) -> f64 {
+    let mut worst = 0.0_f64;
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            let denom = y.get(i, j).abs().max(1.0);
+            worst = worst.max((x.get(i, j) - y.get(i, j)).abs() / denom);
+        }
+    }
+    worst
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let gate_path = flag_value("--gate");
+
+    // The tall-skinny ladder: m ≫ n makes the refactor's O(mn²) Gram pass
+    // expensive while the streamed append+solve stays O(kn² + mn).
+    let shapes: Vec<(usize, usize)> = vec![(8192, 128), (4096, 64)];
+    let threads = dense::max_threads();
+
+    let probe = dense::probe_gemm(dense::BackendKind::default_kind(), 256, 8);
+    println!(
+        "# stream_solve — probe: {} {}³ gemm at {:.2} Gflop/s",
+        probe.backend,
+        probe.dim,
+        probe.gflops(),
+    );
+    println!("shape          op               wall_s      normalized  speedup");
+
+    let mut results: Vec<Entry> = Vec::new();
+    let mut worst_solve_diff = 0.0_f64;
+    for &(m0, n) in &shapes {
+        let a0 = well_conditioned(m0, n, 42);
+        let b0 = gaussian_matrix(m0, 1, 4242);
+        let plan = QrPlan::new(m0, n)
+            .algorithm(Algorithm::Cqr2_1d)
+            .grid(GridShape::one_d(8).unwrap())
+            .build()
+            .expect("ladder shapes divide evenly over 8 ranks");
+        let name = format!("{m0}x{n}");
+        let mut wall_refactor = f64::INFINITY;
+        let mut wall_streamed = f64::INFINITY;
+        let mut last_stream: Option<StreamingQr> = None;
+        for _pass in 0..PASSES {
+            // Infinite drift threshold: the refactor path is the thing being
+            // measured, so the auto-refresh stays out of the streamed loop.
+            // Correctness is still asserted against a fresh refresh below.
+            let mut s: StreamingQr = plan
+                .stream_with_rhs(&a0, &b0)
+                .expect("well-conditioned seed")
+                .with_drift_threshold(f64::INFINITY);
+            s.reserve_rows((SOLVE_WARM + SOLVE_REPS + 1) * DELTA_ROWS + 16);
+            let mut x = Matrix::zeros(n, 1);
+
+            // The batch-only engine's reaction to a delta: re-factor every
+            // retained row, then solve. One append first so the row count is
+            // off-plan — the honest streaming state (refresh keeps the row
+            // count fixed, so best-of-reps is well defined).
+            let d0 = gaussian_matrix(DELTA_ROWS, n, 7);
+            let e0 = gaussian_matrix(DELTA_ROWS, 1, 77);
+            s.append_rows_with(d0.as_ref(), e0.as_ref()).expect("append");
+            wall_refactor = wall_refactor.min(time_best(1, 5, || {
+                s.refresh().expect("well-conditioned rows");
+                s.solve_into(&mut x).expect("factor is live");
+            }));
+
+            // The streamed reaction: fold the delta into R and d = Aᵀb, then
+            // solve via corrected semi-normal equations. Warm path: the
+            // reservation above plus the pooled arenas make it allocation-free.
+            let b = gaussian_matrix(DELTA_ROWS, n, 1000);
+            let c = gaussian_matrix(DELTA_ROWS, 1, 2000);
+            wall_streamed = wall_streamed.min(time_best(SOLVE_WARM, SOLVE_REPS, || {
+                let status = s.append_rows_with(b.as_ref(), c.as_ref()).expect("append");
+                assert!(!status.refreshed, "timed appends must stay on the update path");
+                s.solve_into(&mut x).expect("factor is live");
+            }));
+            last_stream = Some(s);
+        }
+
+        let norm_refactor = wall_refactor / probe.seconds;
+        println!("{name:<14} refactor+solve   {wall_refactor:<11.4e} {norm_refactor:<11.3}");
+        results.push(Entry {
+            name: format!("stream-refactor-solve-{name}"),
+            entry: stream_entry(
+                &format!("stream-refactor-solve-{name}"),
+                threads,
+                wall_refactor,
+                norm_refactor,
+                None,
+            ),
+            normalized: Some(norm_refactor),
+            speedup: None,
+        });
+        let norm_streamed = wall_streamed / probe.seconds;
+        let speedup = wall_refactor / wall_streamed;
+        println!("{name:<14} append+solve     {wall_streamed:<11.4e} {norm_streamed:<11.3} {speedup:.2}x");
+        results.push(Entry {
+            name: format!("stream-solve-{name}"),
+            entry: stream_entry(
+                &format!("stream-solve-{name}"),
+                threads,
+                wall_streamed,
+                norm_streamed,
+                Some(speedup),
+            ),
+            normalized: Some(norm_streamed),
+            speedup: Some(speedup),
+        });
+
+        // The streamed coefficients must still be *right* after all the
+        // timed traffic: a fresh re-factorization of the same rows must
+        // reproduce them to semi-normal-equation accuracy.
+        let mut s = last_stream.expect("PASSES ≥ 1");
+        let streamed_x = s.solve().expect("factor is live");
+        s.refresh().expect("well-conditioned rows");
+        let fresh_x = s.solve().expect("factor is live");
+        let diff = rel_diff(&streamed_x, &fresh_x);
+        assert!(
+            diff < 1e-8,
+            "{name}: streamed solve drifted {diff:.3e} from the re-factored solve"
+        );
+        worst_solve_diff = worst_solve_diff.max(diff);
+    }
+
+    let artifact = JsonValue::Object(vec![
+        ("version".to_string(), JsonValue::Number(1.0)),
+        ("probe_gflops".to_string(), JsonValue::Number(probe.gflops())),
+        ("probe_seconds".to_string(), JsonValue::Number(probe.seconds)),
+        ("solve_rel_diff_worst".to_string(), JsonValue::Number(worst_solve_diff)),
+        (
+            "stream".to_string(),
+            JsonValue::Array(results.iter().map(|r| r.entry.clone()).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, artifact.to_pretty()).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
+
+    // The acceptance floor stands on its own, baseline or not.
+    let headline = results
+        .iter()
+        .find(|r| r.name == "stream-solve-8192x128")
+        .and_then(|r| r.speedup)
+        .expect("headline shape is always measured");
+    if headline < HEADLINE_FLOOR {
+        eprintln!(
+            "# stream-solve gate: FAILED — streamed append+solve speedup over refactor-then-solve \
+             at 8192x128 is {headline:.2}x (< {HEADLINE_FLOOR}x)"
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(path) = gate_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = json::parse(&text).unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+        let all = baseline
+            .get("stream")
+            .and_then(JsonValue::as_array)
+            .unwrap_or_else(|| panic!("baseline {path} has no \"stream\" array"));
+        // The `"stream"` array is shared with `stream_update`: each bin
+        // gates only the entries it produces, keyed by name prefix.
+        let tracked: Vec<&JsonValue> = all
+            .iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(JsonValue::as_str)
+                    .is_some_and(|n| n.starts_with("stream-solve-") || n.starts_with("stream-refactor-solve-"))
+            })
+            .collect();
+        let mut regressions = Vec::new();
+        let mut skipped = 0usize;
+        for entry in &tracked {
+            let name = entry.get("name").and_then(JsonValue::as_str).unwrap_or("<unnamed>");
+            let base_threads = entry.get("threads").and_then(JsonValue::as_usize);
+            let Some(current) = results.iter().find(|r| r.name == name) else {
+                regressions.push(format!("{name}: tracked entry missing from this run"));
+                continue;
+            };
+            // Normalization cancels machine speed, not parallelism: skip
+            // entries recorded under a different thread budget.
+            if base_threads.is_some_and(|t| t != threads) {
+                println!(
+                    "# stream-solve gate: skipping {name} (baseline threads={}, this run threads={threads})",
+                    base_threads.unwrap(),
+                );
+                skipped += 1;
+                continue;
+            }
+            match (entry.get("normalized").and_then(JsonValue::as_f64), current.normalized) {
+                (Some(base), Some(now)) if now > base * GATE_TOLERANCE => {
+                    regressions.push(format!(
+                        "{name}: normalized {now:.3} vs baseline {base:.3} (> {GATE_TOLERANCE}x)"
+                    ));
+                }
+                _ => {}
+            }
+            match (entry.get("speedup").and_then(JsonValue::as_f64), current.speedup) {
+                (Some(base), Some(now)) if now < base / GATE_TOLERANCE => {
+                    regressions.push(format!(
+                        "{name}: speedup {now:.2}x vs baseline {base:.2}x (shrunk > {GATE_TOLERANCE}x)"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if skipped == tracked.len() && !tracked.is_empty() {
+            regressions.push(format!(
+                "all {skipped} tracked entries skipped (thread-budget mismatch): \
+                 re-record the baseline under this budget or set CACQR_THREADS to match"
+            ));
+        }
+        if regressions.is_empty() {
+            println!(
+                "# stream-solve gate: OK ({} tracked entries within {GATE_TOLERANCE}x; headline speedup {headline:.2}x)",
+                tracked.len()
+            );
+        } else {
+            eprintln!("# stream-solve gate: FAILED");
+            for r in &regressions {
+                eprintln!("#   {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

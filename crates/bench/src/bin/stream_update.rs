@@ -258,13 +258,23 @@ fn main() {
     if let Some(path) = gate_path {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline = json::parse(&text).unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
-        let tracked = baseline
+        let all = baseline
             .get("stream")
             .and_then(JsonValue::as_array)
             .unwrap_or_else(|| panic!("baseline {path} has no \"stream\" array"));
+        // The `"stream"` array is shared with `stream_solve`: each bin
+        // gates only the entries it produces, keyed by name prefix.
+        let tracked: Vec<&JsonValue> = all
+            .iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(JsonValue::as_str)
+                    .is_some_and(|n| n.starts_with("stream-refresh-") || n.starts_with("stream-append-"))
+            })
+            .collect();
         let mut regressions = Vec::new();
         let mut skipped = 0usize;
-        for entry in tracked {
+        for entry in &tracked {
             let name = entry.get("name").and_then(JsonValue::as_str).unwrap_or("<unnamed>");
             let base_threads = entry.get("threads").and_then(JsonValue::as_usize);
             let Some(current) = results.iter().find(|r| r.name == name) else {

@@ -120,6 +120,30 @@ pub enum PlanError {
         /// Index within the downdate block of the first mismatched row.
         row: usize,
     },
+    /// The requested operation reads or maintains the stream's
+    /// right-hand-side track, but the stream was opened without one
+    /// ([`QrPlan::stream`](super::QrPlan::stream) instead of
+    /// [`QrPlan::stream_with_rhs`](super::QrPlan::stream_with_rhs)).
+    StreamRhsMissing {
+        /// The operation that needed the right-hand-side track.
+        op: &'static str,
+    },
+    /// The stream maintains a right-hand-side track `d = Aᵀb`, and the
+    /// plain update would silently desynchronize it from the factor; use
+    /// the `_with` variant that carries the matching right-hand-side rows.
+    StreamRhsRequired {
+        /// The plain operation that was rejected.
+        op: &'static str,
+    },
+    /// A right-hand-side block does not have the shape the stream (or the
+    /// solve output) requires: its rows must pair one-to-one with the row
+    /// block's, and its width must match the track's `nrhs` fixed at open.
+    RhsShapeMismatch {
+        /// `(rows, nrhs)` the operation required.
+        expected: (usize, usize),
+        /// `(rows, cols)` actually supplied.
+        got: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -179,6 +203,27 @@ impl std::fmt::Display for PlanError {
                     f,
                     "downdate row {row} does not match the oldest retained rows \
                      (downdates remove rows oldest-first)"
+                )
+            }
+            PlanError::StreamRhsMissing { op } => {
+                write!(
+                    f,
+                    "streaming operation `{op}` needs the right-hand-side track \
+                     (open the stream with stream_with_rhs)"
+                )
+            }
+            PlanError::StreamRhsRequired { op } => {
+                write!(
+                    f,
+                    "stream maintains a right-hand-side track: use `{op}_with` so \
+                     d = A'b stays synchronized with the factor"
+                )
+            }
+            PlanError::RhsShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "right-hand-side block must be {}x{} but was {}x{}",
+                    expected.0, expected.1, got.0, got.1
                 )
             }
         }

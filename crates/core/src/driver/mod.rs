@@ -387,6 +387,18 @@ impl QrPlan {
     pub fn stream(&self, initial: &Matrix) -> Result<crate::stream::StreamingQr, PlanError> {
         crate::stream::StreamingQr::open(self.clone(), initial)
     }
+
+    /// Opens a least-squares stream: [`stream`](QrPlan::stream) plus a
+    /// right-hand-side track that maintains the projection `d = Aᵀb`
+    /// through every append/downdate, so
+    /// [`solve`](crate::stream::StreamingQr::solve) answers
+    /// `min ‖Ax − b‖` for the live row set at any moment without any
+    /// caller-side accumulator. `rhs` rows pair one-to-one with
+    /// `initial`'s; its column count fixes `nrhs` for the stream's life
+    /// ([`PlanError::RhsShapeMismatch`] on a mismatch).
+    pub fn stream_with_rhs(&self, initial: &Matrix, rhs: &Matrix) -> Result<crate::stream::StreamingQr, PlanError> {
+        crate::stream::StreamingQr::open_with_rhs(self.clone(), initial, rhs)
+    }
 }
 
 impl QrPlanBuilder {

@@ -20,9 +20,12 @@
 //!    [`dense::PoolReservation`], so block-level kernel parallelism shrinks
 //!    to its fair share of `CACQR_THREADS` while the pool is alive. Pool
 //!    width × kernel width never oversubscribes the budget.
-//! 4. **Stateful stream jobs** — [`QrService::stream_open`] registers a
-//!    live [`StreamingQr`] under a string key;
-//!    [`QrService::append_rows`] / [`QrService::downdate_rows`] /
+//! 4. **Stateful stream jobs** — [`QrService::stream_open`] (or
+//!    [`QrService::stream_open_with_rhs`], which also carries the
+//!    least-squares right-hand-side track) registers a live
+//!    [`StreamingQr`] under a string key;
+//!    [`QrService::append_rows`] / [`QrService::downdate_rows`] (and
+//!    their `_with` right-hand-side variants) / [`QrService::solve`] /
 //!    [`QrService::snapshot`] then enqueue incremental operations against
 //!    it through the *same* bounded queue and worker pool as batch jobs.
 //!    Per key, operations execute strictly in submission order (a sequence
@@ -277,17 +280,23 @@ impl JobHandle {
 /// [`QrService::append_rows`] family.
 enum StreamOp {
     Append(Matrix),
+    AppendWith(Matrix, Matrix),
     Downdate(Matrix),
+    DowndateWith(Matrix, Matrix),
+    Solve,
     Snapshot,
 }
 
 /// What a completed stream job produced: appends and downdates report the
-/// stream's [`StreamStatus`]; snapshot jobs deliver the full
-/// [`StreamSnapshot`].
+/// stream's [`StreamStatus`]; solve jobs deliver the least-squares
+/// solution; snapshot jobs deliver the full [`StreamSnapshot`].
 #[derive(Clone, Debug)]
 pub enum StreamOutcome {
     /// An append or downdate was applied.
     Update(StreamStatus),
+    /// A least-squares solve was answered: the `n × nrhs` solution of
+    /// `min ‖Ax − b‖` over the rows live at the solve's turnstile slot.
+    Solution(Matrix),
     /// A snapshot was materialized.
     Snapshot(StreamSnapshot),
 }
@@ -297,7 +306,15 @@ impl StreamOutcome {
     pub fn status(&self) -> Option<StreamStatus> {
         match self {
             StreamOutcome::Update(s) => Some(*s),
-            StreamOutcome::Snapshot(_) => None,
+            StreamOutcome::Solution(_) | StreamOutcome::Snapshot(_) => None,
+        }
+    }
+
+    /// The solution, when this outcome came from a solve job.
+    pub fn into_solution(self) -> Option<Matrix> {
+        match self {
+            StreamOutcome::Solution(x) => Some(x),
+            StreamOutcome::Update(_) | StreamOutcome::Snapshot(_) => None,
         }
     }
 
@@ -305,7 +322,7 @@ impl StreamOutcome {
     pub fn into_snapshot(self) -> Option<StreamSnapshot> {
         match self {
             StreamOutcome::Snapshot(s) => Some(s),
-            StreamOutcome::Update(_) => None,
+            StreamOutcome::Update(_) | StreamOutcome::Solution(_) => None,
         }
     }
 }
@@ -501,7 +518,10 @@ fn run_stream_job(job: StreamJob) {
     let qr = &mut st.qr;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match &op {
         StreamOp::Append(b) => qr.append_rows(b.as_ref()).map(StreamOutcome::Update),
+        StreamOp::AppendWith(b, c) => qr.append_rows_with(b.as_ref(), c.as_ref()).map(StreamOutcome::Update),
         StreamOp::Downdate(b) => qr.downdate_rows(b.as_ref()).map(StreamOutcome::Update),
+        StreamOp::DowndateWith(b, c) => qr.downdate_rows_with(b.as_ref(), c.as_ref()).map(StreamOutcome::Update),
+        StreamOp::Solve => qr.solve().map(StreamOutcome::Solution),
         StreamOp::Snapshot => qr.snapshot().map(StreamOutcome::Snapshot),
     }));
     st.applied += 1;
@@ -721,6 +741,29 @@ impl QrService {
     pub fn stream_open(&self, key: &str, spec: &JobSpec, initial: &Matrix) -> Result<(), ServiceError> {
         let plan = self.plan(spec)?;
         let qr = plan.stream(initial)?;
+        self.register_stream(key, qr)
+    }
+
+    /// Like [`stream_open`](QrService::stream_open), but the stream also
+    /// maintains the right-hand-side track `d = Aᵀb` (see
+    /// [`QrPlan::stream_with_rhs`]), so the service can answer
+    /// [`solve`](QrService::solve) jobs against it. Updates must then go
+    /// through [`append_rows_with`](QrService::append_rows_with) /
+    /// [`downdate_rows_with`](QrService::downdate_rows_with) so the track
+    /// stays synchronized with the factor.
+    pub fn stream_open_with_rhs(
+        &self,
+        key: &str,
+        spec: &JobSpec,
+        initial: &Matrix,
+        rhs: &Matrix,
+    ) -> Result<(), ServiceError> {
+        let plan = self.plan(spec)?;
+        let qr = plan.stream_with_rhs(initial, rhs)?;
+        self.register_stream(key, qr)
+    }
+
+    fn register_stream(&self, key: &str, qr: StreamingQr) -> Result<(), ServiceError> {
         let mut map = self.shared.streams.write().unwrap_or_else(|e| e.into_inner());
         if map.contains_key(key) {
             return Err(ServiceError::StreamExists { key: key.to_string() });
@@ -736,10 +779,15 @@ impl QrService {
         Ok(())
     }
 
-    /// Closes the named stream, returning whether one was open. Operations
-    /// already queued hold the stream entry and complete normally (their
-    /// handles stay redeemable); operations submitted after the close fail
-    /// with [`ServiceError::UnknownStream`].
+    /// Closes the named stream, returning whether one was open.
+    ///
+    /// Close is a *drain*, not a cancel: operations already queued hold
+    /// their own `Arc` to the stream entry, so they execute to completion
+    /// in submission order and their handles stay redeemable — including
+    /// solves and snapshots queued just before the close. Only operations
+    /// submitted after the close fail, with
+    /// [`ServiceError::UnknownStream`]. The stream's factor state is
+    /// dropped when the last queued operation finishes.
     pub fn stream_close(&self, key: &str) -> bool {
         self.shared
             .streams
@@ -762,11 +810,37 @@ impl QrService {
         self.submit_stream(key, StreamOp::Append(rows))
     }
 
+    /// Enqueues a rank-k row-append carrying the matching right-hand-side
+    /// rows, for streams opened with
+    /// [`stream_open_with_rhs`](QrService::stream_open_with_rhs): the
+    /// factor and `d = Aᵀb` advance in the same turnstile slot.
+    pub fn append_rows_with(&self, key: &str, rows: Matrix, rhs: Matrix) -> Result<StreamHandle, ServiceError> {
+        self.submit_stream(key, StreamOp::AppendWith(rows, rhs))
+    }
+
     /// Enqueues a downdate of the named stream's `rows.rows()` oldest rows
     /// (which must match what was appended — see
     /// [`StreamingQr::downdate_rows`]).
     pub fn downdate_rows(&self, key: &str, rows: Matrix) -> Result<StreamHandle, ServiceError> {
         self.submit_stream(key, StreamOp::Downdate(rows))
+    }
+
+    /// Enqueues a downdate that also retires the matching right-hand-side
+    /// rows from the stream's `d = Aᵀb` track (see
+    /// [`StreamingQr::downdate_rows_with`]).
+    pub fn downdate_rows_with(&self, key: &str, rows: Matrix, rhs: Matrix) -> Result<StreamHandle, ServiceError> {
+        self.submit_stream(key, StreamOp::DowndateWith(rows, rhs))
+    }
+
+    /// Enqueues a least-squares solve against the named stream: the handle
+    /// delivers [`StreamOutcome::Solution`] with the `n × nrhs` minimizer
+    /// of `min ‖Ax − b‖` over exactly the rows live when the solve's
+    /// turnstile slot comes up — ordered after every operation submitted
+    /// before it, bitwise-deterministic under pool contention. Requires a
+    /// stream opened with
+    /// [`stream_open_with_rhs`](QrService::stream_open_with_rhs).
+    pub fn solve(&self, key: &str) -> Result<StreamHandle, ServiceError> {
+        self.submit_stream(key, StreamOp::Solve)
     }
 
     /// Enqueues a snapshot of the named stream: the handle delivers a

@@ -37,12 +37,28 @@
 //! opened with [`with_history(false)`](StreamingQr::with_history) keep no
 //! row copies: appends and downdates still work, but snapshots are R-only
 //! and refreshes are unavailable.
+//!
+//! # Streaming least squares
+//!
+//! Streams opened through [`QrPlan::stream_with_rhs`] additionally maintain
+//! a **right-hand-side track**: the projected vector `d = Aᵀb`, updated
+//! with the same rank-k deltas as the factor
+//! ([`append_rows_with`](StreamingQr::append_rows_with) /
+//! [`downdate_rows_with`](StreamingQr::downdate_rows_with)) and recomputed
+//! exactly from the retained `(A, b)` history whenever a refresh fires.
+//! [`solve`](StreamingQr::solve) then answers `min ‖Ax − b‖` at any moment
+//! by the *corrected semi-normal equations* (Björck): solve `RᵀR·x = d` by
+//! an `Rᵀ`-forward and `R`-backward substitution, then apply one refinement
+//! step `RᵀR·δ = Aᵀ(b − Ax)` from the history, which restores the accuracy
+//! a Gram-based `R` alone would lose for moderately conditioned problems.
+//! Warm solves draw every temporary from the plan's pooled arenas — zero
+//! process-wide heap allocations, same as appends.
 
 use crate::driver::{PlanError, QrPlan};
 use dense::cholesky::potrf_ws;
 use dense::matrix::MatRef;
 use dense::update::{rank_k_append, rank_k_downdate, UpdateError};
-use dense::{norms, trsm, Matrix};
+use dense::{blas1, norms, trsm, Matrix};
 
 /// Default drift threshold: refresh once the estimated orthogonality loss
 /// of the implicit `Q = A·R⁻¹` reaches `1e-8` — far below where the CQR2
@@ -73,6 +89,43 @@ pub struct StreamingQr {
     downdates: usize,
     refreshes: usize,
     updates_since_refresh: usize,
+    /// Optional least-squares track (see the module docs); `None` for
+    /// factor-only streams.
+    rhs: Option<RhsTrack>,
+    /// The most recent refresh failure, kept for diagnosis when a
+    /// drift-triggered refresh fails *after* the update itself committed
+    /// (see [`StreamStatus::refresh_failed`]); cleared by the next
+    /// successful refresh.
+    last_refresh_error: Option<PlanError>,
+}
+
+/// The right-hand-side state of a least-squares stream: the projection
+/// `d = Aᵀb` and (when history is retained) the raw right-hand-side rows,
+/// sharing `start`/`live` indexing with the factor's row history.
+#[derive(Clone, Debug)]
+struct RhsTrack {
+    nrhs: usize,
+    d: Matrix,
+    bhist: Vec<f64>,
+}
+
+impl RhsTrack {
+    /// `d ← d + sign·BᵀC` for a `k × n` row block `b` against its `k × nrhs`
+    /// right-hand sides `c` — the projection's rank-k delta, streamed row by
+    /// row so it is allocation-free and deterministic.
+    fn fold_delta(&mut self, sign: f64, b: MatRef<'_>, c: MatRef<'_>) {
+        let nrhs = self.nrhs;
+        let d = self.d.data_mut();
+        for i in 0..b.rows() {
+            let crow = c.row(i);
+            for (j, &aij) in b.row(i).iter().enumerate() {
+                let dst = &mut d[j * nrhs..(j + 1) * nrhs];
+                for (x, &cv) in dst.iter_mut().zip(crow) {
+                    *x += sign * aij * cv;
+                }
+            }
+        }
+    }
 }
 
 /// What a single append/downdate did to the stream.
@@ -86,6 +139,12 @@ pub struct StreamStatus {
     /// Whether this operation triggered a full refresh (drift bound
     /// exceeded, or the cost model preferred re-factoring the delta).
     pub refreshed: bool,
+    /// The update itself committed, but the drift-triggered refresh that
+    /// followed it failed. The stream stays consistent — `live`, the
+    /// history, and `R` all include the rows — with drift left above the
+    /// threshold so the next update retries;
+    /// [`StreamingQr::last_refresh_error`] carries the typed cause.
+    pub refresh_failed: bool,
     /// Updates applied since the last refresh.
     pub updates_since_refresh: usize,
     /// Diagonal-ratio estimate of `κ(R)` (cheap, no extra factorization).
@@ -135,8 +194,31 @@ impl StreamingQr {
             downdates: 0,
             refreshes: 0,
             updates_since_refresh: 0,
+            rhs: None,
+            last_refresh_error: None,
             plan,
         })
+    }
+
+    /// Opens a least-squares stream; called through
+    /// [`QrPlan::stream_with_rhs`]. `rhs` rows pair one-to-one with
+    /// `initial`'s; its width fixes the track's `nrhs` for the stream's
+    /// life.
+    pub(crate) fn open_with_rhs(plan: QrPlan, initial: &Matrix, rhs: &Matrix) -> Result<StreamingQr, PlanError> {
+        if rhs.rows() != initial.rows() || rhs.cols() == 0 {
+            return Err(PlanError::RhsShapeMismatch {
+                expected: (initial.rows(), rhs.cols().max(1)),
+                got: (rhs.rows(), rhs.cols()),
+            });
+        }
+        let mut s = StreamingQr::open(plan, initial)?;
+        s.rhs = Some(RhsTrack {
+            nrhs: rhs.cols(),
+            d: Matrix::zeros(s.n, rhs.cols()),
+            bhist: rhs.data().to_vec(),
+        });
+        s.recompute_d();
+        Ok(s)
     }
 
     /// Sets the drift bound above which an update auto-triggers a full
@@ -150,13 +232,17 @@ impl StreamingQr {
 
     /// Chooses whether the stream retains a copy of every live row
     /// (default `true`). Without history the stream costs `O(n²)` memory
-    /// total, but refreshes and `Q` materialization become unavailable, and
-    /// downdates can no longer be verified against what was appended.
+    /// total, but refreshes and `Q` materialization become unavailable,
+    /// downdates can no longer be verified against what was appended, and
+    /// least-squares solves skip the corrected-seminormal refinement step.
     pub fn with_history(mut self, retain: bool) -> StreamingQr {
         self.retain = retain;
         if !retain {
             self.history = Vec::new();
             self.start = 0;
+            if let Some(track) = self.rhs.as_mut() {
+                track.bhist = Vec::new();
+            }
         }
         self
     }
@@ -166,6 +252,9 @@ impl StreamingQr {
     pub fn reserve_rows(&mut self, additional: usize) {
         if self.retain {
             self.history.reserve(additional * self.n);
+            if let Some(track) = self.rhs.as_mut() {
+                track.bhist.reserve(additional * track.nrhs);
+            }
         }
     }
 
@@ -204,6 +293,25 @@ impl StreamingQr {
         self.refreshes
     }
 
+    /// Width of the right-hand-side track (`None` for factor-only streams).
+    pub fn nrhs(&self) -> Option<usize> {
+        self.rhs.as_ref().map(|t| t.nrhs)
+    }
+
+    /// The live projection `d = Aᵀb` (`None` for factor-only streams).
+    pub fn rhs_projection(&self) -> Option<&Matrix> {
+        self.rhs.as_ref().map(|t| &t.d)
+    }
+
+    /// The typed cause of the most recent refresh failure, `None` once a
+    /// refresh succeeds again. Populated when a drift-triggered refresh
+    /// fails after its update committed (the status-level signal is
+    /// [`StreamStatus::refresh_failed`]), and by failed explicit
+    /// [`refresh`](StreamingQr::refresh) calls.
+    pub fn last_refresh_error(&self) -> Option<&PlanError> {
+        self.last_refresh_error.as_ref()
+    }
+
     /// Diagonal-ratio estimate of `κ(R)`: `max|rᵢᵢ| / min|rᵢᵢ|`. Cheap and
     /// rough (it lower-bounds the true condition number), but exactly the
     /// quantity that scales the per-update accuracy loss.
@@ -227,6 +335,7 @@ impl StreamingQr {
             rows: self.live,
             drift: self.drift,
             refreshed,
+            refresh_failed: false,
             updates_since_refresh: self.updates_since_refresh,
             condition_estimate: self.condition_estimate(),
         }
@@ -243,9 +352,40 @@ impl StreamingQr {
         Ok(())
     }
 
+    /// Every update must agree with the stream's right-hand-side mode: a
+    /// plain update on a tracked stream would silently desynchronize
+    /// `d = Aᵀb` from the factor, a `_with` update on a factor-only stream
+    /// has nowhere to fold its rows, and a supplied block must pair
+    /// one-to-one with the row delta at the track's width.
+    fn check_rhs_pairing(&self, k: usize, rhs: Option<MatRef<'_>>, op: &'static str) -> Result<(), PlanError> {
+        match (self.rhs.as_ref(), rhs) {
+            (None, None) => Ok(()),
+            (None, Some(_)) => Err(PlanError::StreamRhsMissing { op }),
+            (Some(_), None) => Err(PlanError::StreamRhsRequired { op }),
+            (Some(track), Some(c)) => {
+                if c.rows() != k || c.cols() != track.nrhs {
+                    Err(PlanError::RhsShapeMismatch {
+                        expected: (k, track.nrhs),
+                        got: (c.rows(), c.cols()),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     fn push_history(&mut self, b: MatRef<'_>) {
         for i in 0..b.rows() {
             self.history.extend_from_slice(b.row(i));
+        }
+    }
+
+    fn push_bhist(&mut self, c: MatRef<'_>) {
+        if let Some(track) = self.rhs.as_mut() {
+            for i in 0..c.rows() {
+                track.bhist.extend_from_slice(c.row(i));
+            }
         }
     }
 
@@ -253,6 +393,28 @@ impl StreamingQr {
         let cond = self.condition_estimate();
         self.drift += f64::EPSILON * cond * cond * amplification;
         self.updates_since_refresh += 1;
+    }
+
+    /// Shared tail of every committed in-place update: the drift-triggered
+    /// auto-refresh. A refresh failure here must **not** surface as `Err` —
+    /// the rows are already folded into `R`, the history, and `d`, and an
+    /// error would claim otherwise — so the stream stays as the successful
+    /// update left it and the failure is reported through
+    /// [`StreamStatus::refresh_failed`] /
+    /// [`last_refresh_error`](StreamingQr::last_refresh_error), with drift
+    /// left above the threshold so the next update retries.
+    fn finish_update(&mut self) -> StreamStatus {
+        if self.retain && self.drift > self.drift_threshold {
+            match self.refresh() {
+                Ok(()) => return self.status(true),
+                Err(_) => {
+                    let mut st = self.status(false);
+                    st.refresh_failed = true;
+                    return st;
+                }
+            }
+        }
+        self.status(false)
     }
 
     /// Folds `k = b.rows()` new rows into the factor.
@@ -265,33 +427,72 @@ impl StreamingQr {
     /// full refresh runs instead/afterwards (history-retaining streams
     /// only) and the returned status says so.
     pub fn append_rows(&mut self, b: MatRef<'_>) -> Result<StreamStatus, PlanError> {
+        self.append_impl(b, None, "append_rows")
+    }
+
+    /// [`append_rows`](StreamingQr::append_rows) for a least-squares stream:
+    /// folds `b`'s rows into the factor **and** their right-hand sides `c`
+    /// (one row each, `nrhs` wide) into the projection `d = Aᵀb`, keeping
+    /// the two transactionally in step — `d`, the histories, and the
+    /// counters are only touched once the factor update has committed.
+    pub fn append_rows_with(&mut self, b: MatRef<'_>, c: MatRef<'_>) -> Result<StreamStatus, PlanError> {
+        self.append_impl(b, Some(c), "append_rows_with")
+    }
+
+    fn append_impl(
+        &mut self,
+        b: MatRef<'_>,
+        rhs: Option<MatRef<'_>>,
+        op: &'static str,
+    ) -> Result<StreamStatus, PlanError> {
         self.check_cols(b)?;
+        self.check_rhs_pairing(b.rows(), rhs, op)?;
         let k = b.rows();
         if k == 0 {
             return Ok(self.status(false));
         }
         if self.retain && !costmodel::streaming::append_beats_refresh(self.live + k, self.n, k) {
+            // Crossover: absorb the delta by re-factoring. The refresh reads
+            // the history, so the bookkeeping lands first — and is rolled
+            // back if the refresh fails, so a rejected delta leaves no trace
+            // (`live`/history/`R`/`d` all unchanged).
             self.push_history(b);
+            if let Some(c) = rhs {
+                self.push_bhist(c);
+            }
             self.live += k;
             self.appends += 1;
-            self.refresh()?;
+            if let Err(e) = self.refresh() {
+                self.history.truncate(self.history.len() - k * self.n);
+                if let (Some(track), Some(_)) = (self.rhs.as_mut(), rhs) {
+                    let keep = track.bhist.len() - k * track.nrhs;
+                    track.bhist.truncate(keep);
+                }
+                self.live -= k;
+                self.appends -= 1;
+                return Err(e);
+            }
             return Ok(self.status(true));
         }
         {
             let mut ws = self.plan.workspace().checkout();
             rank_k_append(self.r.as_mut(), b, self.plan.backend().get(), &mut ws)?;
         }
+        // The factor update committed; everything below is infallible, so
+        // `R`, `d`, and the histories move together or not at all.
+        if let (Some(track), Some(c)) = (self.rhs.as_mut(), rhs) {
+            track.fold_delta(1.0, b, c);
+        }
         if self.retain {
             self.push_history(b);
+            if let Some(c) = rhs {
+                self.push_bhist(c);
+            }
         }
         self.live += k;
         self.appends += 1;
         self.bump_drift(1.0);
-        if self.retain && self.drift > self.drift_threshold {
-            self.refresh()?;
-            return Ok(self.status(true));
-        }
-        Ok(self.status(false))
+        Ok(self.finish_update())
     }
 
     /// Removes the `k = b.rows()` **oldest** rows from the factor (sliding
@@ -301,7 +502,26 @@ impl StreamingQr {
     /// the only guard. Downdating below `n` remaining rows is rejected as
     /// [`PlanError::NotTall`].
     pub fn downdate_rows(&mut self, b: MatRef<'_>) -> Result<StreamStatus, PlanError> {
+        self.downdate_impl(b, None, "downdate_rows")
+    }
+
+    /// [`downdate_rows`](StreamingQr::downdate_rows) for a least-squares
+    /// stream: removes the oldest rows from the factor **and** subtracts
+    /// their right-hand-side contribution from `d = Aᵀb`. With history
+    /// retained, `c` must be bitwise the right-hand sides that arrived with
+    /// those rows (enforced like the rows themselves).
+    pub fn downdate_rows_with(&mut self, b: MatRef<'_>, c: MatRef<'_>) -> Result<StreamStatus, PlanError> {
+        self.downdate_impl(b, Some(c), "downdate_rows_with")
+    }
+
+    fn downdate_impl(
+        &mut self,
+        b: MatRef<'_>,
+        rhs: Option<MatRef<'_>>,
+        op: &'static str,
+    ) -> Result<StreamStatus, PlanError> {
         self.check_cols(b)?;
+        self.check_rhs_pairing(b.rows(), rhs, op)?;
         let k = b.rows();
         if k == 0 {
             return Ok(self.status(false));
@@ -319,11 +539,23 @@ impl StreamingQr {
                     return Err(PlanError::StreamHistoryMismatch { row: i });
                 }
             }
+            if let (Some(track), Some(c)) = (self.rhs.as_ref(), rhs) {
+                for i in 0..k {
+                    let at = (self.start + i) * track.nrhs;
+                    if track.bhist[at..at + track.nrhs] != *c.row(i) {
+                        return Err(PlanError::StreamHistoryMismatch { row: i });
+                    }
+                }
+            }
         }
         let min_alpha_sq = {
             let mut ws = self.plan.workspace().checkout();
             rank_k_downdate(self.r.as_mut(), b, &mut ws)?
         };
+        // Committed; keep `d` and the history cursors in step with `R`.
+        if let (Some(track), Some(c)) = (self.rhs.as_mut(), rhs) {
+            track.fold_delta(-1.0, b, c);
+        }
         if self.retain {
             self.start += k;
         }
@@ -333,19 +565,19 @@ impl StreamingQr {
         // A downdate's accuracy loss is amplified by 1/α² (hyperbolic
         // rotations are not norm-preserving).
         self.bump_drift(1.0 / min_alpha_sq);
-        if self.retain && self.drift > self.drift_threshold {
-            self.refresh()?;
-            return Ok(self.status(true));
-        }
-        Ok(self.status(false))
+        Ok(self.finish_update())
     }
 
-    /// Reclaims the consumed front of the history buffer once it dominates
+    /// Reclaims the consumed front of the history buffers once it dominates
     /// the live rows (amortized O(1) per downdated row, no allocation).
     fn compact(&mut self) {
         if self.start >= self.live && self.start > 0 {
             self.history.copy_within(self.start * self.n.., 0);
             self.history.truncate(self.live * self.n);
+            if let Some(track) = self.rhs.as_mut() {
+                track.bhist.copy_within(self.start * track.nrhs.., 0);
+                track.bhist.truncate(self.live * track.nrhs);
+            }
             self.start = 0;
         }
     }
@@ -359,21 +591,70 @@ impl StreamingQr {
     /// Re-derives `R` from the retained rows by a full CholeskyQR2,
     /// resetting drift to zero: through the owning plan's distributed path
     /// when the live row count equals the plan shape, through an in-arena
-    /// sequential R-only CQR2 otherwise. Requires history.
+    /// sequential R-only CQR2 otherwise. On a least-squares stream the
+    /// projection `d = Aᵀb` is recomputed exactly from the retained
+    /// `(A, b)` history at the same time, discarding the rounding the
+    /// incremental deltas accumulate. Requires history. `R` and `d` are
+    /// untouched on error.
     pub fn refresh(&mut self) -> Result<(), PlanError> {
         if !self.retain {
             return Err(PlanError::StreamHistoryRequired { op: "refresh" });
         }
-        if self.live == self.plan.m() {
-            let report = self.plan.factor(&self.history_matrix())?;
-            self.r = report.r;
+        let result = if self.live == self.plan.m() {
+            self.plan.factor(&self.history_matrix()).map(|report| {
+                self.r = report.r;
+            })
         } else {
-            self.refresh_sequential()?;
+            self.refresh_sequential()
+        };
+        match result {
+            Ok(()) => {
+                self.recompute_d();
+                self.drift = 0.0;
+                self.updates_since_refresh = 0;
+                self.refreshes += 1;
+                self.last_refresh_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.last_refresh_error = Some(e.clone());
+                Err(e)
+            }
         }
-        self.drift = 0.0;
-        self.updates_since_refresh = 0;
-        self.refreshes += 1;
-        Ok(())
+    }
+
+    /// Recomputes `d = Aᵀb` from the retained histories, streamed row by
+    /// row (no `m`-sized temporary, no allocation).
+    fn recompute_d(&mut self) {
+        let n = self.n;
+        let (start, live) = (self.start, self.live);
+        let Some(track) = self.rhs.as_mut() else {
+            return;
+        };
+        if !self.retain {
+            return;
+        }
+        let nrhs = track.nrhs;
+        let d = track.d.data_mut();
+        d.fill(0.0);
+        if nrhs == 1 {
+            // d = Σᵢ bᵢ·aᵢ: one axpy per retained row (vectorizes).
+            for i in start..start + live {
+                let arow = &self.history[i * n..(i + 1) * n];
+                blas1::axpy(track.bhist[i], arow, d);
+            }
+        } else {
+            for i in start..start + live {
+                let arow = &self.history[i * n..(i + 1) * n];
+                let brow = &track.bhist[i * nrhs..(i + 1) * nrhs];
+                for (j, &aij) in arow.iter().enumerate() {
+                    let dst = &mut d[j * nrhs..(j + 1) * nrhs];
+                    for (x, &bv) in dst.iter_mut().zip(brow) {
+                        *x += aij * bv;
+                    }
+                }
+            }
+        }
     }
 
     /// Sequential R-only CholeskyQR2 over the history, from arena scratch:
@@ -419,6 +700,95 @@ impl StreamingQr {
         factored.map_err(PlanError::NotPositiveDefinite)
     }
 
+    /// Solves the live least-squares problem `min ‖Ax − b‖` over the rows
+    /// currently folded in, returning the `n × nrhs` solution. Requires the
+    /// right-hand-side track ([`QrPlan::stream_with_rhs`];
+    /// [`PlanError::StreamRhsMissing`] otherwise). Allocates the output;
+    /// use [`solve_into`](StreamingQr::solve_into) on hot paths.
+    pub fn solve(&self) -> Result<Matrix, PlanError> {
+        let track = self.rhs.as_ref().ok_or(PlanError::StreamRhsMissing { op: "solve" })?;
+        let mut x = Matrix::zeros(self.n, track.nrhs);
+        self.solve_into(&mut x)?;
+        Ok(x)
+    }
+
+    /// [`solve`](StreamingQr::solve) into a caller-owned `n × nrhs` output,
+    /// drawing every temporary from the plan's pooled arenas — warm solves
+    /// perform **zero heap allocations**.
+    ///
+    /// The method is the *corrected semi-normal equations* (Björck): solve
+    /// `RᵀR·x = d` by an `Rᵀ`-forward then `R`-backward substitution
+    /// (`O(n²·nrhs)`, independent of the row count), then — when history is
+    /// retained — one refinement step `RᵀR·δ = Aᵀ(b − Ax)`, `x ← x + δ`,
+    /// streamed over the retained rows. The refinement is what lifts the
+    /// Gram-mediated solve back to QR-level accuracy for moderately
+    /// conditioned problems; history-less streams get the plain
+    /// semi-normal solve.
+    pub fn solve_into(&self, x: &mut Matrix) -> Result<(), PlanError> {
+        let track = self.rhs.as_ref().ok_or(PlanError::StreamRhsMissing { op: "solve" })?;
+        let (n, nrhs) = (self.n, track.nrhs);
+        if x.rows() != n || x.cols() != nrhs {
+            return Err(PlanError::RhsShapeMismatch {
+                expected: (n, nrhs),
+                got: (x.rows(), x.cols()),
+            });
+        }
+        // Semi-normal equations: RᵀR·x = d = Aᵀb.
+        x.data_mut().copy_from_slice(track.d.data());
+        trsm::trsm_left_lower_trans(self.r.as_ref(), x.as_mut());
+        trsm::trsm_left_upper(self.r.as_ref(), x.as_mut());
+        if !self.retain || self.live == 0 {
+            return Ok(());
+        }
+        // One corrected-seminormal refinement step from the history:
+        // w = Aᵀ(b − A·x), RᵀR·δ = w, x += δ — streamed row by row, so the
+        // only scratch is the n × nrhs projection and one nrhs-wide
+        // residual row.
+        let mut ws = self.plan.workspace().checkout();
+        let mut w = ws.take_matrix(n, nrhs);
+        let mut e = ws.take_vec(nrhs);
+        {
+            let xd = x.data();
+            let wd = w.data_mut();
+            if nrhs == 1 {
+                // Single right-hand side (the overwhelmingly common case):
+                // the residual row is a scalar, so the sweep collapses to
+                // one lane-split dot and one axpy per retained row — both
+                // vectorize, where the general per-column loop cannot.
+                for i in self.start..self.start + self.live {
+                    let arow = &self.history[i * n..(i + 1) * n];
+                    let resid = track.bhist[i] - blas1::dot_lanes(arow, xd);
+                    blas1::axpy(resid, arow, wd);
+                }
+            } else {
+                for i in self.start..self.start + self.live {
+                    let arow = &self.history[i * n..(i + 1) * n];
+                    e.copy_from_slice(&track.bhist[i * nrhs..(i + 1) * nrhs]);
+                    for (j, &aij) in arow.iter().enumerate() {
+                        let xrow = &xd[j * nrhs..(j + 1) * nrhs];
+                        for (ev, &xv) in e.iter_mut().zip(xrow) {
+                            *ev -= aij * xv;
+                        }
+                    }
+                    for (j, &aij) in arow.iter().enumerate() {
+                        let dst = &mut wd[j * nrhs..(j + 1) * nrhs];
+                        for (wv, &ev) in dst.iter_mut().zip(e.iter()) {
+                            *wv += aij * ev;
+                        }
+                    }
+                }
+            }
+        }
+        trsm::trsm_left_lower_trans(self.r.as_ref(), w.as_mut());
+        trsm::trsm_left_upper(self.r.as_ref(), w.as_mut());
+        for (xv, &dv) in x.data_mut().iter_mut().zip(w.data()) {
+            *xv += dv;
+        }
+        ws.recycle_vec(e);
+        ws.recycle(w);
+        Ok(())
+    }
+
     /// Materializes the factorization for the current row set.
     ///
     /// With history: forms `Q₁ = A·R⁻¹` and runs the paper's second
@@ -462,9 +832,11 @@ impl StreamingQr {
         };
         trsm::trsm_right_upper(r2.as_ref(), q.as_mut());
         self.r = repaired;
+        self.recompute_d();
         self.drift = 0.0;
         self.updates_since_refresh = 0;
         self.refreshes += 1;
+        self.last_refresh_error = None;
         let orthogonality = norms::orthogonality_error(q.as_ref());
         let residual = norms::residual_error(a.as_ref(), q.as_ref(), self.r.as_ref());
         Ok(StreamSnapshot {

@@ -73,6 +73,6 @@ pub use probe::{
     ProbeReport,
 };
 pub use syrk::{syrk, syrk_into, syrk_via_gemm};
-pub use trsm::{trmm_upper_upper, trsm_right_lower_trans, trsm_right_upper};
+pub use trsm::{trmm_upper_upper, trsm_left_lower_trans, trsm_left_upper, trsm_right_lower_trans, trsm_right_upper};
 pub use update::{rank_k_append, rank_k_downdate, UpdateError};
 pub use workspace::{PooledWorkspace, Workspace, WorkspacePool};

@@ -109,6 +109,38 @@ pub fn trsm_left_upper(u: MatRef<'_>, mut b: MatMut<'_>) {
     }
 }
 
+/// Solves `Uᵀ·X = B` in place (`B` overwritten with `X`), `U` upper
+/// triangular — the forward substitution of the semi-normal-equations solve
+/// `RᵀR·x = Aᵀb`, reading `R`'s columns directly so no transposed copy of
+/// the factor is ever materialized.
+pub fn trsm_left_lower_trans(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "triangular factor must be square");
+    assert_eq!(b.rows(), n, "rhs height must match triangular dimension");
+    for i in 0..n {
+        let diag = u.at(i, i);
+        // b[i] -= Σ_{k<i} Uᵀ[i][k]·b[k] = Σ_{k<i} U[k][i]·b[k], then scale.
+        // Split keeps the borrows of row i (write) and rows < i (read)
+        // disjoint.
+        let (done, mut active) = b.rb_mut().split_rows(i);
+        let done = done.rb();
+        let bi = active.row_mut(0);
+        for k in 0..i {
+            let uki = u.at(k, i);
+            if uki == 0.0 {
+                continue;
+            }
+            let bk = done.row(k);
+            for (x, y) in bi.iter_mut().zip(bk) {
+                *x -= uki * y;
+            }
+        }
+        for v in bi {
+            *v /= diag;
+        }
+    }
+}
+
 /// Returns the product `U₂·U₁` of two upper-triangular matrices (the result
 /// is itself upper triangular). Used for the CQR2 update `R = R₂·R₁`
 /// (paper Algorithm 5 line 3, charged `n³/3` flops).
@@ -210,6 +242,18 @@ mod tests {
         let x_true = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.21 - 1.0);
         let mut b = matmul(l.as_ref(), Trans::No, x_true.as_ref(), Trans::No);
         trsm_left_lower(l.as_ref(), b.as_mut());
+        for (x, y) in b.data().iter().zip(x_true.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn left_lower_trans_solves() {
+        let u = lower_test_matrix(6).transposed();
+        let x_true = Matrix::from_fn(6, 3, |i, j| ((i * 2 + j) as f64 * 0.17).sin() + 0.4);
+        // B = Uᵀ·X
+        let mut b = matmul(u.as_ref(), Trans::Yes, x_true.as_ref(), Trans::No);
+        trsm_left_lower_trans(u.as_ref(), b.as_mut());
         for (x, y) in b.data().iter().zip(x_true.data()) {
             assert!((x - y).abs() < 1e-12);
         }

@@ -3,19 +3,19 @@
 //!
 //! Observations of a polynomial model arrive in batches. Instead of
 //! re-factoring the whole design matrix per batch (`O(mn²)` each time), a
-//! [`StreamingQr`] folds each batch into a live `R` at `O(kn² + n³)` and
-//! the normal-equations solve `RᵀR·x = Aᵀb` re-estimates the coefficients
-//! after every arrival. A sliding-window phase then *downdates* the oldest
-//! rows so the fit tracks only the recent past, and a final section pushes
-//! the same traffic through [`QrService`] stream jobs to show the pooled,
-//! contention-safe route to the identical factor.
+//! [`StreamingQr`] opened with a right-hand-side track folds each batch
+//! into a live `R` *and* `d = Aᵀb` at `O(kn² + n³)`, and
+//! [`StreamingQr::solve`] re-estimates the coefficients after every
+//! arrival via corrected semi-normal equations — no caller-side
+//! bookkeeping. A sliding-window phase then *downdates* the oldest rows so
+//! the fit tracks only the recent past, and a final section pushes the
+//! same traffic through [`QrService`] stream jobs to show the pooled,
+//! contention-safe route to identical factors and solutions.
 //!
 //! Run: `cargo run --release --example online_lsq`
 
 use ca_cqr2::cacqr::service::JobSpec;
-use ca_cqr2::dense::gemm::{matmul, Trans};
 use ca_cqr2::dense::random::SeededRng;
-use ca_cqr2::dense::trsm::{trsm_left_lower, trsm_left_upper};
 use ca_cqr2::dense::Matrix;
 use ca_cqr2::pargrid::GridShape;
 use ca_cqr2::{Algorithm, QrPlan, QrService, StreamingQr};
@@ -34,16 +34,6 @@ fn observe(ts: &[f64], n: usize, rng: &mut SeededRng) -> (Matrix, Matrix) {
     (design, values)
 }
 
-/// Solve `RᵀR·x = d` (the normal equations through the streamed factor):
-/// forward substitution with `Rᵀ`, backward with `R`.
-fn solve_normal(r: &Matrix, d: &Matrix) -> Matrix {
-    let mut x = d.clone();
-    let rt = r.transposed();
-    trsm_left_lower(rt.as_ref(), x.as_mut());
-    trsm_left_upper(r.as_ref(), x.as_mut());
-    x
-}
-
 fn main() {
     let n = 4usize; // fit exactly the generating degree-3 model
     let m0 = 256usize;
@@ -52,8 +42,9 @@ fn main() {
     let mut rng = SeededRng::seed_from_u64(11);
     let time_at = |i: usize| -1.0 + 2.0 * (i % 512) as f64 / 511.0;
 
-    // Initial window + live stream. The plan validates once; the stream
-    // shares its workspace pool, so warm appends allocate nothing.
+    // Initial window + live stream with its right-hand-side track. The
+    // plan validates once; the stream shares its workspace pool, so warm
+    // appends and solves allocate nothing.
     let ts0: Vec<f64> = (0..m0).map(time_at).collect();
     let (a0, b0) = observe(&ts0, n, &mut rng);
     let plan = QrPlan::new(m0, n)
@@ -61,10 +52,8 @@ fn main() {
         .grid(GridShape::one_d(4).unwrap())
         .build()
         .expect("256 rows split evenly over 4 ranks");
-    let mut stream: StreamingQr = plan.stream(&a0).expect("well-conditioned window");
+    let mut stream: StreamingQr = plan.stream_with_rhs(&a0, &b0).expect("well-conditioned window");
     stream.reserve_rows(batches * batch);
-    // Right-hand side accumulator: d = Aᵀb grows with the same batches.
-    let mut d = matmul(a0.as_ref(), Trans::Yes, b0.as_ref(), Trans::No);
 
     println!("online fit of a degree-3 model, {batch}-row batches onto {m0} initial rows:");
     println!("  rows    drift       max |coeff err|");
@@ -72,33 +61,25 @@ fn main() {
     for arrival in 0..batches {
         let ts: Vec<f64> = (0..batch).map(|i| time_at(m0 + arrival * batch + i)).collect();
         let (a_k, b_k) = observe(&ts, n, &mut rng);
-        let status = stream.append_rows(a_k.as_ref()).expect("full-rank batch");
-        let dk = matmul(a_k.as_ref(), Trans::Yes, b_k.as_ref(), Trans::No);
-        for j in 0..n {
-            d.set(j, 0, d.get(j, 0) + dk.get(j, 0));
-        }
+        let status = stream
+            .append_rows_with(a_k.as_ref(), b_k.as_ref())
+            .expect("full-rank batch");
         appended.push((a_k, b_k));
 
-        let x = solve_normal(stream.r(), &d);
+        let x = stream.solve().expect("factor is live");
         let worst = (0..n).map(|k| (x.get(k, 0) - TRUTH[k]).abs()).fold(0.0, f64::max);
         println!("  {:<7} {:<11.3e} {worst:.5}", status.rows, status.drift);
         assert!(worst < 0.05, "streamed fit must track the generating model");
     }
 
     // Sliding window: retire the initial rows so only streamed batches
-    // remain. Downdates subtract the same rows from both RᵀR and d.
+    // remain. The downdate subtracts the same rows from both RᵀR and d.
     let retire = Matrix::from_view(a0.view(0, 0, m0 / 2, n));
-    let d0 = matmul(
-        retire.as_ref(),
-        Trans::Yes,
-        Matrix::from_view(b0.view(0, 0, m0 / 2, 1)).as_ref(),
-        Trans::No,
-    );
-    let status = stream.downdate_rows(retire.as_ref()).expect("rows are in the window");
-    for j in 0..n {
-        d.set(j, 0, d.get(j, 0) - d0.get(j, 0));
-    }
-    let x = solve_normal(stream.r(), &d);
+    let retire_b = Matrix::from_view(b0.view(0, 0, m0 / 2, 1));
+    let status = stream
+        .downdate_rows_with(retire.as_ref(), retire_b.as_ref())
+        .expect("rows are in the window");
+    let x = stream.solve().expect("factor is live");
     let worst = (0..n).map(|k| (x.get(k, 0) - TRUTH[k]).abs()).fold(0.0, f64::max);
     println!(
         "  after retiring the oldest {} rows: {} live, max |coeff err| {worst:.5}",
@@ -122,24 +103,42 @@ fn main() {
 
     // The same traffic as stateful service jobs: one stream per key, FIFO
     // per key, sharing the worker pool (and plan cache) with batch jobs.
-    // The factor is bitwise-identical to a direct replay of the sequence.
+    // Factors and solutions are bitwise-identical to a direct replay.
     let service = QrService::builder().workers(2).build();
     let spec = JobSpec::new(m0, n)
         .algorithm(Algorithm::Cqr2_1d)
         .grid(GridShape::one_d(4).unwrap());
-    service.stream_open("telemetry", &spec, &a0).expect("fresh key");
+    service
+        .stream_open_with_rhs("telemetry", &spec, &a0, &b0)
+        .expect("fresh key");
     let handles: Vec<_> = appended
         .iter()
-        .map(|(a_k, _)| service.append_rows("telemetry", a_k.clone()).expect("stream is open"))
+        .map(|(a_k, b_k)| {
+            service
+                .append_rows_with("telemetry", a_k.clone(), b_k.clone())
+                .expect("stream is open")
+        })
         .collect();
     for h in handles {
         h.wait().expect("appends succeed");
     }
     service
-        .downdate_rows("telemetry", retire.clone())
+        .downdate_rows_with("telemetry", retire.clone(), retire_b.clone())
         .expect("stream is open")
         .wait()
         .expect("rows are in the window");
+    let served_x = service
+        .solve("telemetry")
+        .expect("stream is open")
+        .wait()
+        .expect("solve succeeds")
+        .into_solution()
+        .expect("solution outcome");
+    assert_eq!(
+        served_x.data(),
+        x.data(),
+        "service solve must match the direct stream bitwise"
+    );
     let served = service
         .snapshot("telemetry")
         .expect("stream is open")
@@ -154,7 +153,7 @@ fn main() {
     );
     service.stream_close("telemetry");
     println!(
-        "  service replay: bitwise-identical R through {} stream jobs",
-        appended.len() + 2
+        "  service replay: bitwise-identical R and x through {} stream jobs",
+        appended.len() + 3
     );
 }

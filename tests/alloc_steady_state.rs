@@ -256,6 +256,56 @@ fn warm_stream_appends_are_allocation_free() {
     }
 }
 
+/// The least-squares surface honors the same contract: once warm, an
+/// `append_rows_with` (factor + `d = Aᵀb` delta) followed by a
+/// `solve_into` (corrected semi-normal solve with one history-streamed
+/// refinement step) performs **zero** process-wide heap allocations — the
+/// solve's only scratch is an `n × nrhs` projection and one `nrhs`-wide
+/// residual row, both drawn from the plan's pooled arenas.
+#[test]
+fn warm_stream_solves_are_allocation_free() {
+    let (m0, n, k, nrhs) = (256usize, 32usize, 8usize, 2usize);
+    let a0 = well_conditioned(m0, n, 43);
+    let b0 = gaussian_matrix(m0, nrhs, 44);
+    let plan = QrPlan::new(m0, n)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap();
+    let mut s = plan.stream_with_rhs(&a0, &b0).unwrap();
+    s.reserve_rows(16 * k);
+    let mut x = dense::Matrix::zeros(n, nrhs);
+    // Warm the arenas along both paths: the append's Gram scratch and the
+    // solve's projection/residual scratch.
+    for i in 0..6 {
+        s.append_rows_with(
+            gaussian_matrix(k, n, 45 + i).as_ref(),
+            gaussian_matrix(k, nrhs, 55 + i).as_ref(),
+        )
+        .unwrap();
+        s.solve_into(&mut x).unwrap();
+    }
+    let ab = gaussian_matrix(k, n, 71);
+    let bb = gaussian_matrix(k, nrhs, 72);
+    let arena_before = plan.workspace().heap_allocations();
+    let before = allocations();
+    for _ in 0..4 {
+        let status = s.append_rows_with(ab.as_ref(), bb.as_ref()).unwrap();
+        assert!(!status.refreshed, "drift must stay far below the threshold here");
+        s.solve_into(&mut x).unwrap();
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm append_rows_with + solve_into must perform zero process-wide heap allocations"
+    );
+    assert_eq!(
+        plan.workspace().heap_allocations(),
+        arena_before,
+        "warm least-squares traffic must stay arena-exact too"
+    );
+}
+
 /// The arena layer pays for itself: the warm pool's parked capacity is the
 /// plan's whole scratch footprint, visible and bounded.
 #[test]

@@ -263,6 +263,73 @@ fn historyless_streams_report_refresh_as_unavailable() {
 }
 
 #[test]
+fn rhs_track_errors_are_typed() {
+    use ca_cqr2::dense::random::gaussian_matrix;
+    use ca_cqr2::dense::Matrix;
+
+    let plan = QrPlan::new(32, 8)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .build()
+        .unwrap();
+    let a0 = well_conditioned(32, 8, 9);
+
+    // Opening: the right-hand sides must pair one-to-one with the rows.
+    let err = plan.stream_with_rhs(&a0, &gaussian_matrix(16, 1, 9)).unwrap_err();
+    assert_eq!(
+        err,
+        PlanError::RhsShapeMismatch {
+            expected: (32, 1),
+            got: (16, 1),
+        }
+    );
+
+    // A plain update on a tracked stream would desynchronize d = Aᵀb.
+    let b0 = gaussian_matrix(32, 1, 10);
+    let mut s = plan.stream_with_rhs(&a0, &b0).unwrap();
+    let err = s.append_rows(gaussian_matrix(2, 8, 11).as_ref()).unwrap_err();
+    assert_eq!(err, PlanError::StreamRhsRequired { op: "append_rows" });
+    assert!(err.to_string().contains("append_rows_with"), "{err}");
+    let err = s
+        .downdate_rows(Matrix::from_view(a0.view(0, 0, 2, 8)).as_ref())
+        .unwrap_err();
+    assert_eq!(err, PlanError::StreamRhsRequired { op: "downdate_rows" });
+
+    // A right-hand-side block at the wrong width is rejected up front.
+    let err = s
+        .append_rows_with(gaussian_matrix(2, 8, 12).as_ref(), gaussian_matrix(2, 3, 12).as_ref())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        PlanError::RhsShapeMismatch {
+            expected: (2, 1),
+            got: (2, 3),
+        }
+    );
+
+    // `_with` updates and solves need the track to exist at all.
+    let mut plain = plan.stream(&a0).unwrap();
+    let err = plain
+        .append_rows_with(gaussian_matrix(2, 8, 13).as_ref(), gaussian_matrix(2, 1, 13).as_ref())
+        .unwrap_err();
+    assert_eq!(err, PlanError::StreamRhsMissing { op: "append_rows_with" });
+    let err = plain.solve().unwrap_err();
+    assert_eq!(err, PlanError::StreamRhsMissing { op: "solve" });
+    assert!(err.to_string().contains("stream_with_rhs"), "{err}");
+
+    // `solve_into` validates the caller's output shape.
+    let mut x = Matrix::zeros(4, 1);
+    let err = s.solve_into(&mut x).unwrap_err();
+    assert_eq!(
+        err,
+        PlanError::RhsShapeMismatch {
+            expected: (8, 1),
+            got: (4, 1),
+        }
+    );
+}
+
+#[test]
 fn stream_downdate_below_n_rows_is_not_tall() {
     use ca_cqr2::dense::Matrix;
 

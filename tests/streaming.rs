@@ -7,16 +7,27 @@
 //!   with the batch `R`.
 //! * **Sliding window:** appends followed by downdates of the oldest rows
 //!   reproduce the factor of the slid window.
+//! * **Least squares (proptest):** `solve()` on a stream that absorbed
+//!   appends and downdates through its right-hand-side track matches the
+//!   solution computed from a from-scratch batch factor of the live window.
+//! * **Transactionality:** a failed crossover append rolls back completely
+//!   (`R`, `d`, history, counters all untouched); a failed drift-triggered
+//!   auto-refresh after a committed update *surfaces* through
+//!   `StreamStatus::refresh_failed` without corrupting the stream, and the
+//!   next successful refresh clears it.
 //! * **Service determinism:** the same `(initial, update sequence)` pair
 //!   produces bitwise-identical factors through a 1-worker and a 4-worker
 //!   `QrService`, and through a direct single-threaded stream — pool width
 //!   and contention never perturb the arithmetic.
+//! * **Close-is-drain:** `stream_close` lets already-queued operations
+//!   complete (handles stay redeemable) and rejects later submissions.
 
-use cacqr::service::JobSpec;
-use cacqr::{Algorithm, QrPlan, QrService};
+use cacqr::service::{JobSpec, ServiceError};
+use cacqr::{Algorithm, PlanError, QrPlan, QrService};
 use dense::norms::rel_diff;
 use dense::random::{gaussian_matrix, well_conditioned};
-use dense::Matrix;
+use dense::trsm::{trsm_left_lower_trans, trsm_left_upper};
+use dense::{matmul, Matrix, Trans};
 use pargrid::GridShape;
 use proptest::prelude::*;
 
@@ -51,6 +62,28 @@ fn batch_r(a: &Matrix) -> Matrix {
         .factor(a)
         .unwrap()
         .r
+}
+
+/// Reference least-squares solve: batch-factor `a` from scratch, then the
+/// semi-normal equations `RᵀR·x = Aᵀb` against the batch `R`.
+fn batch_solve(a: &Matrix, b: &Matrix) -> Matrix {
+    let r = batch_r(a);
+    let mut x = matmul(a.as_ref(), Trans::Yes, b.as_ref(), Trans::No);
+    trsm_left_lower_trans(r.as_ref(), x.as_mut());
+    trsm_left_upper(r.as_ref(), x.as_mut());
+    x
+}
+
+/// Stack row-slices `a[skip..]` and the given blocks into one matrix.
+fn concat_window(a0: &Matrix, skip: usize, blocks: &[Matrix]) -> Matrix {
+    let n = a0.cols();
+    let total = a0.rows() - skip + blocks.iter().map(|b| b.rows()).sum::<usize>();
+    let mut data = Vec::with_capacity(total * n);
+    data.extend_from_slice(&a0.data()[skip * n..]);
+    for b in blocks {
+        data.extend_from_slice(b.data());
+    }
+    Matrix::from_vec(total, n, data)
 }
 
 proptest! {
@@ -120,6 +153,54 @@ proptest! {
             rel_diff(s.r().as_ref(), want.as_ref())
         );
     }
+
+    /// The tentpole property: a streamed `solve()` after N appends and a
+    /// sliding-window downdate equals the least-squares solution computed
+    /// from a from-scratch batch factor of the live window.
+    #[test]
+    fn streamed_solve_matches_batch_least_squares(
+        quarters in 4usize..12,
+        n_raw in 2usize..13,
+        nrhs in 1usize..4,
+        w1 in 1usize..12,
+        w2 in 1usize..12,
+        down in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        let m0 = 4 * quarters;
+        let n = n_raw.min(m0 - 8);
+        let a0 = well_conditioned(m0, n, seed.wrapping_add(2));
+        let b0 = gaussian_matrix(m0, nrhs, seed ^ 0xb0b);
+        let mut s = stream_plan(m0, n).stream_with_rhs(&a0, &b0).unwrap();
+        let mut ablocks = Vec::new();
+        let mut bblocks = Vec::new();
+        for (i, &w) in [w1, w2].iter().enumerate() {
+            let ab = gaussian_matrix(w, n, seed ^ (0xa10 + i as u64));
+            let bb = gaussian_matrix(w, nrhs, seed ^ (0xb10 + i as u64));
+            s.append_rows_with(ab.as_ref(), bb.as_ref()).unwrap();
+            ablocks.push(ab);
+            bblocks.push(bb);
+        }
+        if down > 0 {
+            let oldest_a = Matrix::from_view(a0.view(0, 0, down, n));
+            let oldest_b = Matrix::from_view(b0.view(0, 0, down, nrhs));
+            s.downdate_rows_with(oldest_a.as_ref(), oldest_b.as_ref()).unwrap();
+        }
+        let x = s.solve().unwrap();
+        // Solving is read-only and deterministic.
+        let again = s.solve().unwrap();
+        prop_assert_eq!(x.data(), again.data());
+        let window_a = concat_window(&a0, down, &ablocks);
+        let window_b = concat_window(&b0, down, &bblocks);
+        prop_assert_eq!(x.rows(), n);
+        prop_assert_eq!(x.cols(), nrhs);
+        let want = batch_solve(&window_a, &window_b);
+        prop_assert!(
+            rel_diff(x.as_ref(), want.as_ref()) < 1e-8,
+            "rel diff {}",
+            rel_diff(x.as_ref(), want.as_ref())
+        );
+    }
 }
 
 #[test]
@@ -179,4 +260,205 @@ fn service_streams_are_bitwise_deterministic_across_pool_widths() {
         snap.r.data(),
         "service streams must match the direct engine bitwise"
     );
+}
+
+/// Regression (PR 8): a crossover-branch append whose refresh fails must
+/// roll back *everything* — before the fix, `push_history`/`live += k`
+/// landed before the refresh ran, so a rejected delta left the stream
+/// claiming rows its factor never absorbed.
+#[test]
+fn failed_crossover_append_rolls_back_completely() {
+    let (m0, n) = (32usize, 8usize);
+    let k = 64usize;
+    // The delta must be wide enough that the cost model routes it through
+    // the re-factor branch rather than the rank-k kernel.
+    assert!(
+        !costmodel::streaming::append_beats_refresh(m0 + k, n, k),
+        "test premise: k = {k} crosses the refresh crossover for {m0}x{n}"
+    );
+    let a0 = well_conditioned(m0, n, 77);
+    let b0 = gaussian_matrix(m0, 1, 78);
+    let mut s = stream_plan(m0, n).stream_with_rhs(&a0, &b0).unwrap();
+    let r_before = s.r().clone();
+    let x_before = s.solve().unwrap();
+
+    // Entries at 1e160 overflow the refresh's Gram matrix to infinity, so
+    // its Cholesky rejects the pivot deterministically on every backend.
+    let bad = Matrix::from_fn(k, n, |i, j| 1e160 * (1.0 + ((i + j) % 3) as f64));
+    let bad_rhs = gaussian_matrix(k, 1, 79);
+    let err = s.append_rows_with(bad.as_ref(), bad_rhs.as_ref()).unwrap_err();
+    assert!(matches!(err, PlanError::NotPositiveDefinite(_)), "{err:?}");
+
+    // No observable trace: row count, factor, and projection all pristine.
+    assert_eq!(s.rows(), m0, "rejected delta must not count toward live rows");
+    assert_eq!(s.r().data(), r_before.data(), "R must be bitwise untouched");
+    assert_eq!(
+        s.solve().unwrap().data(),
+        x_before.data(),
+        "d (and the histories behind it) must be bitwise untouched"
+    );
+
+    // And the stream remains fully operational afterwards.
+    s.append_rows_with(gaussian_matrix(4, n, 80).as_ref(), gaussian_matrix(4, 1, 81).as_ref())
+        .unwrap();
+    assert_eq!(s.rows(), m0 + 4);
+    let snap = s.snapshot().unwrap();
+    assert!(snap.orthogonality_error.unwrap() < 1e-12);
+}
+
+/// Builds the satellite-2 scenario: `C` (strong support rows, scale 10) on
+/// top of `D` (huge rows whose last column is almost a linear combination
+/// of the others — numerically rank-deficient on its own, fine with `C`).
+fn refresh_failure_window(c_rows: usize, d_rows: usize, n: usize, seed: u64) -> Matrix {
+    let c = gaussian_matrix(c_rows, n, seed);
+    let core = gaussian_matrix(d_rows, n, seed ^ 0xd00d);
+    let s_scale = 1e7;
+    let delta = 1e-9;
+    Matrix::from_fn(c_rows + d_rows, n, |i, j| {
+        if i < c_rows {
+            10.0 * c.get(i, j)
+        } else {
+            let i = i - c_rows;
+            if j < n - 2 {
+                s_scale * core.get(i, j)
+            } else {
+                // Two independent near-dependencies: each of the last two
+                // columns is a combination of the leading ones plus δ·noise.
+                let avg: f64 = (0..n - 2).map(|k| core.get(i, k)).sum::<f64>() / (n - 2) as f64;
+                let alt: f64 = (0..n - 2)
+                    .map(|k| if k % 2 == 0 { core.get(i, k) } else { -core.get(i, k) })
+                    .sum::<f64>()
+                    / (n - 2) as f64;
+                let combo = if j == n - 2 { avg } else { alt };
+                s_scale * (combo + delta * core.get(i, j))
+            }
+        }
+    })
+}
+
+/// Regression (PR 8): when a committed downdate's drift-triggered refresh
+/// fails, the stream must stay exactly as the successful downdate left it
+/// and report the failure through `StreamStatus::refresh_failed` — before
+/// the fix the `Err` propagated, claiming the rows were never removed.
+#[test]
+fn failed_auto_refresh_surfaces_without_corrupting_the_stream() {
+    let n = 8usize;
+    let (c_rows, d_rows) = (16usize, 48usize);
+    let m0 = c_rows + d_rows;
+    let a0 = refresh_failure_window(c_rows, d_rows, n, 0);
+    // Threshold 0: every committed update triggers a refresh attempt.
+    let mut s = stream_plan(m0, n).stream(&a0).unwrap().with_drift_threshold(0.0);
+    let oldest = Matrix::from_view(a0.view(0, 0, c_rows, n));
+
+    // The hyperbolic downdate kernel succeeds (the remaining Gram keeps a
+    // small but robustly positive margin in the weak direction), but the
+    // refresh re-factors D alone, whose Gram is numerically singular.
+    let status = s.downdate_rows(oldest.as_ref()).expect("the downdate itself commits");
+    assert!(status.refresh_failed, "the failed refresh must be surfaced");
+    assert!(!status.refreshed);
+    assert_eq!(status.rows, d_rows, "the rows really were removed");
+    assert!(
+        s.drift() > 0.0,
+        "drift stays above threshold so the next update retries"
+    );
+    assert!(
+        matches!(s.last_refresh_error(), Some(PlanError::NotPositiveDefinite(_))),
+        "{:?}",
+        s.last_refresh_error()
+    );
+
+    // The factor is exactly what the committed downdate produced: a
+    // reference stream with auto-refresh disabled applies the same
+    // sequence and must agree bitwise.
+    let mut reference = stream_plan(m0, n)
+        .stream(&a0)
+        .unwrap()
+        .with_drift_threshold(f64::INFINITY);
+    reference.downdate_rows(oldest.as_ref()).unwrap();
+    assert_eq!(
+        s.r().data(),
+        reference.r().data(),
+        "a failed refresh must leave R exactly as the update committed it"
+    );
+
+    // Appending strong generic rows repairs the two deficient directions;
+    // the retried refresh now succeeds and clears the failure state.
+    let rescue_core = gaussian_matrix(2, n, 4242);
+    let rescue = Matrix::from_fn(2, n, |i, j| 1e7 * rescue_core.get(i, j));
+    let status = s.append_rows(rescue.as_ref()).expect("full-rank append");
+    assert!(status.refreshed, "drift retry must fire on the next update");
+    assert!(!status.refresh_failed);
+    assert_eq!(s.drift(), 0.0);
+    assert!(
+        s.last_refresh_error().is_none(),
+        "a successful refresh clears the sticky error"
+    );
+}
+
+/// `stream_close` semantics: close is a drain, not a cancel. Everything
+/// queued before the close completes in order (handles stay redeemable,
+/// solves bitwise-match a direct replay); submissions after it get the
+/// typed `UnknownStream` rejection.
+#[test]
+fn stream_close_drains_queued_operations() {
+    let (m0, n, nrhs) = (64usize, 16usize, 2usize);
+    let spec = JobSpec::new(m0, n).grid(GridShape::new(2, 2).unwrap());
+    let a0 = well_conditioned(m0, n, 53);
+    let b0 = gaussian_matrix(m0, nrhs, 54);
+    let service = QrService::builder().workers(1).build();
+    service.stream_open_with_rhs("drain", &spec, &a0, &b0).unwrap();
+    let appends: Vec<_> = (0..4)
+        .map(|i| {
+            service
+                .append_rows_with(
+                    "drain",
+                    gaussian_matrix(3, n, 800 + i),
+                    gaussian_matrix(3, nrhs, 900 + i),
+                )
+                .unwrap()
+        })
+        .collect();
+    let solve = service.solve("drain").unwrap();
+    let snap = service.snapshot("drain").unwrap();
+
+    assert!(service.stream_close("drain"), "the stream was open");
+    assert_eq!(service.open_streams(), 0);
+
+    for h in appends {
+        h.wait().unwrap().status().expect("update outcome");
+    }
+    let x = solve.wait().unwrap().into_solution().expect("solution outcome");
+    let drained = snap.wait().unwrap().into_snapshot().expect("snapshot outcome");
+    assert_eq!(drained.rows, m0 + 12, "every queued append drained before the snapshot");
+
+    // The drained results match a direct replay of the same sequence.
+    let plan = QrPlan::new(m0, n)
+        .algorithm(Algorithm::CaCqr2)
+        .grid(GridShape::new(2, 2).unwrap())
+        .build()
+        .unwrap();
+    let mut direct = plan.stream_with_rhs(&a0, &b0).unwrap();
+    for i in 0..4 {
+        direct
+            .append_rows_with(
+                gaussian_matrix(3, n, 800 + i).as_ref(),
+                gaussian_matrix(3, nrhs, 900 + i).as_ref(),
+            )
+            .unwrap();
+    }
+    assert_eq!(
+        x.data(),
+        direct.solve().unwrap().data(),
+        "drained solve must match a direct replay"
+    );
+
+    // Post-close traffic is rejected with the typed error; a second close
+    // reports that nothing was open.
+    let err = service.append_rows("drain", gaussian_matrix(3, n, 999)).unwrap_err();
+    assert!(matches!(err, ServiceError::UnknownStream { .. }), "{err:?}");
+    assert!(matches!(
+        service.solve("drain"),
+        Err(ServiceError::UnknownStream { .. })
+    ));
+    assert!(!service.stream_close("drain"));
 }
