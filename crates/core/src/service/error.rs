@@ -15,14 +15,19 @@ pub enum ServiceError {
     /// [`PlanError`] (invalid configuration, shape mismatch, loss of
     /// positive definiteness, …).
     Plan(PlanError),
-    /// A non-blocking submission found the bounded queue at capacity.
+    /// A non-blocking submission found the bounded injector at capacity.
     /// Retry later, or use the blocking [`submit`](super::QrService::submit)
     /// for backpressure instead.
     QueueFull {
-        /// The queue's fixed capacity.
+        /// The injector's fixed capacity.
         capacity: usize,
     },
-    /// The service is shutting down and no longer accepts jobs.
+    /// The service no longer accepts jobs: it was closed
+    /// ([`close`](super::QrService::close) or drop-in-progress), or its
+    /// last worker has exited, so nothing would ever drain the queue. A
+    /// submission that would previously have blocked forever against a
+    /// dead pool fails with this instead — including submitters already
+    /// parked on a full injector when the pool dies.
     ShuttingDown,
     /// The worker executing the job panicked. Carries the panic payload's
     /// message when it was a string. The pool survives: the worker catches

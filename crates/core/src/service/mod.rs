@@ -5,39 +5,60 @@
 //! many tall-skinny panels. [`QrPlan`] gives one
 //! matrix that amortization; this module scales it to a *serving workload*
 //! in the TSQR tradition (Demmel et al.), where batched tall-skinny
-//! factorizations arrive concurrently from many callers:
+//! factorizations arrive concurrently from many callers — and where the
+//! panels are small enough that dispatch and data movement, not flops,
+//! decide throughput:
 //!
-//! 1. **Plan cache** — a keyed map `JobSpec → Arc<QrPlan>` behind an
-//!    `RwLock`. Repeat shapes never rebuild or revalidate; concurrent
-//!    lookups of a cached key take only the read lock, and
+//! 1. **Sharded plan cache** — a keyed map `JobSpec → Arc<QrPlan>` split
+//!    into independent `RwLock` shards selected by a deterministic hash of
+//!    the spec. Repeat shapes never rebuild or revalidate; concurrent
+//!    lookups of *different* keys don't contend on one lock; and
 //!    [`QrService::plan`] returns pointer-equal `Arc`s for equal keys.
-//! 2. **Worker pool** — a fixed set of `std` threads draining a bounded
-//!    submission queue ([`QrService::submit`] blocks when full, providing
-//!    backpressure; [`QrService::try_submit`] refuses instead). Each job
-//!    resolves to a [`JobHandle`]; [`JobHandle::wait`] delivers the
-//!    [`QrReport`] or a typed [`ServiceError`].
-//! 3. **Thread-budget coordination** — the pool registers its workers with
+//! 2. **Work-stealing worker pool** — a fixed set of `std` threads fed by
+//!    a bounded injector ([`QrService::submit`] blocks when full, providing
+//!    backpressure; [`QrService::try_submit`] refuses instead) plus
+//!    per-worker deques: a job that fans out (see
+//!    [`factor_many`](QrService::factor_many)) splits onto its worker's own
+//!    deque, idle workers steal the splits, and the schedule never changes
+//!    results. Each job resolves to a [`JobHandle`]; [`JobHandle::wait`]
+//!    delivers the [`QrReport`] or a typed [`ServiceError`].
+//! 3. **Zero-copy submission** — jobs carry a [`JobInput`]: an owned
+//!    [`Matrix`] or a shared `Arc<Matrix>` ([`QrService::submit_ref`]), so
+//!    a caller fanning one operand out — or keeping its own copy — never
+//!    pays a data clone at the submission boundary.
+//! 4. **Thread-budget coordination** — the pool registers its workers with
 //!    [`dense::PoolReservation`], so block-level kernel parallelism shrinks
-//!    to its fair share of `CACQR_THREADS` while the pool is alive. Pool
-//!    width × kernel width never oversubscribes the budget.
-//! 4. **Stateful stream jobs** — [`QrService::stream_open`] (or
+//!    to its fair share of `CACQR_THREADS` while the pool is alive, and
+//!    *sleeping* workers return their share to busy siblings
+//!    ([`dense::pool_worker_idle`]): pool width × kernel width never
+//!    oversubscribes the budget, and a lone straggler job still gets the
+//!    whole budget.
+//! 5. **Stateful stream jobs** — [`QrService::stream_open`] (or
 //!    [`QrService::stream_open_with_rhs`], which also carries the
 //!    least-squares right-hand-side track) registers a live
 //!    [`StreamingQr`] under a string key;
 //!    [`QrService::append_rows`] / [`QrService::downdate_rows`] (and
 //!    their `_with` right-hand-side variants) / [`QrService::solve`] /
 //!    [`QrService::snapshot`] then enqueue incremental operations against
-//!    it through the *same* bounded queue and worker pool as batch jobs.
+//!    it through the *same* injector and worker pool as batch jobs.
 //!    Per key, operations execute strictly in submission order (a sequence
-//!    turnstile serializes them across workers); across keys — and against
+//!    turnstile serializes them across workers, and stream operations only
+//!    travel through the FIFO injector — never a stealable deque — so
+//!    queue order equals sequence order); across keys — and against
 //!    batch factorizations — everything runs concurrently, sharing one
 //!    plan cache, thread budget, and warm arena footprint.
+//! 6. **SLO telemetry** — every completed job deposits queue-wait,
+//!    execution, and end-to-end latencies into lock-free histograms;
+//!    [`QrService::stats`] snapshots them as [`ServiceStats`] with
+//!    p50/p99 and sustained jobs-per-second, the quantities the perf gate
+//!    tracks in `bench/baseline.json`.
 //!
 //! Determinism is preserved end to end: a given `(plan, matrix)` pair
 //! produces bitwise-identical factors whether it runs on the caller's
-//! thread, one worker, or races against a saturated pool — the kernels'
+//! thread, one worker, or is stolen across a saturated pool — the kernels'
 //! accumulation order is schedule-independent, and
-//! [`factor_batch`](QrService::factor_batch) returns reports in submission
+//! [`factor_batch`](QrService::factor_batch) /
+//! [`factor_many`](QrService::factor_many) return reports in submission
 //! order. The same holds per stream: a given `(initial, update sequence)`
 //! pair produces bitwise-identical factors regardless of pool width or
 //! contention, because the turnstile makes the applied order *be* the
@@ -54,30 +75,38 @@
 //! let batch: Vec<_> = (0..4)
 //!     .map(|seed| dense::random::well_conditioned(64, 16, seed))
 //!     .collect();
-//! let reports = service.factor_batch(&spec, &batch)?;
+//! let reports = service.factor_many(&spec, batch)?;
 //! assert_eq!(reports.len(), 4);
 //! assert!(reports.iter().all(|r| r.orthogonality_error < 1e-12));
 //! // Repeat shapes hit the cache: the same Arc<QrPlan>, not a rebuild.
 //! assert!(std::sync::Arc::ptr_eq(&service.plan(&spec)?, &service.plan(&spec)?));
+//! // Telemetry: four panels completed, latencies recorded.
+//! assert_eq!(service.stats().completed, 4);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 mod error;
 mod queue;
+mod stats;
 
 pub use error::ServiceError;
+pub use stats::{LatencySummary, ServiceStats};
 
 use crate::driver::{Algorithm, PlanError, QrPlan, QrReport};
 use crate::stream::{StreamSnapshot, StreamStatus, StreamingQr};
 use baseline::BlockCyclic;
 use dense::{BackendKind, Matrix, PoolReservation};
 use pargrid::GridShape;
-use queue::{BoundedQueue, PushError};
+use queue::{PushError, StealQueue};
 use simgrid::{Machine, RuntimeKind};
+use stats::Recorder;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A hashable description of *what* to factor: the plan-cache key.
 ///
@@ -85,7 +114,9 @@ use std::thread::JoinHandle;
 /// affect the schedule — shape, [`Algorithm`], grid or block-cyclic layout,
 /// kernel backend, CFR3D base size and inverse depth — but not the machine
 /// model, which is a property of the whole service. Two jobs with equal
-/// specs share one cached [`QrPlan`].
+/// specs share one cached [`QrPlan`]; the same derived `Hash` that keys the
+/// cache map also picks the cache *shard* (via a fixed FNV-1a, so shard
+/// assignment is stable across runs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[must_use = "a JobSpec does nothing until submitted to a QrService"]
 pub struct JobSpec {
@@ -199,20 +230,94 @@ impl JobSpec {
     }
 }
 
-/// One queued factorization: the resolved plan, the input, and the slot the
-/// worker fulfills.
-struct Job {
-    plan: Arc<QrPlan>,
-    matrix: Matrix,
-    slot: Arc<Slot<QrReport>>,
+/// A job's operand: owned outright, or shared behind an `Arc` so submission
+/// copies a pointer instead of the matrix.
+///
+/// Built implicitly — [`QrService::submit`] takes `impl Into<JobInput>`, so
+/// existing `submit(&spec, matrix)` callers compile unchanged while
+/// `submit(&spec, arc)` (or the [`QrService::submit_ref`] convenience)
+/// shares the operand zero-copy.
+pub enum JobInput {
+    /// The job owns its operand (moved in; freed when the job completes).
+    Owned(Matrix),
+    /// The operand is shared; the caller keeps its `Arc` and the service
+    /// clones only the pointer.
+    Shared(Arc<Matrix>),
 }
 
-/// One unit of queued work: a batch factorization or a stream operation.
-/// Both kinds drain through the same bounded queue and worker pool, so
-/// stream traffic shares the service's backpressure and thread budget.
+impl JobInput {
+    /// The operand, however it is held.
+    pub fn matrix(&self) -> &Matrix {
+        match self {
+            JobInput::Owned(m) => m,
+            JobInput::Shared(m) => m,
+        }
+    }
+}
+
+impl From<Matrix> for JobInput {
+    fn from(m: Matrix) -> JobInput {
+        JobInput::Owned(m)
+    }
+}
+
+impl From<Arc<Matrix>> for JobInput {
+    fn from(m: Arc<Matrix>) -> JobInput {
+        JobInput::Shared(m)
+    }
+}
+
+impl From<&Arc<Matrix>> for JobInput {
+    fn from(m: &Arc<Matrix>) -> JobInput {
+        JobInput::Shared(Arc::clone(m))
+    }
+}
+
+/// One queued factorization: the resolved plan, the input, the slot the
+/// worker fulfills, and the submission timestamp for latency accounting.
+struct Job {
+    plan: Arc<QrPlan>,
+    input: JobInput,
+    slot: Arc<Slot<QrReport>>,
+    enqueued: Instant,
+}
+
+/// One unit of queued work. Batch jobs and stream operations enter through
+/// the bounded injector (sharing backpressure); `Many` chunks are the
+/// *internal* splits of an admitted [`QrService::factor_many`] batch and
+/// travel through the stealable per-worker deques.
 enum Work {
     Factor(Job),
     Stream(StreamJob),
+    Many(ManyChunk),
+    /// Test-only: a job whose execution panics, for exercising the
+    /// worker-panic → [`ServiceError::WorkerPanicked`] path end to end.
+    #[cfg(test)]
+    Panic(Arc<Slot<QrReport>>),
+}
+
+/// An admitted `factor_many` batch: one dispatch covering many panels.
+/// Workers split index ranges onto their local deques; each completed
+/// panel decrements `remaining`, and the worker that retires the last
+/// panel fulfills the slot with all results in submission order.
+struct ManyBatch {
+    plan: Arc<QrPlan>,
+    inputs: Vec<JobInput>,
+    /// Largest range a worker factors without splitting further. Sized at
+    /// submission so the batch shatters into a few chunks per worker —
+    /// enough to steal, not so many that deque traffic dominates.
+    leaf: usize,
+    results: Mutex<Vec<Option<Result<QrReport, ServiceError>>>>,
+    remaining: AtomicUsize,
+    slot: Arc<Slot<Vec<Result<QrReport, ServiceError>>>>,
+    enqueued: Instant,
+}
+
+/// A contiguous index range `[lo, hi)` of a [`ManyBatch`].
+struct ManyChunk {
+    batch: Arc<ManyBatch>,
+    lo: usize,
+    hi: usize,
 }
 
 /// Completion slot shared between a worker and a handle.
@@ -339,7 +444,10 @@ struct StreamState {
 /// those sequence numbers, and is held across the queue push so that
 /// per-stream queue order always equals sequence order — the invariant
 /// that keeps a worker holding a later operation from waiting on one still
-/// *behind* it in the FIFO queue (which would deadlock a width-1 pool).
+/// *behind* it in the injector (which would deadlock a width-1 pool).
+/// Stream operations never enter the stealable local deques: only the
+/// FIFO injector preserves that invariant, and stealing a stream op could
+/// otherwise run it ahead of its turn holder.
 struct StreamEntry {
     state: Mutex<StreamState>,
     turn: Condvar,
@@ -352,6 +460,7 @@ struct StreamJob {
     op: StreamOp,
     seq: u64,
     slot: Arc<Slot<StreamOutcome>>,
+    enqueued: Instant,
 }
 
 /// Handle to one submitted stream operation; redeem it with
@@ -384,10 +493,61 @@ impl StreamHandle {
     }
 }
 
+/// Shard count of the plan cache. A small power of two: plenty of
+/// independence for realistic spec diversity, negligible footprint.
+const PLAN_SHARDS: usize = 16;
+
+/// The plan cache, split into independently locked shards so concurrent
+/// lookups of different keys never serialize on one `RwLock`.
+struct ShardedPlanCache {
+    shards: Vec<RwLock<HashMap<JobSpec, Arc<QrPlan>>>>,
+}
+
+/// FNV-1a over the spec's derived `Hash`. `HashMap`'s own `RandomState` is
+/// seeded per process, which would make shard assignment unstable across
+/// runs; FNV is fixed, so a spec lands on the same shard every time —
+/// which keeps shard-level behavior (contention, eviction) reproducible.
+fn shard_index(key: &JobSpec) -> usize {
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    key.hash(&mut h);
+    (h.finish() as usize) % PLAN_SHARDS
+}
+
+impl ShardedPlanCache {
+    fn new() -> ShardedPlanCache {
+        ShardedPlanCache {
+            shards: (0..PLAN_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &JobSpec) -> &RwLock<HashMap<JobSpec, Arc<QrPlan>>> {
+        &self.shards[shard_index(key)]
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+}
+
 /// State shared between the service front end and its workers.
 struct Shared {
-    queue: BoundedQueue<Work>,
-    cache: RwLock<HashMap<JobSpec, Arc<QrPlan>>>,
+    queue: StealQueue<Work>,
+    cache: ShardedPlanCache,
     /// Registry of open streams, keyed by caller-chosen name.
     streams: RwLock<HashMap<String, Arc<StreamEntry>>>,
     /// Memoized cost-model tuning results for [`QrService::plan_auto`]:
@@ -395,6 +555,7 @@ struct Shared {
     /// installed-profile check stays per-call — it is cheap and the
     /// profile can change).
     auto_specs: RwLock<HashMap<(usize, usize), JobSpec>>,
+    stats: Recorder,
     machine: Machine,
     runtime: RuntimeKind,
     default_backend: BackendKind,
@@ -419,9 +580,10 @@ impl QrServiceBuilder {
         self
     }
 
-    /// Sets the bounded submission queue's capacity (default:
-    /// `2 × workers`). [`QrService::submit`] blocks while the queue holds
-    /// this many unstarted jobs.
+    /// Sets the bounded submission injector's capacity (default:
+    /// `2 × workers`). [`QrService::submit`] blocks while the injector
+    /// holds this many unstarted jobs. Internal `factor_many` splits don't
+    /// count — admission control is per submission, not per panel.
     pub fn queue_capacity(mut self, capacity: usize) -> QrServiceBuilder {
         self.queue_capacity = Some(capacity.max(1));
         self
@@ -455,10 +617,11 @@ impl QrServiceBuilder {
         let workers = dense::thread_budget(self.workers.unwrap_or(usize::MAX));
         let capacity = self.queue_capacity.unwrap_or(2 * workers);
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(capacity),
-            cache: RwLock::new(HashMap::new()),
+            queue: StealQueue::new(capacity, workers),
+            cache: ShardedPlanCache::new(),
             streams: RwLock::new(HashMap::new()),
             auto_specs: RwLock::new(HashMap::new()),
+            stats: Recorder::new(),
             machine: self.machine,
             runtime: self.runtime,
             default_backend: self.backend,
@@ -469,7 +632,7 @@ impl QrServiceBuilder {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("qrservice-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("failed to spawn QrService worker thread")
             })
             .collect();
@@ -482,40 +645,117 @@ impl QrServiceBuilder {
     }
 }
 
-/// Worker body: drain jobs until the queue closes, surviving job panics.
-fn worker_loop(shared: &Shared) {
-    while let Some(work) = shared.queue.pop() {
+/// Worker body: drain work until the queue closes, surviving job panics.
+///
+/// The consumer guard deregisters this worker on *any* exit — normal
+/// shutdown or a panic that escapes a job guard — so producers blocked on
+/// a full injector fail with [`ServiceError::ShuttingDown`] instead of
+/// waiting on a pool that will never drain. While parked, the worker
+/// marks itself idle ([`dense::pool_worker_idle`]) so its kernel-thread
+/// share flows to the workers still running jobs.
+fn worker_loop(shared: &Shared, worker: usize) {
+    let _consumer = shared.queue.consumer();
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (worker as u64 + 1);
+    while let Some(work) = shared.queue.pop(worker, &mut rng, dense::pool_worker_idle) {
         match work {
             Work::Factor(job) => {
-                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| job.plan.factor(&job.matrix))) {
+                shared.stats.queue_wait.record(job.enqueued.elapsed());
+                let t0 = Instant::now();
+                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| job.plan.factor(job.input.matrix()))) {
                     Ok(Ok(report)) => Ok(report),
                     Ok(Err(e)) => Err(ServiceError::Plan(e)),
                     Err(payload) => Err(ServiceError::WorkerPanicked {
                         message: panic_message(payload.as_ref()),
                     }),
                 };
+                shared.stats.execution.record(t0.elapsed());
+                shared.stats.end_to_end.record(job.enqueued.elapsed());
+                shared.stats.complete(1);
                 job.slot.fulfill(outcome);
             }
-            Work::Stream(job) => run_stream_job(job),
+            Work::Stream(job) => run_stream_job(shared, job),
+            Work::Many(chunk) => run_many_chunk(shared, worker, chunk),
+            #[cfg(test)]
+            Work::Panic(slot) => {
+                let payload = std::panic::catch_unwind(|| panic!("injected worker panic"))
+                    .expect_err("the injected job always panics");
+                slot.fulfill(Err(ServiceError::WorkerPanicked {
+                    message: panic_message(payload.as_ref()),
+                }));
+            }
         }
+    }
+}
+
+/// Processes one `factor_many` range: shatter it to leaf granularity
+/// (pushing the far halves onto this worker's deque, where siblings steal
+/// them), factor the local leaf, and deliver the batch when its last
+/// panel retires.
+fn run_many_chunk(shared: &Shared, worker: usize, chunk: ManyChunk) {
+    let ManyChunk { batch, lo, mut hi } = chunk;
+    while hi - lo > batch.leaf {
+        let mid = lo + (hi - lo) / 2;
+        shared.queue.push_local(
+            worker,
+            Work::Many(ManyChunk {
+                batch: Arc::clone(&batch),
+                lo: mid,
+                hi,
+            }),
+        );
+        hi = mid;
+    }
+    let picked = Instant::now();
+    for i in lo..hi {
+        shared.stats.queue_wait.record(picked.duration_since(batch.enqueued));
+        let t0 = Instant::now();
+        let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| batch.plan.factor(batch.inputs[i].matrix()))) {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(ServiceError::Plan(e)),
+            Err(payload) => Err(ServiceError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        };
+        shared.stats.execution.record(t0.elapsed());
+        shared.stats.end_to_end.record(batch.enqueued.elapsed());
+        shared.stats.complete(1);
+        batch.results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
+    }
+    let done = hi - lo;
+    if batch.remaining.fetch_sub(done, Ordering::SeqCst) == done {
+        // This leaf retired the batch's last panel: deliver everything in
+        // submission order.
+        let results = std::mem::take(&mut *batch.results.lock().unwrap_or_else(|e| e.into_inner()));
+        batch.slot.fulfill(Ok(results
+            .into_iter()
+            .map(|r| r.expect("every panel index was factored exactly once"))
+            .collect()));
     }
 }
 
 /// Applies one stream operation at its turnstile slot.
 ///
 /// Waits until every earlier-submitted operation on the same stream has
-/// been applied (the FIFO queue guarantees those are already popped by
+/// been applied (the FIFO injector guarantees those are already popped by
 /// some worker, never still queued behind this one), applies this one, and
 /// advances the turnstile — *unconditionally*, even when the operation
 /// failed or panicked, or every later queued operation on the stream would
 /// wait forever.
-fn run_stream_job(job: StreamJob) {
-    let StreamJob { entry, op, seq, slot } = job;
+fn run_stream_job(shared: &Shared, job: StreamJob) {
+    let StreamJob {
+        entry,
+        op,
+        seq,
+        slot,
+        enqueued,
+    } = job;
+    shared.stats.queue_wait.record(enqueued.elapsed());
     let mut st = entry.state.lock().unwrap_or_else(|e| e.into_inner());
     while st.applied != seq {
         st = entry.turn.wait(st).unwrap_or_else(|e| e.into_inner());
     }
     let qr = &mut st.qr;
+    let t0 = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match &op {
         StreamOp::Append(b) => qr.append_rows(b.as_ref()).map(StreamOutcome::Update),
         StreamOp::AppendWith(b, c) => qr.append_rows_with(b.as_ref(), c.as_ref()).map(StreamOutcome::Update),
@@ -524,9 +764,12 @@ fn run_stream_job(job: StreamJob) {
         StreamOp::Solve => qr.solve().map(StreamOutcome::Solution),
         StreamOp::Snapshot => qr.snapshot().map(StreamOutcome::Snapshot),
     }));
+    shared.stats.execution.record(t0.elapsed());
     st.applied += 1;
     entry.turn.notify_all();
     drop(st);
+    shared.stats.end_to_end.record(enqueued.elapsed());
+    shared.stats.complete(1);
     slot.fulfill(match outcome {
         Ok(Ok(o)) => Ok(o),
         Ok(Err(e)) => Err(ServiceError::Plan(e)),
@@ -551,7 +794,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// Shared by reference: every method takes `&self`, so one service instance
 /// can serve any number of submitting threads. Dropping the service closes
-/// the queue, lets the workers drain already-accepted jobs, and joins them.
+/// the queue, lets the workers drain already-accepted jobs, and joins them;
+/// [`QrService::close`] does the closing half early, from `&self`.
 pub struct QrService {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -576,7 +820,7 @@ impl QrService {
         self.workers
     }
 
-    /// Capacity of the bounded submission queue.
+    /// Capacity of the bounded submission injector.
     pub fn queue_capacity(&self) -> usize {
         self.shared.queue.capacity()
     }
@@ -591,9 +835,17 @@ impl QrService {
         self.shared.runtime
     }
 
-    /// Number of distinct plans currently cached.
+    /// Point-in-time latency and throughput telemetry: p50/p99 queue-wait,
+    /// execution, and end-to-end latency plus sustained jobs-per-second
+    /// since the pool started. Lock-free to record, cheap to snapshot —
+    /// safe to poll from a monitoring loop.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Number of distinct plans currently cached, across all shards.
     pub fn plan_cache_len(&self) -> usize {
-        self.shared.cache.read().unwrap_or_else(|e| e.into_inner()).len()
+        self.shared.cache.len()
     }
 
     /// Number of distinct plans currently cached (alias of
@@ -603,13 +855,15 @@ impl QrService {
     }
 
     /// Evicts the cached plan for `spec`, returning whether one was
-    /// cached. Jobs already holding the `Arc<QrPlan>` keep running — the
-    /// plan is dropped when the last holder finishes — so eviction bounds
-    /// the cache without invalidating in-flight work.
+    /// cached. Touches only the spec's shard. Jobs already holding the
+    /// `Arc<QrPlan>` keep running — the plan is dropped when the last
+    /// holder finishes — so eviction bounds the cache without invalidating
+    /// in-flight work.
     pub fn evict(&self, spec: &JobSpec) -> bool {
         let key = self.cache_key(spec);
         self.shared
             .cache
+            .shard(&key)
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&key)
@@ -669,7 +923,7 @@ impl QrService {
 
     /// Normalizes a spec into its cache key: unset knobs that the service
     /// defaults (currently the backend) are resolved so that "default" and
-    /// "explicitly the default" share one cache entry.
+    /// "explicitly the default" share one cache entry (and one shard).
     fn cache_key(&self, spec: &JobSpec) -> JobSpec {
         let mut key = *spec;
         key.backend = Some(key.backend.unwrap_or(self.shared.default_backend));
@@ -685,13 +939,16 @@ impl QrService {
     }
 
     /// [`QrService::plan`] plus whether this call inserted a new cache
-    /// entry (exact even under concurrent cache churn).
+    /// entry (exact even under concurrent cache churn). Only the key's own
+    /// shard is locked: a plan build for one spec never blocks lookups of
+    /// specs hashing elsewhere.
     fn plan_tracking_insert(&self, spec: &JobSpec) -> Result<(Arc<QrPlan>, bool), ServiceError> {
         let key = self.cache_key(spec);
-        if let Some(plan) = self.shared.cache.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        let shard = self.shared.cache.shard(&key);
+        if let Some(plan) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             return Ok((Arc::clone(plan), false));
         }
-        let mut cache = self.shared.cache.write().unwrap_or_else(|e| e.into_inner());
+        let mut cache = shard.write().unwrap_or_else(|e| e.into_inner());
         if let Some(plan) = cache.get(&key) {
             return Ok((Arc::clone(plan), false)); // lost the build race: reuse the winner
         }
@@ -701,14 +958,19 @@ impl QrService {
         Ok((plan, true))
     }
 
-    /// Validates `a` against the spec's plan and enqueues the job, blocking
-    /// while the submission queue is full (backpressure).
+    /// Validates the operand against the spec's plan and enqueues the job,
+    /// blocking while the submission injector is full (backpressure).
+    ///
+    /// Takes anything convertible to a [`JobInput`]: an owned [`Matrix`]
+    /// (moved, exactly as before) or an `Arc<Matrix>` (shared — no data
+    /// copy; see [`QrService::submit_ref`]).
     ///
     /// Planning errors (invalid spec, shape mismatch) surface here, before
     /// the job is accepted; execution errors surface from
-    /// [`JobHandle::wait`].
-    pub fn submit(&self, spec: &JobSpec, a: Matrix) -> Result<JobHandle, ServiceError> {
-        let job = self.prepare(spec, a)?;
+    /// [`JobHandle::wait`]. A closed or worker-less service fails with
+    /// [`ServiceError::ShuttingDown`] instead of blocking forever.
+    pub fn submit(&self, spec: &JobSpec, a: impl Into<JobInput>) -> Result<JobHandle, ServiceError> {
+        let job = self.prepare(spec, a.into())?;
         let slot = Arc::clone(&job.slot);
         match self.shared.queue.push(Work::Factor(job)) {
             Ok(()) => Ok(JobHandle { slot }),
@@ -716,10 +978,18 @@ impl QrService {
         }
     }
 
-    /// Like [`QrService::submit`] but never blocks: a full queue returns
+    /// Zero-copy submission: the job borrows the caller's `Arc<Matrix>`
+    /// (pointer clone only — the matrix data is never copied), so fanning
+    /// one operand out to many jobs, or submitting while keeping a handle
+    /// on the input, costs nothing per submission.
+    pub fn submit_ref(&self, spec: &JobSpec, a: &Arc<Matrix>) -> Result<JobHandle, ServiceError> {
+        self.submit(spec, JobInput::Shared(Arc::clone(a)))
+    }
+
+    /// Like [`QrService::submit`] but never blocks: a full injector returns
     /// [`ServiceError::QueueFull`] and hands no job to the pool.
-    pub fn try_submit(&self, spec: &JobSpec, a: Matrix) -> Result<JobHandle, ServiceError> {
-        let job = self.prepare(spec, a)?;
+    pub fn try_submit(&self, spec: &JobSpec, a: impl Into<JobInput>) -> Result<JobHandle, ServiceError> {
+        let job = self.prepare(spec, a.into())?;
         let slot = Arc::clone(&job.slot);
         match self.shared.queue.try_push(Work::Factor(job)) {
             Ok(()) => Ok(JobHandle { slot }),
@@ -870,6 +1140,7 @@ impl QrService {
             op,
             seq: *next,
             slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
         };
         match self.shared.queue.push(Work::Stream(job)) {
             Ok(()) => {
@@ -887,13 +1158,15 @@ impl QrService {
     /// keep them.
     ///
     /// Submissions interleave with waiting, so a batch larger than the
-    /// queue capacity streams through the pool under backpressure. Results
-    /// are bitwise identical to a sequential `plan.factor` loop over the
-    /// same matrices — parallel execution never perturbs the arithmetic.
+    /// injector capacity streams through the pool under backpressure.
+    /// Results are bitwise identical to a sequential `plan.factor` loop
+    /// over the same matrices — parallel execution never perturbs the
+    /// arithmetic.
     ///
-    /// Each input is cloned into its job (the caller keeps the originals);
-    /// callers that can hand matrices over should stream them through
-    /// [`QrService::submit`], which takes ownership.
+    /// Each input is cloned into its job (the caller keeps the originals).
+    /// For small panels, the per-job dispatch dominates — hand the batch
+    /// over to [`QrService::factor_many`], which admits it as *one* job
+    /// and lets the pool steal panel ranges.
     pub fn factor_batch(&self, spec: &JobSpec, batch: &[Matrix]) -> Result<Vec<QrReport>, ServiceError> {
         self.try_factor_batch(spec, batch)?
             .into_iter()
@@ -923,10 +1196,84 @@ impl QrService {
         Ok(handles.into_iter().map(JobHandle::wait).collect())
     }
 
+    /// Factors a whole batch of (typically small) panels as **one**
+    /// dispatched job: a single injector slot, a single completion wait,
+    /// and panel ranges that shatter across the pool via work stealing.
+    /// This amortizes the per-job dispatch (queue round-trip, slot
+    /// allocation, wakeups) that dominates when panels take microseconds —
+    /// the difference between [`QrService::factor_batch`] and this method
+    /// *is* the service's small-panel throughput story (gated in CI by
+    /// `service_slo`).
+    ///
+    /// Takes the batch by value: panels are moved, never cloned. Reports
+    /// come back in input order, bitwise identical to a sequential
+    /// `plan.factor` loop. All-or-nothing like
+    /// [`QrService::factor_batch`]; use [`QrService::try_factor_many`] for
+    /// per-panel outcomes. An empty batch returns an empty report list
+    /// without touching the pool.
+    pub fn factor_many(&self, spec: &JobSpec, batch: Vec<Matrix>) -> Result<Vec<QrReport>, ServiceError> {
+        self.try_factor_many(spec, batch)?
+            .into_iter()
+            .enumerate()
+            .map(|(index, outcome)| {
+                outcome.map_err(|e| ServiceError::BatchJobFailed {
+                    index,
+                    source: Box::new(e),
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`QrService::factor_many`], but delivers every panel's
+    /// individual outcome. The outer `Result` fails only when the batch
+    /// could not be admitted at all (invalid spec, shape mismatch,
+    /// shutdown).
+    pub fn try_factor_many(
+        &self,
+        spec: &JobSpec,
+        batch: Vec<Matrix>,
+    ) -> Result<Vec<Result<QrReport, ServiceError>>, ServiceError> {
+        let plan = self.plan(spec)?;
+        for a in &batch {
+            if (a.rows(), a.cols()) != (plan.m(), plan.n()) {
+                return Err(ServiceError::Plan(PlanError::InputShapeMismatch {
+                    expected: (plan.m(), plan.n()),
+                    got: (a.rows(), a.cols()),
+                }));
+            }
+        }
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let panels = batch.len();
+        // A few leaves per worker: enough slack for stealing to balance
+        // stragglers, little enough that deque traffic stays negligible.
+        let leaf = (panels / (4 * self.workers.max(1))).max(1);
+        let slot = Slot::new();
+        let many = Arc::new(ManyBatch {
+            plan,
+            inputs: batch.into_iter().map(JobInput::Owned).collect(),
+            leaf,
+            results: Mutex::new((0..panels).map(|_| None).collect()),
+            remaining: AtomicUsize::new(panels),
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        });
+        match self.shared.queue.push(Work::Many(ManyChunk {
+            batch: many,
+            lo: 0,
+            hi: panels,
+        })) {
+            Ok(()) => slot.wait(),
+            Err(_) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
     /// Builds the job, resolving the plan from the cache and rejecting
     /// shape mismatches up front.
-    fn prepare(&self, spec: &JobSpec, a: Matrix) -> Result<Job, ServiceError> {
+    fn prepare(&self, spec: &JobSpec, input: JobInput) -> Result<Job, ServiceError> {
         let plan = self.plan(spec)?;
+        let a = input.matrix();
         if (a.rows(), a.cols()) != (plan.m(), plan.n()) {
             return Err(ServiceError::Plan(PlanError::InputShapeMismatch {
                 expected: (plan.m(), plan.n()),
@@ -935,9 +1282,35 @@ impl QrService {
         }
         Ok(Job {
             plan,
-            matrix: a,
+            input,
             slot: Slot::new(),
+            enqueued: Instant::now(),
         })
+    }
+
+    /// Test-only: enqueue a job whose execution panics on a worker, to
+    /// exercise the panic → typed-error path through a real pop/fulfill
+    /// cycle.
+    #[cfg(test)]
+    fn submit_panicking_job(&self) -> JobHandle {
+        let slot = Slot::new();
+        self.shared
+            .queue
+            .push(Work::Panic(Arc::clone(&slot)))
+            .ok()
+            .expect("queue open");
+        JobHandle { slot }
+    }
+
+    /// Closes the service from a shared reference: no new jobs are
+    /// accepted (submissions fail with [`ServiceError::ShuttingDown`]),
+    /// already-accepted work drains, and the workers exit once the queue
+    /// is empty. The threads are joined by `Drop` as usual — `close` is
+    /// the half of shutdown that any clone-holder of `&QrService` may
+    /// trigger, e.g. a signal handler asking a serving process to wind
+    /// down while in-flight handles stay redeemable.
+    pub fn close(&self) {
+        self.shared.queue.close();
     }
 
     /// Shuts the service down: stop accepting jobs, drain the queue, join
@@ -975,6 +1348,31 @@ mod tests {
         let report = handle.wait().unwrap();
         assert!(report.orthogonality_error < 1e-12);
         assert!(report.residual_error < 1e-12);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.end_to_end.count, 1);
+        assert!(stats.end_to_end.p99 >= stats.execution.p50);
+    }
+
+    #[test]
+    fn submit_ref_shares_the_operand() {
+        let service = QrService::builder().workers(2).build();
+        let a = Arc::new(well_conditioned(64, 16, 7));
+        let owned = service.submit(&spec_64x16(), (*a).clone()).unwrap().wait().unwrap();
+        // Fan the same Arc out to several jobs: no data copies, identical
+        // bits out.
+        let handles: Vec<_> = (0..3).map(|_| service.submit_ref(&spec_64x16(), &a).unwrap()).collect();
+        for h in handles {
+            let shared = h.wait().unwrap();
+            assert_eq!(
+                shared.r.data(),
+                owned.r.data(),
+                "shared and owned inputs factor identically"
+            );
+        }
+        // After the workers join, every job's reference is dropped.
+        service.shutdown();
+        assert_eq!(Arc::strong_count(&a), 1, "jobs release their references");
     }
 
     #[test]
@@ -993,6 +1391,25 @@ mod tests {
         let p4 = service.plan(&spec.base_size(8)).unwrap();
         assert!(!Arc::ptr_eq(&p1, &p4));
         assert_eq!(service.cached_plans(), 2);
+    }
+
+    #[test]
+    fn sharded_cache_counts_and_evicts_across_shards() {
+        let service = QrService::builder().workers(1).build();
+        // Distinct shapes hash to assorted shards; len() must see all of
+        // them and evict() must find each in its own shard.
+        let specs: Vec<_> = (0..24)
+            .map(|i| JobSpec::new(64 * (i + 1), 16).grid(GridShape::new(2, 2).unwrap()))
+            .collect();
+        for s in &specs {
+            service.plan(s).unwrap();
+        }
+        assert_eq!(service.plan_cache_len(), 24);
+        for s in &specs {
+            assert!(service.evict(s));
+        }
+        assert_eq!(service.plan_cache_len(), 0);
+        assert!(!service.evict(&specs[0]), "evicting twice finds nothing");
     }
 
     #[test]
@@ -1026,6 +1443,86 @@ mod tests {
         assert!(outcomes[0].is_ok(), "siblings of a failed job keep their reports");
         assert!(outcomes[1].is_err());
         assert!(outcomes[2].is_ok());
+    }
+
+    #[test]
+    fn factor_many_matches_factor_batch_and_handles_edges() {
+        let service = QrService::builder().workers(2).build();
+        let spec = spec_64x16();
+        assert_eq!(service.factor_many(&spec, Vec::new()).unwrap().len(), 0);
+        assert_eq!(service.factor_batch(&spec, &[]).unwrap().len(), 0);
+        let batch: Vec<_> = (0..17).map(|s| well_conditioned(64, 16, s)).collect();
+        let via_batch = service.factor_batch(&spec, &batch).unwrap();
+        let via_many = service.factor_many(&spec, batch).unwrap();
+        assert_eq!(via_many.len(), 17);
+        for (a, b) in via_many.iter().zip(&via_batch) {
+            assert_eq!(a.r.data(), b.r.data(), "factor_many is bitwise the per-job path");
+        }
+        // Shape errors reject the whole batch before admission.
+        let err = service
+            .factor_many(&spec, vec![well_conditioned(32, 16, 0)])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Plan(PlanError::InputShapeMismatch { .. })));
+        // Per-panel failures carry their index, like factor_batch.
+        let mut bad = well_conditioned(64, 16, 5);
+        for i in 0..64 {
+            bad.set(i, 3, 0.0);
+        }
+        match service
+            .factor_many(&spec, vec![well_conditioned(64, 16, 1), bad])
+            .unwrap_err()
+        {
+            ServiceError::BatchJobFailed { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected BatchJobFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wait_after_worker_panic_returns_typed_error() {
+        let service = QrService::builder().workers(2).build();
+        let handle = service.submit_panicking_job();
+        match handle.wait().unwrap_err() {
+            ServiceError::WorkerPanicked { message } => {
+                assert!(message.contains("injected worker panic"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        // The pool survives: the panicking job was caught, workers live on.
+        let report = service
+            .submit(&spec_64x16(), well_conditioned(64, 16, 3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(report.orthogonality_error < 1e-12);
+    }
+
+    #[test]
+    fn close_makes_submissions_fail_fast() {
+        let service = QrService::builder().workers(1).queue_capacity(1).build();
+        let spec = spec_64x16();
+        let pre = service.submit(&spec, well_conditioned(64, 16, 1)).unwrap();
+        service.close();
+        pre.wait().unwrap(); // accepted work drains
+        assert!(matches!(
+            service.submit(&spec, well_conditioned(64, 16, 2)).unwrap_err(),
+            ServiceError::ShuttingDown
+        ));
+        assert!(matches!(
+            service.try_submit(&spec, well_conditioned(64, 16, 2)).unwrap_err(),
+            ServiceError::ShuttingDown
+        ));
+        assert!(matches!(
+            service
+                .factor_many(&spec, vec![well_conditioned(64, 16, 2)])
+                .unwrap_err(),
+            ServiceError::ShuttingDown
+        ));
+        // Stream submissions fail the same way (open streams stay
+        // registered, but no new operation can be queued).
+        assert!(matches!(
+            service.append_rows("nope", gaussian_matrix(2, 16, 0)).unwrap_err(),
+            ServiceError::UnknownStream { .. }
+        ));
     }
 
     #[test]

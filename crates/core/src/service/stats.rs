@@ -1,0 +1,227 @@
+//! Lock-free service latency instrumentation.
+//!
+//! Every completed job deposits three durations — queue wait (submit →
+//! worker pickup), execution (kernel time), and end-to-end (submit →
+//! fulfill) — into fixed power-of-two-bucket histograms made of plain
+//! `AtomicU64` counters. Recording is wait-free (one `fetch_add` per
+//! histogram plus a `fetch_max` for the exact maximum), so the hot path
+//! never takes a lock and the recorder never perturbs the latencies it
+//! measures. [`ServiceStats`] is a consistent-enough snapshot for SLO
+//! reporting: quantiles are read by walking the bucket counts, which is
+//! exact to within one bucket (buckets are ×2 wide, so a reported p99 is
+//! within ~√2 of the true value — tight enough to gate a 1.4× regression
+//! tolerance on).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Power-of-two nanosecond buckets: bucket `i` holds durations in
+/// `[2^(i-1), 2^i)` ns, bucket 0 holds `0`. 64 buckets cover every
+/// representable `u64` nanosecond count (~584 years).
+const BUCKETS: usize = 64;
+
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Geometric midpoint of bucket `i`'s range — the canonical point estimate
+/// for a log-spaced bucket.
+fn bucket_mid_nanos(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    let lo = (1u64 << (i - 1)) as f64;
+    lo * std::f64::consts::SQRT_2
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Smallest duration `q` of the recorded samples are ≤, estimated at
+    /// the covering bucket's geometric midpoint (and clamped by the exact
+    /// observed maximum, so p99 of a uniform workload never exceeds max).
+    fn quantile(&self, counts: &[u64; BUCKETS], total: u64, q: f64) -> Duration {
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_mid_nanos(i);
+                let max = self.max_nanos.load(Ordering::Relaxed) as f64;
+                return Duration::from_nanos(mid.min(max) as u64);
+            }
+        }
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, b) in counts.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        // `count` may lag the bucket sum under concurrent recording; the
+        // bucket sum is the self-consistent total for quantile walking.
+        let total: u64 = counts.iter().sum();
+        let sum = self.sum_nanos.load(Ordering::Relaxed);
+        LatencySummary {
+            count: total,
+            mean: Duration::from_nanos(sum.checked_div(total).unwrap_or(0)),
+            p50: self.quantile(&counts, total, 0.50),
+            p99: self.quantile(&counts, total, 0.99),
+            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One latency dimension's summary: count, mean, p50/p99 (bucket-midpoint
+/// estimates, within ~√2 of exact), and the exact observed maximum.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median estimate.
+    pub p50: Duration,
+    /// 99th-percentile estimate — the SLO tail number.
+    pub p99: Duration,
+    /// Exact maximum observed.
+    pub max: Duration,
+}
+
+/// Point-in-time service telemetry from
+/// [`QrService::stats`](crate::service::QrService::stats): per-dimension
+/// latency summaries plus sustained throughput since the pool started.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// Submit → worker-pickup latency of completed jobs.
+    pub queue_wait: LatencySummary,
+    /// Kernel execution latency (factorization / stream update proper).
+    pub execution: LatencySummary,
+    /// Submit → result-fulfilled latency: what a caller actually waits.
+    pub end_to_end: LatencySummary,
+    /// Jobs completed since the service started. Counts *panels* for
+    /// `factor_many` batches — the unit a throughput SLO cares about.
+    pub completed: u64,
+    /// Time since the worker pool started.
+    pub uptime: Duration,
+    /// `completed / uptime` — sustained throughput.
+    pub jobs_per_sec: f64,
+}
+
+/// The service-wide recorder: three histograms plus a completion counter.
+pub(crate) struct Recorder {
+    pub queue_wait: Histogram,
+    pub execution: Histogram,
+    pub end_to_end: Histogram,
+    completed: AtomicU64,
+    started: Instant,
+}
+
+impl Recorder {
+    pub fn new() -> Recorder {
+        Recorder {
+            queue_wait: Histogram::new(),
+            execution: Histogram::new(),
+            end_to_end: Histogram::new(),
+            completed: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn complete(&self, jobs: u64) {
+        self.completed.fetch_add(jobs, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        ServiceStats {
+            queue_wait: self.queue_wait.summary(),
+            execution: self.execution.summary(),
+            end_to_end: self.end_to_end.summary(),
+            completed,
+            uptime,
+            jobs_per_sec: completed as f64 / uptime.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_and_total_order_is_kept() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let h = Histogram::new();
+        for micros in [1u64, 10, 100, 1000] {
+            for _ in 0..25 {
+                h.record(Duration::from_micros(micros));
+            }
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, Duration::from_micros(1000));
+        // p50 falls in the 10µs sample band; bucket resolution is ×2, so
+        // accept the covering bucket's span.
+        assert!(
+            s.p50 >= Duration::from_micros(5) && s.p50 <= Duration::from_micros(20),
+            "p50 = {:?}",
+            s.p50
+        );
+        // p99 lands on the largest band.
+        assert!(s.p99 >= Duration::from_micros(500), "p99 = {:?}", s.p99);
+        assert!(s.p99 <= s.max);
+        assert!(s.mean >= s.p50 && s.mean <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+    }
+
+    #[test]
+    fn recorder_counts_panels_for_throughput() {
+        let r = Recorder::new();
+        r.complete(3);
+        r.complete(1);
+        let s = r.snapshot();
+        assert_eq!(s.completed, 4);
+        assert!(s.jobs_per_sec > 0.0);
+    }
+}

@@ -43,7 +43,7 @@ pub mod blocked;
 mod parallel;
 
 pub use blocked::Blocked;
-pub use parallel::{kernel_threads, max_threads, thread_budget, PoolReservation};
+pub use parallel::{kernel_threads, max_threads, pool_worker_idle, thread_budget, PoolIdleGuard, PoolReservation};
 
 use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef, Matrix};

@@ -23,12 +23,24 @@
 //! their workers with [`PoolReservation::register`]; while any reservation
 //! is live, [`kernel_threads`] hands each kernel call its fair share
 //! `max_threads / pool_workers` (at least 1) instead of the full budget.
+//!
+//! The share is *idle-aware*: a pool worker with nothing to do (parked on
+//! its queue) can mark itself idle via [`pool_worker_idle`], and the fair
+//! share divides by the workers actually running. A pool of 8 where 7
+//! sleep hands the one straggler the whole budget — without this, the tail
+//! job of every batch would limp along at 1/8th speed on an otherwise idle
+//! machine. Pools that never mark idleness get the old static split.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Worker threads currently reserved by pool-level schedulers.
 static POOL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reserved pool workers currently parked (no work), per
+/// [`pool_worker_idle`]. Always ≤ `POOL_WORKERS` while guards are scoped
+/// inside reservations, which [`kernel_threads`] defends anyway.
+static IDLE_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Maximum worker threads for block-parallel kernels: the `CACQR_THREADS`
 /// environment variable if set, else `std::thread::available_parallelism()`.
@@ -59,14 +71,42 @@ pub fn thread_budget(requested: usize) -> usize {
 
 /// Effective thread count for one block-parallel kernel call: the full
 /// [`max_threads`] budget when no pool scheduler is active, otherwise the
-/// fair share `max_threads / pool_workers`, never below 1.
+/// fair share `max_threads / active_pool_workers`, never below 1 — where
+/// workers marked idle via [`pool_worker_idle`] don't count against the
+/// split (their share flows to the workers still running).
 pub fn kernel_threads() -> usize {
     let pool = POOL_WORKERS.load(Ordering::Relaxed);
     let total = max_threads();
     if pool <= 1 {
+        return total;
+    }
+    // Clamp idle at pool − 1: at least one worker (the caller) is running,
+    // and a transiently stale idle count must never divide by zero.
+    let idle = IDLE_WORKERS.load(Ordering::Relaxed).min(pool - 1);
+    let active = pool - idle;
+    if active <= 1 {
         total
     } else {
-        (total / pool).max(1)
+        (total / active).max(1)
+    }
+}
+
+/// RAII marker that the calling pool worker is parked with no work: while
+/// held, [`kernel_threads`] excludes this worker from the fair-share split,
+/// so busy siblings inherit its cores. Dropping the guard (on wakeup)
+/// reclaims the share. Only meaningful inside a live [`PoolReservation`].
+#[derive(Debug)]
+pub struct PoolIdleGuard(());
+
+/// Marks the calling pool worker idle for the guard's lifetime.
+pub fn pool_worker_idle() -> PoolIdleGuard {
+    IDLE_WORKERS.fetch_add(1, Ordering::Relaxed);
+    PoolIdleGuard(())
+}
+
+impl Drop for PoolIdleGuard {
+    fn drop(&mut self) {
+        IDLE_WORKERS.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -164,11 +204,12 @@ mod tests {
         assert!(thread_budget(2) <= max_threads());
     }
 
+    /// Serializes tests that mutate the global reservation/idle counters.
+    static RESERVATION_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn reservations_split_the_kernel_share_and_restore_on_drop() {
-        // Serialized against other reservation tests by the global counter
-        // being additive: we only assert relative behavior under our own
-        // reservation, with a large worker count that forces the share to 1.
+        let _serial = RESERVATION_TESTS.lock().unwrap_or_else(|e| e.into_inner());
         let before = kernel_threads();
         {
             let r = PoolReservation::register(max_threads().max(1) * 8);
@@ -176,5 +217,23 @@ mod tests {
             assert_eq!(kernel_threads(), 1, "oversubscribed pool must pin kernels to 1 thread");
         }
         assert_eq!(kernel_threads(), before, "dropping the reservation restores the budget");
+    }
+
+    #[test]
+    fn idle_workers_return_their_share_and_reclaim_on_wake() {
+        let _serial = RESERVATION_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = max_threads().max(1) * 8;
+        let _r = PoolReservation::register(pool);
+        assert_eq!(kernel_threads(), 1, "fully busy oversubscribed pool splits to 1");
+        {
+            // All but one worker parked: the lone runner gets everything.
+            let guards: Vec<_> = (0..pool - 1).map(|_| pool_worker_idle()).collect();
+            assert_eq!(kernel_threads(), max_threads());
+            drop(guards);
+        }
+        assert_eq!(kernel_threads(), 1, "woken workers reclaim their share");
+        // Half idle: the share doubles (subject to the ≥1 floor).
+        let _half: Vec<_> = (0..pool / 2).map(|_| pool_worker_idle()).collect();
+        assert_eq!(kernel_threads(), (max_threads() / (pool - pool / 2)).max(1));
     }
 }

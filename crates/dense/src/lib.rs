@@ -62,7 +62,9 @@ pub mod trsm;
 pub mod update;
 pub mod workspace;
 
-pub use backend::{kernel_threads, max_threads, thread_budget, Backend, BackendKind, PoolReservation};
+pub use backend::{
+    kernel_threads, max_threads, pool_worker_idle, thread_budget, Backend, BackendKind, PoolIdleGuard, PoolReservation,
+};
 pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, potrf_ws, trtri_lower, trtri_lower_with, CholeskyError};
 pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};

@@ -5,6 +5,7 @@ use crate::machine::Machine;
 use crate::mailbox::{Envelope, Mailbox};
 use crate::shm::ShmShared;
 use dense::{Workspace, WorkspacePool};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Which execution backend [`run_spmd`] uses.
@@ -450,12 +451,67 @@ where
     run_spmd_inner(p, cfg, Some(pool), f)
 }
 
+/// Whether single-rank `Simulated` runs take the inline fast path
+/// (default) or the general spawn-a-scope path. See
+/// [`set_inline_single_rank`].
+static INLINE_SINGLE_RANK: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the single-rank inline fast path, returning the
+/// previous setting. Results are bitwise identical either way — the knob
+/// only selects dispatch machinery. It exists for measurement: disabling
+/// it restores the legacy spawn-per-run dispatch so benchmarks (e.g.
+/// `service_slo`) can quantify what the fast path and batched serving
+/// save against a faithful baseline, instead of guessing. Process-global
+/// and racy-by-design (`Relaxed`); don't toggle it while runs are in
+/// flight expecting a clean cut.
+pub fn set_inline_single_rank(enabled: bool) -> bool {
+    INLINE_SINGLE_RANK.swap(enabled, Ordering::Relaxed)
+}
+
 fn run_spmd_inner<T, F>(p: usize, cfg: SimConfig, pool: Option<&WorkspacePool>, f: F) -> SimReport<T>
 where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
     assert!(p > 0, "need at least one rank");
+    // Single simulated rank: run inline on the calling thread. A lone rank
+    // never communicates cross-thread, so the mailboxes/barrier/scope
+    // machinery only adds a thread spawn-and-join (~tens of µs) to what is
+    // often a microsecond-scale panel factorization — the dominant cost for
+    // small-panel serving workloads. Results are identical to the spawned
+    // path: same Rank construction, same closure, same ledger. The shm
+    // runtime keeps the spawned path even at p = 1 because it pins ranks to
+    // cores, and pinning the *caller's* thread would outlive the run.
+    if p == 1 && matches!(cfg.runtime, RuntimeKind::Simulated) && INLINE_SINGLE_RANK.load(Ordering::Relaxed) {
+        let start = std::time::Instant::now();
+        let comm_ws = match pool {
+            Some(pool) => pool.take_at(1),
+            None => Workspace::new(),
+        };
+        let mut rank = Rank {
+            id: 0,
+            p: 1,
+            boxes: Arc::new(vec![Arc::new(Mailbox::new())]),
+            barriers: Arc::new(BarrierTable::default()),
+            machine: cfg.machine,
+            sync_collectives: cfg.sync_collectives,
+            clock: 0.0,
+            ledger: CostLedger::default(),
+            next_comm_id: 0,
+            shm: None,
+            comm_ws,
+        };
+        let out = f(&mut rank);
+        if let Some(pool) = pool {
+            pool.put_at(1, rank.comm_ws);
+        }
+        return SimReport {
+            results: vec![out],
+            ledgers: vec![rank.ledger],
+            elapsed: rank.clock,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        };
+    }
     let boxes: Arc<Vec<Arc<Mailbox>>> = Arc::new((0..p).map(|_| Arc::new(Mailbox::new())).collect());
     let barriers = Arc::new(BarrierTable::default());
     let shm: Option<Arc<ShmShared>> = match cfg.runtime {

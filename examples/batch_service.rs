@@ -1,5 +1,7 @@
 //! Batch serving: one `QrService` factoring a mixed stream of tall-skinny
-//! panels concurrently, with plan caching and bounded-queue backpressure.
+//! panels concurrently — sharded plan cache, work-stealing workers,
+//! zero-copy submission (`submit_ref` / `factor_many`), bounded-queue
+//! backpressure, and live latency stats.
 //!
 //! Run: `cargo run --release --example batch_service`
 //!
@@ -13,6 +15,7 @@ use ca_cqr2::dense::random::well_conditioned;
 use ca_cqr2::pargrid::GridShape;
 use ca_cqr2::simgrid::Machine;
 use ca_cqr2::{Algorithm, JobSpec, QrService, ServiceError};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> Result<(), ServiceError> {
@@ -91,12 +94,56 @@ fn main() -> Result<(), ServiceError> {
         }
     }
     println!(
-        "plans cached: {} (one per distinct spec; repeat shapes never rebuilt)",
+        "plans cached: {} (one per distinct spec, across 16 shards; repeat shapes never rebuilt)",
         service.cached_plans()
+    );
+
+    // ---- Zero-copy fan-out: one operand, many jobs, no clones. ------------
+    //
+    // `submit_ref` hands workers a shared reference; re-submitting the same
+    // panel 8 times copies nothing. `factor_many` goes further for
+    // same-shape fleets: the whole vector rides one queue push and the
+    // workers shatter it between themselves by stealing.
+    let tiny = JobSpec::new(128, 8)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4)?);
+    let shared = Arc::new(well_conditioned(128, 8, 77));
+    let refs: Vec<_> = (0..8)
+        .map(|_| service.submit_ref(&tiny, &shared))
+        .collect::<Result<_, _>>()?;
+    for handle in refs {
+        handle.wait()?;
+    }
+    let fleet: Vec<_> = (0..64).map(|seed| well_conditioned(128, 8, 2000 + seed)).collect();
+    let t1 = Instant::now();
+    let many = service.factor_many(&tiny, fleet)?;
+    println!(
+        "\nzero-copy: 8 submit_ref jobs off one Arc'd panel, then factor_many \
+         of {} panels in one dispatch ({:.3} s)",
+        many.len(),
+        t1.elapsed().as_secs_f64()
+    );
+
+    // ---- Serving health, from the lock-free recorder. ---------------------
+    let stats = service.stats();
+    println!(
+        "stats: {} jobs, {:.0} jobs/s | e2e p50 {:?} p99 {:?} | queue-wait p99 {:?} | exec p50 {:?}",
+        stats.completed,
+        stats.jobs_per_sec,
+        stats.end_to_end.p50,
+        stats.end_to_end.p99,
+        stats.queue_wait.p99,
+        stats.execution.p50,
     );
 
     // Errors stay typed end to end: a shape mismatch is refused at submit.
     let err = service.submit(&spec, well_conditioned(64, 32, 0)).unwrap_err();
     println!("\na bad submission is a typed error: {err}");
+
+    // And shutdown is typed too: after close(), accepted work drains but
+    // new traffic fails fast instead of blocking on a dead pool.
+    service.close();
+    let err = service.submit(&tiny, well_conditioned(128, 8, 1)).unwrap_err();
+    println!("after close(): {err}");
     Ok(())
 }

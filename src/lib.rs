@@ -76,6 +76,9 @@ pub use pargrid;
 pub use simgrid;
 
 pub use cacqr::driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
-pub use cacqr::service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError, StreamHandle, StreamOutcome};
+pub use cacqr::service::{
+    JobHandle, JobInput, JobSpec, LatencySummary, QrService, QrServiceBuilder, ServiceError, ServiceStats,
+    StreamHandle, StreamOutcome,
+};
 pub use cacqr::stream::{StreamSnapshot, StreamStatus, StreamingQr};
 pub use cacqr::tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};

@@ -31,11 +31,20 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 static BYTES: AtomicUsize = AtomicUsize::new(0);
+/// When nonzero, every allocation of exactly this many bytes bumps
+/// [`TRACKED_HITS`] — a size-class probe for "was this specific buffer
+/// (e.g. a job operand) ever cloned?".
+static TRACKED_SIZE: AtomicUsize = AtomicUsize::new(0);
+static TRACKED_HITS: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        let tracked = TRACKED_SIZE.load(Ordering::Relaxed);
+        if tracked != 0 && layout.size() == tracked {
+            TRACKED_HITS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -303,6 +312,62 @@ fn warm_stream_solves_are_allocation_free() {
         plan.workspace().heap_allocations(),
         arena_before,
         "warm least-squares traffic must stay arena-exact too"
+    );
+}
+
+/// Zero-copy submission: `QrService::submit_ref` never clones the operand.
+///
+/// Measured differentially with the size-class probe: both the owned and
+/// the shared path allocate the *same* per-job traffic on the worker side
+/// (the `Q` output is operand-sized on both), so the only asymmetry is the
+/// caller-side clone the owned path pays per submission — the difference
+/// in operand-sized allocations between the two runs must be exactly the
+/// job count, and attributable entirely to the owned path's clones. The
+/// shape is deliberately unusual (`136 × 8`) so no concurrently running
+/// test allocates buffers in this size class.
+#[test]
+fn submit_ref_performs_no_operand_clone() {
+    use cacqr::service::{JobSpec, QrService};
+
+    let (m, n) = (136usize, 8usize);
+    let spec = JobSpec::new(m, n)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap());
+    let service = QrService::builder().workers(2).build();
+    let a = std::sync::Arc::new(well_conditioned(m, n, 91));
+    // Warm everything first — plan build, arena growth, worker spin-up —
+    // so the measured windows contain only steady per-job traffic.
+    for _ in 0..4 {
+        service.submit_ref(&spec, &a).unwrap().wait().unwrap();
+    }
+    const JOBS: usize = 16;
+    let operand_bytes = m * n * std::mem::size_of::<f64>();
+    TRACKED_SIZE.store(operand_bytes, Ordering::SeqCst);
+
+    // Owned path: each submission clones the caller's matrix into the job.
+    TRACKED_HITS.store(0, Ordering::SeqCst);
+    let handles: Vec<_> = (0..JOBS)
+        .map(|_| service.submit(&spec, (*a).clone()).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let owned_hits = TRACKED_HITS.load(Ordering::SeqCst);
+
+    // Shared path: the job borrows the Arc — pointer clone only.
+    TRACKED_HITS.store(0, Ordering::SeqCst);
+    let handles: Vec<_> = (0..JOBS).map(|_| service.submit_ref(&spec, &a).unwrap()).collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let shared_hits = TRACKED_HITS.load(Ordering::SeqCst);
+
+    TRACKED_SIZE.store(0, Ordering::SeqCst);
+    assert_eq!(
+        owned_hits - shared_hits,
+        JOBS,
+        "submit_ref must clone zero operands: owned path paid {owned_hits} \
+         operand-sized allocations over {JOBS} jobs, shared path {shared_hits}"
     );
 }
 

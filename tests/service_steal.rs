@@ -1,0 +1,146 @@
+//! Edge-case coverage for the work-stealing `QrService` scheduler: queue
+//! admission (full injector, empty batches), shutdown semantics
+//! (`close`, handles outliving accepted work), zero-copy submission, and
+//! `factor_many`'s equivalence to the per-job path at every pool width.
+
+use cacqr::service::{JobSpec, QrService, ServiceError};
+use dense::random::well_conditioned;
+use pargrid::GridShape;
+use std::sync::Arc;
+
+fn spec() -> JobSpec {
+    JobSpec::new(64, 16).grid(GridShape::new(2, 2).unwrap())
+}
+
+#[test]
+fn try_submit_on_a_full_queue_refuses_without_blocking() {
+    let service = QrService::builder().workers(1).queue_capacity(2).build();
+    let s = spec();
+    let mut accepted = Vec::new();
+    let mut full = 0usize;
+    // Fire far more submissions than a 1-worker, capacity-2 service can
+    // absorb instantly; the excess must come back as QueueFull, never
+    // block, and never be silently dropped.
+    for seed in 0..128u64 {
+        match service.try_submit(&s, well_conditioned(64, 16, seed)) {
+            Ok(h) => accepted.push(h),
+            Err(ServiceError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 2);
+                full += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(full > 0, "128 instant submissions must overflow a capacity-2 injector");
+    for h in accepted {
+        h.wait().unwrap();
+    }
+}
+
+#[test]
+fn empty_batches_complete_without_touching_the_pool() {
+    let service = QrService::builder().workers(1).build();
+    let s = spec();
+    assert!(service.factor_batch(&s, &[]).unwrap().is_empty());
+    assert!(service.factor_many(&s, Vec::new()).unwrap().is_empty());
+    assert!(service.try_factor_batch(&s, &[]).unwrap().is_empty());
+    assert!(service.try_factor_many(&s, Vec::new()).unwrap().is_empty());
+    // No work units were dispatched for the empty batches.
+    assert_eq!(service.stats().completed, 0);
+}
+
+#[test]
+fn close_fails_new_submissions_and_keeps_accepted_handles_redeemable() {
+    let service = QrService::builder().workers(2).build();
+    let s = spec();
+    let accepted: Vec<_> = (0..4)
+        .map(|seed| service.submit(&s, well_conditioned(64, 16, seed)).unwrap())
+        .collect();
+    service.close();
+    // New traffic of every kind fails fast and typed.
+    assert!(matches!(
+        service.submit(&s, well_conditioned(64, 16, 9)).unwrap_err(),
+        ServiceError::ShuttingDown
+    ));
+    assert!(matches!(
+        service.try_submit(&s, well_conditioned(64, 16, 9)).unwrap_err(),
+        ServiceError::ShuttingDown
+    ));
+    assert!(matches!(
+        service.factor_many(&s, vec![well_conditioned(64, 16, 9)]).unwrap_err(),
+        ServiceError::ShuttingDown
+    ));
+    // Accepted work drains and stays redeemable after the close.
+    for h in accepted {
+        h.wait().unwrap();
+    }
+}
+
+#[test]
+fn submit_ref_fans_one_operand_out_bitwise_identically() {
+    let service = QrService::builder().workers(4).build();
+    let s = spec();
+    let a = Arc::new(well_conditioned(64, 16, 42));
+    let expect = service.plan(&s).unwrap().factor(&a).unwrap();
+    let handles: Vec<_> = (0..16).map(|_| service.submit_ref(&s, &a).unwrap()).collect();
+    for h in handles {
+        let report = h.wait().unwrap();
+        assert_eq!(report.q, expect.q, "shared-operand jobs factor bitwise identically");
+        assert_eq!(report.r, expect.r);
+    }
+    service.shutdown();
+    assert_eq!(Arc::strong_count(&a), 1, "the service releases every shared reference");
+}
+
+#[test]
+fn factor_many_matches_the_per_job_path_at_every_width() {
+    let s = spec();
+    let batch: Vec<_> = (0..40).map(|seed| well_conditioned(64, 16, 100 + seed)).collect();
+    let mut reference = None;
+    for workers in [1usize, 2, 8] {
+        let service = QrService::builder().workers(workers).build();
+        let via_many = service.factor_many(&s, batch.clone()).unwrap();
+        assert_eq!(via_many.len(), batch.len());
+        let stats = service.stats();
+        assert_eq!(
+            stats.completed,
+            batch.len() as u64,
+            "each panel counts toward throughput"
+        );
+        assert!(stats.end_to_end.count >= batch.len() as u64);
+        match &reference {
+            None => reference = Some(via_many),
+            Some(expect) => {
+                for (got, want) in via_many.iter().zip(expect) {
+                    assert_eq!(got.q, want.q, "width {workers} must match width 1 bitwise");
+                    assert_eq!(got.r, want.r);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_expose_latency_quantiles_and_throughput() {
+    let service = QrService::builder().workers(2).build();
+    let s = spec();
+    for seed in 0..8u64 {
+        service
+            .submit(&s, well_conditioned(64, 16, seed))
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.end_to_end.count, 8);
+    assert_eq!(stats.queue_wait.count, 8);
+    assert_eq!(stats.execution.count, 8);
+    assert!(stats.jobs_per_sec > 0.0);
+    assert!(stats.end_to_end.p50 <= stats.end_to_end.p99);
+    assert!(stats.end_to_end.p99 <= stats.end_to_end.max);
+    // End-to-end covers execution: the p99 tail cannot undercut the
+    // median kernel time.
+    assert!(stats.end_to_end.p99 >= stats.execution.p50);
+    assert!(stats.uptime.as_nanos() > 0);
+}

@@ -5,8 +5,10 @@
 //!
 //! Designed to be meaningful under any `CACQR_THREADS` setting; the CI
 //! matrix runs the suite at `CACQR_THREADS=1` (pool degenerates to one
-//! worker — pure queueing semantics) and `=4` (oversubscribed on small
-//! runners — real contention).
+//! worker — pure queueing semantics), `=4` (oversubscribed on small
+//! runners — real contention), and `=8` under `CACQR_RUNTIME=shm`
+//! (work stealing across a wide pool on the pinned shared-memory
+//! runtime).
 
 use cacqr::service::{JobSpec, QrService, ServiceError};
 use cacqr::{Algorithm, PlanError};
@@ -174,6 +176,67 @@ fn typed_errors_flow_through_the_pool() {
         .wait()
         .unwrap();
     assert!(ok.orthogonality_error < 1e-12);
+}
+
+#[test]
+fn mixed_batch_and_stream_traffic_is_bitwise_deterministic_across_pool_widths() {
+    // The work-stealing scheduler may run any schedule — jobs stolen
+    // across workers, factor_many ranges shattered arbitrarily — but the
+    // results must be bitwise identical to sequential execution at every
+    // pool width. Compute the sequential reference once, then replay the
+    // identical mixed workload at widths 1, 2, and 8.
+    let spec = JobSpec::new(64, 16).grid(GridShape::new(2, 4).unwrap());
+    let many: Vec<_> = (0..24).map(|s| input_for(&spec, 200 + s)).collect();
+    let stream_seed = well_conditioned(64, 16, 300);
+    let updates: Vec<_> = (0..6).map(|r| dense::random::gaussian_matrix(2, 16, 400 + r)).collect();
+
+    // Sequential reference: a plain plan loop plus a direct stream.
+    let reference = QrService::builder().workers(1).build();
+    let plan = reference.plan(&spec).unwrap();
+    let ref_reports: Vec<_> = many.iter().map(|a| plan.factor(a).unwrap()).collect();
+    let mut direct = plan.stream(&stream_seed).unwrap();
+    for u in &updates {
+        direct.append_rows(u.as_ref()).unwrap();
+    }
+    let ref_snap = direct.snapshot().unwrap();
+    drop(reference);
+
+    for workers in [1usize, 2, 8] {
+        let service = QrService::builder().workers(workers).queue_capacity(4).build();
+        service.stream_open("live", &spec, &stream_seed).unwrap();
+        // Interleave: all stream updates in flight while the factor_many
+        // batch shatters across (and is stolen between) the workers.
+        let stream_handles: Vec<_> = updates
+            .iter()
+            .map(|u| service.append_rows("live", u.clone()).unwrap())
+            .collect();
+        let reports = service.factor_many(&spec, many.clone()).unwrap();
+        for h in stream_handles {
+            h.wait().unwrap();
+        }
+        let snap = service
+            .snapshot("live")
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_snapshot()
+            .unwrap();
+        for (got, expect) in reports.iter().zip(&ref_reports) {
+            assert_eq!(
+                got.q, expect.q,
+                "factor_many Q must be bitwise sequential (workers={workers})"
+            );
+            assert_eq!(
+                got.r, expect.r,
+                "factor_many R must be bitwise sequential (workers={workers})"
+            );
+        }
+        assert_eq!(
+            snap.r.data(),
+            ref_snap.r.data(),
+            "stream R must be bitwise sequential under stealing (workers={workers})"
+        );
+    }
 }
 
 #[test]
