@@ -36,11 +36,11 @@
 
 use cacqr::service::{JobSpec, QrService};
 use cacqr::tuner::json::{self, JsonValue};
-use cacqr::Algorithm;
-use dense::random::well_conditioned;
+use cacqr::{Algorithm, RetryPolicy, ServiceError, SubmitOptions};
+use dense::random::{matrix_with_condition, well_conditioned};
 use pargrid::GridShape;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Normalized times and latencies may regress by at most this factor —
 /// and the batch speedup may shrink by at most this factor — before the
@@ -224,6 +224,59 @@ fn main() {
     }
     drop(service);
 
+    // ---- Phase 3: resilience counters. The robustness layer's escalation
+    // and shedding paths must be live in the serving build, not just in
+    // unit tests: drive one κ≈1e9 panel through the retry ladder and one
+    // unmeetable deadline through admission control, then assert the
+    // `stats()` counters saw both.
+    let service = QrService::builder().build();
+    let hard_spec = JobSpec::new(64, 16)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(1).expect("single rank is always a valid 1D grid"));
+    let hard = matrix_with_condition(64, 16, 1.0e9, 41);
+    let report = service
+        .submit_with(&hard_spec, hard, SubmitOptions::new().retry(RetryPolicy::escalate()))
+        .expect("accepting")
+        .wait()
+        .expect("the ladder terminates at a stable rung");
+    let esc = report
+        .escalation
+        .as_ref()
+        .expect("a κ≈1e9 panel cannot pass plain CQR2: the ladder must engage");
+    assert!(esc.escalated(), "accepted rung should not be the primary algorithm");
+    // Warm the queue-wait histogram so admission control has an observed
+    // p99, then present a deadline no queue can meet.
+    for h in (0..8)
+        .map(|s| {
+            service
+                .submit(&spec, well_conditioned(PANEL_M, PANEL_N, 100 + s))
+                .expect("accepting")
+        })
+        .collect::<Vec<_>>()
+    {
+        h.wait().expect("well-conditioned panel");
+    }
+    let shed_err = service
+        .submit_with(
+            &spec,
+            well_conditioned(PANEL_M, PANEL_N, 7),
+            SubmitOptions::new().deadline(Duration::ZERO),
+        )
+        .err();
+    assert!(
+        matches!(shed_err, Some(ServiceError::Overloaded { .. })),
+        "a zero deadline against a warm queue must be shed, got {shed_err:?}"
+    );
+    let rstats = service.stats();
+    assert!(rstats.retries >= 1, "escalation implies at least one retry");
+    assert_eq!(rstats.escalations, 1);
+    assert_eq!(rstats.shed, 1);
+    println!(
+        "# resilience: accepted rung {:?}, retries {}, escalations {}, shed {}",
+        report.algorithm, rstats.retries, rstats.escalations, rstats.shed
+    );
+    drop(service);
+
     let artifact = JsonValue::Object(vec![
         ("version".to_string(), JsonValue::Number(1.0)),
         (
@@ -238,6 +291,15 @@ fn main() {
         ("submit_jobs_per_sec".to_string(), JsonValue::Number(submit_rate)),
         ("many_jobs_per_sec".to_string(), JsonValue::Number(many_rate)),
         ("many_speedup".to_string(), JsonValue::Number(speedup)),
+        (
+            "resilience_retries".to_string(),
+            JsonValue::Number(rstats.retries as f64),
+        ),
+        (
+            "resilience_escalations".to_string(),
+            JsonValue::Number(rstats.escalations as f64),
+        ),
+        ("resilience_shed".to_string(), JsonValue::Number(rstats.shed as f64)),
         (
             "service".to_string(),
             JsonValue::Array(results.iter().map(|r| r.entry.clone()).collect()),

@@ -7,7 +7,7 @@
 //! ([`ParamError`], [`GridError`], [`CholeskyError`]) convert in via
 //! [`From`], so `?` composes across the layers.
 
-use super::Algorithm;
+use super::{Algorithm, EscalationAttempt};
 use crate::config::ParamError;
 use crate::tuner::TunerError;
 use dense::cholesky::CholeskyError;
@@ -97,6 +97,24 @@ pub enum PlanError {
     /// offending pivot; consider [`Algorithm::CaCqr3`], which is
     /// unconditionally stable for numerically full-rank input.
     NotPositiveDefinite(CholeskyError),
+    /// A factorization nominally succeeded but the computed `R` failed the
+    /// retry policy's condition gate (`κ₁(R) > kappa_max`), and no further
+    /// escalation rung was available or allowed. Within the escalation
+    /// ladder this is also the per-attempt error recorded for rejected
+    /// rungs.
+    ConditionTooHigh {
+        /// The Hager–Higham κ₁ estimate of the computed `R`.
+        estimate: f64,
+        /// The policy's acceptance threshold.
+        limit: f64,
+    },
+    /// Every rung of the escalation ladder failed (breakdown or condition
+    /// gate). Carries the full attempt chain — algorithm and error per rung
+    /// — so the caller sees exactly what was tried.
+    EscalationExhausted {
+        /// One entry per attempted rung, in execution order.
+        attempts: Vec<EscalationAttempt>,
+    },
     /// Automatic planning ([`QrPlan::auto`](super::QrPlan::auto)) failed:
     /// the tuner found no runnable configuration, or a tuning profile was
     /// invalid.
@@ -189,6 +207,22 @@ impl std::fmt::Display for PlanError {
                 )
             }
             PlanError::NotPositiveDefinite(e) => write!(f, "factorization failed: {e}"),
+            PlanError::ConditionTooHigh { estimate, limit } => {
+                write!(
+                    f,
+                    "computed R fails the condition gate: kappa estimate {estimate:.3e} > limit {limit:.3e}"
+                )
+            }
+            PlanError::EscalationExhausted { attempts } => {
+                write!(f, "all {} escalation rungs failed:", attempts.len())?;
+                for attempt in attempts {
+                    match &attempt.error {
+                        Some(e) => write!(f, " [{}: {e}]", attempt.algorithm)?,
+                        None => write!(f, " [{}: ok]", attempt.algorithm)?,
+                    }
+                }
+                Ok(())
+            }
             PlanError::Tuning(e) => write!(f, "automatic planning failed: {e}"),
             PlanError::Update(e) => write!(f, "streaming update failed: {e}"),
             PlanError::StreamHistoryRequired { op } => {

@@ -144,6 +144,134 @@ impl std::str::FromStr for Algorithm {
 type CaDriver =
     fn(&Matrix, GridShape, CfrParams, SimConfig, &WorkspacePool) -> Result<QrRun, dense::cholesky::CholeskyError>;
 
+/// When and how far a plan may escalate to a more stable algorithm after a
+/// failed or condition-rejected attempt.
+///
+/// The CQR2 family squares the condition number in the Gram matrix, so a
+/// Cholesky breakdown on ill-conditioned input is a *normal operating
+/// event*, not a bug. A policy-enabled plan responds by walking a fixed
+/// stability ladder — 1D-CQR2 / CA-CQR2 → shifted CA-CQR3 → the Householder
+/// `Pgeqrf` baseline — re-running each rung from the same pooled arenas and
+/// recording the attempt chain in [`QrReport::escalation`].
+///
+/// An attempt escalates when it either breaks down
+/// ([`PlanError::NotPositiveDefinite`]) or produces an `R` whose cheap
+/// κ₁ estimate ([`dense::cond_estimate`]) exceeds `kappa_max`
+/// ([`PlanError::ConditionTooHigh`]). The default policy is
+/// [`RetryPolicy::none`]: no retries, errors surface exactly as they did
+/// before escalation existed.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    max_attempts: usize,
+    kappa_max: f64,
+}
+
+impl RetryPolicy {
+    /// The default condition-acceptance threshold: `1/√ε ≈ 6.7e7`, the
+    /// classical boundary beyond which a CQR2-family `R` stops being
+    /// trustworthy (the Gram matrix's κ² reaches 1/ε).
+    pub const DEFAULT_KAPPA_MAX: f64 = 6.7e7;
+
+    /// No retries: a breakdown or condition violation surfaces directly.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            kappa_max: f64::INFINITY,
+        }
+    }
+
+    /// Full escalation: walk every available ladder rung, gating each
+    /// non-terminal rung on [`RetryPolicy::DEFAULT_KAPPA_MAX`].
+    pub fn escalate() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: usize::MAX,
+            kappa_max: RetryPolicy::DEFAULT_KAPPA_MAX,
+        }
+    }
+
+    /// Caps the total number of attempts (primary included). Clamped to at
+    /// least 1.
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> RetryPolicy {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Overrides the κ₁ acceptance threshold for non-terminal rungs.
+    pub fn with_kappa_max(mut self, kappa_max: f64) -> RetryPolicy {
+        self.kappa_max = kappa_max;
+        self
+    }
+
+    /// Whether this policy ever retries.
+    pub fn is_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Total attempts allowed, primary included.
+    pub fn max_attempts(&self) -> usize {
+        self.max_attempts
+    }
+
+    /// The κ₁ acceptance threshold for non-terminal rungs.
+    pub fn kappa_max(&self) -> f64 {
+        self.kappa_max
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+// Manual equality/hashing over the bit pattern of `kappa_max` so the policy
+// can ride inside hashable specs (`JobSpec`) — NaN never appears via the
+// constructors, and bitwise equality is the right cache-key semantics.
+impl PartialEq for RetryPolicy {
+    fn eq(&self, other: &RetryPolicy) -> bool {
+        self.max_attempts == other.max_attempts && self.kappa_max.to_bits() == other.kappa_max.to_bits()
+    }
+}
+
+impl Eq for RetryPolicy {}
+
+impl std::hash::Hash for RetryPolicy {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.max_attempts.hash(state);
+        self.kappa_max.to_bits().hash(state);
+    }
+}
+
+/// One rung of an escalation ladder walk: which algorithm ran, and why it
+/// was rejected (`None` marks the accepted attempt).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EscalationAttempt {
+    /// The algorithm this rung executed.
+    pub algorithm: Algorithm,
+    /// The typed rejection — breakdown or condition gate — or `None` for
+    /// the attempt whose result the report carries.
+    pub error: Option<Box<PlanError>>,
+}
+
+/// The record of a policy-enabled factorization: every rung attempted (in
+/// order, with per-attempt errors) and the κ₁ estimate of the accepted `R`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EscalationReport {
+    /// Attempted rungs in execution order; the last entry is the accepted
+    /// one (its `error` is `None`).
+    pub attempts: Vec<EscalationAttempt>,
+    /// Hager–Higham κ₁ estimate of the accepted `R`.
+    pub condition_estimate: f64,
+}
+
+impl EscalationReport {
+    /// True when the accepted result came from a rung above the primary
+    /// algorithm (i.e. at least one attempt was rejected).
+    pub fn escalated(&self) -> bool {
+        self.attempts.len() > 1
+    }
+}
+
 /// The resolved per-algorithm execution recipe of a built plan.
 #[derive(Clone, Copy, Debug)]
 enum Exec {
@@ -181,6 +309,11 @@ pub struct QrPlan {
     runtime: RuntimeKind,
     backend: BackendKind,
     exec: Exec,
+    retry: RetryPolicy,
+    /// Escalation rungs strictly above the primary algorithm, resolved and
+    /// validated at build time (unviable rungs — e.g. no grid shape that
+    /// satisfies a rung's divisibility — are simply absent).
+    ladder: Vec<(Algorithm, Exec)>,
     pool: Arc<WorkspacePool>,
 }
 
@@ -205,6 +338,7 @@ pub struct QrPlanBuilder {
     backend: BackendKind,
     base_size: Option<usize>,
     inverse_depth: usize,
+    retry: RetryPolicy,
 }
 
 impl QrPlan {
@@ -222,6 +356,7 @@ impl QrPlan {
             backend: BackendKind::default_kind(),
             base_size: None,
             inverse_depth: 0,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -281,6 +416,18 @@ impl QrPlan {
     /// The node-local kernel backend every local gemm/syrk/trsm uses.
     pub fn backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The plan's default [`RetryPolicy`]. [`QrPlan::factor`] uses it;
+    /// [`QrPlan::factor_with_policy`] overrides it per call.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The escalation rungs available above the primary algorithm, in the
+    /// order a policy-enabled factorization would try them.
+    pub fn escalation_rungs(&self) -> Vec<Algorithm> {
+        self.ladder.iter().map(|&(a, _)| a).collect()
     }
 
     /// The plan's scratch-arena pool: one warm arena per simulated rank
@@ -349,6 +496,22 @@ impl QrPlan {
     /// need the factors with *no* post-processing at all belong on the
     /// expert layer ([`crate::validate`]).
     pub fn factor(&self, a: &Matrix) -> Result<QrReport, PlanError> {
+        self.factor_with_policy(a, self.retry)
+    }
+
+    /// [`factor`](QrPlan::factor) with an explicit [`RetryPolicy`]
+    /// overriding the plan's default — the per-job escalation hook the
+    /// service layer's `SubmitOptions::retry` rides on.
+    ///
+    /// With a disabled policy this is byte-for-byte the classic single
+    /// attempt. With an enabled one, a breakdown or a κ₁ estimate above
+    /// `kappa_max` walks the build-time escalation ladder
+    /// (1D-CQR2 / CA-CQR2 → shifted CA-CQR3 → `Pgeqrf`), re-running from
+    /// the same pooled arenas; the returned report records every attempt
+    /// in [`QrReport::escalation`] and names the algorithm that actually
+    /// produced the factors. If every rung fails, the full chain comes
+    /// back as [`PlanError::EscalationExhausted`].
+    pub fn factor_with_policy(&self, a: &Matrix, policy: RetryPolicy) -> Result<QrReport, PlanError> {
         if (a.rows(), a.cols()) != (self.m, self.n) {
             return Err(PlanError::InputShapeMismatch {
                 expected: (self.m, self.n),
@@ -356,7 +519,67 @@ impl QrPlan {
             });
         }
         let cfg = SimConfig::with_machine(self.machine).on_runtime(self.runtime);
-        let run = match self.exec {
+        if !policy.is_enabled() {
+            let run = self.run_exec(self.exec, a, cfg)?;
+            return Ok(QrReport::from_run(self.algorithm, a, run));
+        }
+        let rungs: Vec<(Algorithm, Exec)> = std::iter::once((self.algorithm, self.exec))
+            .chain(self.ladder.iter().copied())
+            .take(policy.max_attempts)
+            .collect();
+        // Index of the ladder's true terminal rung in the chained walk. A
+        // policy whose attempt cap truncates the ladder *before* the
+        // terminal rung keeps the gate on every attempted rung: accepting
+        // whatever the cap happened to land on would silently violate the
+        // caller's κ threshold.
+        let terminal = self.ladder.len();
+        let mut attempts: Vec<EscalationAttempt> = Vec::with_capacity(rungs.len());
+        for (i, (algorithm, exec)) in rungs.into_iter().enumerate() {
+            match self.run_exec(exec, a, cfg) {
+                Ok(run) => {
+                    let kappa = dense::cond_estimate(run.r.as_ref());
+                    // The terminal rung is accepted unconditionally — there
+                    // is nothing better to escalate to, and Householder QR
+                    // does not degrade with κ the way the Gram path does.
+                    if kappa <= policy.kappa_max || i == terminal {
+                        attempts.push(EscalationAttempt { algorithm, error: None });
+                        let mut report = QrReport::from_run(algorithm, a, run);
+                        report.escalation = Some(EscalationReport {
+                            attempts,
+                            condition_estimate: kappa,
+                        });
+                        return Ok(report);
+                    }
+                    attempts.push(EscalationAttempt {
+                        algorithm,
+                        error: Some(Box::new(PlanError::ConditionTooHigh {
+                            estimate: kappa,
+                            limit: policy.kappa_max,
+                        })),
+                    });
+                }
+                Err(e) => attempts.push(EscalationAttempt {
+                    algorithm,
+                    error: Some(Box::new(PlanError::NotPositiveDefinite(e))),
+                }),
+            }
+        }
+        Err(PlanError::EscalationExhausted { attempts })
+    }
+
+    /// Runs one execution recipe against the plan's pooled arenas. The
+    /// chaos faultpoint here injects a typed breakdown *upstream* of rank
+    /// dispatch, so every simulated rank observes one consistent failure
+    /// (the in-kernel pivot faultpoint is suppressed inside SPMD regions
+    /// for exactly that reason).
+    fn run_exec(&self, exec: Exec, a: &Matrix, cfg: SimConfig) -> Result<QrRun, dense::cholesky::CholeskyError> {
+        dense::faultpoint!(dense::fault::CHOLESKY, {
+            return Err(dense::cholesky::CholeskyError {
+                index: 0,
+                pivot: f64::NEG_INFINITY,
+            });
+        });
+        Ok(match exec {
             Exec::Cqr1d { p } => run_cqr2_1d_global(a, p, self.backend, cfg, &self.pool)?,
             Exec::Ca { shape, params, run } => run(a, shape, params, cfg, &self.pool)?,
             Exec::Pgeqrf { config } => {
@@ -369,8 +592,7 @@ impl QrPlan {
                     ledgers: run.ledgers,
                 }
             }
-        };
-        Ok(QrReport::from_run(self.algorithm, a, run))
+        })
     }
 
     /// Opens a [`StreamingQr`](crate::stream::StreamingQr) seeded by
@@ -460,6 +682,13 @@ impl QrPlanBuilder {
         self
     }
 
+    /// Sets the plan's default [`RetryPolicy`] (default
+    /// [`RetryPolicy::none`]: no escalation, classic error surfacing).
+    pub fn retry(mut self, retry: RetryPolicy) -> QrPlanBuilder {
+        self.retry = retry;
+        self
+    }
+
     /// Validates the configuration and returns the reusable plan.
     ///
     /// Every constraint is checked here, once, so [`QrPlan::factor`] cannot
@@ -542,6 +771,7 @@ impl QrPlanBuilder {
                 }
             }
         };
+        let ladder = self.escalation_ladder(exec);
         Ok(QrPlan {
             m,
             n,
@@ -550,8 +780,81 @@ impl QrPlanBuilder {
             runtime: self.runtime,
             backend: self.backend,
             exec,
+            retry: self.retry,
+            ladder,
             pool: Arc::new(WorkspacePool::new()),
         })
+    }
+
+    /// Resolves the escalation rungs above the chosen algorithm. The ladder
+    /// is always built (it is nearly free) so a per-call policy can enable
+    /// escalation on a plan whose default policy is `none`. Rungs whose
+    /// constraints cannot be met from this builder's configuration are
+    /// skipped, never errored — a shorter ladder, not a failed build.
+    fn escalation_ladder(&self, exec: Exec) -> Vec<(Algorithm, Exec)> {
+        let (m, n) = (self.m, self.n);
+        let mut rungs = Vec::new();
+        // Shifted CA-CQR3: the stability escalation within the Gram family.
+        if matches!(self.algorithm, Algorithm::Cqr2_1d | Algorithm::CaCqr2) {
+            if let Some(shape) = self.grid {
+                let (c, d) = (shape.c, shape.d);
+                if m % d == 0 && n % c == 0 {
+                    let params = CfrParams {
+                        base_size: CfrParams::default_for(n, c).base_size,
+                        inverse_depth: 0,
+                        backend: self.backend,
+                    };
+                    if let Ok(params) = params.validate(n, c) {
+                        rungs.push((
+                            Algorithm::CaCqr3,
+                            Exec::Ca {
+                                shape,
+                                params,
+                                run: run_cacqr3_global,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        // Householder Pgeqrf: the terminal rung — no Gram matrix, no κ²
+        // squeeze. Use the builder's block-cyclic layout when it satisfies
+        // the baseline's constraints, else derive a single-column grid:
+        // one n-wide panel (nb = n divides n trivially), pr = the largest
+        // power of two that keeps every rank holding at least one row
+        // block, capped by the primary plan's rank count.
+        if self.algorithm != Algorithm::Pgeqrf && n > 0 {
+            let grid = self
+                .block_cyclic
+                .filter(|g| {
+                    g.pr > 0
+                        && g.pc > 0
+                        && g.nb > 0
+                        && n % g.nb == 0
+                        && g.pr.is_power_of_two()
+                        && g.pc.is_power_of_two()
+                })
+                .unwrap_or_else(|| {
+                    let p = match exec {
+                        Exec::Cqr1d { p } => p,
+                        Exec::Ca { shape, .. } => shape.p(),
+                        Exec::Pgeqrf { config } => config.grid.pr * config.grid.pc,
+                    };
+                    let cap = p.min((m / n).max(1)).max(1);
+                    let pr = 1usize << (usize::BITS - 1 - cap.leading_zeros());
+                    BlockCyclic { pr, pc: 1, nb: n }
+                });
+            rungs.push((
+                Algorithm::Pgeqrf,
+                Exec::Pgeqrf {
+                    config: PgeqrfConfig {
+                        grid,
+                        backend: self.backend,
+                    },
+                },
+            ));
+        }
+        rungs
     }
 }
 
@@ -559,7 +862,9 @@ impl QrPlanBuilder {
 /// numerical diagnostics — the same shape for every [`Algorithm`].
 #[derive(Clone, Debug)]
 pub struct QrReport {
-    /// The algorithm that produced this report.
+    /// The algorithm that produced this report — under an enabled
+    /// [`RetryPolicy`] this is the *accepted* rung, which may sit above the
+    /// plan's primary algorithm.
     pub algorithm: Algorithm,
     /// The assembled `m × n` orthonormal factor.
     pub q: Matrix,
@@ -577,6 +882,11 @@ pub struct QrReport {
     pub orthogonality_error: f64,
     /// `‖A − QR‖_F / ‖A‖_F` — relative residual.
     pub residual_error: f64,
+    /// The escalation record of a policy-enabled factorization: the full
+    /// attempt chain with per-attempt errors and the accepted `R`'s κ₁
+    /// estimate. `None` under the default [`RetryPolicy::none`] (the single
+    /// classic attempt).
+    pub escalation: Option<EscalationReport>,
 }
 
 impl QrReport {
@@ -592,6 +902,7 @@ impl QrReport {
             ledgers: run.ledgers,
             orthogonality_error,
             residual_error,
+            escalation: None,
         }
     }
 
@@ -699,5 +1010,147 @@ mod tests {
     fn algorithm_names_are_stable() {
         let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names, ["1d-cqr2", "ca-cqr2", "ca-cqr3", "pgeqrf"]);
+    }
+
+    #[test]
+    fn escalation_ladder_is_built_per_primary_algorithm() {
+        // CA-CQR2 on a divisible grid climbs through CA-CQR3 to PGEQRF.
+        let plan = QrPlan::new(64, 16).grid(GridShape::new(2, 2).unwrap()).build().unwrap();
+        assert_eq!(plan.escalation_rungs(), vec![Algorithm::CaCqr3, Algorithm::Pgeqrf]);
+        // CA-CQR3 has only the terminal rung above it.
+        let plan = QrPlan::new(64, 16)
+            .algorithm(Algorithm::CaCqr3)
+            .grid(GridShape::new(2, 2).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(plan.escalation_rungs(), vec![Algorithm::Pgeqrf]);
+        // PGEQRF is terminal: nothing above it.
+        let plan = QrPlan::new(64, 16)
+            .algorithm(Algorithm::Pgeqrf)
+            .block_cyclic(baseline::BlockCyclic { pr: 2, pc: 1, nb: 16 })
+            .build()
+            .unwrap();
+        assert!(plan.escalation_rungs().is_empty());
+        // Default policy: disabled, and factor() reports no escalation.
+        assert!(!plan.retry_policy().is_enabled());
+    }
+
+    #[test]
+    fn default_policy_factor_carries_no_escalation_report() {
+        let plan = QrPlan::new(32, 8).grid(GridShape::new(2, 4).unwrap()).build().unwrap();
+        let report = plan.factor(&well_conditioned(32, 8, 1)).unwrap();
+        assert!(report.escalation.is_none());
+    }
+
+    #[test]
+    fn enabled_policy_records_the_accepted_rung_and_kappa() {
+        let plan = QrPlan::new(64, 16)
+            .grid(GridShape::new(2, 2).unwrap())
+            .retry(RetryPolicy::escalate())
+            .build()
+            .unwrap();
+        // A benign input is accepted on the primary rung, with the ladder
+        // recorded as a single successful attempt.
+        let report = plan.factor(&well_conditioned(64, 16, 11)).unwrap();
+        let esc = report
+            .escalation
+            .as_ref()
+            .expect("policy-enabled run records its ladder");
+        assert!(!esc.escalated());
+        assert_eq!(esc.attempts.len(), 1);
+        assert_eq!(esc.attempts[0].algorithm, Algorithm::CaCqr2);
+        assert!(esc.attempts[0].error.is_none());
+        assert!(esc.condition_estimate >= 1.0);
+        assert!(esc.condition_estimate <= RetryPolicy::DEFAULT_KAPPA_MAX);
+        assert_eq!(report.algorithm, Algorithm::CaCqr2);
+    }
+
+    #[test]
+    fn breakdown_escalates_to_a_stable_rung() {
+        let plan = QrPlan::new(64, 16)
+            .grid(GridShape::new(2, 2).unwrap())
+            .retry(RetryPolicy::escalate())
+            .build()
+            .unwrap();
+        // kappa ~ 1e9 squares past 1/eps: the Gram matrix loses positive
+        // definiteness and the primary CQR2 rung must break down.
+        let hard = dense::random::matrix_with_condition(64, 16, 1e9, 41);
+        assert!(
+            plan.factor_with_policy(&hard, RetryPolicy::none()).is_err(),
+            "the ladder-shaped input must actually defeat plain CQR2"
+        );
+        let report = plan.factor(&hard).unwrap();
+        let esc = report.escalation.as_ref().unwrap();
+        assert!(esc.escalated());
+        assert_eq!(esc.attempts[0].algorithm, Algorithm::CaCqr2);
+        assert!(matches!(
+            esc.attempts[0].error.as_deref(),
+            Some(PlanError::NotPositiveDefinite(_) | PlanError::ConditionTooHigh { .. })
+        ));
+        assert_ne!(report.algorithm, Algorithm::CaCqr2);
+        assert!(esc.attempts.last().unwrap().error.is_none());
+        // The escalated result matches direct PGEQRF to batch-CQR2-grade
+        // bounds: orthogonality at working accuracy.
+        assert!(report.orthogonality_error < 1e-12, "got {}", report.orthogonality_error);
+        assert!(report.residual_error < 1e-12, "got {}", report.residual_error);
+    }
+
+    #[test]
+    fn condition_gate_rejects_a_successful_but_untrustworthy_rung() {
+        let plan = QrPlan::new(64, 16)
+            .grid(GridShape::new(2, 2).unwrap())
+            .retry(RetryPolicy::escalate().with_kappa_max(10.0))
+            .build()
+            .unwrap();
+        // kappa ~ 1e3 factors fine everywhere, but a gate at 10 rejects
+        // every non-terminal rung; the terminal rung is accepted
+        // unconditionally.
+        let a = dense::random::matrix_with_condition(64, 16, 1e3, 7);
+        let report = plan.factor(&a).unwrap();
+        let esc = report.escalation.as_ref().unwrap();
+        assert_eq!(
+            report.algorithm,
+            Algorithm::Pgeqrf,
+            "only the terminal rung survives the gate"
+        );
+        assert!(esc.attempts.iter().rev().skip(1).all(|at| matches!(
+            at.error.as_deref(),
+            Some(PlanError::ConditionTooHigh { limit, .. }) if *limit == 10.0
+        )));
+        assert!(esc.condition_estimate > 10.0, "the input really is worse than the gate");
+    }
+
+    #[test]
+    fn bounded_attempts_exhaust_with_the_full_chain() {
+        let plan = QrPlan::new(64, 16)
+            .grid(GridShape::new(2, 2).unwrap())
+            .retry(RetryPolicy::escalate().with_kappa_max(10.0).with_max_attempts(2))
+            .build()
+            .unwrap();
+        let a = dense::random::matrix_with_condition(64, 16, 1e3, 7);
+        match plan.factor(&a).unwrap_err() {
+            PlanError::EscalationExhausted { attempts } => {
+                assert_eq!(attempts.len(), 2, "max_attempts caps the ladder walk");
+                assert!(attempts
+                    .iter()
+                    .all(|at| matches!(at.error.as_deref(), Some(PlanError::ConditionTooHigh { .. }))));
+            }
+            other => panic!("expected EscalationExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn escalated_results_are_bitwise_reproducible() {
+        let plan = QrPlan::new(64, 16)
+            .grid(GridShape::new(2, 2).unwrap())
+            .retry(RetryPolicy::escalate())
+            .build()
+            .unwrap();
+        let hard = dense::random::matrix_with_condition(64, 16, 1e9, 41);
+        let r1 = plan.factor(&hard).unwrap();
+        let r2 = plan.factor(&hard).unwrap();
+        assert_eq!(r1.algorithm, r2.algorithm);
+        assert_eq!(r1.q, r2.q);
+        assert_eq!(r1.r, r2.r);
     }
 }

@@ -65,9 +65,13 @@ pub use cfr3d::cfr3d;
 pub use config::{CfrParams, ParamError};
 pub use cqr::{cqr, cqr2, shifted_cqr3};
 pub use cqr1d::{cqr1d, cqr2_1d};
-pub use driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
+pub use driver::{
+    Algorithm, EscalationAttempt, EscalationReport, PlanError, QrPlan, QrPlanBuilder, QrReport, RetryPolicy,
+};
 pub use invtree::InvTree;
 pub use mm3d::{mm3d, mm3d_scaled, transpose_cube};
-pub use service::{JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError, StreamHandle, StreamOutcome};
+pub use service::{
+    JobHandle, JobSpec, QrService, QrServiceBuilder, ServiceError, StreamHandle, StreamOp, StreamOutcome, SubmitOptions,
+};
 pub use stream::{StreamSnapshot, StreamStatus, StreamingQr};
 pub use tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};

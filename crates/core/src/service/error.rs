@@ -58,6 +58,33 @@ pub enum ServiceError {
         /// The conflicting stream key.
         key: String,
     },
+    /// The job's deadline passed before a worker could execute it. The
+    /// job never ran (deadlines are checked at dequeue — *lazy*
+    /// cancellation), so no partial work exists and the service's state is
+    /// exactly as if the job had not been submitted. Stream jobs still
+    /// consume their turnstile slot so later operations on the stream are
+    /// not wedged.
+    DeadlineExceeded {
+        /// How long the job sat in the queue before the expiry was
+        /// observed.
+        waited: std::time::Duration,
+        /// The deadline budget the submission carried.
+        budget: std::time::Duration,
+    },
+    /// The job was cancelled via [`JobHandle::cancel`](super::JobHandle::cancel)
+    /// (or [`StreamHandle::cancel`](super::StreamHandle::cancel)) before a
+    /// worker dequeued it. Like an expired deadline, the job never ran.
+    Cancelled,
+    /// Admission control rejected the submission: the pool's observed p99
+    /// queue wait already exceeds the job's deadline budget, so accepting
+    /// it would almost certainly waste a queue slot on a job that expires
+    /// at dequeue. Retry later, raise the deadline, or submit without one.
+    Overloaded {
+        /// The pool's current p99 queue wait.
+        queue_p99: std::time::Duration,
+        /// The deadline budget that lost to it.
+        budget: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -79,6 +106,19 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::StreamExists { key } => {
                 write!(f, "a stream named `{key}` is already open")
+            }
+            ServiceError::DeadlineExceeded { waited, budget } => {
+                write!(
+                    f,
+                    "job deadline exceeded before execution (waited {waited:?}, budget {budget:?})"
+                )
+            }
+            ServiceError::Cancelled => write!(f, "job was cancelled before execution"),
+            ServiceError::Overloaded { queue_p99, budget } => {
+                write!(
+                    f,
+                    "service overloaded: p99 queue wait {queue_p99:?} exceeds the deadline budget {budget:?}"
+                )
             }
         }
     }

@@ -92,7 +92,7 @@ mod stats;
 pub use error::ServiceError;
 pub use stats::{LatencySummary, ServiceStats};
 
-use crate::driver::{Algorithm, PlanError, QrPlan, QrReport};
+use crate::driver::{Algorithm, PlanError, QrPlan, QrReport, RetryPolicy};
 use crate::stream::{StreamSnapshot, StreamStatus, StreamingQr};
 use baseline::BlockCyclic;
 use dense::{BackendKind, Matrix, PoolReservation};
@@ -103,10 +103,10 @@ use stats::Recorder;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A hashable description of *what* to factor: the plan-cache key.
 ///
@@ -128,6 +128,7 @@ pub struct JobSpec {
     backend: Option<BackendKind>,
     base_size: Option<usize>,
     inverse_depth: usize,
+    retry: RetryPolicy,
 }
 
 impl JobSpec {
@@ -144,6 +145,7 @@ impl JobSpec {
             backend: None,
             base_size: None,
             inverse_depth: 0,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -183,6 +185,16 @@ impl JobSpec {
         self
     }
 
+    /// Sets the default [`RetryPolicy`] of this spec's plan: every job
+    /// factored through it escalates on Cholesky breakdown or a failed
+    /// condition gate (see [`QrPlan::factor_with_policy`]). Part of the
+    /// cache key — specs differing only in policy cache separate plans.
+    /// Per-job overrides via [`SubmitOptions::retry`] don't need this.
+    pub fn retry(mut self, retry: RetryPolicy) -> JobSpec {
+        self.retry = retry;
+        self
+    }
+
     /// Row count of matrices this spec factors.
     pub fn m(&self) -> usize {
         self.m
@@ -216,7 +228,8 @@ impl JobSpec {
             .machine(machine)
             .runtime(runtime)
             .backend(self.backend.unwrap_or(default_backend))
-            .inverse_depth(self.inverse_depth);
+            .inverse_depth(self.inverse_depth)
+            .retry(self.retry);
         if let Some(grid) = self.grid {
             b = b.grid(grid);
         }
@@ -273,13 +286,102 @@ impl From<&Arc<Matrix>> for JobInput {
     }
 }
 
+/// Per-submission quality-of-service knobs, taken by
+/// [`QrService::submit_with`] and [`QrService::stream_submit`].
+///
+/// The default (`SubmitOptions::new()`) is exactly the plain `submit`
+/// behavior: no deadline, no cancellation pressure, the plan's own retry
+/// policy.
+#[derive(Clone, Copy, Debug, Default)]
+#[must_use = "options do nothing until passed to a submission"]
+pub struct SubmitOptions {
+    deadline: Option<Duration>,
+    retry: Option<RetryPolicy>,
+}
+
+impl SubmitOptions {
+    /// No deadline, no retry override.
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Gives the job `budget` from submission to *start of execution*.
+    /// Deadlines are enforced lazily at dequeue: a worker that pops an
+    /// expired job fulfills its handle with
+    /// [`ServiceError::DeadlineExceeded`] without executing it. A job
+    /// already running when its budget lapses runs to completion —
+    /// kernels are never interrupted mid-factorization. Submissions with
+    /// a deadline also pass admission control: when the pool's observed
+    /// p99 queue wait already exceeds `budget`, the submission is shed
+    /// with [`ServiceError::Overloaded`] instead of queued.
+    pub fn deadline(mut self, budget: Duration) -> SubmitOptions {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Overrides the plan's [`RetryPolicy`] for this job only — e.g.
+    /// enabling escalation for one suspect input without re-keying the
+    /// plan cache.
+    pub fn retry(mut self, retry: RetryPolicy) -> SubmitOptions {
+        self.retry = Some(retry);
+        self
+    }
+}
+
+/// A queued job's expiry: the absolute instant plus the original budget
+/// (kept so the typed error can report what the caller asked for).
+#[derive(Clone, Copy)]
+struct Deadline {
+    at: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    fn from_budget(budget: Option<Duration>, now: Instant) -> Option<Deadline> {
+        budget.map(|budget| Deadline {
+            at: now + budget,
+            budget,
+        })
+    }
+}
+
 /// One queued factorization: the resolved plan, the input, the slot the
-/// worker fulfills, and the submission timestamp for latency accounting.
+/// worker fulfills, the submission timestamp for latency accounting, and
+/// the job's cancellation/deadline/retry state.
 struct Job {
     plan: Arc<QrPlan>,
     input: JobInput,
     slot: Arc<Slot<QrReport>>,
     enqueued: Instant,
+    deadline: Option<Deadline>,
+    cancel: Arc<AtomicBool>,
+    retry: Option<RetryPolicy>,
+}
+
+/// Checks a job's cancellation flag and deadline at dequeue time,
+/// returning the typed error to fulfill instead of executing — or `None`
+/// when the job should run. Shared by batch and stream jobs.
+fn dequeue_reject(
+    shared: &Shared,
+    cancel: &AtomicBool,
+    deadline: Option<Deadline>,
+    enqueued: Instant,
+) -> Option<ServiceError> {
+    if cancel.load(Ordering::Relaxed) {
+        shared.stats.cancelled_one();
+        return Some(ServiceError::Cancelled);
+    }
+    if let Some(d) = deadline {
+        let now = Instant::now();
+        if now >= d.at {
+            shared.stats.expired_one();
+            return Some(ServiceError::DeadlineExceeded {
+                waited: now.duration_since(enqueued),
+                budget: d.budget,
+            });
+        }
+    }
+    None
 }
 
 /// One unit of queued work. Batch jobs and stream operations enter through
@@ -290,10 +392,6 @@ enum Work {
     Factor(Job),
     Stream(StreamJob),
     Many(ManyChunk),
-    /// Test-only: a job whose execution panics, for exercising the
-    /// worker-panic → [`ServiceError::WorkerPanicked`] path end to end.
-    #[cfg(test)]
-    Panic(Arc<Slot<QrReport>>),
 }
 
 /// An admitted `factor_many` batch: one dispatch covering many panels.
@@ -350,15 +448,35 @@ impl<T> Slot<T> {
         }
     }
 
+    /// Waits at most `budget`; `None` means the job is still pending (the
+    /// result stays in the slot, so a later wait still redeems it).
+    fn wait_timeout(&self, budget: Duration) -> Option<Result<T, ServiceError>> {
+        let deadline = Instant::now() + budget;
+        let mut g = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = g.take() {
+                return Some(outcome);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.done.wait_timeout(g, remaining).unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+
     fn is_finished(&self) -> bool {
         self.result.lock().unwrap_or_else(|e| e.into_inner()).is_some()
     }
 }
 
-/// Handle to one submitted job; redeem it with [`JobHandle::wait`].
+/// Handle to one submitted job; redeem it with [`JobHandle::wait`] or poll
+/// it with [`JobHandle::wait_timeout`].
 #[must_use = "a submitted job's outcome is only observable through its handle"]
 pub struct JobHandle {
     slot: Arc<Slot<QrReport>>,
+    cancel: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -375,20 +493,49 @@ impl JobHandle {
         self.slot.wait()
     }
 
+    /// Blocks at most `budget`. `Some` delivers the job's outcome exactly
+    /// like [`wait`](JobHandle::wait); `None` means the job is still
+    /// pending — the handle stays redeemable, so the caller can poll
+    /// again, block with `wait`, or [`cancel`](JobHandle::cancel). Never
+    /// blocks past the budget, even against a wedged pool.
+    pub fn wait_timeout(&self, budget: Duration) -> Option<Result<QrReport, ServiceError>> {
+        self.slot.wait_timeout(budget)
+    }
+
+    /// Requests cancellation. Lazy, like deadlines: if the job is still
+    /// queued when a worker pops it, the handle resolves to
+    /// [`ServiceError::Cancelled`] without executing; a job already
+    /// running (or already finished) is unaffected and delivers its real
+    /// outcome. Idempotent, callable from any thread holding the handle.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
     /// Whether the job has already completed (non-blocking).
     pub fn is_finished(&self) -> bool {
         self.slot.is_finished()
     }
 }
 
-/// One queued stream operation; constructed by the
-/// [`QrService::append_rows`] family.
-enum StreamOp {
+/// One stream operation, submitted through [`QrService::stream_submit`]
+/// (directly, or via the [`QrService::append_rows`] family of
+/// conveniences, which construct these).
+#[derive(Debug)]
+#[must_use = "a StreamOp does nothing until submitted to a QrService"]
+pub enum StreamOp {
+    /// Append a block of rows to the stream's factor.
     Append(Matrix),
+    /// Append rows together with their right-hand-side rows (streams
+    /// opened with [`QrService::stream_open_with_rhs`]).
     AppendWith(Matrix, Matrix),
+    /// Retire the stream's oldest rows (which must match `Matrix`).
     Downdate(Matrix),
+    /// Retire rows together with their right-hand-side rows.
     DowndateWith(Matrix, Matrix),
+    /// Answer the least-squares solve over the rows live at this
+    /// operation's turnstile slot.
     Solve,
+    /// Materialize a full [`StreamSnapshot`].
     Snapshot,
 }
 
@@ -461,13 +608,16 @@ struct StreamJob {
     seq: u64,
     slot: Arc<Slot<StreamOutcome>>,
     enqueued: Instant,
+    deadline: Option<Deadline>,
+    cancel: Arc<AtomicBool>,
 }
 
 /// Handle to one submitted stream operation; redeem it with
-/// [`StreamHandle::wait`].
+/// [`StreamHandle::wait`] or poll it with [`StreamHandle::wait_timeout`].
 #[must_use = "a submitted stream operation's outcome is only observable through its handle"]
 pub struct StreamHandle {
     slot: Arc<Slot<StreamOutcome>>,
+    cancel: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for StreamHandle {
@@ -485,6 +635,22 @@ impl StreamHandle {
     /// [`ServiceError::Plan`]-wrapped [`PlanError`]s.
     pub fn wait(self) -> Result<StreamOutcome, ServiceError> {
         self.slot.wait()
+    }
+
+    /// Blocks at most `budget`; `None` means still pending and the handle
+    /// stays redeemable. Never blocks past the budget.
+    pub fn wait_timeout(&self, budget: Duration) -> Option<Result<StreamOutcome, ServiceError>> {
+        self.slot.wait_timeout(budget)
+    }
+
+    /// Requests lazy cancellation. A cancelled stream operation still
+    /// consumes its turnstile slot (so later operations on the stream are
+    /// not wedged) but does **not** execute — the stream's factor state is
+    /// untouched, exactly as if the operation had never been submitted,
+    /// and the handle resolves to [`ServiceError::Cancelled`]. An
+    /// operation already applied (or applying) is unaffected.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
     }
 
     /// Whether the operation has already completed (non-blocking).
@@ -657,12 +823,28 @@ fn worker_loop(shared: &Shared, worker: usize) {
     let _consumer = shared.queue.consumer();
     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (worker as u64 + 1);
     while let Some(work) = shared.queue.pop(worker, &mut rng, dense::pool_worker_idle) {
+        dense::fault::maybe_delay(dense::fault::DEQUEUE);
         match work {
             Work::Factor(job) => {
                 shared.stats.queue_wait.record(job.enqueued.elapsed());
+                // Lazy cancellation/expiry: the handle resolves typed, the
+                // kernels never run, the stream of siblings is untouched.
+                if let Some(err) = dequeue_reject(shared, &job.cancel, job.deadline, job.enqueued) {
+                    job.slot.fulfill(Err(err));
+                    continue;
+                }
+                let policy = job.retry.unwrap_or_else(|| job.plan.retry_policy());
                 let t0 = Instant::now();
-                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| job.plan.factor(job.input.matrix()))) {
-                    Ok(Ok(report)) => Ok(report),
+                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    dense::faultpoint!(dense::fault::WORKER, {
+                        panic!("injected worker fault (CACQR_FAULTS site `worker`)");
+                    });
+                    job.plan.factor_with_policy(job.input.matrix(), policy)
+                })) {
+                    Ok(Ok(report)) => {
+                        record_escalation(shared, &report);
+                        Ok(report)
+                    }
                     Ok(Err(e)) => Err(ServiceError::Plan(e)),
                     Err(payload) => Err(ServiceError::WorkerPanicked {
                         message: panic_message(payload.as_ref()),
@@ -675,14 +857,18 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
             Work::Stream(job) => run_stream_job(shared, job),
             Work::Many(chunk) => run_many_chunk(shared, worker, chunk),
-            #[cfg(test)]
-            Work::Panic(slot) => {
-                let payload = std::panic::catch_unwind(|| panic!("injected worker panic"))
-                    .expect_err("the injected job always panics");
-                slot.fulfill(Err(ServiceError::WorkerPanicked {
-                    message: panic_message(payload.as_ref()),
-                }));
-            }
+        }
+    }
+}
+
+/// Feeds a completed report's escalation record into the service counters:
+/// each rung beyond the first is a retry; an accepted non-primary rung is
+/// an escalation.
+fn record_escalation(shared: &Shared, report: &QrReport) {
+    if let Some(esc) = &report.escalation {
+        shared.stats.retried(esc.attempts.len().saturating_sub(1) as u64);
+        if esc.escalated() {
+            shared.stats.escalated();
         }
     }
 }
@@ -710,7 +896,10 @@ fn run_many_chunk(shared: &Shared, worker: usize, chunk: ManyChunk) {
         shared.stats.queue_wait.record(picked.duration_since(batch.enqueued));
         let t0 = Instant::now();
         let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| batch.plan.factor(batch.inputs[i].matrix()))) {
-            Ok(Ok(report)) => Ok(report),
+            Ok(Ok(report)) => {
+                record_escalation(shared, &report);
+                Ok(report)
+            }
             Ok(Err(e)) => Err(ServiceError::Plan(e)),
             Err(payload) => Err(ServiceError::WorkerPanicked {
                 message: panic_message(payload.as_ref()),
@@ -748,11 +937,28 @@ fn run_stream_job(shared: &Shared, job: StreamJob) {
         seq,
         slot,
         enqueued,
+        deadline,
+        cancel,
     } = job;
     shared.stats.queue_wait.record(enqueued.elapsed());
+    // Lazy cancellation/expiry — but a stream operation owns a turnstile
+    // ticket, so it must still *consume its slot*: fulfill the typed error
+    // now (the caller stops waiting immediately), then take the turn and
+    // advance the counter without touching the factor. Skipping the turn
+    // would wedge every later operation on the stream forever.
+    let rejected = dequeue_reject(shared, &cancel, deadline, enqueued);
+    let skip = rejected.is_some();
+    if let Some(err) = rejected {
+        slot.fulfill(Err(err));
+    }
     let mut st = entry.state.lock().unwrap_or_else(|e| e.into_inner());
     while st.applied != seq {
         st = entry.turn.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    if skip {
+        st.applied += 1;
+        entry.turn.notify_all();
+        return;
     }
     let qr = &mut st.qr;
     let t0 = Instant::now();
@@ -970,12 +1176,45 @@ impl QrService {
     /// [`JobHandle::wait`]. A closed or worker-less service fails with
     /// [`ServiceError::ShuttingDown`] instead of blocking forever.
     pub fn submit(&self, spec: &JobSpec, a: impl Into<JobInput>) -> Result<JobHandle, ServiceError> {
-        let job = self.prepare(spec, a.into())?;
+        self.submit_with(spec, a, SubmitOptions::new())
+    }
+
+    /// [`QrService::submit`] with per-job quality-of-service knobs: a
+    /// deadline (enforced lazily at dequeue, see
+    /// [`SubmitOptions::deadline`]) and/or a [`RetryPolicy`] override.
+    ///
+    /// Deadline submissions pass admission control first: when the pool's
+    /// observed p99 queue wait already exceeds the budget, the job is shed
+    /// with [`ServiceError::Overloaded`] instead of queued — it would
+    /// almost certainly expire at dequeue anyway, and shedding keeps the
+    /// injector slot for work that can still meet its deadline.
+    pub fn submit_with(
+        &self,
+        spec: &JobSpec,
+        a: impl Into<JobInput>,
+        opts: SubmitOptions,
+    ) -> Result<JobHandle, ServiceError> {
+        self.admit(opts)?;
+        let job = self.prepare(spec, a.into(), opts)?;
         let slot = Arc::clone(&job.slot);
+        let cancel = Arc::clone(&job.cancel);
         match self.shared.queue.push(Work::Factor(job)) {
-            Ok(()) => Ok(JobHandle { slot }),
+            Ok(()) => Ok(JobHandle { slot, cancel }),
             Err(_) => Err(ServiceError::ShuttingDown),
         }
+    }
+
+    /// Admission control for deadline-carrying submissions: sheds the job
+    /// when the pool's p99 queue wait already exceeds its budget.
+    fn admit(&self, opts: SubmitOptions) -> Result<(), ServiceError> {
+        if let Some(budget) = opts.deadline {
+            let queue_p99 = self.shared.stats.queue_wait.summary().p99;
+            if queue_p99 > budget {
+                self.shared.stats.shed_one();
+                return Err(ServiceError::Overloaded { queue_p99, budget });
+            }
+        }
+        Ok(())
     }
 
     /// Zero-copy submission: the job borrows the caller's `Arc<Matrix>`
@@ -989,10 +1228,11 @@ impl QrService {
     /// Like [`QrService::submit`] but never blocks: a full injector returns
     /// [`ServiceError::QueueFull`] and hands no job to the pool.
     pub fn try_submit(&self, spec: &JobSpec, a: impl Into<JobInput>) -> Result<JobHandle, ServiceError> {
-        let job = self.prepare(spec, a.into())?;
+        let job = self.prepare(spec, a.into(), SubmitOptions::new())?;
         let slot = Arc::clone(&job.slot);
+        let cancel = Arc::clone(&job.cancel);
         match self.shared.queue.try_push(Work::Factor(job)) {
-            Ok(()) => Ok(JobHandle { slot }),
+            Ok(()) => Ok(JobHandle { slot, cancel }),
             Err(PushError::Full(_)) => Err(ServiceError::QueueFull {
                 capacity: self.shared.queue.capacity(),
             }),
@@ -1030,6 +1270,20 @@ impl QrService {
     ) -> Result<(), ServiceError> {
         let plan = self.plan(spec)?;
         let qr = plan.stream_with_rhs(initial, rhs)?;
+        self.register_stream(key, qr)
+    }
+
+    /// Registers a caller-configured [`StreamingQr`] under `key` — the
+    /// escape hatch for streams that need knobs
+    /// [`stream_open`](QrService::stream_open) does not expose
+    /// ([`with_history(false)`](StreamingQr::with_history), a custom
+    /// drift threshold, …). The adopted stream serves
+    /// [`append_rows`](QrService::append_rows) /
+    /// [`stream_submit`](QrService::stream_submit) jobs exactly like an
+    /// opened one. The stream should come from a plan compatible with this
+    /// service's runtime and thread budget — typically one resolved via
+    /// [`QrService::plan`].
+    pub fn stream_adopt(&self, key: &str, qr: StreamingQr) -> Result<(), ServiceError> {
         self.register_stream(key, qr)
     }
 
@@ -1122,6 +1376,18 @@ impl QrService {
     }
 
     fn submit_stream(&self, key: &str, op: StreamOp) -> Result<StreamHandle, ServiceError> {
+        self.stream_submit(key, op, SubmitOptions::new())
+    }
+
+    /// The general stream submission entry: enqueues `op` against the
+    /// named stream with per-job quality-of-service knobs (the
+    /// [`QrService::append_rows`] family delegates here with defaults).
+    /// Deadline submissions pass the same admission control as
+    /// [`QrService::submit_with`]; a cancelled or expired stream operation
+    /// still consumes its turnstile slot — later operations on the stream
+    /// are never wedged — but leaves the factor state untouched.
+    pub fn stream_submit(&self, key: &str, op: StreamOp, opts: SubmitOptions) -> Result<StreamHandle, ServiceError> {
+        self.admit(opts)?;
         let entry = self
             .shared
             .streams
@@ -1131,21 +1397,25 @@ impl QrService {
             .map(Arc::clone)
             .ok_or_else(|| ServiceError::UnknownStream { key: key.to_string() })?;
         let slot = Slot::new();
+        let cancel = Arc::new(AtomicBool::new(false));
         // Hold the sequence lock across the push: per-stream queue order
         // must equal sequence order (see `StreamEntry`). Only submitters to
         // the *same* stream serialize here.
         let mut next = entry.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let enqueued = Instant::now();
         let job = StreamJob {
             entry: Arc::clone(&entry),
             op,
             seq: *next,
             slot: Arc::clone(&slot),
-            enqueued: Instant::now(),
+            enqueued,
+            deadline: Deadline::from_budget(opts.deadline, enqueued),
+            cancel: Arc::clone(&cancel),
         };
         match self.shared.queue.push(Work::Stream(job)) {
             Ok(()) => {
                 *next += 1;
-                Ok(StreamHandle { slot })
+                Ok(StreamHandle { slot, cancel })
             }
             Err(_) => Err(ServiceError::ShuttingDown),
         }
@@ -1184,6 +1454,10 @@ impl QrService {
     /// outcome: one failed matrix does not discard its siblings' completed
     /// reports. The outer `Result` fails only when the batch could not be
     /// submitted at all (invalid spec, shape mismatch, shutdown).
+    ///
+    /// Outcomes are indexed by input position: element `i` is matrix `i`'s
+    /// result — success or typed failure — regardless of completion order,
+    /// so a failing matrix never shifts its siblings' indices.
     pub fn try_factor_batch(
         &self,
         spec: &JobSpec,
@@ -1228,6 +1502,12 @@ impl QrService {
     /// individual outcome. The outer `Result` fails only when the batch
     /// could not be admitted at all (invalid spec, shape mismatch,
     /// shutdown).
+    ///
+    /// Per-panel outcomes are indexed by input position and stay there
+    /// under work stealing: which worker factors panel `i` — and in what
+    /// order panels retire — never changes where its result (or typed
+    /// error) lands, because each chunk writes results by absolute panel
+    /// index, not arrival order.
     pub fn try_factor_many(
         &self,
         spec: &JobSpec,
@@ -1271,7 +1551,7 @@ impl QrService {
 
     /// Builds the job, resolving the plan from the cache and rejecting
     /// shape mismatches up front.
-    fn prepare(&self, spec: &JobSpec, input: JobInput) -> Result<Job, ServiceError> {
+    fn prepare(&self, spec: &JobSpec, input: JobInput, opts: SubmitOptions) -> Result<Job, ServiceError> {
         let plan = self.plan(spec)?;
         let a = input.matrix();
         if (a.rows(), a.cols()) != (plan.m(), plan.n()) {
@@ -1280,26 +1560,16 @@ impl QrService {
                 got: (a.rows(), a.cols()),
             }));
         }
+        let enqueued = Instant::now();
         Ok(Job {
             plan,
             input,
             slot: Slot::new(),
-            enqueued: Instant::now(),
+            enqueued,
+            deadline: Deadline::from_budget(opts.deadline, enqueued),
+            cancel: Arc::new(AtomicBool::new(false)),
+            retry: opts.retry,
         })
-    }
-
-    /// Test-only: enqueue a job whose execution panics on a worker, to
-    /// exercise the panic → typed-error path through a real pop/fulfill
-    /// cycle.
-    #[cfg(test)]
-    fn submit_panicking_job(&self) -> JobHandle {
-        let slot = Slot::new();
-        self.shared
-            .queue
-            .push(Work::Panic(Arc::clone(&slot)))
-            .ok()
-            .expect("queue open");
-        JobHandle { slot }
     }
 
     /// Closes the service from a shared reference: no new jobs are
@@ -1478,22 +1748,225 @@ mod tests {
     }
 
     #[test]
-    fn wait_after_worker_panic_returns_typed_error() {
-        let service = QrService::builder().workers(2).build();
-        let handle = service.submit_panicking_job();
-        match handle.wait().unwrap_err() {
-            ServiceError::WorkerPanicked { message } => {
-                assert!(message.contains("injected worker panic"), "got: {message}");
-            }
-            other => panic!("expected WorkerPanicked, got {other}"),
+    fn wait_timeout_honors_its_budget_and_keeps_the_handle_redeemable() {
+        // Drive the slot directly: a handle whose job never completes must
+        // come back `None` within its budget, and still redeem later.
+        let slot = Slot::new();
+        let handle = JobHandle {
+            slot: Arc::clone(&slot),
+            cancel: Arc::new(AtomicBool::new(false)),
+        };
+        let budget = Duration::from_millis(20);
+        let t0 = Instant::now();
+        assert!(handle.wait_timeout(budget).is_none());
+        let waited = t0.elapsed();
+        assert!(waited >= budget, "returned early: {waited:?}");
+        assert!(waited < budget + Duration::from_secs(2), "overslept: {waited:?}");
+        // Zero budget never blocks at all.
+        assert!(handle.wait_timeout(Duration::ZERO).is_none());
+        // Once fulfilled, the same handle delivers the outcome.
+        slot.fulfill(Err(ServiceError::Cancelled));
+        match handle.wait_timeout(Duration::ZERO) {
+            Some(Err(ServiceError::Cancelled)) => {}
+            other => panic!("expected the fulfilled outcome, got {other:?}"),
         }
-        // The pool survives: the panicking job was caught, workers live on.
+    }
+
+    #[test]
+    fn cancelled_jobs_resolve_typed_without_executing() {
+        let service = QrService::builder().workers(1).build();
+        let spec = spec_64x16();
+        let plan = service.plan(&spec).unwrap();
+        // Park the lone worker deterministically: hand it a stream job
+        // whose turnstile slot is one ahead of the applied counter, so it
+        // waits until this thread advances the counter by hand.
+        let entry = Arc::new(StreamEntry {
+            state: Mutex::new(StreamState {
+                applied: 0,
+                qr: plan.stream(&well_conditioned(64, 16, 3)).unwrap(),
+            }),
+            turn: Condvar::new(),
+            submit: Mutex::new(2),
+        });
+        let park_slot = Slot::new();
+        service
+            .shared
+            .queue
+            .push(Work::Stream(StreamJob {
+                entry: Arc::clone(&entry),
+                op: StreamOp::Snapshot,
+                seq: 1,
+                slot: Arc::clone(&park_slot),
+                enqueued: Instant::now(),
+                deadline: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+            }))
+            .ok()
+            .expect("queue open");
+        // Queue a factor job behind the parked worker, then cancel it
+        // before any worker can dequeue it.
+        let handle = service.submit(&spec, well_conditioned(64, 16, 4)).unwrap();
+        handle.cancel();
+        assert!(
+            handle.wait_timeout(Duration::from_millis(5)).is_none(),
+            "the job cannot run while the only worker is parked"
+        );
+        // Release the turnstile; the worker applies the parked snapshot,
+        // then pops the cancelled job and fulfills it typed.
+        {
+            let mut st = entry.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.applied = 1;
+            entry.turn.notify_all();
+        }
+        park_slot.wait().unwrap();
+        assert!(matches!(handle.wait(), Err(ServiceError::Cancelled)));
+        assert_eq!(service.stats().cancelled, 1);
+        // The pool survives and keeps serving.
         let report = service
-            .submit(&spec_64x16(), well_conditioned(64, 16, 3))
+            .submit(&spec, well_conditioned(64, 16, 5))
             .unwrap()
             .wait()
             .unwrap();
         assert!(report.orthogonality_error < 1e-12);
+    }
+
+    #[test]
+    fn expired_stream_job_is_typed_and_does_not_wedge_the_turnstile() {
+        // Fresh service: no queue-wait samples yet, so a zero budget
+        // passes admission (p99 = 0 is not > 0) and then deterministically
+        // expires at dequeue.
+        let service = QrService::builder().workers(2).build();
+        let spec = spec_64x16();
+        service
+            .stream_open("live", &spec, &well_conditioned(64, 16, 23))
+            .unwrap();
+        let expired = service
+            .stream_submit(
+                "live",
+                StreamOp::Append(gaussian_matrix(2, 16, 1)),
+                SubmitOptions::new().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        match expired.wait().unwrap_err() {
+            ServiceError::DeadlineExceeded { budget, .. } => assert_eq!(budget, Duration::ZERO),
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // The turnstile advanced past the expired slot and the factor
+        // never saw its rows: the next append lands on 64 live rows.
+        let ok = service.append_rows("live", gaussian_matrix(2, 16, 2)).unwrap();
+        assert_eq!(ok.wait().unwrap().status().unwrap().rows, 66);
+        assert_eq!(service.stats().expired, 1);
+    }
+
+    #[test]
+    fn expired_factor_job_never_executes() {
+        let service = QrService::builder().workers(1).build();
+        let spec = spec_64x16();
+        let handle = service
+            .submit_with(
+                &spec,
+                well_conditioned(64, 16, 9),
+                SubmitOptions::new().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert!(matches!(handle.wait(), Err(ServiceError::DeadlineExceeded { .. })));
+        let stats = service.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.execution.count, 0, "an expired job must never reach the kernels");
+    }
+
+    #[test]
+    fn admission_control_sheds_deadlines_the_pool_cannot_meet() {
+        let service = QrService::builder().workers(1).build();
+        let spec = spec_64x16();
+        // Warm the queue-wait histogram so p99 is nonzero.
+        for seed in 0..3 {
+            service
+                .submit(&spec, well_conditioned(64, 16, seed))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        assert!(service.stats().queue_wait.p99 > Duration::ZERO);
+        // A zero budget now loses to the observed p99: shed, not queued.
+        let err = service
+            .submit_with(
+                &spec,
+                well_conditioned(64, 16, 7),
+                SubmitOptions::new().deadline(Duration::ZERO),
+            )
+            .unwrap_err();
+        match err {
+            ServiceError::Overloaded { queue_p99, budget } => {
+                assert!(queue_p99 > budget);
+                assert_eq!(budget, Duration::ZERO);
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        // Stream submissions pass through the same gate.
+        service
+            .stream_open("live", &spec, &well_conditioned(64, 16, 23))
+            .unwrap();
+        let err = service
+            .stream_submit(
+                "live",
+                StreamOp::Append(gaussian_matrix(2, 16, 1)),
+                SubmitOptions::new().deadline(Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Overloaded { .. }));
+        assert_eq!(service.stats().shed, 2);
+        // Deadline-less submissions are never shed.
+        service
+            .submit(&spec, well_conditioned(64, 16, 8))
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+
+    #[test]
+    fn per_job_retry_override_escalates_without_rekeying_the_cache() {
+        let service = QrService::builder().workers(2).build();
+        let spec = spec_64x16();
+        let hard = dense::random::matrix_with_condition(64, 16, 1e9, 41);
+        // Under the spec's default policy the squared conditioning kills
+        // CQR2.
+        let err = service.submit(&spec, hard.clone()).unwrap().wait().unwrap_err();
+        assert!(matches!(err, ServiceError::Plan(PlanError::NotPositiveDefinite(_))));
+        // The same spec (same cached plan) with a per-job override walks
+        // the ladder instead.
+        let report = service
+            .submit_with(&spec, hard, SubmitOptions::new().retry(crate::RetryPolicy::escalate()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let esc = report
+            .escalation
+            .as_ref()
+            .expect("policy-enabled run records its ladder");
+        assert!(esc.escalated(), "kappa 1e9 must escalate past CQR2");
+        assert_ne!(report.algorithm, Algorithm::CaCqr2);
+        assert_eq!(service.plan_cache_len(), 1, "the override must not re-key the cache");
+        let stats = service.stats();
+        assert!(stats.retries >= 1);
+        assert_eq!(stats.escalations, 1);
+    }
+
+    #[test]
+    fn spec_level_retry_policy_is_part_of_the_cache_key() {
+        let service = QrService::builder().workers(1).build();
+        let base = spec_64x16();
+        let escalating = base.retry(crate::RetryPolicy::escalate());
+        let p1 = service.plan(&base).unwrap();
+        let p2 = service.plan(&escalating).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2), "policies cache separate plans");
+        assert_eq!(service.plan_cache_len(), 2);
+        assert!(p2.retry_policy().is_enabled());
+        // Jobs through the escalating spec recover without any per-job
+        // options.
+        let hard = dense::random::matrix_with_condition(64, 16, 1e9, 41);
+        let report = service.submit(&escalating, hard).unwrap().wait().unwrap();
+        assert!(report.escalation.expect("recorded").escalated());
     }
 
     #[test]

@@ -128,18 +128,41 @@ pub struct ServiceStats {
     /// Jobs completed since the service started. Counts *panels* for
     /// `factor_many` batches — the unit a throughput SLO cares about.
     pub completed: u64,
+    /// Retried factorization attempts: rungs of the escalation ladder that
+    /// ran beyond the first (each job contributes `attempts − 1`). Zero
+    /// unless a job carried an enabled [`RetryPolicy`](crate::RetryPolicy).
+    pub retries: u64,
+    /// Jobs whose *accepted* result came from an escalation rung rather
+    /// than the plan's primary algorithm.
+    pub escalations: u64,
+    /// Submissions rejected by admission control
+    /// ([`ServiceError::Overloaded`](super::ServiceError::Overloaded)):
+    /// the observed p99 queue wait exceeded the job's deadline budget.
+    pub shed: u64,
+    /// Jobs observed cancelled at dequeue (never executed).
+    pub cancelled: u64,
+    /// Jobs whose deadline expired before a worker dequeued them (never
+    /// executed).
+    pub expired: u64,
     /// Time since the worker pool started.
     pub uptime: Duration,
     /// `completed / uptime` — sustained throughput.
     pub jobs_per_sec: f64,
 }
 
-/// The service-wide recorder: three histograms plus a completion counter.
+/// The service-wide recorder: three histograms, a completion counter, and
+/// the resilience counters (retries, escalations, shed/cancelled/expired
+/// jobs). All wait-free `fetch_add`s.
 pub(crate) struct Recorder {
     pub queue_wait: Histogram,
     pub execution: Histogram,
     pub end_to_end: Histogram,
     completed: AtomicU64,
+    retries: AtomicU64,
+    escalations: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
     started: Instant,
 }
 
@@ -150,12 +173,37 @@ impl Recorder {
             execution: Histogram::new(),
             end_to_end: Histogram::new(),
             completed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
 
     pub fn complete(&self, jobs: u64) {
         self.completed.fetch_add(jobs, Ordering::Relaxed);
+    }
+
+    pub fn retried(&self, attempts_beyond_first: u64) {
+        self.retries.fetch_add(attempts_beyond_first, Ordering::Relaxed);
+    }
+
+    pub fn escalated(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn shed_one(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn cancelled_one(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn expired_one(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> ServiceStats {
@@ -166,6 +214,11 @@ impl Recorder {
             execution: self.execution.summary(),
             end_to_end: self.end_to_end.summary(),
             completed,
+            retries: self.retries.load(Ordering::Relaxed),
+            escalations: self.escalations.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             uptime,
             jobs_per_sec: completed as f64 / uptime.as_secs_f64().max(1e-9),
         }
@@ -223,5 +276,26 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.completed, 4);
         assert!(s.jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn resilience_counters_start_zero_and_accumulate() {
+        let r = Recorder::new();
+        let s = r.snapshot();
+        assert_eq!(
+            (s.retries, s.escalations, s.shed, s.cancelled, s.expired),
+            (0, 0, 0, 0, 0)
+        );
+        r.retried(2);
+        r.escalated();
+        r.shed_one();
+        r.cancelled_one();
+        r.cancelled_one();
+        r.expired_one();
+        let s = r.snapshot();
+        assert_eq!(
+            (s.retries, s.escalations, s.shed, s.cancelled, s.expired),
+            (2, 1, 1, 2, 1)
+        );
     }
 }

@@ -596,6 +596,15 @@ impl StreamingQr {
     /// `(A, b)` history at the same time, discarding the rounding the
     /// incremental deltas accumulate. Requires history. `R` and `d` are
     /// untouched on error.
+    ///
+    /// When the owning plan carries an enabled
+    /// [`RetryPolicy`](crate::driver::RetryPolicy), a failed refresh walks
+    /// the same escalation ladder a failed factor does instead of parking
+    /// the stream in `refresh_failed`: the distributed path escalates
+    /// through [`QrPlan::factor`] directly, and the sequential path retries
+    /// plain CQR2 → shifted CQR3 → Householder QR (each rung costing one
+    /// more attempt against the policy's budget). Only when every allowed
+    /// rung fails does the error surface.
     pub fn refresh(&mut self) -> Result<(), PlanError> {
         if !self.retain {
             return Err(PlanError::StreamHistoryRequired { op: "refresh" });
@@ -605,7 +614,17 @@ impl StreamingQr {
                 self.r = report.r;
             })
         } else {
-            self.refresh_sequential()
+            let policy = self.plan.retry_policy();
+            let mut result = self.refresh_sequential();
+            if policy.is_enabled() {
+                if result.is_err() && policy.max_attempts() >= 2 {
+                    result = self.refresh_sequential_shifted();
+                }
+                if result.is_err() && policy.max_attempts() >= 3 {
+                    result = self.refresh_householder();
+                }
+            }
+            result
         };
         match result {
             Ok(()) => {
@@ -698,6 +717,100 @@ impl StreamingQr {
         ws.recycle(g);
         ws.recycle(a);
         factored.map_err(PlanError::NotPositiveDefinite)
+    }
+
+    /// Second escalation rung: sequential R-only *shifted* CholeskyQR3
+    /// (Fukaya et al.). The Gram matrix is regularized with
+    /// `σ = 11(mn + n(n+1))·ε·‖A‖²_F` before the first Cholesky — enough to
+    /// keep `G + σI` positive definite for any numerically full-rank `A` —
+    /// and two unshifted correction passes restore orthogonality:
+    /// `R = (L₁·L₂·L₃)ᵀ`. All three factors come from one Gram product; no
+    /// `Q` is materialized.
+    fn refresh_sequential_shifted(&mut self) -> Result<(), PlanError> {
+        let n = self.n;
+        let backend = self.plan.backend().get();
+        let mut ws = self.plan.workspace().checkout();
+        let mut a = ws.take_matrix_stale(self.live, n);
+        a.data_mut().copy_from_slice(&self.history[self.start * n..]);
+        let mut g = ws.take_matrix_stale(n, n);
+        backend.syrk_into(a.as_ref(), g.as_mut());
+        let frob_sq: f64 = (0..n).map(|i| g.as_ref().at(i, i)).sum();
+        let shift = 11.0 * ((self.live * n + n * (n + 1)) as f64) * f64::EPSILON * frob_sq;
+        let mut l1 = ws.take_copy(g.as_ref());
+        for i in 0..n {
+            let v = l1.as_ref().at(i, i) + shift;
+            l1.as_mut().set(i, i, v);
+        }
+        let mut l2 = ws.take_matrix_stale(n, n);
+        let factored = potrf_ws(l1.as_mut(), backend, &mut ws).and_then(|()| {
+            trsm::trsm_left_lower(l1.as_ref(), g.as_mut());
+            trsm::trsm_right_lower_trans(l1.as_ref(), g.as_mut());
+            l2.as_mut().copy_from(g.as_ref());
+            potrf_ws(l2.as_mut(), backend, &mut ws).and_then(|()| {
+                trsm::trsm_left_lower(l2.as_ref(), g.as_mut());
+                trsm::trsm_right_lower_trans(l2.as_ref(), g.as_mut());
+                potrf_ws(g.as_mut(), backend, &mut ws) // g now holds L₃
+            })
+        });
+        if factored.is_ok() {
+            // T = L₁·L₂ (lower·lower stays lower), then R = (T·L₃)ᵀ.
+            let mut t = ws.take_matrix_stale(n, n);
+            {
+                let (l1v, l2v) = (l1.as_ref(), l2.as_ref());
+                let mut tm = t.as_mut();
+                for j in 0..n {
+                    for k in 0..n {
+                        let mut s = 0.0;
+                        if k <= j {
+                            for x in k..=j {
+                                s += l1v.at(j, x) * l2v.at(x, k);
+                            }
+                        }
+                        tm.set(j, k, s);
+                    }
+                }
+            }
+            let (tv, l3v) = (t.as_ref(), g.as_ref());
+            let mut rm = self.r.as_mut();
+            for i in 0..n {
+                let row = rm.row_mut(i);
+                for v in &mut row[..i] {
+                    *v = 0.0;
+                }
+                for (j, v) in row.iter_mut().enumerate().skip(i) {
+                    let mut s = 0.0;
+                    for k in i..=j {
+                        s += tv.at(j, k) * l3v.at(k, i);
+                    }
+                    *v = s;
+                }
+            }
+            ws.recycle(t);
+        }
+        ws.recycle(l2);
+        ws.recycle(l1);
+        ws.recycle(g);
+        ws.recycle(a);
+        factored.map_err(PlanError::NotPositiveDefinite)
+    }
+
+    /// Terminal escalation rung: dense Householder QR over the retained
+    /// rows — no Gram matrix, so no κ² squeeze and no breakdown mode. The
+    /// diagonal is sign-normalized positive to match the Cholesky-path `R`
+    /// convention. Allocates (last-resort path, not steady state).
+    fn refresh_householder(&mut self) -> Result<(), PlanError> {
+        let n = self.n;
+        let a = self.history_matrix();
+        let qr = dense::householder_qr(&a);
+        let mut rm = self.r.as_mut();
+        for i in 0..n {
+            let flip = if qr.packed.get(i, i) < 0.0 { -1.0 } else { 1.0 };
+            let row = rm.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = if j < i { 0.0 } else { flip * qr.packed.get(i, j) };
+            }
+        }
+        Ok(())
     }
 
     /// Solves the live least-squares problem `min ‖Ax − b‖` over the rows

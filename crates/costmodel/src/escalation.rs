@@ -1,0 +1,102 @@
+//! Expected-cost model for the driver's escalation ladder (the economics
+//! behind `cacqr::RetryPolicy`).
+//!
+//! CholeskyQR2 squares the condition number before the Cholesky step, so the
+//! Gram matrix loses positive-definiteness once `κ(A)` approaches
+//! `ε^{-1/2} ≈ 6.7·10⁷` in double precision. The driver handles that as a
+//! normal event: a failed rung escalates to shifted CQR3 and finally to the
+//! Householder baseline. This module prices that ladder *in expectation*, so
+//! a planner can compare "run CQR2 and maybe pay for a retry" against "go
+//! straight to the stable rung" for a workload of known conditioning.
+
+use crate::cost::Cost;
+
+/// Below this condition number a double-precision Cholesky of `AᵀA` is
+/// reliably positive-definite and CQR2 never breaks down.
+pub const BREAKDOWN_KAPPA_LO: f64 = 1.0e7;
+
+/// Above this condition number the squared Gram matrix is numerically
+/// indefinite and breakdown is (modelled as) certain.
+pub const BREAKDOWN_KAPPA_HI: f64 = 1.0e8;
+
+/// Modelled probability that a CholeskyQR2-family rung breaks down on input
+/// of condition number `kappa`: `0` below [`BREAKDOWN_KAPPA_LO`], `1` above
+/// [`BREAKDOWN_KAPPA_HI`], and linear in `log₁₀ κ` between them. The ramp
+/// brackets `ε^{-1/2} ≈ 6.7·10⁷`, where the squared condition number
+/// `κ² ≈ ε⁻¹` exhausts the mantissa — the regime the paper's §IV stability
+/// experiments probe and the default `RetryPolicy` κ-gate sits in.
+pub fn breakdown_probability(kappa: f64) -> f64 {
+    if !kappa.is_finite() || kappa >= BREAKDOWN_KAPPA_HI {
+        return 1.0;
+    }
+    if kappa <= BREAKDOWN_KAPPA_LO {
+        return 0.0;
+    }
+    (kappa.log10() - BREAKDOWN_KAPPA_LO.log10()) / (BREAKDOWN_KAPPA_HI.log10() - BREAKDOWN_KAPPA_LO.log10())
+}
+
+/// Expected cost of walking an escalation ladder: rung `i` costs `costs[i]`
+/// and fails with probability `p_fail[i]`; the walk pays for rung `i` only
+/// if every earlier rung failed, so the expectation is
+/// `Σᵢ costs[i] · Πⱼ<ᵢ p_fail[j]`. A terminal rung (Householder) should
+/// carry `p_fail = 0.0`; a certain-breakdown rung `1.0`. Slices are walked
+/// in ladder order and must have equal length.
+pub fn ladder_expected_cost(costs: &[Cost], p_fail: &[f64]) -> Cost {
+    assert_eq!(costs.len(), p_fail.len(), "one failure probability per ladder rung");
+    let mut expected = Cost::ZERO;
+    let mut reach = 1.0; // probability the walk reaches the current rung
+    for (&cost, &p) in costs.iter().zip(p_fail) {
+        expected += cost * reach;
+        reach *= p.clamp(0.0, 1.0);
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_ramp_endpoints_and_monotonicity() {
+        assert_eq!(breakdown_probability(1.0), 0.0);
+        assert_eq!(breakdown_probability(BREAKDOWN_KAPPA_LO), 0.0);
+        assert_eq!(breakdown_probability(BREAKDOWN_KAPPA_HI), 1.0);
+        assert_eq!(breakdown_probability(1.0e12), 1.0);
+        assert_eq!(breakdown_probability(f64::INFINITY), 1.0);
+        // Geometric midpoint of the ramp in log10 space.
+        let mid = breakdown_probability(10f64.powf(7.5));
+        assert!((mid - 0.5).abs() < 1e-12, "mid = {mid}");
+        let mut last = 0.0;
+        for e in [70, 72, 75, 78, 80] {
+            let p = breakdown_probability(10f64.powf(e as f64 / 10.0));
+            assert!(p >= last, "non-monotone at 1e{}", e as f64 / 10.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn expected_cost_discounts_unreached_rungs() {
+        let cqr2 = Cost::flops(100.0);
+        let cqr3 = Cost::flops(150.0);
+        let pgeqrf = Cost::flops(400.0);
+        // Well-conditioned input: only the first rung is ever paid.
+        let sure = ladder_expected_cost(&[cqr2, cqr3, pgeqrf], &[0.0, 0.0, 0.0]);
+        assert_eq!(sure.gamma, 100.0);
+        // Coin-flip breakdown on the CQR rungs.
+        let risky = ladder_expected_cost(&[cqr2, cqr3, pgeqrf], &[0.5, 0.5, 0.0]);
+        assert_eq!(risky.gamma, 100.0 + 0.5 * 150.0 + 0.25 * 400.0);
+        // Certain breakdown pays the whole chain: the planner should have
+        // gone straight to the stable rung.
+        let doomed = ladder_expected_cost(&[cqr2, cqr3, pgeqrf], &[1.0, 1.0, 0.0]);
+        assert_eq!(doomed.gamma, 650.0);
+        assert!(doomed.gamma > pgeqrf.gamma);
+    }
+
+    #[test]
+    fn empty_ladder_is_free_and_probabilities_are_clamped() {
+        assert_eq!(ladder_expected_cost(&[], &[]), Cost::ZERO);
+        let c = ladder_expected_cost(&[Cost::flops(1.0), Cost::flops(1.0)], &[7.0, 0.0]);
+        // 7.0 clamps to 1.0: the second rung is reached with certainty.
+        assert_eq!(c.gamma, 2.0);
+    }
+}

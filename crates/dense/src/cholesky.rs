@@ -43,6 +43,16 @@ impl std::error::Error for CholeskyError {}
 /// Unblocked lower Cholesky on a view, in place: on return the lower triangle
 /// of `a` holds `L`; the strict upper triangle is zeroed.
 fn potrf_unblocked(mut a: MatMut<'_>, index_offset: usize) -> Result<(), CholeskyError> {
+    // Chaos faultpoint at the pivot site: an injected breakdown is
+    // indistinguishable from a genuine loss of positive-definiteness to
+    // everything upstream (suppressed inside SPMD regions; see
+    // `crate::fault`). The sentinel pivot −∞ marks it as injected.
+    crate::faultpoint!(crate::fault::CHOLESKY, {
+        return Err(CholeskyError {
+            index: index_offset,
+            pivot: f64::NEG_INFINITY,
+        });
+    });
     let n = a.rows();
     for j in 0..n {
         let mut d = a.at(j, j);

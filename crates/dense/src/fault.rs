@@ -1,0 +1,424 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A *faultpoint* is a named site in the code (`cholesky`, `collective`,
+//! `dequeue`, `arena`, `worker`) that consults this module before doing its
+//! real work. When no schedule is installed the check is a single relaxed
+//! atomic load and a predicted branch — cheap enough to leave compiled into
+//! release builds, which is the point: chaos CI exercises the exact binary
+//! that ships.
+//!
+//! # Schedule format
+//!
+//! Schedules come from the `CACQR_FAULTS` environment variable (read once,
+//! lazily) or programmatically via [`install`]:
+//!
+//! ```text
+//! CACQR_FAULTS="seed=42;delay_us=50;collective=0.05;dequeue=0.1;cholesky=0.2"
+//! ```
+//!
+//! `seed` (default 0) keys the pseudo-random firing decisions; `delay_us`
+//! (default 20) is the stall injected by delay-kind sites; every other
+//! `key=rate` pair names a site and its firing probability in `[0, 1]`.
+//! Unknown site names are a hard error so typos cannot silently disable a
+//! chaos schedule.
+//!
+//! # Determinism
+//!
+//! Firing is a pure function of `(seed, site, hit-index)` where the hit
+//! index is a per-thread counter: the k-th time a given thread reaches a
+//! given site, the decision is always the same for the same seed. SPMD rank
+//! bodies run on threads spawned fresh per factorization, so every rank of
+//! every run replays an identical schedule — there is no cross-thread
+//! counter to race on.
+//!
+//! # Site kinds
+//!
+//! Sites are either *delay* sites (`collective`, `dequeue`, `arena` — they
+//! stall the thread for `delay_us`, perturbing interleavings without
+//! changing results) or *error* sites (`cholesky` injects a typed
+//! [`CholeskyError`](crate::CholeskyError) breakdown; `worker` makes the
+//! service worker panic inside its isolation boundary). Error sites are
+//! suppressed inside SPMD regions (see [`spmd_scope`]): a single rank
+//! erroring out of a collective would deadlock its peers, which is a bug in
+//! the harness, not the code under test. Delay sites fire everywhere.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Once, RwLock};
+use std::time::Duration;
+
+/// Cholesky pivot site (error kind): injects a typed breakdown.
+pub const CHOLESKY: &str = "cholesky";
+/// Collective exchange site (delay kind): stalls a rank mid-exchange.
+pub const COLLECTIVE: &str = "collective";
+/// Service worker dequeue site (delay kind): stalls a worker between jobs.
+pub const DEQUEUE: &str = "dequeue";
+/// Arena checkout site (delay kind): stalls a workspace checkout.
+pub const ARENA: &str = "arena";
+/// Service worker execution site (error kind): panics inside the worker's
+/// `catch_unwind` boundary, exercising panic isolation end to end.
+pub const WORKER: &str = "worker";
+
+const SITES: &[&str] = &[CHOLESKY, COLLECTIVE, DEQUEUE, ARENA, WORKER];
+const ERROR_SITES: &[&str] = &[CHOLESKY, WORKER];
+
+const DEFAULT_DELAY_US: u64 = 20;
+
+/// A parsed fault schedule: seed, injected delay, and per-site firing rates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    delay: Duration,
+    rates: [f64; SITES.len()],
+}
+
+impl FaultPlan {
+    /// An empty schedule (seed 0, default delay, all rates zero). Build it
+    /// up with [`FaultPlan::site`].
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            delay: Duration::from_micros(DEFAULT_DELAY_US),
+            rates: [0.0; SITES.len()],
+        }
+    }
+
+    /// Set a site's firing rate. Panics on unknown site names or rates
+    /// outside `[0, 1]` — schedules are test infrastructure and deserve
+    /// loud failure.
+    pub fn site(mut self, name: &str, rate: f64) -> FaultPlan {
+        let idx = site_index(name).unwrap_or_else(|| panic!("unknown fault site `{name}`"));
+        assert!((0.0..=1.0).contains(&rate), "fault rate {rate} outside [0, 1]");
+        self.rates[idx] = rate;
+        self
+    }
+
+    /// Set the stall injected by delay-kind sites.
+    pub fn delay(mut self, delay: Duration) -> FaultPlan {
+        self.delay = delay;
+        self
+    }
+
+    /// Parse the `CACQR_FAULTS` schedule syntax:
+    /// `seed=42;delay_us=50;site=rate;...`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for field in spec.split(';') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault field `{field}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("bad fault seed `{value}`"))?;
+                }
+                "delay_us" => {
+                    let us: u64 = value.parse().map_err(|_| format!("bad fault delay_us `{value}`"))?;
+                    plan.delay = Duration::from_micros(us);
+                }
+                site => {
+                    let idx = site_index(site).ok_or_else(|| format!("unknown fault site `{site}`"))?;
+                    let rate: f64 = value.parse().map_err(|_| format!("bad fault rate `{value}`"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!("fault rate {rate} for `{site}` outside [0, 1]"));
+                    }
+                    plan.rates[idx] = rate;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rates.iter().all(|&r| r == 0.0)
+    }
+}
+
+fn site_index(name: &str) -> Option<usize> {
+    SITES.iter().position(|&s| s == name)
+}
+
+fn is_error_site(idx: usize) -> bool {
+    ERROR_SITES.contains(&SITES[idx])
+}
+
+// Global state: 0 = env not consulted yet, 1 = disabled, 2 = enabled. The
+// fast path is a single relaxed load of this byte.
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static ENV_INIT: Once = Once::new();
+/// Bumped on every `install` so surviving threads discard stale hit counters.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+struct Installed {
+    plan: FaultPlan,
+    injected: [AtomicU64; SITES.len()],
+}
+
+static PLAN: RwLock<Option<Installed>> = RwLock::new(None);
+
+thread_local! {
+    // (generation, per-site hit counters) — see module docs on determinism.
+    static HITS: RefCell<(u64, [u64; SITES.len()])> = const { RefCell::new((0, [0; SITES.len()])) };
+    static SPMD_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Install a schedule programmatically (tests), or `None` to disable all
+/// faultpoints. Overrides any `CACQR_FAULTS` environment schedule for the
+/// rest of the process lifetime and resets injection counters.
+pub fn install(plan: Option<FaultPlan>) {
+    let enabled = plan.as_ref().is_some_and(|p| !p.is_empty());
+    let mut guard = PLAN.write().unwrap();
+    *guard = plan.map(|plan| Installed {
+        plan,
+        injected: [(); SITES.len()].map(|()| AtomicU64::new(0)),
+    });
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    STATE.store(if enabled { STATE_ON } else { STATE_OFF }, Ordering::Release);
+}
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        // `install` may have run first; it wins over the environment.
+        if STATE.load(Ordering::Acquire) != STATE_UNINIT {
+            return;
+        }
+        match std::env::var("CACQR_FAULTS") {
+            Ok(spec) => {
+                let plan = FaultPlan::parse(&spec).unwrap_or_else(|err| panic!("CACQR_FAULTS=\"{spec}\": {err}"));
+                install(Some(plan));
+            }
+            Err(_) => STATE.store(STATE_OFF, Ordering::Release),
+        }
+    });
+}
+
+/// True when a fault schedule is active. The cheap gate callers may use to
+/// skip building diagnostic context.
+#[inline]
+pub fn active() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_OFF => false,
+        STATE_ON => true,
+        _ => {
+            init_from_env();
+            STATE.load(Ordering::Relaxed) == STATE_ON
+        }
+    }
+}
+
+/// Consult the schedule at a named site. Returns `true` when the fault
+/// fires. Deterministic per `(seed, site, thread hit index)`; error-kind
+/// sites never fire inside an SPMD region (see [`spmd_scope`]).
+#[inline]
+pub fn should_fire(site: &str) -> bool {
+    if !active() {
+        return false;
+    }
+    should_fire_slow(site)
+}
+
+#[cold]
+fn should_fire_slow(site: &str) -> bool {
+    let Some(idx) = site_index(site) else {
+        return false;
+    };
+    if is_error_site(idx) && SPMD_DEPTH.with(|d| d.get() > 0) {
+        return false;
+    }
+    let guard = PLAN.read().unwrap();
+    let Some(installed) = guard.as_ref() else {
+        return false;
+    };
+    let rate = installed.plan.rates[idx];
+    if rate <= 0.0 {
+        return false;
+    }
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let hit = HITS.with(|h| {
+        let mut h = h.borrow_mut();
+        if h.0 != generation {
+            *h = (generation, [0; SITES.len()]);
+        }
+        let hit = h.1[idx];
+        h.1[idx] += 1;
+        hit
+    });
+    let draw = unit_draw(installed.plan.seed, idx as u64, hit);
+    let fire = draw < rate;
+    if fire {
+        installed.injected[idx].fetch_add(1, Ordering::Relaxed);
+    }
+    fire
+}
+
+/// SplitMix64-style mix of (seed, site, hit) mapped to a uniform draw in
+/// `[0, 1)`.
+fn unit_draw(seed: u64, site: u64, hit: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(site.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(hit.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Delay-kind faultpoint: stall the thread for the schedule's `delay_us`
+/// when the site fires. No-op (one atomic load) when disabled.
+#[inline]
+pub fn maybe_delay(site: &str) {
+    if !active() {
+        return;
+    }
+    if should_fire_slow(site) {
+        let delay = PLAN.read().unwrap().as_ref().map(|p| p.plan.delay);
+        if let Some(delay) = delay {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+/// How many times `site` has fired under the currently installed schedule.
+pub fn injected(site: &str) -> u64 {
+    let Some(idx) = site_index(site) else {
+        return 0;
+    };
+    PLAN.read()
+        .unwrap()
+        .as_ref()
+        .map_or(0, |p| p.injected[idx].load(Ordering::Relaxed))
+}
+
+/// Total fires across all sites under the currently installed schedule.
+pub fn injected_total() -> u64 {
+    PLAN.read()
+        .unwrap()
+        .as_ref()
+        .map_or(0, |p| p.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum())
+}
+
+/// RAII marker for an SPMD region: while alive on this thread, error-kind
+/// sites are suppressed (a lone rank erroring mid-collective would deadlock
+/// its peers) while delay-kind sites keep firing. Runtimes install this
+/// around rank bodies; it nests.
+pub struct SpmdScope {
+    // !Send: the counter is thread-local.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Enter an SPMD region on this thread. See [`SpmdScope`].
+pub fn spmd_scope() -> SpmdScope {
+    SPMD_DEPTH.with(|d| d.set(d.get() + 1));
+    SpmdScope {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SpmdScope {
+    fn drop(&mut self) {
+        SPMD_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Check a faultpoint by site name; with a second argument, run that
+/// expression (e.g. `return Err(...)` or `panic!(...)`) when it fires.
+/// Compiles to one relaxed atomic load and a predicted branch when no
+/// schedule is installed.
+#[macro_export]
+macro_rules! faultpoint {
+    ($site:expr) => {
+        $crate::fault::should_fire($site)
+    };
+    ($site:expr, $body:expr) => {
+        if $crate::fault::should_fire($site) {
+            $body
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The plan/state globals are process-wide; unit tests here serialize on
+    // a lock and restore the disabled state when done.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_plan(plan: FaultPlan, body: impl FnOnce()) {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install(Some(plan));
+        body();
+        install(None);
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_format() {
+        let plan = FaultPlan::parse("seed=42;delay_us=50;collective=0.05;cholesky=0.2").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.delay, Duration::from_micros(50));
+        assert_eq!(plan.rates[site_index(COLLECTIVE).unwrap()], 0.05);
+        assert_eq!(plan.rates[site_index(CHOLESKY).unwrap()], 0.2);
+        assert_eq!(plan.rates[site_index(ARENA).unwrap()], 0.0);
+        assert!(FaultPlan::parse("bogus_site=0.5").is_err());
+        assert!(FaultPlan::parse("cholesky=1.5").is_err());
+        assert!(FaultPlan::parse("cholesky").is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_thread_and_seed() {
+        let sample = |seed: u64| -> Vec<bool> {
+            let mut fired = Vec::new();
+            with_plan(FaultPlan::new(seed).site(CHOLESKY, 0.3), || {
+                fired = (0..64).map(|_| should_fire(CHOLESKY)).collect();
+            });
+            fired
+        };
+        let a = sample(7);
+        let b = sample(7);
+        let c = sample(8);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert_ne!(a, c, "different seeds must differ");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(hits > 5 && hits < 30, "rate 0.3 over 64 draws fired {hits} times");
+    }
+
+    #[test]
+    fn disabled_sites_and_spmd_regions_suppress_correctly() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        install(None);
+        assert!(!active());
+        assert!(!should_fire(CHOLESKY));
+
+        install(Some(FaultPlan::new(1).site(CHOLESKY, 1.0).site(ARENA, 1.0)));
+        assert!(should_fire(CHOLESKY));
+        assert_eq!(injected(CHOLESKY), 1);
+        {
+            let _spmd = spmd_scope();
+            assert!(!should_fire(CHOLESKY), "error sites must not fire inside SPMD");
+            assert!(should_fire(ARENA), "delay sites keep firing inside SPMD");
+        }
+        assert!(should_fire(CHOLESKY), "suppression ends with the scope");
+        assert!(injected_total() >= 3);
+        install(None);
+    }
+
+    #[test]
+    fn faultpoint_macro_fires_the_armed_expression() {
+        let mut hit = false;
+        with_plan(FaultPlan::new(3).site(WORKER, 1.0), || {
+            faultpoint!(WORKER, hit = true);
+        });
+        assert!(hit);
+        assert!(!faultpoint!(WORKER), "disabled again after the test plan");
+    }
+}

@@ -23,6 +23,11 @@
 //! * [`householder`] — blocked Householder QR (the sequential reference and
 //!   the kernel under the ScaLAPACK-like baseline); block-reflector
 //!   applications route through a backend.
+//! * [`cond`] — Hager–Higham triangular 1-norm condition estimation: the
+//!   O(n²) κ₁(R) estimate the escalation ladder gates on.
+//! * [`fault`] — deterministic fault injection (`CACQR_FAULTS`): named
+//!   faultpoints at the Cholesky pivot and arena checkout sites (consumers
+//!   add collective/worker sites), zero-cost when disabled.
 //! * [`svd`] — one-sided Jacobi SVD, used to measure condition numbers.
 //!   (Pure BLAS-1 column rotations — there is no BLAS-3 call to route
 //!   through a backend.)
@@ -49,6 +54,8 @@
 pub mod backend;
 pub mod blas1;
 pub mod cholesky;
+pub mod cond;
+pub mod fault;
 pub mod flops;
 pub mod gemm;
 pub mod householder;
@@ -66,6 +73,8 @@ pub use backend::{
     kernel_threads, max_threads, pool_worker_idle, thread_budget, Backend, BackendKind, PoolIdleGuard, PoolReservation,
 };
 pub use cholesky::{cholinv, cholinv_with, potrf, potrf_with, potrf_ws, trtri_lower, trtri_lower_with, CholeskyError};
+pub use cond::cond_estimate;
+pub use fault::FaultPlan;
 pub use gemm::{gemm, matmul, Trans};
 pub use householder::{form_q, householder_qr, QrFactors};
 pub use matrix::{MatMut, MatRef, Matrix};

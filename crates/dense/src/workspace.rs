@@ -226,6 +226,7 @@ impl WorkspacePool {
     /// Falls back to an anonymous arena, then to a fresh one, when the slot
     /// is already out.
     pub fn checkout_at(&self, index: usize) -> PooledWorkspace<'_> {
+        crate::fault::maybe_delay(crate::fault::ARENA);
         let from_slot = {
             let mut indexed = self.indexed.lock().unwrap_or_else(|e| e.into_inner());
             if indexed.len() <= index {
@@ -250,6 +251,7 @@ impl WorkspacePool {
     /// thread carry its communication arena across an SPMD region. Pair
     /// with [`put_at`](WorkspacePool::put_at) to return it.
     pub fn take_at(&self, index: usize) -> Workspace {
+        crate::fault::maybe_delay(crate::fault::ARENA);
         let from_slot = {
             let mut indexed = self.indexed.lock().unwrap_or_else(|e| e.into_inner());
             if indexed.len() <= index {
@@ -271,6 +273,7 @@ impl WorkspacePool {
 
     /// Checks out an anonymous arena (no slot affinity).
     pub fn checkout(&self) -> PooledWorkspace<'_> {
+        crate::fault::maybe_delay(crate::fault::ARENA);
         let ws = self
             .anon
             .lock()

@@ -501,7 +501,12 @@ where
             shm: None,
             comm_ws,
         };
-        let out = f(&mut rank);
+        let out = {
+            // Mark the SPMD region so error-kind faultpoints stay quiet on
+            // the (caller's) rank thread; see `dense::fault`.
+            let _spmd = dense::fault::spmd_scope();
+            f(&mut rank)
+        };
         if let Some(pool) = pool {
             pool.put_at(1, rank.comm_ws);
         }
@@ -551,7 +556,10 @@ where
                     shm,
                     comm_ws,
                 };
-                let out = fref(&mut rank);
+                let out = {
+                    let _spmd = dense::fault::spmd_scope();
+                    fref(&mut rank)
+                };
                 if let Some(pool) = pool {
                     pool.put_at(p + id, rank.comm_ws);
                 }

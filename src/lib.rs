@@ -53,6 +53,18 @@
 //! `downdate_rows` / `snapshot`). See [`cacqr::stream`] and
 //! `examples/online_lsq.rs`.
 //!
+//! ## Robustness: escalation, deadlines, fault injection
+//!
+//! Breakdown on ill-conditioned input is a normal event for the CQR2
+//! family (it squares κ before the Cholesky). An enabled [`RetryPolicy`]
+//! escalates failed factorizations up a stability ladder (CQR2 → shifted
+//! CQR3 → Householder) and records the walk in a [`QrReport::escalation`]
+//! chain; [`SubmitOptions`] adds per-job deadlines, cancellation, and
+//! load-shedding admission control to the service; and `dense::fault`
+//! provides the deterministic `CACQR_FAULTS` chaos-injection layer that
+//! `tests/chaos.rs` drives in CI. See the README's "Robustness" section
+//! for the error taxonomy and contracts.
+//!
 //! ## The workspace crates
 //!
 //! * [`dense`] — sequential dense linear algebra kernels (the BLAS/LAPACK
@@ -75,10 +87,12 @@ pub use dense;
 pub use pargrid;
 pub use simgrid;
 
-pub use cacqr::driver::{Algorithm, PlanError, QrPlan, QrPlanBuilder, QrReport};
+pub use cacqr::driver::{
+    Algorithm, EscalationAttempt, EscalationReport, PlanError, QrPlan, QrPlanBuilder, QrReport, RetryPolicy,
+};
 pub use cacqr::service::{
     JobHandle, JobInput, JobSpec, LatencySummary, QrService, QrServiceBuilder, ServiceError, ServiceStats,
-    StreamHandle, StreamOutcome,
+    StreamHandle, StreamOp, StreamOutcome, SubmitOptions,
 };
 pub use cacqr::stream::{StreamSnapshot, StreamStatus, StreamingQr};
 pub use cacqr::tuner::{ProfileEntry, Tuner, TunerError, TunerReport, TuningProfile};

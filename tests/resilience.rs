@@ -1,0 +1,300 @@
+//! Condition-adaptive escalation and service resilience, end to end.
+//!
+//! * **Acceptance (the ladder works):** a κ ≈ 1e9 input that provably
+//!   defeats plain CQR2 (its Gram matrix squares the conditioning past
+//!   1/ε) completes through automatic escalation, records the full attempt
+//!   chain, and matches a direct PGEQRF factorization to batch-CQR2
+//!   accuracy bounds.
+//! * **Streams escalate too:** a drift-triggered refresh that fails on the
+//!   plain sequential path retries on the shifted-CQR3 and Householder
+//!   rungs instead of parking the stream in `refresh_failed`.
+//! * **Service stream jobs surface kernel errors typed under contention:**
+//!   `UpdateError::DowndateIndefinite` and `StreamStatus::refresh_failed`
+//!   propagate through worker-pool stream jobs while batch traffic
+//!   saturates the pool, without wedging the per-stream turnstile.
+//! * **Stable partial-failure indices:** `try_factor_many` maps each panel's
+//!   typed outcome to its submission index regardless of how ranges were
+//!   stolen across the pool.
+
+use cacqr::service::JobSpec;
+use cacqr::{Algorithm, PlanError, QrPlan, QrService, RetryPolicy, ServiceError};
+use dense::random::{gaussian_matrix, matrix_with_condition, well_conditioned};
+use dense::update::UpdateError;
+use dense::Matrix;
+use pargrid::GridShape;
+
+/// Normalize row signs of an upper-triangular factor so factors from
+/// Gram-based (positive-diagonal) and Householder-based paths compare.
+fn positive_diag(r: &Matrix) -> Matrix {
+    Matrix::from_fn(r.rows(), r.cols(), |i, j| {
+        let d = r.get(i, i);
+        if d < 0.0 {
+            -r.get(i, j)
+        } else {
+            r.get(i, j)
+        }
+    })
+}
+
+#[test]
+fn kappa_1e9_input_completes_via_escalation_and_matches_pgeqrf() {
+    let hard = matrix_with_condition(64, 16, 1e9, 41);
+    let plan = QrPlan::new(64, 16)
+        .grid(GridShape::new(2, 2).unwrap())
+        .retry(RetryPolicy::escalate())
+        .build()
+        .unwrap();
+    // The ladder-shaped input must actually defeat the primary rung.
+    assert!(
+        plan.factor_with_policy(&hard, RetryPolicy::none()).is_err(),
+        "kappa 1e9 squared must break plain CQR2's Cholesky"
+    );
+    let report = plan.factor(&hard).unwrap();
+    let esc = report
+        .escalation
+        .as_ref()
+        .expect("policy-enabled run records its ladder");
+    assert!(esc.escalated(), "recovery must have climbed at least one rung");
+    assert!(esc.attempts.len() >= 2);
+    assert!(esc.attempts.last().unwrap().error.is_none());
+    assert_ne!(report.algorithm, Algorithm::CaCqr2);
+
+    // Batch-CQR2-grade accuracy from the escalated result...
+    assert!(report.orthogonality_error < 1e-12, "got {}", report.orthogonality_error);
+    assert!(report.residual_error < 1e-12, "got {}", report.residual_error);
+
+    // ...and agreement with a direct PGEQRF factorization of the same
+    // input, up to the row-sign convention, at the accuracy CQR2's own
+    // equivalence tests use.
+    let pgeqrf = QrPlan::new(64, 16)
+        .algorithm(Algorithm::Pgeqrf)
+        .block_cyclic(baseline::BlockCyclic { pr: 2, pc: 1, nb: 16 })
+        .build()
+        .unwrap()
+        .factor(&hard)
+        .unwrap();
+    let ours = positive_diag(&report.r);
+    let reference = positive_diag(&pgeqrf.r);
+    let denom = reference.data().iter().map(|x| x * x).sum::<f64>().sqrt();
+    let diff = ours
+        .data()
+        .iter()
+        .zip(reference.data())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    assert!(
+        diff / denom < 1e-8,
+        "escalated R must agree with direct PGEQRF (rel diff {:.3e})",
+        diff / denom
+    );
+}
+
+#[test]
+fn escalation_report_is_deterministic_across_repeats() {
+    let hard = matrix_with_condition(64, 16, 1e9, 17);
+    let plan = QrPlan::new(64, 16)
+        .grid(GridShape::new(2, 2).unwrap())
+        .retry(RetryPolicy::escalate())
+        .build()
+        .unwrap();
+    let r1 = plan.factor(&hard).unwrap();
+    let r2 = plan.factor(&hard).unwrap();
+    assert_eq!(r1.algorithm, r2.algorithm);
+    assert_eq!(r1.r.data(), r2.r.data(), "ladder walks are bitwise reproducible");
+    let (e1, e2) = (r1.escalation.unwrap(), r2.escalation.unwrap());
+    assert_eq!(e1.attempts.len(), e2.attempts.len());
+    assert_eq!(e1.condition_estimate.to_bits(), e2.condition_estimate.to_bits());
+}
+
+/// A window whose trailing block is numerically singular once the leading
+/// rows are removed: the committed downdate succeeds, but re-factoring the
+/// live rows through plain sequential CQR2 breaks down. (Mirrors the
+/// construction in `streaming.rs`.)
+fn refresh_failure_window(c_rows: usize, d_rows: usize, n: usize, seed: u64) -> Matrix {
+    let c = gaussian_matrix(c_rows, n, seed);
+    let core = gaussian_matrix(d_rows, n, seed ^ 0xd00d);
+    let s_scale = 1e7;
+    let delta = 1e-9;
+    Matrix::from_fn(c_rows + d_rows, n, |i, j| {
+        if i < c_rows {
+            10.0 * c.get(i, j)
+        } else {
+            let i = i - c_rows;
+            if j < n - 2 {
+                s_scale * core.get(i, j)
+            } else {
+                let avg: f64 = (0..n - 2).map(|k| core.get(i, k)).sum::<f64>() / (n - 2) as f64;
+                let alt: f64 = (0..n - 2)
+                    .map(|k| if k % 2 == 0 { core.get(i, k) } else { -core.get(i, k) })
+                    .sum::<f64>()
+                    / (n - 2) as f64;
+                let combo = if j == n - 2 { avg } else { alt };
+                s_scale * (combo + delta * core.get(i, j))
+            }
+        }
+    })
+}
+
+#[test]
+fn stream_refresh_escalates_instead_of_parking_in_refresh_failed() {
+    let n = 8usize;
+    let (c_rows, d_rows) = (16usize, 48usize);
+    let a0 = refresh_failure_window(c_rows, d_rows, n, 0);
+    let oldest = Matrix::from_view(a0.view(0, 0, c_rows, n));
+
+    // Without a policy the refresh fails and the stream parks (covered in
+    // streaming.rs); with escalation enabled the same refresh walks the
+    // sequential ladder — shifted CQR3, then Householder — and succeeds.
+    let plan = QrPlan::new(c_rows + d_rows, n)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+        .retry(RetryPolicy::escalate())
+        .build()
+        .unwrap();
+    let mut s = plan.stream(&a0).unwrap().with_drift_threshold(0.0);
+    let status = s.downdate_rows(oldest.as_ref()).expect("the downdate itself commits");
+    assert!(
+        status.refreshed,
+        "an enabled policy must rescue the refresh through the ladder"
+    );
+    assert!(!status.refresh_failed);
+    assert_eq!(status.rows, d_rows);
+    assert!(s.last_refresh_error().is_none());
+    assert_eq!(s.drift(), 0.0, "a successful escalated refresh resets drift");
+}
+
+fn stream_spec(m: usize, n: usize) -> JobSpec {
+    JobSpec::new(m, n)
+        .algorithm(Algorithm::Cqr2_1d)
+        .grid(GridShape::one_d(4).unwrap())
+}
+
+#[test]
+fn service_stream_jobs_surface_downdate_indefinite_under_contention() {
+    let service = QrService::builder().workers(4).build();
+    let spec = stream_spec(64, 16);
+    let a0 = well_conditioned(64, 16, 23);
+    // A history-less stream (adopted — stream_open always keeps history):
+    // the hyperbolic pivot check is the only guard against removing rows
+    // that were never appended.
+    let plan = service.plan(&spec).unwrap();
+    service
+        .stream_adopt("raw", plan.stream(&a0).unwrap().with_history(false))
+        .unwrap();
+    // Saturate the pool with batch traffic around the stream operations.
+    let batch: Vec<_> = (0..8)
+        .map(|s| service.submit(&spec, well_conditioned(64, 16, 100 + s)).unwrap())
+        .collect();
+    let ok0 = service.append_rows("raw", gaussian_matrix(2, 16, 1)).unwrap();
+    let foreign = Matrix::from_fn(1, 16, |_, j| 1e6 * (j + 1) as f64);
+    let bad = service.downdate_rows("raw", foreign).unwrap();
+    let ok1 = service.append_rows("raw", gaussian_matrix(2, 16, 2)).unwrap();
+
+    assert_eq!(ok0.wait().unwrap().status().unwrap().rows, 66);
+    match bad.wait().unwrap_err() {
+        ServiceError::Plan(PlanError::Update(UpdateError::DowndateIndefinite { row, .. })) => {
+            assert_eq!(row, 0);
+        }
+        other => panic!("expected DowndateIndefinite, got {other}"),
+    }
+    // The failed downdate rolled back and the turnstile advanced: the next
+    // append still lands, on the un-downdated row count.
+    assert_eq!(ok1.wait().unwrap().status().unwrap().rows, 68);
+    for h in batch {
+        h.wait().unwrap();
+    }
+}
+
+#[test]
+fn service_stream_jobs_surface_refresh_failed_under_contention() {
+    let n = 8usize;
+    let (c_rows, d_rows) = (16usize, 48usize);
+    let a0 = refresh_failure_window(c_rows, d_rows, n, 0);
+    let oldest = Matrix::from_view(a0.view(0, 0, c_rows, n));
+
+    let service = QrService::builder().workers(4).build();
+    let spec = stream_spec(c_rows + d_rows, n);
+    let plan = service.plan(&spec).unwrap();
+    // Threshold 0: every committed update triggers a refresh attempt. No
+    // retry policy on this plan, so the failed refresh must surface.
+    service
+        .stream_adopt("windowed", plan.stream(&a0).unwrap().with_drift_threshold(0.0))
+        .unwrap();
+    let contention: Vec<_> = (0..8)
+        .map(|s| {
+            service
+                .submit(&stream_spec(64, 16), well_conditioned(64, 16, 200 + s))
+                .unwrap()
+        })
+        .collect();
+    let status = service
+        .downdate_rows("windowed", Matrix::from_view(oldest.view(0, 0, c_rows, n)))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .status()
+        .unwrap();
+    assert!(
+        status.refresh_failed,
+        "the failed refresh must surface through the pool"
+    );
+    assert!(!status.refreshed);
+    assert_eq!(status.rows, d_rows, "the rows really were removed");
+    // The stream is not wedged: a strong full-rank append repairs the
+    // deficient directions and the retried refresh succeeds.
+    let rescue_core = gaussian_matrix(2, n, 4242);
+    let rescue = Matrix::from_fn(2, n, |i, j| 1e7 * rescue_core.get(i, j));
+    let status = service
+        .append_rows("windowed", rescue)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .status()
+        .unwrap();
+    assert!(status.refreshed, "drift retry must fire on the next update");
+    assert!(!status.refresh_failed);
+    for h in contention {
+        h.wait().unwrap();
+    }
+}
+
+#[test]
+fn factor_many_error_indices_are_stable_under_stealing() {
+    let service = QrService::builder().workers(8).build();
+    let spec = JobSpec::new(64, 16).grid(GridShape::new(2, 2).unwrap());
+    let bad_at = [5usize, 17, 40];
+    let batch: Vec<Matrix> = (0..48)
+        .map(|i| {
+            if bad_at.contains(&i) {
+                // Zero column: the Gram matrix loses positive definiteness.
+                let mut m = well_conditioned(64, 16, i as u64);
+                for r in 0..64 {
+                    m.set(r, 3, 0.0);
+                }
+                m
+            } else {
+                well_conditioned(64, 16, i as u64)
+            }
+        })
+        .collect();
+    let plan = service.plan(&spec).unwrap();
+    let reference: Vec<_> = batch.iter().map(|a| plan.factor(a)).collect();
+    let outcomes = service.try_factor_many(&spec, batch).unwrap();
+    assert_eq!(outcomes.len(), 48);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if bad_at.contains(&i) {
+            assert!(
+                matches!(outcome, Err(ServiceError::Plan(PlanError::NotPositiveDefinite(_)))),
+                "panel {i} must fail typed in place, got {outcome:?}"
+            );
+        } else {
+            let report = outcome.as_ref().expect("healthy siblings keep their reports");
+            assert_eq!(
+                report.r.data(),
+                reference[i].as_ref().unwrap().r.data(),
+                "panel {i}'s result must be bitwise the sequential factor"
+            );
+        }
+    }
+}
